@@ -1,0 +1,209 @@
+//! Ally-style IP alias resolution.
+//!
+//! bdrmap "applies alias resolution techniques to infer routers" (§4). The
+//! classic Ally test exploits routers that stamp responses from one shared,
+//! monotonically increasing IP-ID counter: probe address X, then Y, then X
+//! again — if the three IDs are in-sequence within a small window, X and Y
+//! are interfaces of the same router. The simulator's routers model exactly
+//! that counter, so the test works for real here (and fails for real across
+//! distinct routers).
+
+use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::node::NodeId;
+use ixp_simnet::prelude::{Ipv4, PacketKind};
+use ixp_simnet::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Maximum ID advance allowed between consecutive in-sequence observations.
+const ALLY_WINDOW: u16 = 200;
+
+fn ping_id(net: &mut Network, from: NodeId, dst: Ipv4, t: SimTime) -> Option<u16> {
+    match net.send_probe(from, ProbeSpec::echo(dst), t) {
+        Ok(r) if r.kind == PacketKind::EchoReply => Some(r.ip_id),
+        _ => None,
+    }
+}
+
+fn in_sequence(a: u16, b: u16) -> bool {
+    b.wrapping_sub(a) <= ALLY_WINDOW
+}
+
+/// The Ally test: are `x` and `y` interfaces of the same router?
+/// Returns `None` when either address does not answer.
+pub fn ally_test(net: &mut Network, from: NodeId, x: Ipv4, y: Ipv4, t: SimTime) -> Option<bool> {
+    let a = ping_id(net, from, x, t)?;
+    let b = ping_id(net, from, y, t + SimDuration::from_millis(20))?;
+    let c = ping_id(net, from, x, t + SimDuration::from_millis(40))?;
+    Some(in_sequence(a, b) && in_sequence(b, c))
+}
+
+/// Cluster `addrs` into routers by incremental Ally testing: each address is
+/// tested against one representative of every existing cluster; unresponsive
+/// addresses become singletons. O(n × clusters) probes instead of O(n²).
+pub fn resolve_aliases(net: &mut Network, from: NodeId, addrs: &[Ipv4], t0: SimTime) -> Vec<Vec<Ipv4>> {
+    let mut clusters: Vec<Vec<Ipv4>> = Vec::new();
+    let mut t = t0;
+    for &a in addrs {
+        let mut placed = false;
+        for c in clusters.iter_mut() {
+            let rep = c[0];
+            match ally_test(net, from, rep, a, t) {
+                Some(true) => {
+                    c.push(a);
+                    placed = true;
+                }
+                _ => {}
+            }
+            t = t + SimDuration::from_millis(60);
+            if placed {
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(vec![a]);
+        }
+    }
+    clusters
+}
+
+/// MIDAR-style monotonic bound test (MBT): interleave `rounds` probes to
+/// `x` and `y` and check that every consecutive IP-ID pair is in sequence
+/// for a single shared counter. Stricter than one Ally round — MIDAR's
+/// insight is that longer interleavings drive the false-alias probability
+/// toward zero, because two independent counters must stay accidentally
+/// interleaved the whole time.
+///
+/// Returns `Some(fraction_in_sequence)` (1.0 = perfect alias evidence), or
+/// `None` if any probe went unanswered.
+pub fn mbt_test(
+    net: &mut Network,
+    from: NodeId,
+    x: Ipv4,
+    y: Ipv4,
+    rounds: usize,
+    t0: SimTime,
+) -> Option<f64> {
+    assert!(rounds >= 2, "MBT needs at least two rounds");
+    let mut ids = Vec::with_capacity(rounds * 2);
+    let mut t = t0;
+    for _ in 0..rounds {
+        ids.push(ping_id(net, from, x, t)?);
+        t = t + SimDuration::from_millis(15);
+        ids.push(ping_id(net, from, y, t)?);
+        t = t + SimDuration::from_millis(15);
+    }
+    let pairs = ids.len() - 1;
+    let ok = ids.windows(2).filter(|w| in_sequence(w[0], w[1])).count();
+    Some(ok as f64 / pairs as f64)
+}
+
+/// Build an address → cluster-index map from resolved clusters.
+pub fn cluster_index(clusters: &[Vec<Ipv4>]) -> HashMap<Ipv4, usize> {
+    let mut m = HashMap::new();
+    for (i, c) in clusters.iter().enumerate() {
+        for &a in c {
+            m.insert(a, i);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_simnet::link::LinkConfig;
+    use ixp_simnet::prelude::*;
+
+    /// vp — r1 with two extra stub-ish links to r2 and r3; r2 has two
+    /// interfaces we can ping (its link iface and a second parallel link).
+    fn multi_iface_topology() -> (Network, NodeId, [Ipv4; 4]) {
+        let mut net = Network::new(77);
+        let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+        let r1 = net.add_node(NodeKind::Router, Asn(1), "r1");
+        let r2 = net.add_node(NodeKind::Router, Asn(2), "r2");
+        let r3 = net.add_node(NodeKind::Router, Asn(3), "r3");
+        let cfg = LinkConfig::default();
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), cfg.clone());
+        // Two parallel links r1–r2: r2 gets interfaces .2 and .6.
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), cfg.clone());
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 5), r2, Ipv4::new(10, 0, 1, 6), cfg.clone());
+        // One link r1–r3.
+        net.connect_idle(r1, Ipv4::new(10, 0, 2, 1), r3, Ipv4::new(10, 0, 2, 2), cfg);
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r1, "10.0.1.2/32".parse().unwrap(), IfaceId(1));
+        net.add_route(r1, "10.0.1.6/32".parse().unwrap(), IfaceId(2));
+        net.add_route(r1, "10.0.2.2/32".parse().unwrap(), IfaceId(3));
+        for r in [r2, r3] {
+            let back = IfaceId(0);
+            net.add_route(r, Prefix::DEFAULT, back);
+        }
+        (
+            net,
+            vp,
+            [Ipv4::new(10, 0, 1, 2), Ipv4::new(10, 0, 1, 6), Ipv4::new(10, 0, 2, 2), Ipv4::new(10, 0, 0, 1)],
+        )
+    }
+
+    #[test]
+    fn ally_groups_same_router() {
+        let (mut net, vp, [a, b, _, _]) = multi_iface_topology();
+        assert_eq!(ally_test(&mut net, vp, a, b, SimTime::ZERO), Some(true));
+    }
+
+    #[test]
+    fn ally_separates_different_routers() {
+        let (mut net, vp, [a, _, c, _]) = multi_iface_topology();
+        // Desynchronize the counters: r3 answers a bunch of probes first.
+        for i in 0..500u64 {
+            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(i * 10_000));
+        }
+        assert_eq!(ally_test(&mut net, vp, a, c, SimTime(600_000_0)), Some(false));
+    }
+
+    #[test]
+    fn ally_unresponsive_is_none() {
+        let (mut net, vp, [a, _, _, _]) = multi_iface_topology();
+        net.node_mut(NodeId(2)).icmp.responsive = false;
+        assert_eq!(ally_test(&mut net, vp, a, Ipv4::new(10, 0, 2, 2), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn mbt_confirms_aliases_and_rejects_strangers() {
+        let (mut net, vp, [a, b, c, _]) = multi_iface_topology();
+        let alias = mbt_test(&mut net, vp, a, b, 8, SimTime::ZERO).unwrap();
+        assert!(alias >= 0.99, "alias MBT score {alias}");
+        // Desynchronize and compare across routers: the interleaving breaks.
+        for i in 0..700u64 {
+            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(10_000_000 + i * 10_000));
+        }
+        let stranger = mbt_test(&mut net, vp, a, c, 8, SimTime(60_000_000)).unwrap();
+        assert!(stranger < 0.9, "stranger MBT score {stranger}");
+    }
+
+    #[test]
+    fn mbt_unresponsive_is_none() {
+        let (mut net, vp, [a, _, c, _]) = multi_iface_topology();
+        net.node_mut(NodeId(3)).icmp.responsive = false;
+        assert_eq!(mbt_test(&mut net, vp, a, c, 4, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn clustering_recovers_routers() {
+        let (mut net, vp, [a, b, c, d]) = multi_iface_topology();
+        // Desynchronize counters so cross-router pairs cannot collide into
+        // the ally window by accident.
+        for i in 0..400u64 {
+            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(i * 5_000));
+        }
+        for i in 0..900u64 {
+            let _ = net.send_probe(vp, ProbeSpec::echo(d), SimTime(i * 5_000));
+        }
+        let clusters = resolve_aliases(&mut net, vp, &[a, b, c, d], SimTime(10_000_000));
+        assert_eq!(clusters.len(), 3, "{clusters:?}");
+        let idx = cluster_index(&clusters);
+        assert_eq!(idx[&a], idx[&b]);
+        assert_ne!(idx[&a], idx[&c]);
+        assert_ne!(idx[&c], idx[&d]);
+    }
+}

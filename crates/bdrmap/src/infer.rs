@@ -1,0 +1,347 @@
+//! The border-mapping inference pass.
+//!
+//! §4 in miniature: "bdrmap uses an efficient variant of traceroute to trace
+//! the path from each VP to every routed prefix observed in BGP. It then
+//! applies alias resolution techniques to infer routers and point-to-point
+//! links used for interdomain interconnection. This collected data is used
+//! to assemble constraints that guide the execution of heuristics to infer
+//! router ownership."
+//!
+//! Implementation shape:
+//!
+//! 1. **Trace** toward one address of every routed prefix (skipping the
+//!    host's own and its siblings').
+//! 2. **Cut** each trace at the border: the first hop owned by the VP's AS
+//!    (or a sibling) whose successor is not. IXP-LAN successors are not
+//!    attributed to the LAN's BGP origin (the IXP operator) but to the
+//!    origin AS of the traced prefix — the bdrmap heuristic for the classic
+//!    IXP IP-to-AS trap.
+//! 3. **Aggregate** `(near, far)` pairs into inferred links, remembering
+//!    every prefix that crossed each link (TSLP needs a destination whose
+//!    route crosses the link).
+//! 4. Optionally **alias-resolve** far addresses (grouped by near router)
+//!    into routers, and re-attribute each router to the majority AS of its
+//!    interfaces — cleaning up single-prefix misattributions.
+
+use crate::alias::resolve_aliases;
+use crate::ipasn::IpAsnMapper;
+use ixp_prober::traceroute::{traceroute, TracerouteConfig};
+use ixp_simnet::net::Network;
+use ixp_simnet::node::NodeId;
+use ixp_simnet::prelude::{Asn, Ipv4, Prefix};
+use ixp_simnet::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashSet};
+
+/// Tuning for a bdrmap run.
+#[derive(Clone, Debug)]
+pub struct BdrmapConfig {
+    /// Traceroute policy.
+    pub traceroute: TracerouteConfig,
+    /// Run the alias-resolution refinement stage.
+    pub alias_resolution: bool,
+    /// Trace at most this many prefixes (None = all). Benches use caps.
+    pub max_prefixes: Option<usize>,
+}
+
+impl Default for BdrmapConfig {
+    fn default() -> Self {
+        BdrmapConfig { traceroute: TracerouteConfig::default(), alias_resolution: true, max_prefixes: None }
+    }
+}
+
+/// One inferred interdomain link of the hosting AS.
+#[derive(Clone, Debug)]
+pub struct InferredLink {
+    /// Near-side address (VP's AS).
+    pub near: Ipv4,
+    /// Far-side address (the neighbor).
+    pub far: Ipv4,
+    /// Inferred neighbor AS.
+    pub far_asn: Asn,
+    /// Far side on an IXP peering/management LAN (§5.1 classification)?
+    pub at_ixp: bool,
+    /// A destination whose forwarding path crosses this link.
+    pub dst: Ipv4,
+    /// TTL expiring at the near router.
+    pub near_ttl: u8,
+    /// TTL expiring at the far router.
+    pub far_ttl: u8,
+    /// All prefixes observed crossing the link.
+    pub prefixes: Vec<Prefix>,
+}
+
+/// Output of one bdrmap snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct BdrmapResult {
+    /// Inferred interdomain links.
+    pub links: Vec<InferredLink>,
+    /// Distinct inferred neighbor ASes.
+    pub neighbors: Vec<Asn>,
+    /// Alias clusters over far addresses (when enabled).
+    pub routers: Vec<Vec<Ipv4>>,
+    /// Traceroutes issued.
+    pub traces: usize,
+    /// Probe packets issued (approximate, from hop records).
+    pub probes: usize,
+}
+
+impl BdrmapResult {
+    /// Neighbors with at least one link at the IXP.
+    pub fn peers(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> =
+            self.links.iter().filter(|l| l.at_ixp).map(|l| l.far_asn).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Links classified as IXP peering links (§5.1).
+    pub fn peering_links(&self) -> Vec<&InferredLink> {
+        self.links.iter().filter(|l| l.at_ixp).collect()
+    }
+}
+
+/// Run one border-mapping snapshot at time `t`.
+pub fn run_bdrmap(
+    net: &mut Network,
+    vp: NodeId,
+    host_asn: Asn,
+    siblings: &HashSet<u32>,
+    mapper: &IpAsnMapper<'_>,
+    cfg: &BdrmapConfig,
+    t: SimTime,
+) -> BdrmapResult {
+    let is_ours = |asn: Asn| asn == host_asn || siblings.contains(&asn.0);
+
+    let mut prefixes = mapper.bgp().routed_prefixes();
+    prefixes.sort();
+    if let Some(cap) = cfg.max_prefixes {
+        prefixes.truncate(cap);
+    }
+
+    // (near, far) → accumulating link facts.
+    struct Acc {
+        far_asn_votes: BTreeMap<u32, usize>,
+        at_ixp: bool,
+        dst: Ipv4,
+        near_ttl: u8,
+        far_ttl: u8,
+        prefixes: Vec<Prefix>,
+    }
+    let mut acc: BTreeMap<(Ipv4, Ipv4), Acc> = BTreeMap::new();
+    let mut traces = 0usize;
+    let mut probes = 0usize;
+    let mut when = t;
+
+    for prefix in prefixes {
+        let origin = match mapper.bgp().lookup(prefix.addr(1)) {
+            Some((_, asn)) => asn,
+            None => continue,
+        };
+        if is_ours(origin) {
+            continue;
+        }
+        // Probe deeper into the prefix than the customary .1/.2 interface
+        // addresses: a probe that *reaches* an interface draws a reply from
+        // the destination address itself, which identifies no link.
+        let dst = prefix.addr(9.min(prefix.size().saturating_sub(2)));
+        let tr = traceroute(net, vp, dst, &cfg.traceroute, when);
+        traces += 1;
+        probes += tr.hops.len() * cfg.traceroute.attempts as usize;
+        // Space successive traces out a little (pacing across the campaign).
+        when = when + SimDuration::from_millis(500);
+
+        // Find the border: last consecutive run of our hops from the front.
+        let hops = &tr.hops;
+        let mut border: Option<(usize, Ipv4)> = None;
+        for (i, h) in hops.iter().enumerate() {
+            let Some(addr) = h.addr else { continue };
+            let (owner, is_lan) = mapper.hop_owner(addr);
+            let ours = !is_lan && owner.map(is_ours).unwrap_or(false);
+            if ours {
+                border = Some((i, addr));
+            } else if border.is_some() {
+                // First non-ours hop after a near hop: the far side.
+                let (near_i, near_addr) = border.unwrap();
+                if i != near_i + 1 {
+                    break; // silent hop in between: unusable for TSLP
+                }
+                // Only genuine transit responses identify an interface on
+                // the path: a reply sourced from the traced destination
+                // itself (we reached it) names no link.
+                let transit_evidence = match h.kind {
+                    Some(ixp_simnet::packet::PacketKind::TimeExceeded) => true,
+                    Some(ixp_simnet::packet::PacketKind::DestUnreachable) => addr != dst,
+                    _ => false,
+                };
+                if !transit_evidence {
+                    break;
+                }
+                let far_asn = if is_lan {
+                    // The IXP trap: attribute the LAN interface to the
+                    // origin of the traced prefix.
+                    origin
+                } else {
+                    owner.unwrap_or(origin)
+                };
+                if is_ours(far_asn) {
+                    break;
+                }
+                let at_ixp = mapper.link_at_ixp(near_addr, addr).is_some();
+                let e = acc.entry((near_addr, addr)).or_insert_with(|| Acc {
+                    far_asn_votes: BTreeMap::new(),
+                    at_ixp,
+                    dst,
+                    near_ttl: hops[near_i].ttl,
+                    far_ttl: h.ttl,
+                    prefixes: Vec::new(),
+                });
+                *e.far_asn_votes.entry(far_asn.0).or_insert(0) += 1;
+                e.prefixes.push(prefix);
+                break;
+            }
+        }
+    }
+
+    let mut links: Vec<InferredLink> = acc
+        .into_iter()
+        .map(|((near, far), a)| {
+            let far_asn = Asn(
+                a.far_asn_votes
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(&asn, _)| asn)
+                    .expect("link with no votes"),
+            );
+            InferredLink {
+                near,
+                far,
+                far_asn,
+                at_ixp: a.at_ixp,
+                dst: a.dst,
+                near_ttl: a.near_ttl,
+                far_ttl: a.far_ttl,
+                prefixes: a.prefixes,
+            }
+        })
+        .collect();
+
+    // Alias-resolution refinement: group far interfaces into routers
+    // (per near router, the constrained candidate set) and give every
+    // interface of a router the router's majority AS.
+    let mut routers: Vec<Vec<Ipv4>> = Vec::new();
+    if cfg.alias_resolution {
+        let mut by_near: BTreeMap<Ipv4, Vec<Ipv4>> = BTreeMap::new();
+        for l in &links {
+            by_near.entry(l.near).or_default().push(l.far);
+        }
+        let mut when = t + SimDuration::from_secs(600);
+        for (_, fars) in by_near {
+            let clusters = resolve_aliases(net, vp, &fars, when);
+            when = when + SimDuration::from_secs(60);
+            routers.extend(clusters);
+        }
+        for cluster in &routers {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let mut votes: BTreeMap<u32, usize> = BTreeMap::new();
+            for l in links.iter().filter(|l| cluster.contains(&l.far)) {
+                *votes.entry(l.far_asn.0).or_insert(0) += l.prefixes.len().max(1);
+            }
+            if let Some((&winner, _)) = votes.iter().max_by_key(|(_, &c)| c) {
+                for l in links.iter_mut().filter(|l| cluster.contains(&l.far)) {
+                    l.far_asn = Asn(winner);
+                }
+            }
+        }
+    }
+
+    let mut neighbors: Vec<Asn> = links.iter().map(|l| l.far_asn).collect();
+    neighbors.sort();
+    neighbors.dedup();
+
+    BdrmapResult { links, neighbors, routers, traces, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_topology::{build_vp, paper_vps};
+
+    fn run_vp1() -> (ixp_topology::VpSubstrate, BdrmapResult) {
+        let mut s = build_vp(&paper_vps()[0], 42);
+        let dir = ixp_topology::paper_directory();
+        let t = s.spec.snapshots[0];
+        let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+        let siblings: HashSet<u32> = HashSet::new();
+        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &BdrmapConfig::default(), t);
+        (s, r)
+    }
+
+    #[test]
+    fn discovers_vp1_neighbors() {
+        let (s, r) = run_vp1();
+        let truth: Vec<Asn> = s.neighbors_at(s.spec.snapshots[0]);
+        assert!(!r.links.is_empty());
+        // Recall against truth: the paper reports 96.2% on average.
+        let found = truth.iter().filter(|a| r.neighbors.contains(a)).count();
+        let recall = found as f64 / truth.len() as f64;
+        assert!(recall >= 0.9, "neighbor recall {recall}: truth {truth:?} vs {:?}", r.neighbors);
+    }
+
+    #[test]
+    fn links_match_truth_pairs() {
+        let (s, r) = run_vp1();
+        let t = s.spec.snapshots[0];
+        let truth: HashSet<(Ipv4, Ipv4)> = s.links_at(t).iter().map(|l| (l.near, l.far)).collect();
+        let inferred: HashSet<(Ipv4, Ipv4)> = r.links.iter().map(|l| (l.near, l.far)).collect();
+        let tp = inferred.intersection(&truth).count();
+        let precision = tp as f64 / inferred.len() as f64;
+        let recall = tp as f64 / truth.len() as f64;
+        assert!(precision >= 0.95, "precision {precision}");
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn lan_far_sides_attributed_to_member_not_operator() {
+        let (s, r) = run_vp1();
+        let gixa_lan: ixp_simnet::prelude::Prefix = "196.49.14.0/24".parse().unwrap();
+        let on_lan: Vec<_> = r.links.iter().filter(|l| gixa_lan.contains(l.far)).collect();
+        assert!(!on_lan.is_empty());
+        for l in on_lan {
+            assert_ne!(l.far_asn, s.spec.ixp_asn, "LAN interface misattributed to the IXP operator");
+            assert!(l.at_ixp);
+        }
+    }
+
+    #[test]
+    fn ghanatel_link_found_at_first_snapshot_only() {
+        let mut s = build_vp(&paper_vps()[0], 42);
+        let dir = ixp_topology::paper_directory();
+        let siblings: HashSet<u32> = HashSet::new();
+        let cfg = BdrmapConfig { alias_resolution: false, ..Default::default() };
+        // Early snapshot: GHANATEL present.
+        {
+            let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+            let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[0]);
+            assert!(r.neighbors.contains(&Asn(29614)), "{:?}", r.neighbors);
+        }
+        // Late snapshot (after 06/08/2016): the link no longer answers.
+        {
+            let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+            let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[2]);
+            assert!(!r.neighbors.contains(&Asn(29614)), "{:?}", r.neighbors);
+        }
+    }
+
+    #[test]
+    fn prefix_cap_limits_work() {
+        let mut s = build_vp(&paper_vps()[0], 42);
+        let dir = ixp_topology::paper_directory();
+        let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+        let cfg = BdrmapConfig { max_prefixes: Some(3), alias_resolution: false, ..Default::default() };
+        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &cfg, s.spec.snapshots[0]);
+        assert!(r.traces <= 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! IP→AS mapping with IXP awareness.
+//!
+//! The raw prefix→AS table misattributes exactly the addresses this study
+//! cares most about: an IXP peering-LAN address is *announced* (if at all)
+//! by the IXP operator but *used* by a member router. [`IpAsnMapper`] wraps
+//! the BGP view, the delegations, and the IXP directory, and exposes both
+//! the naive origin lookup and the LAN test that bdrmap's heuristics and
+//! §5.1's link classification rely on.
+
+use ixp_registry::delegation::AddressRegistry;
+use ixp_registry::ixpdir::{IxpDirectory, IxpId};
+use ixp_registry::prefix2as::BgpView;
+use ixp_simnet::prelude::{Asn, Ipv4};
+
+/// Combined address-intelligence view.
+pub struct IpAsnMapper<'a> {
+    bgp: &'a BgpView,
+    delegations: &'a AddressRegistry,
+    ixps: &'a IxpDirectory,
+}
+
+impl<'a> IpAsnMapper<'a> {
+    /// Assemble from the three sources.
+    pub fn new(bgp: &'a BgpView, delegations: &'a AddressRegistry, ixps: &'a IxpDirectory) -> Self {
+        IpAsnMapper { bgp, delegations, ixps }
+    }
+
+    /// BGP-origin lookup, falling back to delegations for unannounced space.
+    pub fn asn_of(&self, addr: Ipv4) -> Option<Asn> {
+        self.bgp.origin_of(addr).or_else(|| self.delegations.covering(addr).map(|d| d.asn))
+    }
+
+    /// Is the address on an IXP peering or management LAN?
+    pub fn ixp_of(&self, addr: Ipv4) -> Option<IxpId> {
+        self.ixps.lan_of(addr).map(|(id, _)| id)
+    }
+
+    /// §5.1 link classification: at an IXP if either end is on a LAN.
+    pub fn link_at_ixp(&self, a: Ipv4, b: Ipv4) -> Option<IxpId> {
+        self.ixps.link_at_ixp(a, b)
+    }
+
+    /// Ownership for a traceroute hop. *Peering*-LAN addresses are *not*
+    /// attributed to the BGP origin (the IXP operator) — the caller must
+    /// resolve them from path context. Management prefixes attribute
+    /// normally: they address the operator's own infrastructure, which for
+    /// content-network VPs *is* the hosting network. Returns `(asn, is_peering_lan)`.
+    pub fn hop_owner(&self, addr: Ipv4) -> (Option<Asn>, bool) {
+        match self.ixps.lan_of(addr) {
+            Some((_, ixp_registry::ixpdir::IxpLan::Peering)) => (None, true),
+            _ => (self.asn_of(addr), false),
+        }
+    }
+
+    /// The underlying BGP view.
+    pub fn bgp(&self) -> &BgpView {
+        self.bgp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_registry::delegation::DelegationStatus;
+    use ixp_registry::ixpdir::IxpRecord;
+    use ixp_simnet::prelude::Prefix;
+
+    fn fixtures() -> (BgpView, AddressRegistry, IxpDirectory) {
+        let mut bgp = BgpView::new();
+        let mut reg = AddressRegistry::new();
+        let mut dir = IxpDirectory::new();
+        let p1 = reg.allocate(Asn(29614), "GH", 1, 24, DelegationStatus::Allocated);
+        bgp.announce(p1, vec![Asn(30997), Asn(29614)]);
+        let lan: Prefix = "196.49.14.0/24".parse().unwrap();
+        bgp.announce(lan, vec![Asn(30997)]);
+        dir.add(IxpRecord {
+            id: dir.next_id(),
+            name: "GIXA".into(),
+            country: "GH".into(),
+            region: "West Africa".into(),
+            operator_asn: Asn(30997),
+            peering: vec![lan],
+            management: vec![],
+            members: vec![],
+            launched: 2005,
+        });
+        // Delegated but unannounced space.
+        reg.allocate(Asn(7777), "KE", 1, 24, DelegationStatus::Allocated);
+        (bgp, reg, dir)
+    }
+
+    #[test]
+    fn origin_with_delegation_fallback() {
+        let (bgp, reg, dir) = fixtures();
+        let m = IpAsnMapper::new(&bgp, &reg, &dir);
+        assert_eq!(m.asn_of(Ipv4::new(41, 0, 0, 9)), Some(Asn(29614)));
+        // 41.0.1.0/24 is delegated to 7777 but never announced.
+        assert_eq!(m.asn_of(Ipv4::new(41, 0, 1, 9)), Some(Asn(7777)));
+        assert_eq!(m.asn_of(Ipv4::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn lan_addresses_not_attributed_to_operator() {
+        let (bgp, reg, dir) = fixtures();
+        let m = IpAsnMapper::new(&bgp, &reg, &dir);
+        let lan_addr = Ipv4::new(196, 49, 14, 77);
+        // Naive lookup says the operator...
+        assert_eq!(m.asn_of(lan_addr), Some(Asn(30997)));
+        // ...but hop ownership refuses and flags the LAN.
+        assert_eq!(m.hop_owner(lan_addr), (None, true));
+        assert_eq!(m.hop_owner(Ipv4::new(41, 0, 0, 9)), (Some(Asn(29614)), false));
+    }
+
+    #[test]
+    fn link_classification() {
+        let (bgp, reg, dir) = fixtures();
+        let m = IpAsnMapper::new(&bgp, &reg, &dir);
+        assert!(m.link_at_ixp(Ipv4::new(196, 49, 14, 2), Ipv4::new(41, 0, 0, 1)).is_some());
+        assert!(m.link_at_ixp(Ipv4::new(41, 0, 0, 2), Ipv4::new(41, 0, 0, 1)).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! # ixp-bdrmap — interdomain border mapping
+//!
+//! A reimplementation of the inference chain the study drives with CAIDA's
+//! bdrmap (§4): traceroutes toward every routed prefix, IP→AS translation
+//! with the IXP-LAN trap handled, Ally-style alias resolution into routers,
+//! border-link extraction, and validation against ground truth (the paper's
+//! "96.2 % of neighbors correctly discovered" check).
+//!
+//! - [`ipasn`] — combined BGP/delegation/IXP address intelligence;
+//! - [`alias`] — Ally IP-ID alias resolution;
+//! - [`infer`] — the traceroute-driven border inference pass;
+//! - [`validate`] — precision/recall against `ixp-topology` ground truth.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod infer;
+pub mod ipasn;
+pub mod validate;
+
+pub use alias::{ally_test, cluster_index, resolve_aliases};
+pub use infer::{run_bdrmap, BdrmapConfig, BdrmapResult, InferredLink};
+pub use ipasn::IpAsnMapper;
+pub use validate::{score, BdrmapAccuracy};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::alias::{ally_test, resolve_aliases};
+    pub use crate::infer::{run_bdrmap, BdrmapConfig, BdrmapResult, InferredLink};
+    pub use crate::ipasn::IpAsnMapper;
+    pub use crate::validate::{score, BdrmapAccuracy};
+}

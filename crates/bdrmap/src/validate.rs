@@ -1,0 +1,91 @@
+//! Validation of bdrmap output against ground truth.
+//!
+//! The paper cross-checked inferred links "against public datasets" and
+//! emailed probe hosts, concluding that "on average the border mapping
+//! process correctly discovered 96.2 % of the neighbors of the VP networks"
+//! (§4). In the reproduction the ground truth is the topology generator's
+//! [`ixp_topology::TruthLink`] set, and this module computes the same
+//! precision/recall accounting.
+
+use crate::infer::BdrmapResult;
+use ixp_simnet::prelude::{Asn, Ipv4, SimTime};
+use ixp_topology::VpSubstrate;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Accuracy accounting for one bdrmap snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BdrmapAccuracy {
+    /// Ground-truth neighbors alive at the snapshot.
+    pub truth_neighbors: usize,
+    /// Inferred neighbors.
+    pub inferred_neighbors: usize,
+    /// Fraction of truth neighbors discovered (the paper's 96.2 % metric).
+    pub neighbor_recall: f64,
+    /// Fraction of inferred neighbors that are real.
+    pub neighbor_precision: f64,
+    /// Ground-truth links alive at the snapshot.
+    pub truth_links: usize,
+    /// Inferred links.
+    pub inferred_links: usize,
+    /// Fraction of truth `(near, far)` pairs discovered.
+    pub link_recall: f64,
+    /// Fraction of inferred `(near, far)` pairs that are real.
+    pub link_precision: f64,
+}
+
+/// Score a bdrmap snapshot against the substrate's ground truth at `t`.
+pub fn score(substrate: &VpSubstrate, result: &BdrmapResult, t: SimTime) -> BdrmapAccuracy {
+    let truth_links: HashSet<(Ipv4, Ipv4)> = substrate.links_at(t).iter().map(|l| (l.near, l.far)).collect();
+    let truth_neighbors: HashSet<Asn> = substrate.neighbors_at(t).into_iter().collect();
+    let inferred_links: HashSet<(Ipv4, Ipv4)> = result.links.iter().map(|l| (l.near, l.far)).collect();
+    let inferred_neighbors: HashSet<Asn> = result.neighbors.iter().copied().collect();
+
+    let link_tp = inferred_links.intersection(&truth_links).count();
+    let n_tp = inferred_neighbors.intersection(&truth_neighbors).count();
+    let ratio = |num: usize, den: usize| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+
+    BdrmapAccuracy {
+        truth_neighbors: truth_neighbors.len(),
+        inferred_neighbors: inferred_neighbors.len(),
+        neighbor_recall: ratio(n_tp, truth_neighbors.len()),
+        neighbor_precision: ratio(n_tp, inferred_neighbors.len()),
+        truth_links: truth_links.len(),
+        inferred_links: inferred_links.len(),
+        link_recall: ratio(link_tp, truth_links.len()),
+        link_precision: ratio(link_tp, inferred_links.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{run_bdrmap, BdrmapConfig};
+    use crate::ipasn::IpAsnMapper;
+    use ixp_topology::{build_vp, paper_directory, paper_vps};
+
+    #[test]
+    fn vp4_accuracy_matches_paper_ballpark() {
+        let mut s = build_vp(&paper_vps()[3], 11);
+        let dir = paper_directory();
+        let t = s.spec.snapshots[0];
+        let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
+        let acc = score(&s, &r, t);
+        assert!(acc.neighbor_recall >= 0.9, "{acc:?}");
+        assert!(acc.neighbor_precision >= 0.9, "{acc:?}");
+        assert!(acc.link_recall >= 0.85, "{acc:?}");
+        assert!(acc.link_precision >= 0.9, "{acc:?}");
+    }
+
+    #[test]
+    fn empty_result_scores_zero_recall() {
+        let s = build_vp(&paper_vps()[3], 11);
+        let t = s.spec.snapshots[0];
+        let acc = score(&s, &BdrmapResult::default(), t);
+        assert_eq!(acc.neighbor_recall, 0.0);
+        assert_eq!(acc.inferred_links, 0);
+        // Precision of an empty set is vacuously 1.
+        assert_eq!(acc.neighbor_precision, 1.0);
+    }
+}

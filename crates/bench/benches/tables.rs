@@ -1,0 +1,85 @@
+//! One bench per table of the paper.
+//!
+//! - `table1_sensitivity`: the threshold sweep (5/10/15/20 ms) over a
+//!   vantage point's discovered links — flagged and diurnal counts per
+//!   threshold (§5.2, Table 1).
+//! - `table2_discovery`: a bdrmap snapshot — discovered links, peering
+//!   classification, neighbors, peers (§6.1, Table 2).
+//!
+//! Each bench prints its regenerated row(s) once; `examples/full_campaign`
+//! regenerates the complete tables across all six VPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ixp_bdrmap::prelude::*;
+use ixp_simnet::prelude::*;
+use ixp_study::prelude::*;
+use ixp_topology::{build_vp, paper_directory, paper_vps};
+use std::collections::HashSet;
+
+fn table1_sensitivity(c: &mut Criterion) {
+    let spec = &paper_vps()[3]; // VP4 @ SIXP: small but carries NETPAGE
+    let cfg = VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 5, 20))),
+        with_loss: false,
+        keep_series: false,
+        ..Default::default()
+    };
+    let study = run_vp_study(spec, &cfg);
+    let row = study.table1_row();
+    let cells: Vec<String> = row.iter().map(|(t, f, d)| format!("{t}ms: {f} ({d})")).collect();
+    eprintln!("[table1] {} flagged (diurnal) per threshold: {} (paper VP4: 2(1)/1(1)/0(0)/0(0))", spec.name, cells.join("  "));
+    assert!(row[1].2 >= 1, "the 10 ms diurnal count must include NETPAGE");
+
+    c.bench_function("table1_sensitivity_vp4", |b| {
+        b.iter(|| {
+            let s = run_vp_study(
+                spec,
+                &VpStudyConfig {
+                    window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 4, 4))),
+                    with_loss: false,
+                    with_rr: false,
+                    keep_series: false,
+                    ..Default::default()
+                },
+            );
+            s.table1_row()
+        })
+    });
+}
+
+fn table2_discovery(c: &mut Criterion) {
+    let spec = &paper_vps()[0]; // VP1 @ GIXA
+    let mut s = build_vp(spec, 0xBEEF);
+    let dir = paper_directory();
+    let t = spec.snapshots[0];
+    {
+        let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+        let r = run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
+        let acc = score(&s, &r, t);
+        eprintln!(
+            "[table2] {} snapshot {}: {} links ({} peering), {} neighbors ({} peers) — recall {:.1}% (paper VP1 row 1: 46 (36) links, 13 (13) neighbors)",
+            spec.name,
+            t.date(),
+            r.links.len(),
+            r.peering_links().len(),
+            r.neighbors.len(),
+            r.peers().len(),
+            acc.neighbor_recall * 100.0
+        );
+    }
+    c.bench_function("table2_discovery_vp1", |b| {
+        b.iter(|| {
+            let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+            run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
+                .links
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = table1_sensitivity, table2_discovery
+}
+criterion_main!(tables);

@@ -1,0 +1,246 @@
+//! The CUSUM statistic and bootstrap significance test (Taylor's
+//! change-point analysis, the method the paper cites for §5.2).
+//!
+//! For a window `x₁…xₙ` the cumulative sum `Sᵢ = Σ_{k≤i} (xₖ − x̄)` walks
+//! away from zero when the mean shifts; the change point estimate is the
+//! index where `|Sᵢ|` peaks, and the evidence strength is the range
+//! `S_diff = max S − min S`, calibrated by comparing against the ranges of
+//! random permutations of the window (the bootstrap): if the observed range
+//! beats, say, 95 % of permuted ranges, a change point is declared.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a single-window CUSUM analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CusumResult {
+    /// Index (within the window) of the last sample *before* the estimated
+    /// change — the new regime starts at `split + 1`.
+    pub split: usize,
+    /// The CUSUM range `max S − min S`.
+    pub range: f64,
+    /// Fraction of bootstrap permutations whose range fell below `range`.
+    pub confidence: f64,
+}
+
+/// Compute the CUSUM series range and argmax location for `window`.
+///
+/// Returns `(split, range)`; `split` is the 0-based index where `|S|` peaks.
+pub fn cusum_peak(window: &[f64]) -> (usize, f64) {
+    let n = window.len();
+    assert!(n >= 2, "CUSUM needs at least two samples");
+    let mean = window.iter().sum::<f64>() / n as f64;
+    let mut s = 0.0;
+    let (mut smax, mut smin) = (f64::MIN, f64::MAX);
+    let (mut best_abs, mut best_idx) = (-1.0, 0);
+    for (i, &x) in window.iter().enumerate() {
+        s += x - mean;
+        if s > smax {
+            smax = s;
+        }
+        if s < smin {
+            smin = s;
+        }
+        if s.abs() > best_abs {
+            best_abs = s.abs();
+            best_idx = i;
+        }
+    }
+    (best_idx, smax - smin)
+}
+
+/// Run the permutation bootstrap for `window`, returning the full result.
+///
+/// `iters` permutations are drawn with an RNG seeded from `seed`, so the
+/// whole analysis is deterministic. The achievable confidence resolution is
+/// `1/iters`.
+pub fn cusum_bootstrap(window: &[f64], iters: usize, seed: u64) -> CusumResult {
+    let (split, range) = cusum_peak(window);
+    if range == 0.0 {
+        // Perfectly flat window: nothing to test.
+        return CusumResult { split, range, confidence: 0.0 };
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut shuffled = window.to_vec();
+    let mut below = 0usize;
+    for _ in 0..iters {
+        shuffled.shuffle(&mut rng);
+        let (_, r) = cusum_peak(&shuffled);
+        if r < range {
+            below += 1;
+        }
+    }
+    CusumResult { split, range, confidence: below as f64 / iters as f64 }
+}
+
+/// Cheap necessary condition for a detectable shift: at least four samples
+/// must sit `min_magnitude` above the window's low-quantile baseline, or no
+/// level shift of that magnitude lasting ≥ a few samples can exist and the
+/// bootstrap can be skipped entirely. This is what keeps a 10,000-link
+/// campaign tractable: healthy links cost one O(n log n) scan instead of
+/// hundreds of permutations.
+///
+/// Counting excursions (rather than a percentile spread) matters: a
+/// two-month congestion episode inside a 13-month series elevates only a
+/// few percent of samples — invisible to a 95th percentile, but thousands
+/// of excursions.
+pub fn spread_reaches(window: &[f64], min_magnitude: f64) -> bool {
+    if window.len() < 4 {
+        return false;
+    }
+    let mut sorted = window.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+    let baseline = sorted[sorted.len() / 10];
+    let threshold = baseline + min_magnitude;
+    // `sorted` is ordered: count the tail above the threshold.
+    let first_above = sorted.partition_point(|&v| v <= threshold);
+    sorted.len() - first_above >= 4
+}
+
+/// Bootstrap confidence interval for a change-point *location* (the second
+/// half of Taylor's procedure: his tool reports each change with a
+/// confidence interval on when it happened).
+///
+/// The window is split at the CUSUM estimate; bootstrap series are built by
+/// resampling each side with replacement (preserving segment membership),
+/// the change point is re-estimated on each, and the `conf` central
+/// percentile interval of the estimates is returned as window-relative
+/// indices `(lo, hi)` (inclusive). Sharp steps give tight intervals; shifts
+/// barely above the noise give wide ones.
+pub fn cusum_cp_interval(window: &[f64], iters: usize, seed: u64, conf: f64) -> (usize, usize) {
+    assert!((0.0..1.0).contains(&conf), "confidence must be in (0, 1)");
+    let (split, _) = cusum_peak(window);
+    let cut = (split + 1).clamp(1, window.len() - 1);
+    let (left, right) = window.split_at(cut);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut estimates = Vec::with_capacity(iters);
+    let mut boot = vec![0.0; window.len()];
+    for _ in 0..iters {
+        for (i, v) in boot.iter_mut().enumerate() {
+            *v = if i < cut {
+                left[rand::Rng::gen_range(&mut rng, 0..left.len())]
+            } else {
+                right[rand::Rng::gen_range(&mut rng, 0..right.len())]
+            };
+        }
+        estimates.push(cusum_peak(&boot).0);
+    }
+    estimates.sort_unstable();
+    let tail = (1.0 - conf) / 2.0;
+    let lo = estimates[((iters as f64) * tail) as usize];
+    let hi = estimates[(((iters as f64) * (1.0 - tail)) as usize).min(iters - 1)];
+    (lo.min(hi), hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(n: usize, at: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|i| if i < at { lo } else { hi }).collect()
+    }
+
+    #[test]
+    fn peak_locates_clean_step() {
+        let s = step_series(100, 60, 1.0, 2.0);
+        let (split, range) = cusum_peak(&s);
+        assert_eq!(split, 59);
+        assert!(range > 0.0);
+    }
+
+    #[test]
+    fn flat_window_zero_range() {
+        let s = vec![5.0; 50];
+        let (_, range) = cusum_peak(&s);
+        assert_eq!(range, 0.0);
+        let r = cusum_bootstrap(&s, 99, 1);
+        assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_confident_on_step() {
+        let s = step_series(120, 40, 10.0, 20.0);
+        let r = cusum_bootstrap(&s, 199, 42);
+        assert!(r.confidence > 0.99, "confidence {}", r.confidence);
+        assert_eq!(r.split, 39);
+    }
+
+    #[test]
+    fn bootstrap_unconfident_on_noise() {
+        // Deterministic "noise" via a full avalanche hash; no change point.
+        let s: Vec<f64> = (0..200u64)
+            .map(|i| {
+                let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % 1000) as f64
+            })
+            .collect();
+        let r = cusum_bootstrap(&s, 199, 7);
+        assert!(r.confidence < 0.97, "confidence {}", r.confidence);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let s = step_series(80, 30, 0.0, 1.0);
+        assert_eq!(cusum_bootstrap(&s, 99, 5), cusum_bootstrap(&s, 99, 5));
+    }
+
+    #[test]
+    fn spread_gate() {
+        let flat = vec![1.0; 100];
+        assert!(!spread_reaches(&flat, 0.5));
+        let stepped = step_series(100, 50, 1.0, 12.0);
+        assert!(spread_reaches(&stepped, 10.0));
+        assert!(!spread_reaches(&stepped, 12.5));
+        // Short windows never pass.
+        assert!(!spread_reaches(&[0.0, 100.0], 1.0));
+    }
+
+    #[test]
+    fn spread_ignores_rare_outliers() {
+        // One spike in 200 samples must not open the gate: the 95th
+        // percentile clips it.
+        let mut s = vec![1.0; 200];
+        s[77] = 500.0;
+        assert!(!spread_reaches(&s, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn cusum_rejects_tiny_window() {
+        cusum_peak(&[1.0]);
+    }
+
+    #[test]
+    fn cp_interval_tight_for_sharp_step() {
+        let s = step_series(200, 120, 2.0, 40.0);
+        let (lo, hi) = cusum_cp_interval(&s, 199, 11, 0.9);
+        assert!(lo <= 119 && 119 <= hi, "true cp outside CI [{lo}, {hi}]");
+        assert!(hi - lo <= 4, "CI too wide for a sharp step: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn cp_interval_wider_for_weak_step() {
+        // Noisy step barely above the noise floor.
+        let weak: Vec<f64> = (0..200)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let noise = ((z >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 6.0;
+                if i < 120 { 10.0 + noise } else { 13.0 + noise }
+            })
+            .collect();
+        let strong = step_series(200, 120, 10.0, 50.0);
+        let (wl, wh) = cusum_cp_interval(&weak, 199, 13, 0.9);
+        let (sl, sh) = cusum_cp_interval(&strong, 199, 13, 0.9);
+        assert!(wh - wl > sh - sl, "weak CI [{wl},{wh}] not wider than strong [{sl},{sh}]");
+    }
+
+    #[test]
+    fn cp_interval_deterministic() {
+        let s = step_series(150, 60, 1.0, 9.0);
+        assert_eq!(cusum_cp_interval(&s, 99, 5, 0.9), cusum_cp_interval(&s, 99, 5, 0.9));
+    }
+}

@@ -1,0 +1,309 @@
+//! Page's sequential CUSUM: online level-shift detection.
+//!
+//! The paper closes with "we plan to keep analyzing collected TSLP data to
+//! delve into the dynamics and causes of congestion" (§8) — continuous
+//! monitoring, for which the retrospective Taylor procedure is the wrong
+//! tool: it wants the whole series. Page's test is its streaming
+//! counterpart: maintain one-sided cumulative sums
+//!
+//! ```text
+//!   S⁺ ← max(0, S⁺ + (x − μ − κ))     (upshift detector)
+//!   S⁻ ← max(0, S⁻ + (μ − x − κ))     (downshift detector)
+//! ```
+//!
+//! with reference level `μ` (the running baseline), slack `κ` (half the
+//! shift magnitude worth caring about) and alarm threshold `h`. Alarms fire
+//! one sample at a time, with O(1) state per link — the shape a production
+//! IXP monitor would deploy. The `ablation_detectors` bench compares it to
+//! the retrospective pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the online detector.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Slack per sample, same units as the series (half the target shift
+    /// magnitude is the classic choice: 5 for the paper's 10 ms threshold).
+    pub kappa: f64,
+    /// Alarm threshold on the cumulative statistic. Larger = fewer false
+    /// alarms, slower detection. A good default is `5 × kappa`.
+    pub h: f64,
+    /// Samples of warm-up used to seed the baseline estimate.
+    pub warmup: usize,
+    /// Exponential baseline adaptation rate once out of an alarm (per
+    /// sample). Keeps `μ` tracking slow drifts without chasing shifts.
+    pub baseline_gain: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig { kappa: 5.0, h: 25.0, warmup: 12, baseline_gain: 0.005 }
+    }
+}
+
+/// What one sample did to the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnlineVerdict {
+    /// Still learning the baseline.
+    Warmup,
+    /// Nothing happening.
+    Quiet,
+    /// An upshift alarm fired at this sample.
+    UpshiftAlarm,
+    /// A downshift alarm fired at this sample (inside an elevated period,
+    /// this marks the end of a congestion event).
+    DownshiftAlarm,
+    /// Inside an elevated period (after an upshift, before the downshift).
+    Elevated,
+}
+
+/// Streaming level-shift detector (one per monitored link end).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OnlineDetector {
+    cfg: OnlineConfig,
+    baseline: f64,
+    warmup_seen: usize,
+    warmup_sum: f64,
+    s_up: f64,
+    s_down: f64,
+    elevated: bool,
+    /// Baseline captured at the last upshift (magnitude estimation).
+    level_before: f64,
+    /// Running mean of samples while elevated.
+    elevated_sum: f64,
+    elevated_n: usize,
+}
+
+impl OnlineDetector {
+    /// Fresh detector.
+    pub fn new(cfg: OnlineConfig) -> OnlineDetector {
+        OnlineDetector {
+            cfg,
+            baseline: 0.0,
+            warmup_seen: 0,
+            warmup_sum: 0.0,
+            s_up: 0.0,
+            s_down: 0.0,
+            elevated: false,
+            level_before: 0.0,
+            elevated_sum: 0.0,
+            elevated_n: 0,
+        }
+    }
+
+    /// Current baseline estimate.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Is the detector inside an elevated period?
+    pub fn is_elevated(&self) -> bool {
+        self.elevated
+    }
+
+    /// Estimated magnitude of the current elevation (0 when quiet).
+    pub fn elevation_estimate(&self) -> f64 {
+        if !self.elevated || self.elevated_n == 0 {
+            0.0
+        } else {
+            self.elevated_sum / self.elevated_n as f64 - self.level_before
+        }
+    }
+
+    /// Feed one sample (ignore missing samples upstream; this takes finite
+    /// values only — feeding NaN panics).
+    pub fn push(&mut self, x: f64) -> OnlineVerdict {
+        assert!(x.is_finite(), "feed only finite samples");
+        if self.warmup_seen < self.cfg.warmup {
+            self.warmup_seen += 1;
+            self.warmup_sum += x;
+            self.baseline = self.warmup_sum / self.warmup_seen as f64;
+            return OnlineVerdict::Warmup;
+        }
+        if self.elevated {
+            self.elevated_sum += x;
+            self.elevated_n += 1;
+            // Look for the downshift back toward the remembered level.
+            self.s_down = (self.s_down + (self.elevated_mean() - x - self.cfg.kappa)).max(0.0);
+            if self.s_down > self.cfg.h && x < self.elevated_mean() {
+                self.elevated = false;
+                self.s_down = 0.0;
+                self.s_up = 0.0;
+                self.baseline = self.level_before;
+                self.elevated_sum = 0.0;
+                self.elevated_n = 0;
+                return OnlineVerdict::DownshiftAlarm;
+            }
+            return OnlineVerdict::Elevated;
+        }
+        // Quiet regime: adapt the baseline slowly, watch for upshifts.
+        self.baseline += self.cfg.baseline_gain * (x - self.baseline);
+        self.s_up = (self.s_up + (x - self.baseline - self.cfg.kappa)).max(0.0);
+        if self.s_up > self.cfg.h {
+            self.elevated = true;
+            self.level_before = self.baseline;
+            self.s_up = 0.0;
+            self.s_down = 0.0;
+            self.elevated_sum = x;
+            self.elevated_n = 1;
+            return OnlineVerdict::UpshiftAlarm;
+        }
+        OnlineVerdict::Quiet
+    }
+
+    fn elevated_mean(&self) -> f64 {
+        if self.elevated_n == 0 {
+            self.baseline
+        } else {
+            self.elevated_sum / self.elevated_n as f64
+        }
+    }
+}
+
+/// Run the detector over a whole series, returning `(upshift, downshift)`
+/// sample indices — the offline-compatible view used by tests and benches.
+pub fn online_events(series: &[f64], cfg: OnlineConfig) -> Vec<(usize, usize)> {
+    let mut det = OnlineDetector::new(cfg);
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, &x) in series.iter().enumerate() {
+        if !x.is_finite() {
+            continue;
+        }
+        match det.push(x) {
+            OnlineVerdict::UpshiftAlarm => open = Some(i),
+            OnlineVerdict::DownshiftAlarm => {
+                if let Some(s) = open.take() {
+                    out.push((s, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        out.push((s, series.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(pattern: &[(usize, f64)], noise_amp: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for &(n, level) in pattern {
+            for i in 0..n {
+                let h = (out.len() as u64 ^ (i as u64) << 7).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                out.push(level + noise_amp * u);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn detects_single_event() {
+        let s = step_series(&[(200, 2.0), (60, 25.0), (200, 2.0)], 1.0);
+        let ev = online_events(&s, OnlineConfig::default());
+        assert_eq!(ev.len(), 1, "{ev:?}");
+        let (up, down) = ev[0];
+        assert!((198..=215).contains(&up), "up at {up}");
+        assert!((258..=280).contains(&down), "down at {down}");
+    }
+
+    #[test]
+    fn quiet_series_no_alarms() {
+        let s = step_series(&[(2000, 3.0)], 1.5);
+        assert!(online_events(&s, OnlineConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn repeated_daily_events() {
+        // Five days: elevated samples 100..150 each 288-sample day.
+        let mut s = Vec::new();
+        for _ in 0..5 {
+            s.extend(step_series(&[(100, 2.0), (50, 20.0), (138, 2.0)], 0.8));
+        }
+        let ev = online_events(&s, OnlineConfig::default());
+        assert_eq!(ev.len(), 5, "{ev:?}");
+        for (i, (up, down)) in ev.iter().enumerate() {
+            assert!((i * 288 + 95..i * 288 + 120).contains(up), "event {i} up {up}");
+            assert!((i * 288 + 145..i * 288 + 175).contains(down), "event {i} down {down}");
+        }
+    }
+
+    #[test]
+    fn magnitude_estimate_tracks_shift() {
+        let mut det = OnlineDetector::new(OnlineConfig::default());
+        for _ in 0..50 {
+            det.push(2.0);
+        }
+        for _ in 0..40 {
+            det.push(27.0);
+        }
+        assert!(det.is_elevated());
+        let m = det.elevation_estimate();
+        assert!((20.0..27.5).contains(&m), "estimate {m}");
+    }
+
+    #[test]
+    fn baseline_adapts_to_slow_drift() {
+        let mut det = OnlineDetector::new(OnlineConfig::default());
+        // Drift from 2 to 6 over 4000 samples: ~0.001/sample, below kappa.
+        let mut alarms = 0;
+        for i in 0..4000 {
+            let x = 2.0 + 4.0 * i as f64 / 4000.0;
+            if det.push(x) == OnlineVerdict::UpshiftAlarm {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 0, "slow drift must not alarm");
+        assert!(det.baseline() > 4.0, "baseline tracked the drift: {}", det.baseline());
+    }
+
+    #[test]
+    fn trailing_open_event_closed_at_end() {
+        let s = step_series(&[(100, 2.0), (100, 30.0)], 0.5);
+        let ev = online_events(&s, OnlineConfig::default());
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].1, s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        OnlineDetector::new(OnlineConfig::default()).push(f64::NAN);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events are well-formed and ordered for arbitrary finite series.
+        #[test]
+        fn events_well_formed(series in proptest::collection::vec(0.0f64..100.0, 20..600)) {
+            let ev = online_events(&series, OnlineConfig::default());
+            for w in ev.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0);
+            }
+            for (up, down) in ev {
+                prop_assert!(up < down);
+                prop_assert!(down <= series.len());
+            }
+        }
+
+        /// A planted large step is always caught within a bounded delay.
+        #[test]
+        fn planted_step_caught(at in 60usize..200, mag in 15.0f64..80.0) {
+            let series: Vec<f64> = (0..400).map(|i| if i < at { 2.0 } else { 2.0 + mag }).collect();
+            let ev = online_events(&series, OnlineConfig::default());
+            prop_assert!(!ev.is_empty());
+            let delay = ev[0].0 as i64 - at as i64;
+            prop_assert!((0..=10).contains(&delay), "alarm delay {delay}");
+        }
+    }
+}

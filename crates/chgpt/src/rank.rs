@@ -1,0 +1,96 @@
+//! Rank transform for non-parametric change-point analysis.
+//!
+//! The paper's detector "identifies changes in the direction of the
+//! rank-based non-parametric statistical cumulative sum (CUSUM) test" (§5.2).
+//! Working on ranks instead of raw RTTs makes the statistic insensitive to
+//! the heavy-tailed spikes ICMP time series are full of (a single 500 ms
+//! outlier moves a mean-CUSUM a lot, but only one rank step).
+
+/// Replace each value by its 1-based rank; ties receive the average of the
+/// ranks they span (the standard mid-rank convention).
+pub fn rank_transform(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in series"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie run [i, j).
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank of positions i..j (1-based ranks i+1 ..= j).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(rank_transform(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        // 5,5 occupy ranks 2 and 3 → both 2.5.
+        assert_eq!(rank_transform(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        // All equal.
+        assert_eq!(rank_transform(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(rank_transform(&[]).is_empty());
+        assert_eq!(rank_transform(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn monotone_invariance() {
+        // Ranks are invariant under any strictly increasing transform.
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let ys: Vec<f64> = xs.iter().map(|v: &f64| v.exp()).collect();
+        assert_eq!(rank_transform(&xs), rank_transform(&ys));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ranks are a permutation-with-ties of 1..=n: they sum to n(n+1)/2.
+        #[test]
+        fn ranks_sum_invariant(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let r = rank_transform(&values);
+            let n = values.len() as f64;
+            let sum: f64 = r.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+
+        /// Order is preserved: v[i] < v[j] implies rank[i] < rank[j].
+        #[test]
+        fn ranks_preserve_order(values in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+            let r = rank_transform(&values);
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    if values[i] < values[j] {
+                        prop_assert!(r[i] < r[j]);
+                    }
+                }
+            }
+        }
+    }
+}

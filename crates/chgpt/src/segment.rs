@@ -1,0 +1,317 @@
+//! Binary segmentation: from one change point to all of them.
+//!
+//! Taylor's procedure applies the bootstrap CUSUM recursively: find a
+//! significant change in the window, split there, recurse on both halves
+//! until no significant change remains or segments reach the minimum length
+//! (the paper tunes this to level shifts "that last at least 30 minutes",
+//! i.e. six 5-minute samples).
+
+use crate::cusum::{cusum_bootstrap, spread_reaches};
+use crate::rank::rank_transform;
+use serde::{Deserialize, Serialize};
+
+/// Detector configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Use the rank transform inside each window (the paper's non-parametric
+    /// variant). Raw-value CUSUM is kept for the ablation bench.
+    pub use_ranks: bool,
+    /// Bootstrap permutations per window (confidence resolution = 1/iters).
+    pub bootstrap_iters: usize,
+    /// Confidence required to accept a change point.
+    pub confidence: f64,
+    /// Minimum segment length in samples (30 min at 5-min sampling = 6).
+    pub min_segment: usize,
+    /// Skip the bootstrap entirely when the window spread cannot support a
+    /// shift of this magnitude (same units as the series). Set to 0 to
+    /// disable the shortcut.
+    pub magnitude_gate: f64,
+    /// Windows longer than this are *forcibly descended* (split in half,
+    /// without recording a change point) even when no significant change is
+    /// found at the top. A year-long series of stationary diurnal bumps has
+    /// no whole-series mean shift — the permutation null (a random walk of
+    /// the full length) beats the periodic signal's CUSUM range — so
+    /// retrospective segmentation must work at a window scale where one
+    /// event is a mean shift. Default: one day of 5-minute samples.
+    pub max_window: usize,
+    /// RNG seed for the bootstrap.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            use_ranks: true,
+            bootstrap_iters: 199,
+            confidence: 0.95,
+            min_segment: 6,
+            magnitude_gate: 0.0,
+            max_window: 288,
+            seed: 0x1234_5678,
+        }
+    }
+}
+
+/// A maximal run of samples between change points.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First sample index (inclusive).
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+    /// Median of the segment's samples.
+    pub level: f64,
+}
+
+impl Segment {
+    /// Number of samples in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+    /// True when the segment holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+fn median(window: &[f64]) -> f64 {
+    let mut v = window.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+    let n = v.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Detect all change points in `series`. Returns sorted indices; index `i`
+/// means "a new regime begins at sample `i`".
+pub fn detect_change_points(series: &[f64], cfg: &DetectorConfig) -> Vec<usize> {
+    let mut cps = Vec::new();
+    let mut stack = vec![(0usize, series.len())];
+    // Depth guard: segmentation of an n-sample series can produce at most
+    // n / min_segment change points; anything beyond is a logic error.
+    let max_cps = series.len() / cfg.min_segment.max(1) + 1;
+    while let Some((lo, hi)) = stack.pop() {
+        let len = hi - lo;
+        if len < 2 * cfg.min_segment.max(1) {
+            continue;
+        }
+        let window = &series[lo..hi];
+        if cfg.magnitude_gate > 0.0 && !spread_reaches(window, cfg.magnitude_gate) {
+            continue;
+        }
+        let ranked;
+        let data: &[f64] = if cfg.use_ranks {
+            ranked = rank_transform(window);
+            &ranked
+        } else {
+            window
+        };
+        // Seed varies per window so sibling windows don't share permutations.
+        let seed = cfg.seed ^ ((lo as u64) << 32) ^ hi as u64;
+        let r = cusum_bootstrap(data, cfg.bootstrap_iters, seed);
+        if r.confidence < cfg.confidence {
+            // No whole-window shift; descend into halves (no change point
+            // recorded) so window-scale structure stays visible.
+            if cfg.max_window > 0 && len > cfg.max_window {
+                let mid = lo + len / 2;
+                stack.push((lo, mid));
+                stack.push((mid, hi));
+            }
+            continue;
+        }
+        // New regime starts after the peak; clamp so both halves respect the
+        // minimum segment length.
+        let split = (lo + r.split + 1).clamp(lo + cfg.min_segment, hi - cfg.min_segment);
+        cps.push(split);
+        assert!(cps.len() <= max_cps, "segmentation runaway");
+        stack.push((lo, split));
+        stack.push((split, hi));
+    }
+    cps.sort_unstable();
+    cps
+}
+
+/// Cut `series` into level segments at `change_points`.
+pub fn segments(series: &[f64], change_points: &[usize]) -> Vec<Segment> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(change_points.len() + 1);
+    let mut start = 0usize;
+    for &cp in change_points {
+        assert!(cp > start && cp < series.len(), "change point {cp} out of order/bounds");
+        out.push(Segment { start, end: cp, level: median(&series[start..cp]) });
+        start = cp;
+    }
+    out.push(Segment { start, end: series.len(), level: median(&series[start..]) });
+    out
+}
+
+/// Convenience: detect and segment in one call.
+pub fn level_segments(series: &[f64], cfg: &DetectorConfig) -> Vec<Segment> {
+    let cps = detect_change_points(series, cfg);
+    segments(series, &cps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_steps(levels: &[(usize, f64)], noise_amp: f64) -> Vec<f64> {
+        // Deterministic pseudo-noise.
+        let mut out = Vec::new();
+        for (seg_idx, &(n, level)) in levels.iter().enumerate() {
+            for i in 0..n {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seg_idx as u64 * 0x517C_C1B7);
+                let u = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                out.push(level + noise_amp * u);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn finds_single_step() {
+        let s = noisy_steps(&[(100, 5.0), (100, 25.0)], 1.0);
+        let cps = detect_change_points(&s, &DetectorConfig::default());
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert!((95..=105).contains(&cps[0]), "{cps:?}");
+        let segs = segments(&s, &cps);
+        assert_eq!(segs.len(), 2);
+        assert!((segs[0].level - 5.0).abs() < 1.0);
+        assert!((segs[1].level - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn finds_up_then_down() {
+        let s = noisy_steps(&[(120, 2.0), (60, 30.0), (120, 2.0)], 1.5);
+        let segs = level_segments(&s, &DetectorConfig::default());
+        assert_eq!(segs.len(), 3, "{segs:?}");
+        assert!(segs[1].level > segs[0].level + 20.0);
+        assert!(segs[1].level > segs[2].level + 20.0);
+        // Boundaries near the truth.
+        assert!((115..=125).contains(&segs[1].start), "{segs:?}");
+        assert!((175..=185).contains(&segs[1].end), "{segs:?}");
+    }
+
+    #[test]
+    fn flat_noise_yields_one_segment() {
+        let s = noisy_steps(&[(400, 10.0)], 2.0);
+        let segs = level_segments(&s, &DetectorConfig::default());
+        assert_eq!(segs.len(), 1, "{segs:?}");
+        assert_eq!(segs[0].len(), 400);
+    }
+
+    #[test]
+    fn magnitude_gate_skips_small_shifts() {
+        let s = noisy_steps(&[(100, 10.0), (100, 13.0)], 0.5);
+        let mut cfg = DetectorConfig { magnitude_gate: 10.0, ..DetectorConfig::default() };
+        assert!(detect_change_points(&s, &cfg).is_empty());
+        cfg.magnitude_gate = 0.0;
+        assert_eq!(detect_change_points(&s, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn min_segment_respected() {
+        let s = noisy_steps(&[(50, 0.0), (3, 40.0), (50, 0.0)], 0.5);
+        let cfg = DetectorConfig { min_segment: 6, ..DetectorConfig::default() };
+        let segs = level_segments(&s, &cfg);
+        for seg in &segs {
+            assert!(seg.len() >= 6, "{segs:?}");
+        }
+    }
+
+    #[test]
+    fn short_series_is_one_segment() {
+        let s = vec![1.0, 2.0, 3.0];
+        let segs = level_segments(&s, &DetectorConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].level, 2.0);
+    }
+
+    #[test]
+    fn segments_empty_series() {
+        assert!(segments(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn raw_mode_also_detects() {
+        let s = noisy_steps(&[(100, 5.0), (100, 25.0)], 1.0);
+        let cfg = DetectorConfig { use_ranks: false, ..DetectorConfig::default() };
+        assert_eq!(detect_change_points(&s, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn ranks_resist_outlier_contamination() {
+        // 10 giant spikes in an otherwise flat series: rank CUSUM must not
+        // declare a level shift, raw CUSUM may. This is the reason §5.2 uses
+        // the non-parametric variant.
+        let mut s = noisy_steps(&[(300, 10.0)], 0.5);
+        for k in 0..10 {
+            s[30 * k + 7] = 500.0;
+        }
+        let cfg = DetectorConfig::default();
+        assert!(detect_change_points(&s, &cfg).is_empty(), "rank CUSUM flagged outliers");
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let s = noisy_steps(&[(150, 3.0), (80, 19.0), (150, 3.0)], 2.0);
+        let cfg = DetectorConfig::default();
+        assert_eq!(detect_change_points(&s, &cfg), detect_change_points(&s, &cfg));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A planted step of magnitude ≥ 8× the noise amplitude is always
+        /// found, within ±min_segment of the true location, with level
+        /// estimates within the noise amplitude.
+        #[test]
+        fn planted_step_is_found(
+            at in 30usize..170,
+            lo_level in 0.0f64..20.0,
+            jump in 8.0f64..60.0,
+            seed in 0u64..1000,
+        ) {
+            let n = 200;
+            let noise_amp = 1.0;
+            let series: Vec<f64> = (0..n).map(|i| {
+                let h = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                let level = if i < at { lo_level } else { lo_level + jump };
+                level + noise_amp * u
+            }).collect();
+            let cfg = DetectorConfig::default();
+            let cps = detect_change_points(&series, &cfg);
+            prop_assert!(!cps.is_empty(), "missed a {jump}-unit step at {at}");
+            let nearest = cps.iter().map(|&c| (c as i64 - at as i64).abs()).min().unwrap();
+            prop_assert!(nearest <= cfg.min_segment as i64, "nearest cp {nearest} samples away");
+        }
+
+        /// Segments always tile the series exactly.
+        #[test]
+        fn segments_tile(series in proptest::collection::vec(0.0f64..100.0, 12..300)) {
+            let segs = level_segments(&series, &DetectorConfig::default());
+            prop_assert_eq!(segs[0].start, 0);
+            prop_assert_eq!(segs.last().unwrap().end, series.len());
+            for w in segs.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}

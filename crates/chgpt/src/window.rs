@@ -1,0 +1,111 @@
+//! A sliding-window median detector — the ablation baseline.
+//!
+//! DESIGN.md calls for ablating the CUSUM detector against something
+//! simpler: compare the medians of two adjacent windows sliding over the
+//! series and declare a shift when they differ by more than a threshold.
+//! Cheap, single-pass, no bootstrap — but it needs the threshold baked into
+//! detection (the CUSUM pipeline separates *detection* from *labeling*) and
+//! its localization is coarser. The `ablation_detectors` bench quantifies
+//! the trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Sliding-window detector configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Half-window length in samples.
+    pub half_window: usize,
+    /// Median difference that constitutes a shift.
+    pub threshold: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig { half_window: 12, threshold: 5.0 }
+    }
+}
+
+fn median_of(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Detect change points: indices where the left/right window medians differ
+/// by at least the threshold, keeping only the local maximum of each
+/// contiguous exceedance run.
+pub fn detect_window_shifts(series: &[f64], cfg: &WindowConfig) -> Vec<usize> {
+    let w = cfg.half_window;
+    if series.len() < 2 * w + 1 || w == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut run_best: Option<(usize, f64)> = None;
+    for i in w..series.len() - w {
+        let left = median_of(series[i - w..i].to_vec());
+        let right = median_of(series[i..i + w].to_vec());
+        let diff = (right - left).abs();
+        if diff >= cfg.threshold {
+            match run_best {
+                Some((_, best)) if best >= diff => {}
+                _ => run_best = Some((i, diff)),
+            }
+        } else if let Some((idx, _)) = run_best.take() {
+            out.push(idx);
+        }
+    }
+    if let Some((idx, _)) = run_best {
+        out.push(idx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(n: usize, at: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|i| if i < at { lo } else { hi }).collect()
+    }
+
+    #[test]
+    fn finds_clean_step() {
+        let s = step(200, 100, 1.0, 20.0);
+        let cps = detect_window_shifts(&s, &WindowConfig::default());
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert!((95..=105).contains(&cps[0]), "{cps:?}");
+    }
+
+    #[test]
+    fn below_threshold_silent() {
+        let s = step(200, 100, 1.0, 4.0);
+        assert!(detect_window_shifts(&s, &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn two_steps_two_detections() {
+        let mut s = step(300, 100, 0.0, 15.0);
+        for v in s[200..].iter_mut() {
+            *v = 0.0;
+        }
+        let cps = detect_window_shifts(&s, &WindowConfig::default());
+        assert_eq!(cps.len(), 2, "{cps:?}");
+    }
+
+    #[test]
+    fn too_short_series() {
+        assert!(detect_window_shifts(&[1.0; 10], &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_outlier_not_a_shift() {
+        // Medians shrug off one spike.
+        let mut s = vec![2.0; 200];
+        s[100] = 400.0;
+        assert!(detect_window_shifts(&s, &WindowConfig::default()).is_empty());
+    }
+}

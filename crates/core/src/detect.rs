@@ -1,0 +1,528 @@
+//! Per-link congestion assessment — §5.2 end to end.
+//!
+//! Given a link's near/far series, the assessment:
+//!
+//! 1. runs the rank-CUSUM level-shift detector on the far series (5-minute
+//!    samples, shifts lasting ≥ 30 minutes);
+//! 2. extracts shift events above the magnitude threshold (Table 1 sweeps
+//!    5/10/15/20 ms) and sanitizes them;
+//! 3. guards on the **near** series: coincident near-side shifts mean "the
+//!    observed congestion was not at the targeted link";
+//! 4. classifies **recurring diurnal patterns** by folding event coverage
+//!    over the time of day;
+//! 5. characterizes the waveform: average magnitude `A_w`, average
+//!    up→down width `Δt_UD`, and the sustained/transient label (§6.1).
+
+use crate::series::LinkSeries;
+use ixp_chgpt::events::{baseline_level, event_stats, extract_events, sanitize_events, ShiftEvent};
+use ixp_chgpt::segment::{level_segments, DetectorConfig, Segment};
+use ixp_simnet::time::{SimDuration, SimTime, MICROS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Assessment tuning (defaults = the paper's choices).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AssessConfig {
+    /// Level-shift detector settings.
+    pub detector: DetectorConfig,
+    /// Magnitude threshold in ms for labeling "potentially congested"
+    /// (the paper settles on 10 ms after the Table 1 sensitivity study).
+    pub threshold_ms: f64,
+    /// Minimum shift duration (30 minutes).
+    pub min_event: SimDuration,
+    /// Merge events separated by gaps up to this long before measuring
+    /// widths (the §5.2 "sanitization").
+    pub sanitize_gap: SimDuration,
+    /// Baseline quantile for the reference level.
+    pub baseline_quantile: f64,
+    /// A diurnal verdict needs events on at least this many distinct days.
+    pub min_event_days: usize,
+    /// Significance level for the Rayleigh test on event onset
+    /// times-of-day. "Recurring diurnal pattern" requires rejecting
+    /// onset-uniformity at this level: `exp(−n·R²) < α`, with `R` the
+    /// circular mean resultant length over `n` events. A waveform rising at
+    /// a consistent hour every day rejects immediately; sporadic level
+    /// shifts (R ≈ 1/√n) essentially never do.
+    pub diurnal_alpha: f64,
+    /// Far series must be at least this complete for a clean verdict.
+    pub min_validity: f64,
+    /// A near-side event overlapping this fraction of far events (in time)
+    /// disqualifies the link ("congestion was not at the targeted link").
+    pub near_overlap_limit: f64,
+    /// Events continuing into the last this-many days of valid data make
+    /// the congestion *sustained*.
+    pub sustain_tail: SimDuration,
+}
+
+impl Default for AssessConfig {
+    fn default() -> Self {
+        AssessConfig {
+            detector: DetectorConfig { magnitude_gate: 4.0, ..DetectorConfig::default() },
+            threshold_ms: 10.0,
+            min_event: SimDuration::from_mins(30),
+            sanitize_gap: SimDuration::from_mins(30),
+            baseline_quantile: 0.10,
+            min_event_days: 7,
+            diurnal_alpha: 1e-3,
+            min_validity: 0.25,
+            near_overlap_limit: 0.3,
+            sustain_tail: SimDuration::from_days(10),
+        }
+    }
+}
+
+/// Outcome of the near-side check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NearGuard {
+    /// Near series flat: far elevation is attributable to the link.
+    Clean,
+    /// Near series shifts together with the far series: the congestion is
+    /// upstream of the measured link.
+    CoincidentShifts,
+    /// Not enough near data to decide ("unclear patterns" of §5.2).
+    Unclear,
+}
+
+/// One shift event mapped to campaign time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Upshift instant.
+    pub start: SimTime,
+    /// Downshift instant.
+    pub end: SimTime,
+    /// Mean elevation above baseline, ms.
+    pub magnitude_ms: f64,
+}
+
+impl TimedEvent {
+    /// Event width.
+    pub fn width(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Waveform characteristics (§6.2's `A_w` and `Δt_UD`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WaveformStats {
+    /// Number of (sanitized) events.
+    pub count: usize,
+    /// Average magnitude, ms.
+    pub a_w_ms: f64,
+    /// Average up→down width.
+    pub dt_ud: SimDuration,
+    /// Fraction of observed time inside events.
+    pub duty_cycle: f64,
+}
+
+/// Full per-link verdict.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Level shifts ≥ threshold and ≥ 30 min were found on the far side.
+    pub flagged: bool,
+    /// The flagged shifts recur diurnally.
+    pub diurnal: bool,
+    /// The paper's *congested link* definition (§6.1): recurring diurnal far
+    /// pattern with a flat near side.
+    pub congested: bool,
+    /// Near-side guard outcome.
+    pub near_guard: NearGuard,
+    /// Sanitized far-side events in campaign time.
+    pub events: Vec<TimedEvent>,
+    /// Waveform characterization.
+    pub stats: WaveformStats,
+    /// Congestion observed until the end of the (valid) series?
+    /// `None` when the link was never congested.
+    pub sustained: Option<bool>,
+    /// Fraction of rounds with a far response.
+    pub far_validity: f64,
+    /// Baseline far RTT (ms).
+    pub baseline_ms: f64,
+}
+
+/// Threshold-independent detector output, reusable across a threshold sweep.
+pub struct Segmentation {
+    far: Vec<f64>,
+    far_idx: Vec<usize>,
+    segs: Vec<Segment>,
+    baseline: f64,
+    det: DetectorConfig,
+    min_len: usize,
+    far_validity: f64,
+}
+
+/// Run the level-shift detector once; the expensive, threshold-independent
+/// half of [`assess_link`]. Returns `None` when the series is too short.
+pub fn segment_far(series: &LinkSeries, cfg: &AssessConfig) -> Option<Segmentation> {
+    let (far, far_idx) = series.far_clean();
+    let far_validity = series.far_validity();
+    let min_len = samples_for(cfg.min_event, series.cfg.interval);
+    if far.len() < 2 * cfg.detector.min_segment.max(min_len) {
+        return None;
+    }
+    let det = DetectorConfig { min_segment: min_len.max(cfg.detector.min_segment), ..cfg.detector.clone() };
+    let segs = level_segments(&far, &det);
+    let baseline = baseline_level(&segs, cfg.baseline_quantile);
+    Some(Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity })
+}
+
+/// Run the full assessment for one link.
+pub fn assess_link(series: &LinkSeries, cfg: &AssessConfig) -> Assessment {
+    match segment_far(series, cfg) {
+        Some(pre) => assess_from_segmentation(series, cfg, &pre),
+        None => empty_assessment(series.far_validity(), f64::NAN),
+    }
+}
+
+/// The cheap, threshold-dependent half of the assessment.
+pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &Segmentation) -> Assessment {
+    let Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity } = pre;
+    let (far, far_idx, min_len, far_validity, baseline) =
+        (far, far_idx, *min_len, *far_validity, *baseline);
+    let raw_events = extract_events(&segs, baseline, cfg.threshold_ms, min_len);
+    let gap = samples_for(cfg.sanitize_gap, series.cfg.interval);
+    let events = sanitize_events(&raw_events, gap);
+    let flagged = !events.is_empty();
+
+    let timed: Vec<TimedEvent> = events
+        .iter()
+        .map(|e| TimedEvent {
+            start: series.timestamp(far_idx[e.start]),
+            end: series.timestamp(far_idx[(e.end - 1).min(far_idx.len() - 1)]) + series.cfg.interval,
+            magnitude_ms: e.magnitude,
+        })
+        .collect();
+
+    // Near-side guard.
+    let near_guard = near_guard(series, &events, &far_idx, cfg, &det);
+
+    // Diurnal classification over the *timed* events.
+    let diurnal = flagged && near_guard == NearGuard::Clean && is_diurnal(&timed, cfg);
+
+    // Waveform stats from sanitized events.
+    let st = event_stats(&events, far.len());
+    let stats = WaveformStats {
+        count: st.count,
+        a_w_ms: st.avg_magnitude,
+        dt_ud: SimDuration::from_micros(
+            (st.avg_width_samples * series.cfg.interval.as_micros() as f64) as u64,
+        ),
+        duty_cycle: st.duty_cycle,
+    };
+
+    // Sustained vs transient: did events continue to the end of valid data?
+    let sustained = if !flagged || !diurnal {
+        None
+    } else {
+        let last_valid = far_idx.last().map(|&i| series.timestamp(i)).unwrap_or(series.cfg.start);
+        let last_event_end = timed.last().map(|e| e.end).unwrap_or(series.cfg.start);
+        Some(last_valid.saturating_since(last_event_end) <= cfg.sustain_tail)
+    };
+
+    Assessment {
+        flagged,
+        diurnal,
+        congested: flagged && diurnal && near_guard == NearGuard::Clean,
+        near_guard,
+        events: timed,
+        stats,
+        sustained,
+        far_validity,
+        baseline_ms: baseline,
+    }
+}
+
+/// Re-evaluate the flagged/diurnal verdicts at several thresholds while
+/// running the (expensive, threshold-independent) segmentation only once —
+/// the Table 1 sensitivity sweep.
+pub fn assess_at_thresholds(series: &LinkSeries, cfg: &AssessConfig, thresholds_ms: &[f64]) -> Vec<(f64, Assessment)> {
+    let min_t = thresholds_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let base_cfg = AssessConfig {
+        detector: DetectorConfig {
+            magnitude_gate: cfg.detector.magnitude_gate.min(min_t * 0.8),
+            ..cfg.detector.clone()
+        },
+        ..cfg.clone()
+    };
+    let pre = segment_far(series, &base_cfg);
+    thresholds_ms
+        .iter()
+        .map(|&t| {
+            let c = AssessConfig { threshold_ms: t, ..base_cfg.clone() };
+            let a = match &pre {
+                Some(p) => assess_from_segmentation(series, &c, p),
+                None => empty_assessment(series.far_validity(), f64::NAN),
+            };
+            (t, a)
+        })
+        .collect()
+}
+
+fn empty_assessment(far_validity: f64, baseline: f64) -> Assessment {
+    Assessment {
+        flagged: false,
+        diurnal: false,
+        congested: false,
+        near_guard: NearGuard::Unclear,
+        events: Vec::new(),
+        stats: WaveformStats::default(),
+        sustained: None,
+        far_validity,
+        baseline_ms: baseline,
+    }
+}
+
+fn samples_for(d: SimDuration, interval: SimDuration) -> usize {
+    (d.as_micros() / interval.as_micros().max(1)).max(1) as usize
+}
+
+/// Check the near series for shifts coincident with the far events.
+fn near_guard(
+    series: &LinkSeries,
+    far_events: &[ShiftEvent],
+    far_idx: &[usize],
+    cfg: &AssessConfig,
+    det: &DetectorConfig,
+) -> NearGuard {
+    let (near, near_idx) = series.near_clean();
+    if near.len() < 2 * det.min_segment || near.len() < series.len() / 4 {
+        return NearGuard::Unclear;
+    }
+    let segs: Vec<Segment> = level_segments(&near, det);
+    let base = baseline_level(&segs, cfg.baseline_quantile);
+    let near_events = extract_events(&segs, base, cfg.threshold_ms, det.min_segment);
+    if near_events.is_empty() || far_events.is_empty() {
+        return NearGuard::Clean;
+    }
+    // Overlap between far events and near events in *round index* space.
+    let to_rounds = |ev: &ShiftEvent, idx: &[usize]| -> (usize, usize) {
+        (idx[ev.start], idx[(ev.end - 1).min(idx.len() - 1)] + 1)
+    };
+    let far_spans: Vec<(usize, usize)> = far_events.iter().map(|e| to_rounds(e, far_idx)).collect();
+    let near_spans: Vec<(usize, usize)> = near_events.iter().map(|e| to_rounds(e, &near_idx)).collect();
+    let far_total: usize = far_spans.iter().map(|(a, b)| b - a).sum();
+    let mut overlap = 0usize;
+    for &(fa, fb) in &far_spans {
+        for &(na, nb) in &near_spans {
+            let lo = fa.max(na);
+            let hi = fb.min(nb);
+            if hi > lo {
+                overlap += hi - lo;
+            }
+        }
+    }
+    if far_total > 0 && overlap as f64 / far_total as f64 > cfg.near_overlap_limit {
+        NearGuard::CoincidentShifts
+    } else {
+        NearGuard::Clean
+    }
+}
+
+/// Decide whether events recur diurnally: enough distinct event days, and
+/// event *onsets* significantly concentrated at a consistent time of day.
+///
+/// Onset times map onto the 24-hour clock as angles; the Rayleigh test
+/// rejects uniformity when `exp(−n·R²) < α`, `R` being the circular mean
+/// resultant length over the `n` events. A queue that starts filling at
+/// ~08:30 every morning rejects overwhelmingly; the sporadic level shifts
+/// of routing flaps land uniformly on the clock (`R ≈ 1/√n`) and pass a
+/// fixed per-link false-positive budget of α — which matters when ten
+/// thousand links are screened. Unlike a fold-coverage contrast, the test
+/// works equally for sustained congestion and for a two-month transient
+/// episode inside a 13-month series.
+fn is_diurnal(events: &[TimedEvent], cfg: &AssessConfig) -> bool {
+    if events.is_empty() {
+        return false;
+    }
+    let mut days = std::collections::HashSet::new();
+    let (mut sx, mut sy) = (0.0f64, 0.0f64);
+    for e in events {
+        days.insert(e.start.day_index());
+        let frac = e.start.time_of_day().as_micros() as f64 / MICROS_PER_DAY as f64;
+        let theta = std::f64::consts::TAU * frac;
+        sx += theta.cos();
+        sy += theta.sin();
+    }
+    if days.len() < cfg.min_event_days {
+        return false;
+    }
+    let n = events.len() as f64;
+    let r = (sx * sx + sy * sy).sqrt() / n;
+    let p_uniform = (-n * r * r).exp();
+    p_uniform < cfg.diurnal_alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{LinkSeries, SeriesConfig};
+    use ixp_prober::tslp::TslpSample;
+
+    /// Synthesize a series: `far(t)` in ms given the round timestamp.
+    fn synth(days: u64, far: impl Fn(SimTime) -> f64, near: impl Fn(SimTime) -> f64) -> LinkSeries {
+        let start = SimTime::from_date(2016, 3, 1);
+        let cfg = SeriesConfig::five_minute(start);
+        let mut s = LinkSeries::new(cfg);
+        for i in 0..(days * 288) as usize {
+            let t = cfg.timestamp(i);
+            let f = far(t);
+            let n = near(t);
+            s.push(&TslpSample {
+                t,
+                near: if n.is_finite() { Some(SimDuration::from_secs_f64(n / 1e3)) } else { None },
+                far: if f.is_finite() { Some(SimDuration::from_secs_f64(f / 1e3)) } else { None },
+                near_addr_ok: true,
+                far_addr_ok: true,
+            });
+        }
+        s
+    }
+
+    fn jitter(t: SimTime, amp: f64) -> f64 {
+        let h = ixp_simnet::rng::splitmix64(t.as_micros());
+        amp * ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+    }
+
+    /// Business-hours congestion: 25 ms elevation 10:00–16:00 on weekdays.
+    fn diurnal_far(t: SimTime) -> f64 {
+        let base = 2.0 + jitter(t, 0.8);
+        if !t.is_weekend() && (10.0..16.0).contains(&t.hour_of_day()) {
+            base + 25.0 + jitter(t, 2.0)
+        } else {
+            base
+        }
+    }
+
+    fn flat(amp: f64) -> impl Fn(SimTime) -> f64 {
+        move |t| 1.0 + jitter(t, amp)
+    }
+
+    #[test]
+    fn detects_diurnal_congestion() {
+        let s = synth(28, diurnal_far, flat(0.5));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.flagged);
+        assert!(a.diurnal, "diurnal not detected: {:?}", a.stats);
+        assert!(a.congested);
+        assert_eq!(a.near_guard, NearGuard::Clean);
+        assert!((20.0..30.0).contains(&a.stats.a_w_ms), "A_w {}", a.stats.a_w_ms);
+        // Six-hour weekday events.
+        let w = a.stats.dt_ud.as_secs_f64() / 3600.0;
+        assert!((4.0..8.5).contains(&w), "width {w}h");
+        assert_eq!(a.sustained, Some(true));
+    }
+
+    #[test]
+    fn healthy_link_not_flagged() {
+        let s = synth(28, flat(0.8), flat(0.5));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(!a.flagged);
+        assert!(!a.congested);
+        assert_eq!(a.sustained, None);
+    }
+
+    #[test]
+    fn single_shift_flagged_but_not_diurnal() {
+        // One 3-day 20 ms elevation: a routing change, not congestion.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.8);
+            let d = t.day_index() - day0;
+            if (10..13).contains(&d) {
+                base + 20.0
+            } else {
+                base
+            }
+        };
+        let s = synth(28, far, flat(0.5));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.flagged, "level shift must be flagged");
+        assert!(!a.diurnal, "a one-off shift is not diurnal");
+        assert!(!a.congested);
+    }
+
+    #[test]
+    fn near_side_shift_disqualifies() {
+        // Both near and far rise together: congestion upstream of the link.
+        let elevated = |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.5);
+            if !t.is_weekend() && (10.0..16.0).contains(&t.hour_of_day()) {
+                base + 25.0
+            } else {
+                base
+            }
+        };
+        let s = synth(28, elevated, elevated);
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.flagged);
+        assert_eq!(a.near_guard, NearGuard::CoincidentShifts);
+        assert!(!a.congested);
+    }
+
+    #[test]
+    fn missing_near_data_is_unclear() {
+        let s = synth(28, diurnal_far, |_| f64::NAN);
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.flagged);
+        assert_eq!(a.near_guard, NearGuard::Unclear);
+        assert!(!a.congested, "unclear near side must not confirm congestion");
+    }
+
+    #[test]
+    fn transient_congestion_labeled() {
+        // Congested for the first 10 days only, then clean for 30.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.8);
+            if t.day_index() - day0 < 10 && (9.0..17.0).contains(&t.hour_of_day()) {
+                base + 22.0
+            } else {
+                base
+            }
+        };
+        let s = synth(40, far, flat(0.5));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.congested, "events: {}", a.events.len());
+        assert_eq!(a.sustained, Some(false));
+    }
+
+    #[test]
+    fn threshold_sweep_grades_events() {
+        // 12 ms diurnal elevation: flagged at 5 and 10, not at 15/20.
+        let far = |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.7);
+            if (11.0..15.0).contains(&t.hour_of_day()) {
+                base + 12.0
+            } else {
+                base
+            }
+        };
+        let s = synth(28, far, flat(0.5));
+        let sweep = assess_at_thresholds(&s, &AssessConfig::default(), &[5.0, 10.0, 15.0, 20.0]);
+        let flags: Vec<bool> = sweep.iter().map(|(_, a)| a.flagged).collect();
+        assert_eq!(flags, vec![true, true, false, false], "{flags:?}");
+        assert!(sweep[0].1.diurnal);
+    }
+
+    #[test]
+    fn far_death_is_handled() {
+        // Far answers for 10 days then never again (the GHANATEL shutdown).
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            if t.day_index() - day0 < 10 {
+                2.0 + jitter(t, 0.5)
+            } else {
+                f64::NAN
+            }
+        };
+        let s = synth(40, far, flat(0.5));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(a.far_validity < 0.3);
+        assert!(!a.congested);
+    }
+
+    #[test]
+    fn short_series_safe() {
+        let s = synth(0, flat(1.0), flat(1.0));
+        let a = assess_link(&s, &AssessConfig::default());
+        assert!(!a.flagged);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tslp-core — time-sequence latency probes, end to end
+//!
+//! The paper's primary contribution as a reusable pipeline: feed it a set of
+//! border links (from `ixp-bdrmap`), it probes both ends of each link every
+//! five minutes (`ixp-prober`), detects level shifts with rank-CUSUM
+//! change-point analysis (`ixp-chgpt`), applies the §5.2 decision chain —
+//! magnitude threshold, ≥30-minute duration, near-side guard, recurring
+//! diurnal pattern, record-route symmetry (via `ixp-prober::rr`) — and
+//! characterizes each congested link's waveform (`A_w`, `Δt_UD`,
+//! sustained/transient) and loss impact.
+//!
+//! - [`series`] — per-link near/far RTT series with missing-data handling;
+//! - [`campaign`] — the year-long probing driver (with the documented
+//!   screening optimization; disable for paper-exact probing);
+//! - [`detect`] — the per-link congestion assessment;
+//! - [`lossanalysis`] — 1 pps / 100-probe loss batches and event correlation.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod detect;
+pub mod lossanalysis;
+pub mod series;
+
+pub use campaign::{far_spread_ms, measure_link, measure_vp, CampaignConfig, Screening, TslpProbing};
+pub use detect::{assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats};
+pub use lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit};
+pub use series::{LinkSeries, SeriesConfig};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::campaign::{measure_link, measure_vp, CampaignConfig, Screening};
+    pub use crate::detect::{
+        assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
+    };
+    pub use crate::lossanalysis::{
+        measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit,
+    };
+    pub use crate::series::{LinkSeries, SeriesConfig};
+}

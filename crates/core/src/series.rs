@@ -1,0 +1,203 @@
+//! Per-link TSLP time series.
+//!
+//! One [`LinkSeries`] holds a year of 5-minute near/far RTT samples for one
+//! interdomain link (§4), with `NaN` marking rounds whose probes went
+//! unanswered — which the pipeline must handle gracefully: the
+//! GIXA–GHANATEL far end stops answering entirely on 06/08/2016.
+
+use ixp_prober::tslp::TslpSample;
+use ixp_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Sampling grid of a series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SeriesConfig {
+    /// First round instant.
+    pub start: SimTime,
+    /// Round interval (the paper's 5 minutes).
+    pub interval: SimDuration,
+}
+
+impl SeriesConfig {
+    /// The paper's grid: 5-minute rounds from `start`.
+    pub fn five_minute(start: SimTime) -> SeriesConfig {
+        SeriesConfig { start, interval: SimDuration::from_mins(5) }
+    }
+
+    /// Timestamp of round `i`.
+    pub fn timestamp(&self, i: usize) -> SimTime {
+        self.start + SimDuration::from_micros(self.interval.as_micros() * i as u64)
+    }
+
+    /// Number of rounds in `[start, end)`.
+    pub fn rounds_until(&self, end: SimTime) -> usize {
+        if end <= self.start {
+            return 0;
+        }
+        (end.since(self.start).as_micros() / self.interval.as_micros().max(1)) as usize
+    }
+}
+
+/// The measured RTT series for one link.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSeries {
+    /// Sampling grid.
+    pub cfg: SeriesConfig,
+    /// Near-end RTTs in milliseconds (`NaN` = no response that round).
+    pub near_ms: Vec<f64>,
+    /// Far-end RTTs in milliseconds (`NaN` = no response).
+    pub far_ms: Vec<f64>,
+    /// Rounds whose far response came from an unexpected address.
+    pub far_addr_mismatches: usize,
+}
+
+impl LinkSeries {
+    /// Empty series on a grid.
+    pub fn new(cfg: SeriesConfig) -> LinkSeries {
+        LinkSeries { cfg, near_ms: Vec::new(), far_ms: Vec::new(), far_addr_mismatches: 0 }
+    }
+
+    /// Append one round's sample.
+    pub fn push(&mut self, s: &TslpSample) {
+        self.near_ms.push(s.near.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN));
+        self.far_ms.push(s.far.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN));
+        if s.far.is_some() && !s.far_addr_ok {
+            self.far_addr_mismatches += 1;
+        }
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.far_ms.len()
+    }
+    /// True when no rounds are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.far_ms.is_empty()
+    }
+
+    /// Fraction of rounds with a valid far RTT.
+    pub fn far_validity(&self) -> f64 {
+        if self.far_ms.is_empty() {
+            return 0.0;
+        }
+        self.far_ms.iter().filter(|v| v.is_finite()).count() as f64 / self.far_ms.len() as f64
+    }
+
+    /// Fraction of answered far rounds whose responder matched expectations.
+    pub fn far_addr_consistency(&self) -> f64 {
+        let answered = self.far_ms.iter().filter(|v| v.is_finite()).count();
+        if answered == 0 {
+            return 1.0;
+        }
+        1.0 - self.far_addr_mismatches as f64 / answered as f64
+    }
+
+    /// The far series with missing samples dropped, plus the original round
+    /// index of each retained sample (for mapping detector output back to
+    /// timestamps).
+    pub fn far_clean(&self) -> (Vec<f64>, Vec<usize>) {
+        clean(&self.far_ms)
+    }
+
+    /// Same for the near series.
+    pub fn near_clean(&self) -> (Vec<f64>, Vec<usize>) {
+        clean(&self.near_ms)
+    }
+
+    /// Timestamp of round `i`.
+    pub fn timestamp(&self, i: usize) -> SimTime {
+        self.cfg.timestamp(i)
+    }
+
+    /// Restrict to rounds within `[from, to)` (used for per-phase analysis).
+    pub fn window(&self, from: SimTime, to: SimTime) -> LinkSeries {
+        let lo = self.cfg.rounds_until(from).min(self.len());
+        let hi = self.cfg.rounds_until(to).min(self.len());
+        LinkSeries {
+            cfg: SeriesConfig { start: self.cfg.timestamp(lo), interval: self.cfg.interval },
+            near_ms: self.near_ms[lo..hi].to_vec(),
+            far_ms: self.far_ms[lo..hi].to_vec(),
+            far_addr_mismatches: 0,
+        }
+    }
+}
+
+fn clean(v: &[f64]) -> (Vec<f64>, Vec<usize>) {
+    let mut vals = Vec::with_capacity(v.len());
+    let mut idx = Vec::with_capacity(v.len());
+    for (i, &x) in v.iter().enumerate() {
+        if x.is_finite() {
+            vals.push(x);
+            idx.push(i);
+        }
+    }
+    (vals, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_prober::tslp::TslpSample;
+
+    fn sample(near: Option<f64>, far: Option<f64>, ok: bool) -> TslpSample {
+        TslpSample {
+            t: SimTime::ZERO,
+            near: near.map(SimDuration::from_secs_f64),
+            far: far.map(SimDuration::from_secs_f64),
+            near_addr_ok: near.is_some(),
+            far_addr_ok: ok && far.is_some(),
+        }
+    }
+
+    #[test]
+    fn push_and_validity() {
+        let mut s = LinkSeries::new(SeriesConfig::five_minute(SimTime::ZERO));
+        s.push(&sample(Some(0.001), Some(0.002), true));
+        s.push(&sample(Some(0.001), None, false));
+        s.push(&sample(None, Some(0.030), true));
+        assert_eq!(s.len(), 3);
+        assert!((s.far_validity() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.far_ms[1].is_nan());
+        assert!((s.far_ms[2] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_preserves_indices() {
+        let mut s = LinkSeries::new(SeriesConfig::five_minute(SimTime::ZERO));
+        for (i, far) in [Some(0.001), None, Some(0.003), None, Some(0.005)].iter().enumerate() {
+            let _ = i;
+            s.push(&sample(Some(0.001), *far, true));
+        }
+        let (vals, idx) = s.far_clean();
+        assert_eq!(idx, vec![0, 2, 4]);
+        assert!((vals[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addr_consistency() {
+        let mut s = LinkSeries::new(SeriesConfig::five_minute(SimTime::ZERO));
+        s.push(&sample(Some(0.001), Some(0.002), true));
+        s.push(&sample(Some(0.001), Some(0.002), false));
+        assert!((s.far_addr_consistency() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timestamps_on_grid() {
+        let cfg = SeriesConfig::five_minute(SimTime::from_date(2016, 2, 22));
+        assert_eq!(cfg.timestamp(12), SimTime::from_datetime(2016, 2, 22, 1, 0, 0));
+        assert_eq!(cfg.rounds_until(SimTime::from_date(2016, 2, 23)), 288);
+        assert_eq!(cfg.rounds_until(SimTime::from_date(2016, 2, 21)), 0);
+    }
+
+    #[test]
+    fn window_slices_rounds() {
+        let start = SimTime::from_date(2016, 3, 1);
+        let mut s = LinkSeries::new(SeriesConfig::five_minute(start));
+        for i in 0..288 * 3 {
+            s.push(&sample(Some(0.001), Some(0.001 * (i % 7) as f64), true));
+        }
+        let day2 = s.window(SimTime::from_date(2016, 3, 2), SimTime::from_date(2016, 3, 3));
+        assert_eq!(day2.len(), 288);
+        assert_eq!(day2.cfg.start, SimTime::from_date(2016, 3, 2));
+    }
+}

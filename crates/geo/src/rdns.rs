@@ -1,0 +1,105 @@
+//! Reverse-DNS hostname synthesis and hint extraction.
+//!
+//! Operators encode location into interface hostnames
+//! (`xe-0-1-0.rtr1.accra.gh.example.net`); geolocation studies mine those
+//! tokens as ground-truth-ish hints. We synthesize hostnames in that style
+//! for simulated interfaces and parse city/country tokens back out.
+
+use serde::{Deserialize, Serialize};
+
+/// Location hints mined from one hostname.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdnsHints {
+    /// Lower-case city token.
+    pub city: String,
+    /// Upper-case ISO country code.
+    pub country: String,
+}
+
+/// `(city token, country code, IATA code)` for the studied locations.
+const CITIES: [(&str, &str, &str); 7] = [
+    ("accra", "GH", "acc"),
+    ("dar-es-salaam", "TZ", "dar"),
+    ("johannesburg", "ZA", "jnb"),
+    ("serekunda", "GM", "bjl"),
+    ("nairobi", "KE", "nbo"),
+    ("kigali", "RW", "kgl"),
+    ("london", "EU", "lhr"),
+];
+
+/// Synthesize an interface hostname in operator style:
+/// `<iface>.<router>.<city>.<cc>.<org>.net`.
+pub fn synthesize(iface_idx: u16, router: &str, city: &str, country: &str, org: &str) -> String {
+    format!(
+        "xe-0-{}-0.{}.{}.{}.{}.net",
+        iface_idx,
+        router.to_lowercase().replace(' ', "-"),
+        city.to_lowercase().replace(' ', "-"),
+        country.to_lowercase(),
+        org.to_lowercase().replace(' ', "-"),
+    )
+}
+
+/// Extract location hints from a hostname: recognizes full city tokens and
+/// IATA codes from the studied region. Returns `None` when nothing matches.
+pub fn parse_hints(hostname: &str) -> Option<RdnsHints> {
+    let lower = hostname.to_lowercase();
+    let labels: Vec<&str> = lower.split('.').collect();
+    for (city, cc, iata) in CITIES {
+        for l in &labels {
+            if *l == city || *l == iata {
+                return Some(RdnsHints { city: city.to_string(), country: cc.to_string() });
+            }
+        }
+    }
+    // A bare country-code label next to a recognized TLD-ish tail.
+    for (city, cc, _) in CITIES {
+        for l in &labels {
+            if l.eq_ignore_ascii_case(cc) {
+                let _ = city;
+                return Some(RdnsHints { city: String::new(), country: cc.to_string() });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_and_parse_roundtrip() {
+        let h = synthesize(3, "gixa-core", "Accra", "GH", "GIXA");
+        assert_eq!(h, "xe-0-3-0.gixa-core.accra.gh.gixa.net");
+        let hints = parse_hints(&h).unwrap();
+        assert_eq!(hints.country, "GH");
+        assert_eq!(hints.city, "accra");
+    }
+
+    #[test]
+    fn iata_codes_recognized() {
+        let hints = parse_hints("ge-0-0-1.core2.nbo.liquidtelecom.net").unwrap();
+        assert_eq!(hints.country, "KE");
+        assert_eq!(hints.city, "nairobi");
+    }
+
+    #[test]
+    fn bare_country_code_recognized() {
+        let hints = parse_hints("unknown-city.rw.example.net").unwrap();
+        assert_eq!(hints.country, "RW");
+        assert!(hints.city.is_empty());
+    }
+
+    #[test]
+    fn no_hints_none() {
+        assert_eq!(parse_hints("host1234.example.com"), None);
+        assert_eq!(parse_hints(""), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let hints = parse_hints("XE-0.RTR.JOHANNESBURG.ZA.ISP.NET").unwrap();
+        assert_eq!(hints.country, "ZA");
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared test topologies for the prober crate's unit tests.
+
+#![doc(hidden)]
+
+use ixp_simnet::prelude::*;
+use std::sync::Arc;
+
+/// `vp(host, AS100) — r1(AS100) — r2(AS200) — tgt(host, AS200)`, fully
+/// routed in both directions. Returns `(net, vp, tgt_addr)`.
+pub fn line_topology(seed: u64) -> (Network, NodeId, Ipv4) {
+    let mut net = Network::new(seed);
+    let vp = net.add_node(NodeKind::Host, Asn(100), "vp");
+    let r1 = net.add_node(NodeKind::Router, Asn(100), "r1");
+    let r2 = net.add_node(NodeKind::Router, Asn(200), "r2");
+    let tgt = net.add_node(NodeKind::Host, Asn(200), "tgt");
+    let cfg = LinkConfig::default();
+    net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), cfg.clone());
+    net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), cfg.clone());
+    net.connect_idle(r2, Ipv4::new(10, 0, 2, 1), tgt, Ipv4::new(10, 0, 2, 2), cfg);
+    net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+    net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+    net.add_route(r1, Prefix::DEFAULT, IfaceId(1));
+    net.add_route(r2, Prefix::DEFAULT, IfaceId(0));
+    net.add_route(r2, "10.0.2.0/24".parse().unwrap(), IfaceId(1));
+    net.add_route(tgt, Prefix::DEFAULT, IfaceId(0));
+    (net, vp, Ipv4::new(10, 0, 2, 2))
+}
+
+/// Same line, but the middle (r1→r2) link is congested in the forward
+/// direction: 100 Mbps capacity with `overload_factor ×` offered load.
+pub fn congested_line(seed: u64, overload_factor: f64) -> (Network, NodeId, Ipv4) {
+    let (mut net, vp, tgt) = line_topology(seed);
+    let l = net.link_mut(LinkId(1));
+    *l.capacity_mut() = Schedule::constant(1e8);
+    l.set_load(Dir::AtoB, Arc::new(ConstantLoad(overload_factor * 1e8)));
+    (net, vp, tgt)
+}

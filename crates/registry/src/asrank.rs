@@ -1,0 +1,144 @@
+//! AS-rank: customer cones and ranking.
+//!
+//! The paper's bdrmap input is "CAIDA's AS-rank algorithm used to infer AS
+//! relationships" (§4). Relationship inference lives in
+//! [`crate::relationships`]; this module computes the metric AS-rank is
+//! named for — the **customer cone** (the set of ASes reachable by walking
+//! provider→customer edges) — and ranks ASes by cone size, the standard
+//! proxy for "how much of the Internet this network can reach through its
+//! customers alone".
+
+use crate::relationships::{Relationship, RelationshipDb};
+use ixp_simnet::prelude::Asn;
+use std::collections::{HashMap, HashSet};
+
+/// Customer cone of one AS: itself plus every AS reachable via
+/// provider→customer edges (the transitive closure of "is a customer of").
+pub fn customer_cone(db: &RelationshipDb, asn: Asn) -> HashSet<Asn> {
+    // Precompute the customer adjacency once per call; callers ranking many
+    // ASes should use `rank_all`, which shares the adjacency.
+    let adj = customer_adjacency(db);
+    cone_from(&adj, asn)
+}
+
+fn customer_adjacency(db: &RelationshipDb) -> HashMap<Asn, Vec<Asn>> {
+    let mut adj: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    for (a, b, rel) in db.edges() {
+        match rel {
+            Relationship::ProviderOf => adj.entry(a).or_default().push(b),
+            Relationship::CustomerOf => adj.entry(b).or_default().push(a),
+            _ => {}
+        }
+    }
+    adj
+}
+
+fn cone_from(adj: &HashMap<Asn, Vec<Asn>>, asn: Asn) -> HashSet<Asn> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![asn];
+    while let Some(a) = stack.pop() {
+        if !seen.insert(a) {
+            continue;
+        }
+        if let Some(customers) = adj.get(&a) {
+            stack.extend(customers.iter().copied());
+        }
+    }
+    seen
+}
+
+/// One ranking entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankEntry {
+    /// Ranked AS.
+    pub asn: Asn,
+    /// Customer-cone size (including the AS itself).
+    pub cone_size: usize,
+    /// 1-based rank (1 = largest cone; ties share the smaller rank number).
+    pub rank: usize,
+}
+
+/// Rank every AS appearing in the relationship store by customer-cone size,
+/// descending. Deterministic: ties order by ASN.
+pub fn rank_all(db: &RelationshipDb) -> Vec<RankEntry> {
+    let adj = customer_adjacency(db);
+    let mut asns: HashSet<Asn> = HashSet::new();
+    for (a, b, _) in db.edges() {
+        asns.insert(a);
+        asns.insert(b);
+    }
+    let mut entries: Vec<(Asn, usize)> =
+        asns.into_iter().map(|a| (a, cone_from(&adj, a).len())).collect();
+    entries.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    let mut out = Vec::with_capacity(entries.len());
+    let mut rank = 0;
+    let mut last_size = usize::MAX;
+    for (i, (asn, cone_size)) in entries.into_iter().enumerate() {
+        if cone_size != last_size {
+            rank = i + 1;
+            last_size = cone_size;
+        }
+        out.push(RankEntry { asn, cone_size, rank });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 sells to 10 and 20; 10 sells to 100, 101; 20 sells to 200;
+    /// 10 and 20 peer; 100 and 101 peer.
+    fn hierarchy() -> RelationshipDb {
+        let mut db = RelationshipDb::new();
+        db.set(Asn(10), Asn(1), Relationship::CustomerOf);
+        db.set(Asn(20), Asn(1), Relationship::CustomerOf);
+        db.set(Asn(100), Asn(10), Relationship::CustomerOf);
+        db.set(Asn(101), Asn(10), Relationship::CustomerOf);
+        db.set(Asn(200), Asn(20), Relationship::CustomerOf);
+        db.set(Asn(10), Asn(20), Relationship::PeerOf);
+        db.set(Asn(100), Asn(101), Relationship::PeerOf);
+        db
+    }
+
+    #[test]
+    fn cones_are_transitive_and_exclude_peers() {
+        let db = hierarchy();
+        let top = customer_cone(&db, Asn(1));
+        assert_eq!(top.len(), 6, "{top:?}"); // everyone
+        let mid = customer_cone(&db, Asn(10));
+        assert_eq!(mid.len(), 3); // 10, 100, 101 — not its peer 20
+        assert!(!mid.contains(&Asn(20)));
+        let stub = customer_cone(&db, Asn(100));
+        assert_eq!(stub.len(), 1);
+    }
+
+    #[test]
+    fn ranking_orders_by_cone() {
+        let db = hierarchy();
+        let ranks = rank_all(&db);
+        assert_eq!(ranks[0].asn, Asn(1));
+        assert_eq!(ranks[0].rank, 1);
+        assert_eq!(ranks[0].cone_size, 6);
+        assert_eq!(ranks[1].asn, Asn(10)); // cone 3
+        // The three stubs tie at cone 1 and share a rank.
+        let stub_ranks: Vec<_> = ranks.iter().filter(|r| r.cone_size == 1).collect();
+        assert_eq!(stub_ranks.len(), 3);
+        assert!(stub_ranks.iter().all(|r| r.rank == stub_ranks[0].rank));
+    }
+
+    #[test]
+    fn customer_cycle_terminates() {
+        // Pathological data: mutual customers. The walk must not loop.
+        let mut db = RelationshipDb::new();
+        db.set(Asn(1), Asn(2), Relationship::CustomerOf);
+        db.set(Asn(2), Asn(1), Relationship::CustomerOf);
+        let c = customer_cone(&db, Asn(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_db() {
+        assert!(rank_all(&RelationshipDb::new()).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The IXP directory: PeeringDB / Packet Clearing House equivalents.
+//!
+//! bdrmap takes "a list of IXP prefixes from PeeringDB and Packet Clearing
+//! House" (§4), and the link classification of §5.1 labels a router-level
+//! link as *at an IXP* "having any of their IPs belonging to the (peering or
+//! management) prefix of any studied IXP". This module stores exactly that:
+//! per-IXP peering and management LANs, with membership lists, and answers
+//! the two queries the pipeline needs — "is this address on an IXP LAN?" and
+//! "which IXP?".
+
+use ixp_simnet::ip::PrefixTable;
+use ixp_simnet::prelude::{Asn, Ipv4, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Identifies an IXP in the directory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IxpId(pub u32);
+
+/// One directory entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IxpRecord {
+    /// Directory id.
+    pub id: IxpId,
+    /// Short name ("GIXA", "KIXP", …).
+    pub name: String,
+    /// Country code.
+    pub country: String,
+    /// African sub-region ("West Africa", "East Africa", "Southern Africa").
+    pub region: String,
+    /// The IXP operator's AS.
+    pub operator_asn: Asn,
+    /// Peering LAN prefixes.
+    pub peering: Vec<Prefix>,
+    /// Management prefixes.
+    pub management: Vec<Prefix>,
+    /// Member ASes (as PeeringDB would list them).
+    pub members: Vec<Asn>,
+    /// Launch year (GIXA 2005, JINX 1996, KIXP 2002, SIXP 2014, TIX 2004).
+    pub launched: u16,
+}
+
+/// What role an address plays on an IXP LAN.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IxpLan {
+    /// On a peering LAN.
+    Peering,
+    /// On a management prefix.
+    Management,
+}
+
+/// The assembled directory.
+#[derive(Default)]
+pub struct IxpDirectory {
+    records: Vec<IxpRecord>,
+    lan_index: PrefixTable<(IxpId, IxpLan)>,
+}
+
+impl IxpDirectory {
+    /// Empty directory.
+    pub fn new() -> IxpDirectory {
+        IxpDirectory::default()
+    }
+
+    /// Add a record; indexes its LANs. Returns the assigned id (which must
+    /// match `rec.id`; callers build records via [`IxpDirectory::next_id`]).
+    pub fn add(&mut self, rec: IxpRecord) -> IxpId {
+        assert_eq!(rec.id.0 as usize, self.records.len(), "IxpRecord.id must be next_id()");
+        for p in &rec.peering {
+            self.lan_index.insert(*p, (rec.id, IxpLan::Peering));
+        }
+        for p in &rec.management {
+            self.lan_index.insert(*p, (rec.id, IxpLan::Management));
+        }
+        let id = rec.id;
+        self.records.push(rec);
+        id
+    }
+
+    /// The id the next [`IxpDirectory::add`] expects.
+    pub fn next_id(&self) -> IxpId {
+        IxpId(self.records.len() as u32)
+    }
+
+    /// Directory entry by id.
+    pub fn get(&self, id: IxpId) -> &IxpRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Find by name.
+    pub fn by_name(&self, name: &str) -> Option<&IxpRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// Is `addr` on any IXP LAN? Returns the IXP and the LAN role.
+    pub fn lan_of(&self, addr: Ipv4) -> Option<(IxpId, IxpLan)> {
+        self.lan_index.lookup(addr).map(|(_, &v)| v)
+    }
+
+    /// §5.1 classification: does a link with ends `a`, `b` sit at an IXP?
+    /// True when either IP belongs to a peering *or* management prefix.
+    pub fn link_at_ixp(&self, a: Ipv4, b: Ipv4) -> Option<IxpId> {
+        self.lan_of(a).or_else(|| self.lan_of(b)).map(|(id, _)| id)
+    }
+
+    /// All records.
+    pub fn iter(&self) -> impl Iterator<Item = &IxpRecord> {
+        self.records.iter()
+    }
+
+    /// Number of IXPs listed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Render the PCH-style `ip_asn_mapping` flat file: one line per member
+    /// with its peering-LAN context.
+    pub fn to_pch_file(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            for p in &r.peering {
+                out.push_str(&format!("{}\t{}\t{}\n", r.name, p, r.country));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gixa(dir: &mut IxpDirectory) -> IxpId {
+        dir.add(IxpRecord {
+            id: dir.next_id(),
+            name: "GIXA".into(),
+            country: "GH".into(),
+            region: "West Africa".into(),
+            operator_asn: Asn(30997),
+            peering: vec!["196.49.14.0/24".parse().unwrap()],
+            management: vec!["196.49.15.0/26".parse().unwrap()],
+            members: vec![Asn(29614), Asn(33786)],
+            launched: 2005,
+        })
+    }
+
+    #[test]
+    fn lan_lookup() {
+        let mut dir = IxpDirectory::new();
+        let id = gixa(&mut dir);
+        assert_eq!(dir.lan_of(Ipv4::new(196, 49, 14, 7)), Some((id, IxpLan::Peering)));
+        assert_eq!(dir.lan_of(Ipv4::new(196, 49, 15, 3)), Some((id, IxpLan::Management)));
+        assert_eq!(dir.lan_of(Ipv4::new(196, 49, 16, 1)), None);
+    }
+
+    #[test]
+    fn link_classification_either_end() {
+        let mut dir = IxpDirectory::new();
+        let id = gixa(&mut dir);
+        // Only one side on the LAN is enough (§5.1: "any of their IPs").
+        assert_eq!(dir.link_at_ixp(Ipv4::new(196, 49, 14, 7), Ipv4::new(41, 0, 0, 1)), Some(id));
+        assert_eq!(dir.link_at_ixp(Ipv4::new(41, 0, 0, 2), Ipv4::new(196, 49, 15, 1)), Some(id));
+        assert_eq!(dir.link_at_ixp(Ipv4::new(41, 0, 0, 2), Ipv4::new(41, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn by_name_and_members() {
+        let mut dir = IxpDirectory::new();
+        gixa(&mut dir);
+        let r = dir.by_name("GIXA").unwrap();
+        assert_eq!(r.launched, 2005);
+        assert_eq!(r.members.len(), 2);
+        assert!(dir.by_name("KIXP").is_none());
+    }
+
+    #[test]
+    fn pch_file_format() {
+        let mut dir = IxpDirectory::new();
+        gixa(&mut dir);
+        assert_eq!(dir.to_pch_file(), "GIXA\t196.49.14.0/24\tGH\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_id")]
+    fn wrong_id_rejected() {
+        let mut dir = IxpDirectory::new();
+        dir.add(IxpRecord {
+            id: IxpId(7),
+            name: "X".into(),
+            country: "GH".into(),
+            region: "West Africa".into(),
+            operator_asn: Asn(1),
+            peering: vec![],
+            management: vec![],
+            members: vec![],
+            launched: 2000,
+        });
+    }
+}

@@ -1,0 +1,46 @@
+//! # ixp-registry — synthetic Internet metadata
+//!
+//! The paper's inference chain consumes a stack of public datasets: RIR
+//! delegation files, prefix→AS mappings from RouteViews / RIPE RIS, CAIDA's
+//! AS-rank relationships, AS-to-organization sibling lists, and IXP prefix
+//! directories from PeeringDB / Packet Clearing House (§4). This crate is
+//! the synthetic equivalent of that stack, populated by `ixp-topology` and
+//! consumed by `ixp-bdrmap` and `ixp-study`:
+//!
+//! - [`asdb`] — who each ASN is (name, country, business kind);
+//! - [`delegation`] — AfriNIC-style address delegations and the allocator;
+//! - [`prefix2as`] — the public BGP view (routed prefixes, AS paths);
+//! - [`relationships`] — ground-truth relationships plus Gao-style inference
+//!   from AS paths (the AS-rank stand-in);
+//! - [`asrank`] — customer cones and cone-size ranking (AS-rank's metric);
+//! - [`org`] — organizations and curated sibling lists;
+//! - [`ixpdir`] — PeeringDB/PCH-style IXP LAN directory.
+
+#![warn(missing_docs)]
+
+pub mod asdb;
+pub mod asrank;
+pub mod delegation;
+pub mod ixpdir;
+pub mod org;
+pub mod prefix2as;
+pub mod relationships;
+
+pub use asdb::{AsDb, AsKind, AsRecord};
+pub use asrank::{customer_cone, rank_all, RankEntry};
+pub use delegation::{AddressRegistry, Delegation, DelegationStatus};
+pub use ixpdir::{IxpDirectory, IxpId, IxpLan, IxpRecord};
+pub use org::OrgDb;
+pub use prefix2as::{Announcement, BgpView};
+pub use relationships::{infer_relationships, Relationship, RelationshipDb};
+
+/// Everything a consumer typically needs.
+pub mod prelude {
+    pub use crate::asdb::{AsDb, AsKind, AsRecord};
+    pub use crate::asrank::{customer_cone, rank_all, RankEntry};
+    pub use crate::delegation::{AddressRegistry, Delegation, DelegationStatus};
+    pub use crate::ixpdir::{IxpDirectory, IxpId, IxpLan, IxpRecord};
+    pub use crate::org::OrgDb;
+    pub use crate::prefix2as::{Announcement, BgpView};
+    pub use crate::relationships::{infer_relationships, Relationship, RelationshipDb};
+}

@@ -1,0 +1,190 @@
+//! Organizations and sibling lists.
+//!
+//! bdrmap needs "a list of sibling ASes of the VP's AS", built by a
+//! "semi-manual process seeded with CAIDA's AS-to-organization mapping" (§4).
+//! This module is that mapping: organizations own sets of ASes; two ASes are
+//! siblings when one organization owns both. The semi-manual curation step is
+//! modeled by [`OrgDb::add_manual_sibling`] / [`OrgDb::remove_spurious_sibling`] —
+//! explicit overrides layered on the org-derived base, exactly the paper's
+//! "manually add missing siblings and remove spurious ones".
+
+use ixp_simnet::prelude::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// AS-to-organization mapping plus curated sibling overrides.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OrgDb {
+    org_of: HashMap<u32, String>,
+    members: HashMap<String, Vec<u32>>,
+    added: HashSet<(u32, u32)>,
+    removed: HashSet<(u32, u32)>,
+}
+
+fn key(a: Asn, b: Asn) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+impl OrgDb {
+    /// Empty database.
+    pub fn new() -> OrgDb {
+        OrgDb::default()
+    }
+
+    /// Register `asn` as owned by `org`.
+    pub fn assign(&mut self, asn: Asn, org: &str) {
+        if let Some(old) = self.org_of.insert(asn.0, org.to_string()) {
+            if let Some(v) = self.members.get_mut(&old) {
+                v.retain(|&a| a != asn.0);
+            }
+        }
+        self.members.entry(org.to_string()).or_default().push(asn.0);
+    }
+
+    /// Organization owning `asn`.
+    pub fn org_of(&self, asn: Asn) -> Option<&str> {
+        self.org_of.get(&asn.0).map(|s| s.as_str())
+    }
+
+    /// ASes owned by `org`.
+    pub fn members_of(&self, org: &str) -> Vec<Asn> {
+        self.members.get(org).map(|v| v.iter().map(|&a| Asn(a)).collect()).unwrap_or_default()
+    }
+
+    /// Manual curation: force `a` and `b` to be siblings.
+    pub fn add_manual_sibling(&mut self, a: Asn, b: Asn) {
+        self.removed.remove(&key(a, b));
+        self.added.insert(key(a, b));
+    }
+
+    /// Manual curation: suppress a spurious org-derived sibling pair.
+    pub fn remove_spurious_sibling(&mut self, a: Asn, b: Asn) {
+        self.added.remove(&key(a, b));
+        self.removed.insert(key(a, b));
+    }
+
+    /// Are `a` and `b` siblings after curation?
+    pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
+        if a == b {
+            return false;
+        }
+        let k = key(a, b);
+        if self.removed.contains(&k) {
+            return false;
+        }
+        if self.added.contains(&k) {
+            return true;
+        }
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Sibling list of `asn` (the bdrmap input), after curation.
+    pub fn siblings_of(&self, asn: Asn) -> Vec<Asn> {
+        let mut out: Vec<Asn> = Vec::new();
+        if let Some(org) = self.org_of(asn) {
+            for m in self.members_of(org) {
+                if m != asn && self.are_siblings(asn, m) {
+                    out.push(m);
+                }
+            }
+        }
+        for &(a, b) in &self.added {
+            let other = if a == asn.0 {
+                Some(Asn(b))
+            } else if b == asn.0 {
+                Some(Asn(a))
+            } else {
+                None
+            };
+            if let Some(o) = other {
+                if !out.contains(&o) {
+                    out.push(o);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All curated sibling pairs as `(min, max)` ASN tuples — the input
+    /// format [`crate::relationships::infer_relationships`] takes.
+    pub fn sibling_pairs(&self) -> HashSet<(u32, u32)> {
+        let mut pairs = HashSet::new();
+        for members in self.members.values() {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    if self.are_siblings(Asn(a), Asn(b)) {
+                        pairs.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        for &k in &self.added {
+            pairs.insert(k);
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn org_membership_implies_siblings() {
+        let mut db = OrgDb::new();
+        db.assign(Asn(30844), "liquid-telecom");
+        db.assign(Asn(30969), "liquid-telecom");
+        db.assign(Asn(29614), "vodafone-gh");
+        assert!(db.are_siblings(Asn(30844), Asn(30969)));
+        assert!(!db.are_siblings(Asn(30844), Asn(29614)));
+        assert!(!db.are_siblings(Asn(30844), Asn(30844)));
+        assert_eq!(db.siblings_of(Asn(30844)), vec![Asn(30969)]);
+    }
+
+    #[test]
+    fn manual_add_and_remove() {
+        let mut db = OrgDb::new();
+        db.assign(Asn(1), "org-a");
+        db.assign(Asn(2), "org-a");
+        db.assign(Asn(3), "org-b");
+        // Spurious org data: 1 and 2 are actually unrelated.
+        db.remove_spurious_sibling(Asn(1), Asn(2));
+        assert!(!db.are_siblings(Asn(1), Asn(2)));
+        // Missing sibling: 1 and 3 are the same company in reality.
+        db.add_manual_sibling(Asn(1), Asn(3));
+        assert!(db.are_siblings(Asn(1), Asn(3)));
+        assert_eq!(db.siblings_of(Asn(1)), vec![Asn(3)]);
+        // Re-adding overrides a removal.
+        db.add_manual_sibling(Asn(1), Asn(2));
+        assert!(db.are_siblings(Asn(1), Asn(2)));
+    }
+
+    #[test]
+    fn reassignment_moves_membership() {
+        let mut db = OrgDb::new();
+        db.assign(Asn(10), "x");
+        db.assign(Asn(10), "y");
+        assert_eq!(db.org_of(Asn(10)), Some("y"));
+        assert!(db.members_of("x").is_empty());
+        assert_eq!(db.members_of("y"), vec![Asn(10)]);
+    }
+
+    #[test]
+    fn sibling_pairs_for_inference() {
+        let mut db = OrgDb::new();
+        db.assign(Asn(1), "a");
+        db.assign(Asn(2), "a");
+        db.assign(Asn(3), "a");
+        db.remove_spurious_sibling(Asn(2), Asn(3));
+        db.add_manual_sibling(Asn(7), Asn(9));
+        let pairs = db.sibling_pairs();
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(1, 3)));
+        assert!(!pairs.contains(&(2, 3)));
+        assert!(pairs.contains(&(7, 9)));
+    }
+}

@@ -1,0 +1,123 @@
+//! The public-BGP view: prefix → origin-AS mapping and AS paths.
+//!
+//! bdrmap consumes "prefix-AS mappings constructed from public BGP data
+//! (RouteViews and RIPE RIS)" (§4). The topology crate pushes every
+//! announced prefix (with its AS path as seen from a synthetic collector)
+//! into this table; bdrmap then uses longest-prefix match to translate
+//! traceroute hop addresses into ASes, and the relationship-inference code
+//! consumes the collected paths.
+
+use ixp_simnet::ip::PrefixTable;
+use ixp_simnet::prelude::{Asn, Ipv4, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One BGP announcement as a collector sees it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// Announced prefix.
+    pub prefix: Prefix,
+    /// AS path, collector-nearest first; the last element is the origin.
+    pub path: Vec<Asn>,
+}
+
+impl Announcement {
+    /// The origin AS (last path element).
+    pub fn origin(&self) -> Asn {
+        *self.path.last().expect("announcement with empty AS path")
+    }
+}
+
+/// The assembled routing view.
+#[derive(Default)]
+pub struct BgpView {
+    table: PrefixTable<Asn>,
+    announcements: Vec<Announcement>,
+}
+
+impl BgpView {
+    /// Empty view.
+    pub fn new() -> BgpView {
+        BgpView { table: PrefixTable::new(), announcements: Vec::new() }
+    }
+
+    /// Ingest one announcement. More-specific announcements shadow less
+    /// specific ones in lookups, as in a real RIB.
+    pub fn announce(&mut self, prefix: Prefix, path: Vec<Asn>) {
+        assert!(!path.is_empty(), "empty AS path");
+        let origin = *path.last().unwrap();
+        self.table.insert(prefix, origin);
+        self.announcements.push(Announcement { prefix, path });
+    }
+
+    /// Origin AS for `addr` by longest-prefix match.
+    pub fn origin_of(&self, addr: Ipv4) -> Option<Asn> {
+        self.table.lookup(addr).map(|(_, asn)| *asn)
+    }
+
+    /// Origin AS and matched prefix.
+    pub fn lookup(&self, addr: Ipv4) -> Option<(Prefix, Asn)> {
+        self.table.lookup(addr).map(|(p, asn)| (p, *asn))
+    }
+
+    /// All routed prefixes (unordered). bdrmap traces toward "every routed
+    /// prefix observed in BGP".
+    pub fn routed_prefixes(&self) -> Vec<Prefix> {
+        self.table.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Every collected announcement.
+    pub fn announcements(&self) -> &[Announcement] {
+        &self.announcements
+    }
+
+    /// Number of distinct prefixes in the table.
+    pub fn prefix_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn origin_lookup_lpm() {
+        let mut v = BgpView::new();
+        v.announce(p("196.0.0.0/8"), vec![Asn(1), Asn(2)]);
+        v.announce(p("196.49.14.0/24"), vec![Asn(1), Asn(30997)]);
+        assert_eq!(v.origin_of(Ipv4::new(196, 49, 14, 1)), Some(Asn(30997)));
+        assert_eq!(v.origin_of(Ipv4::new(196, 1, 1, 1)), Some(Asn(2)));
+        assert_eq!(v.origin_of(Ipv4::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn announcement_origin() {
+        let a = Announcement { prefix: p("41.0.0.0/20"), path: vec![Asn(5), Asn(6), Asn(7)] };
+        assert_eq!(a.origin(), Asn(7));
+    }
+
+    #[test]
+    fn routed_prefixes_complete() {
+        let mut v = BgpView::new();
+        v.announce(p("41.0.0.0/20"), vec![Asn(1)]);
+        v.announce(p("41.0.16.0/20"), vec![Asn(2)]);
+        v.announce(p("41.0.16.0/20"), vec![Asn(3)]); // replaces origin
+        let mut r = v.routed_prefixes();
+        r.sort();
+        assert_eq!(r, vec![p("41.0.0.0/20"), p("41.0.16.0/20")]);
+        assert_eq!(v.prefix_count(), 2);
+        assert_eq!(v.origin_of(Ipv4::new(41, 0, 16, 1)), Some(Asn(3)));
+        // Both announcements retained for path analysis.
+        assert_eq!(v.announcements().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty AS path")]
+    fn empty_path_rejected() {
+        BgpView::new().announce(p("10.0.0.0/8"), vec![]);
+    }
+}

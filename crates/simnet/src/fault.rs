@@ -1,0 +1,261 @@
+//! Structured fault injection — the smoltcp examples' `--drop-chance`
+//! spirit, adapted to a measurement-study substrate.
+//!
+//! A [`FaultPlan`] is a declarative list of faults that compiles onto an
+//! existing [`Network`]: link flaps become steps in the link's up/down
+//! schedule, router maintenance becomes ICMP silent windows, rate-limiter
+//! and source-address pathologies flip the corresponding node knobs. Because
+//! everything lands in schedules and static configuration, injected faults
+//! are deterministic, random-access, and free at probe time.
+//!
+//! The study-level purpose (§5.2): a congestion pipeline must tell *links
+//! misbehaving* apart from *measurement misbehaving*. Tests build plans
+//! with [`FaultPlan::random_link_flaps`] and friends and assert the
+//! pipeline refuses to call any of it congestion.
+
+use crate::link::LinkId;
+use crate::net::Network;
+use crate::node::{NodeId, RespondFrom};
+use crate::rng::HashNoise;
+use crate::time::{SimDuration, SimTime};
+
+/// One injectable fault.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// The link is down during `[from, until)`.
+    LinkOutage {
+        /// Affected link.
+        link: LinkId,
+        /// Outage start.
+        from: SimTime,
+        /// Outage end.
+        until: SimTime,
+    },
+    /// The node answers no ICMP during `[from, until)` (maintenance).
+    NodeMaintenance {
+        /// Affected node.
+        node: NodeId,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// The node permanently rate-limits ICMP responses.
+    IcmpRateLimit {
+        /// Affected node.
+        node: NodeId,
+        /// Responses per second.
+        pps: f64,
+    },
+    /// The node permanently sources ICMP errors from a fixed address
+    /// (loopback-sourced routers).
+    LoopbackSourced {
+        /// Affected node.
+        node: NodeId,
+        /// The fixed source address.
+        addr: crate::ip::Ipv4,
+    },
+    /// The node never answers again from `from` (decommissioned ACL).
+    PermanentSilence {
+        /// Affected node.
+        node: NodeId,
+        /// When silence begins.
+        from: SimTime,
+    },
+}
+
+/// A collection of faults, applied in one shot.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add one fault (builder style).
+    pub fn with(mut self, f: Fault) -> FaultPlan {
+        self.faults.push(f);
+        self
+    }
+
+    /// Generate random link outages: each link in `links` suffers, in
+    /// expectation, `rate_per_year` outages of `min_dur..max_dur` spread
+    /// over `[from, until)`. Deterministic in `noise`.
+    pub fn random_link_flaps(
+        links: &[LinkId],
+        from: SimTime,
+        until: SimTime,
+        rate_per_year: f64,
+        min_dur: SimDuration,
+        max_dur: SimDuration,
+        noise: &HashNoise,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let span = until.since(from);
+        let years = span.as_secs_f64() / (365.0 * 86_400.0);
+        for &l in links {
+            let expect = rate_per_year * years;
+            let n = expect.floor() as u64
+                + u64::from(noise.chance(0xFA, l.0 as u64, expect.fract()));
+            for k in 0..n {
+                let key = (l.0 as u64) << 16 | k;
+                let start_frac = noise.unit_f64(0xFB, key);
+                let dur_us = noise.range_f64(
+                    0xFC,
+                    key,
+                    min_dur.as_micros() as f64,
+                    max_dur.as_micros() as f64,
+                ) as u64;
+                let start = from + SimDuration::from_micros((span.as_micros() as f64 * start_frac) as u64);
+                plan.faults.push(Fault::LinkOutage {
+                    link: l,
+                    from: start,
+                    until: start + SimDuration::from_micros(dur_us),
+                });
+            }
+        }
+        plan
+    }
+
+    /// Compile the plan onto a network. Returns the number of faults applied.
+    pub fn apply(&self, net: &mut Network) -> usize {
+        for f in &self.faults {
+            match f {
+                Fault::LinkOutage { link, from, until } => {
+                    // Respect the link's own schedule outside the outage:
+                    // re-assert the pre-outage value at the outage end.
+                    let resume = *net.link(*link).config().up.at(*until);
+                    let l = net.link_mut(*link);
+                    l.up_mut().step(*from, false);
+                    l.up_mut().step(*until, resume);
+                }
+                Fault::NodeMaintenance { node, from, until } => {
+                    net.node_mut(*node).icmp.silent_windows.push((*from, *until));
+                }
+                Fault::IcmpRateLimit { node, pps } => {
+                    net.node_mut(*node).icmp.rate_limit_pps = Some(*pps);
+                }
+                Fault::LoopbackSourced { node, addr } => {
+                    net.node_mut(*node).icmp.respond_from = RespondFrom::Fixed(*addr);
+                }
+                Fault::PermanentSilence { node, from } => {
+                    net.node_mut(*node)
+                        .icmp
+                        .silent_windows
+                        .push((*from, SimTime(u64::MAX)));
+                }
+            }
+        }
+        self.faults.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::net::ProbeSpec;
+    use crate::node::{Asn, IfaceId, NodeKind};
+    use crate::ip::{Ipv4, Prefix};
+
+    fn line() -> (Network, NodeId, Ipv4) {
+        let mut net = Network::new(5);
+        let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+        let r = net.add_node(NodeKind::Router, Asn(2), "r");
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r, Ipv4::new(10, 0, 0, 1), LinkConfig::default());
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r, Prefix::DEFAULT, IfaceId(0));
+        (net, vp, Ipv4::new(10, 0, 0, 1))
+    }
+
+    #[test]
+    fn link_outage_window() {
+        let (mut net, vp, tgt) = line();
+        let plan = FaultPlan::new().with(Fault::LinkOutage {
+            link: LinkId(0),
+            from: SimTime(1_000_000),
+            until: SimTime(2_000_000),
+        });
+        assert_eq!(plan.apply(&mut net), 1);
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(0)).is_ok());
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(1_500_000)).is_err());
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(3_000_000)).is_ok());
+    }
+
+    #[test]
+    fn outage_respects_preexisting_schedule() {
+        let (mut net, vp, tgt) = line();
+        // The link was already scheduled to die permanently at t=5s.
+        net.link_mut(LinkId(0)).up_mut().step(SimTime(5_000_000), false);
+        FaultPlan::new()
+            .with(Fault::LinkOutage { link: LinkId(0), from: SimTime(1_000_000), until: SimTime(2_000_000) })
+            .apply(&mut net);
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(3_000_000)).is_ok());
+        // Still permanently dead after its own schedule says so.
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(6_000_000)).is_err());
+    }
+
+    #[test]
+    fn maintenance_window_silences_node() {
+        let (mut net, vp, tgt) = line();
+        // The window must be judged at packet *arrival* (transit adds ~ms),
+        // so use second-scale bounds.
+        FaultPlan::new()
+            .with(Fault::NodeMaintenance { node: NodeId(1), from: SimTime(10_000_000), until: SimTime(20_000_000) })
+            .apply(&mut net);
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(0)).is_ok());
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(15_000_000)).is_err());
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(30_000_000)).is_ok());
+    }
+
+    #[test]
+    fn permanent_silence() {
+        let (mut net, vp, tgt) = line();
+        FaultPlan::new()
+            .with(Fault::PermanentSilence { node: NodeId(1), from: SimTime(1_000_000) })
+            .apply(&mut net);
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(0)).is_ok());
+        assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(u64::MAX / 2)).is_err());
+    }
+
+    #[test]
+    fn random_flaps_deterministic_and_bounded() {
+        let noise = HashNoise::new(77);
+        let links: Vec<LinkId> = (0..50).map(LinkId).collect();
+        let from = SimTime::from_date(2016, 3, 1);
+        let until = SimTime::from_date(2017, 3, 1);
+        let a = FaultPlan::random_link_flaps(
+            &links,
+            from,
+            until,
+            3.0,
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(4),
+            &noise,
+        );
+        let b = FaultPlan::random_link_flaps(
+            &links,
+            from,
+            until,
+            3.0,
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(4),
+            &noise,
+        );
+        assert_eq!(a.faults.len(), b.faults.len());
+        // ~3 per link per year in expectation.
+        let per_link = a.faults.len() as f64 / links.len() as f64;
+        assert!((2.0..4.0).contains(&per_link), "{per_link}");
+        for f in &a.faults {
+            if let Fault::LinkOutage { from: s, until: e, .. } = f {
+                assert!(s < e);
+                assert!(*s >= from);
+            }
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! Links with a fluid background-traffic queue model.
+//!
+//! TSLP infers congestion from *queueing delay*: "if the interdomain link is
+//! congested, then the buffer occupancy at the link increases and RTTs
+//! measured across the link also increase" (§3). The simulator therefore
+//! models, per link direction:
+//!
+//! - a **capacity schedule** (piecewise-constant bits/s — scenario events
+//!   like the SIXP 10 Mbps → 1 Gbps upgrade of 28/04/2016 are capacity steps),
+//! - an **offered background load** `offered(t)` supplied by the traffic
+//!   crate as a pure function of time,
+//! - a **FIFO tail-drop buffer** whose occupancy integrates
+//!   `offered(t) − capacity(t)`, clamped to `[0, buffer]`.
+//!
+//! A probe crossing the link experiences `propagation + serialization +
+//! queue/capacity` of delay and, when the buffer is saturated, is dropped
+//! with the overload probability `(offered − capacity)/offered` — the same
+//! tail-drop fate the background traffic suffers, which is what the paper's
+//! 1 pps loss-rate probes measure (§4).
+//!
+//! Integration is lazy and monotone: the queue carries `(anchor time,
+//! occupancy)` and advances in fixed steps (default 60 s) only when queried,
+//! so a year-long campaign only pays for the instants probes actually look.
+//! Links whose offered load can never reach the congestion region
+//! short-circuit to the closed-form "empty queue" answer.
+
+use crate::ip::Ipv4;
+use crate::rng::{streams, HashNoise};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a link in the network arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Direction of travel across a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// From endpoint A to endpoint B.
+    AtoB,
+    /// From endpoint B to endpoint A.
+    BtoA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn reverse(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+    fn index(self) -> usize {
+        match self {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        }
+    }
+}
+
+/// Why a packet failed to cross a link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The link is administratively/physically down at this time.
+    LinkDown,
+    /// Tail drop at a saturated buffer.
+    QueueFull,
+    /// Random loss injected by the fault model.
+    RandomLoss,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::LinkDown => write!(f, "link down"),
+            DropReason::QueueFull => write!(f, "queue full"),
+            DropReason::RandomLoss => write!(f, "random loss"),
+        }
+    }
+}
+
+/// Offered background load on one link direction, as a pure function of time.
+///
+/// Implementations must be deterministic: the queue model queries them at
+/// integration-step boundaries and reproducibility depends on it.
+pub trait OfferedLoad: Send + Sync {
+    /// Offered load in bits/s at instant `t`.
+    fn bps(&self, t: SimTime) -> f64;
+
+    /// An upper bound on [`OfferedLoad::bps`] over all time. Used to skip
+    /// queue integration entirely for links that can never congest.
+    fn peak_bps(&self) -> f64;
+}
+
+/// The always-zero load (management links, unused directions).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoLoad;
+
+impl OfferedLoad for NoLoad {
+    fn bps(&self, _t: SimTime) -> f64 {
+        0.0
+    }
+    fn peak_bps(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A constant offered load.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLoad(pub f64);
+
+impl OfferedLoad for ConstantLoad {
+    fn bps(&self, _t: SimTime) -> f64 {
+        self.0
+    }
+    fn peak_bps(&self) -> f64 {
+        self.0
+    }
+}
+
+/// A piecewise-constant schedule of values over simulated time.
+///
+/// Always holds at least one entry at `SimTime::ZERO`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule<T> {
+    entries: Vec<(SimTime, T)>,
+}
+
+impl<T: Clone> Schedule<T> {
+    /// A schedule with a single initial value.
+    pub fn constant(value: T) -> Schedule<T> {
+        Schedule { entries: vec![(SimTime::ZERO, value)] }
+    }
+
+    /// Add a step: from `at` onwards the schedule yields `value`.
+    /// Steps may be added in any order; later inserts at the same instant win.
+    pub fn step(&mut self, at: SimTime, value: T) -> &mut Self {
+        match self.entries.binary_search_by_key(&at, |e| e.0) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (at, value)),
+        }
+        self
+    }
+
+    /// Value in effect at `t`.
+    pub fn at(&self, t: SimTime) -> &T {
+        match self.entries.binary_search_by_key(&t, |e| e.0) {
+            Ok(i) => &self.entries[i].1,
+            Err(0) => &self.entries[0].1, // before first step: clamp
+            Err(i) => &self.entries[i - 1].1,
+        }
+    }
+
+    /// The change instants, in order.
+    pub fn change_points(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.entries.iter().map(|e| e.0)
+    }
+}
+
+/// Per-direction lazy queue state.
+#[derive(Clone)]
+struct DirState {
+    load: Arc<dyn OfferedLoad>,
+    anchor: SimTime,
+    queue_bytes: f64,
+    /// Offered load at the last integration step (reused for drop decisions).
+    last_offered_bps: f64,
+    packets: u64,
+    drops: u64,
+}
+
+/// Static configuration for building a [`Link`].
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Buffer size per direction, bytes, as a schedule: router reconfigs can
+    /// change queue limits mid-campaign (the GIXA–GHANATEL link is repurposed
+    /// from transit to peering on 15/06/2016 with a visibly different shift
+    /// amplitude). The level-shift magnitude a probe sees at saturation is
+    /// `buffer * 8 / capacity` — the paper reads the router buffer size off
+    /// the shift magnitude (§5.2).
+    pub buffer_bytes: Schedule<f64>,
+    /// Capacity schedule (bits/s), shared by both directions.
+    pub capacity_bps: Schedule<f64>,
+    /// Up/down schedule (the GIXA–GHANATEL link "disappears" 06/08/2016).
+    pub up: Schedule<bool>,
+    /// Queue integration step.
+    pub step: SimDuration,
+    /// Baseline random loss applied to every crossing, for fault injection.
+    pub base_loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            prop_delay: SimDuration::from_micros(200),
+            buffer_bytes: Schedule::constant(512.0 * 1024.0),
+            capacity_bps: Schedule::constant(1e9),
+            up: Schedule::constant(true),
+            step: SimDuration::from_secs(60),
+            base_loss: 0.0,
+        }
+    }
+}
+
+/// A point-to-point link between two interfaces with per-direction queues.
+pub struct Link {
+    /// Arena id.
+    pub id: LinkId,
+    /// Interface addresses at the two endpoints (A side, B side); kept here
+    /// for trace output convenience.
+    pub addr_a: Ipv4,
+    /// B-side interface address.
+    pub addr_b: Ipv4,
+    cfg: LinkConfig,
+    dirs: [DirState; 2],
+    noise: HashNoise,
+}
+
+/// Outcome of asking a link to carry one packet.
+pub type TransitResult = Result<SimDuration, DropReason>;
+
+impl Link {
+    /// Build a link. `load_ab`/`load_ba` drive the two directions.
+    pub fn new(
+        id: LinkId,
+        addr_a: Ipv4,
+        addr_b: Ipv4,
+        cfg: LinkConfig,
+        load_ab: Arc<dyn OfferedLoad>,
+        load_ba: Arc<dyn OfferedLoad>,
+        noise: HashNoise,
+    ) -> Link {
+        let mk = |load: Arc<dyn OfferedLoad>| DirState {
+            last_offered_bps: load.bps(SimTime::ZERO),
+            load,
+            anchor: SimTime::ZERO,
+            queue_bytes: 0.0,
+            packets: 0,
+            drops: 0,
+        };
+        Link { id, addr_a, addr_b, cfg, dirs: [mk(load_ab), mk(load_ba)], noise }
+    }
+
+    /// The link's static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Replace the offered load of one direction (scenario phase changes).
+    pub fn set_load(&mut self, dir: Dir, load: Arc<dyn OfferedLoad>) {
+        let d = &mut self.dirs[dir.index()];
+        d.last_offered_bps = load.bps(d.anchor);
+        d.load = load;
+    }
+
+    /// Mutable access to the capacity schedule (for upgrades).
+    pub fn capacity_mut(&mut self) -> &mut Schedule<f64> {
+        &mut self.cfg.capacity_bps
+    }
+
+    /// Mutable access to the up/down schedule.
+    pub fn up_mut(&mut self) -> &mut Schedule<bool> {
+        &mut self.cfg.up
+    }
+
+    /// Mutable access to the buffer-size schedule.
+    pub fn buffer_mut(&mut self) -> &mut Schedule<f64> {
+        &mut self.cfg.buffer_bytes
+    }
+
+    /// Rewind the lazy queue integration to the epoch (both directions).
+    ///
+    /// The queue model only integrates forward; a measurement pass that
+    /// re-reads an earlier time range (e.g. full-fidelity probing after a
+    /// screening pass) must rewind first or it reads stale state.
+    pub fn reset_queue_state(&mut self) {
+        for d in self.dirs.iter_mut() {
+            d.anchor = SimTime::ZERO;
+            d.queue_bytes = 0.0;
+            d.last_offered_bps = d.load.bps(SimTime::ZERO);
+        }
+    }
+
+    /// Is the link up at `t`?
+    pub fn is_up(&self, t: SimTime) -> bool {
+        *self.cfg.up.at(t)
+    }
+
+    /// Capacity in effect at `t`.
+    pub fn capacity_at(&self, t: SimTime) -> f64 {
+        *self.cfg.capacity_bps.at(t)
+    }
+
+    /// `(packets carried, packets dropped)` counters for one direction.
+    pub fn stats(&self, dir: Dir) -> (u64, u64) {
+        let d = &self.dirs[dir.index()];
+        (d.packets, d.drops)
+    }
+
+    /// Advance the lazy queue integration of `dir` up to `t`.
+    ///
+    /// Queries at `t` earlier than the current anchor (possible when the
+    /// event kernel interleaves with fast-path probing) return the anchored
+    /// state; the approximation error is bounded by one integration step.
+    fn advance(&mut self, dir: Dir, t: SimTime) {
+        let cap_sched = &self.cfg.capacity_bps;
+        let buf_sched = &self.cfg.buffer_bytes;
+        let step = self.cfg.step;
+        let d = &mut self.dirs[dir.index()];
+        if t <= d.anchor {
+            return;
+        }
+        // Fast path: a link whose peak load stays well under capacity can
+        // never build a queue; jump the anchor forward for free.
+        let cap_now = *cap_sched.at(t);
+        if d.queue_bytes == 0.0 && d.load.peak_bps() < 0.8 * cap_now && *cap_sched.at(d.anchor) == cap_now {
+            d.anchor = t;
+            d.last_offered_bps = d.load.bps(t);
+            return;
+        }
+        // Cap the amount of history we integrate: after `buffer/cap` plus a
+        // generous margin, the queue state is fully determined by recent
+        // load, so skip ahead for long-idle links.
+        let max_span = SimDuration::from_secs(6 * 3600);
+        if t.since(d.anchor) > max_span {
+            d.anchor = t - max_span;
+        }
+        while d.anchor < t {
+            let dt_us = step.as_micros().min(t.since(d.anchor).as_micros());
+            let dt = dt_us as f64 / 1e6;
+            let offered = d.load.bps(d.anchor);
+            let cap = *cap_sched.at(d.anchor);
+            let delta_bytes = (offered - cap) * dt / 8.0;
+            d.queue_bytes = (d.queue_bytes + delta_bytes).clamp(0.0, *buf_sched.at(d.anchor));
+            d.last_offered_bps = offered;
+            d.anchor = d.anchor + SimDuration::from_micros(dt_us);
+        }
+    }
+
+    /// Current queueing delay for `dir` at `t` (advances the integration).
+    pub fn queue_delay(&mut self, dir: Dir, t: SimTime) -> SimDuration {
+        self.advance(dir, t);
+        let cap = self.capacity_at(t).max(1.0);
+        let q = self.dirs[dir.index()].queue_bytes;
+        SimDuration::from_secs_f64(q * 8.0 / cap)
+    }
+
+    /// Instantaneous utilization `offered/capacity` for `dir` at `t`.
+    pub fn utilization(&mut self, dir: Dir, t: SimTime) -> f64 {
+        self.advance(dir, t);
+        let cap = self.capacity_at(t).max(1.0);
+        self.dirs[dir.index()].last_offered_bps / cap
+    }
+
+    /// Loss probability a packet faces crossing `dir` at `t`.
+    pub fn loss_probability(&mut self, dir: Dir, t: SimTime) -> f64 {
+        self.advance(dir, t);
+        let cap = self.capacity_at(t).max(1.0);
+        let d = &self.dirs[dir.index()];
+        let overload = if d.queue_bytes >= *self.cfg.buffer_bytes.at(t) * 0.999 && d.last_offered_bps > cap {
+            (d.last_offered_bps - cap) / d.last_offered_bps
+        } else {
+            0.0
+        };
+        // Combined with the independent base-loss floor.
+        1.0 - (1.0 - overload) * (1.0 - self.cfg.base_loss)
+    }
+
+    /// Carry one packet of `size` bytes across `dir` at `t`.
+    ///
+    /// `pkt_key` must be unique per crossing attempt (probe id mixed with a
+    /// hop counter); it seeds the deterministic drop decision.
+    pub fn transit(&mut self, dir: Dir, t: SimTime, size: u32, pkt_key: u64) -> TransitResult {
+        if !self.is_up(t) {
+            self.dirs[dir.index()].drops += 1;
+            return Err(DropReason::LinkDown);
+        }
+        let p_loss = self.loss_probability(dir, t);
+        let d_idx = dir.index();
+        let key = pkt_key ^ ((self.id.0 as u64) << 32) ^ ((d_idx as u64) << 63);
+        if self.cfg.base_loss > 0.0 && self.noise.chance(streams::FAULT_LOSS, key, self.cfg.base_loss) {
+            self.dirs[d_idx].drops += 1;
+            return Err(DropReason::RandomLoss);
+        }
+        let overload = if self.cfg.base_loss > 0.0 {
+            (p_loss - self.cfg.base_loss) / (1.0 - self.cfg.base_loss)
+        } else {
+            p_loss
+        };
+        if overload > 0.0 && self.noise.chance(streams::QUEUE_DROP, key, overload) {
+            self.dirs[d_idx].drops += 1;
+            return Err(DropReason::QueueFull);
+        }
+        let cap = self.capacity_at(t).max(1.0);
+        let queue = self.queue_delay(dir, t);
+        let serialization = SimDuration::from_secs_f64(size as f64 * 8.0 / cap);
+        self.dirs[d_idx].packets += 1;
+        Ok(self.cfg.prop_delay + serialization + queue)
+    }
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("addr_a", &self.addr_a)
+            .field("addr_b", &self.addr_b)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_link(cap_bps: f64, load: Arc<dyn OfferedLoad>) -> Link {
+        let cfg = LinkConfig {
+            capacity_bps: Schedule::constant(cap_bps),
+            buffer_bytes: Schedule::constant(125_000.0), // 1 ms at 1 Gbps, 10 ms at 100 Mbps
+            prop_delay: SimDuration::from_micros(500),
+            ..LinkConfig::default()
+        };
+        Link::new(
+            LinkId(0),
+            Ipv4::new(10, 0, 0, 1),
+            Ipv4::new(10, 0, 0, 2),
+            cfg,
+            load,
+            Arc::new(NoLoad),
+            HashNoise::new(1),
+        )
+    }
+
+    #[test]
+    fn schedule_steps_and_clamps() {
+        let mut s = Schedule::constant(10.0);
+        s.step(SimTime(100), 20.0).step(SimTime(50), 15.0);
+        assert_eq!(*s.at(SimTime(0)), 10.0);
+        assert_eq!(*s.at(SimTime(49)), 10.0);
+        assert_eq!(*s.at(SimTime(50)), 15.0);
+        assert_eq!(*s.at(SimTime(99)), 15.0);
+        assert_eq!(*s.at(SimTime(100)), 20.0);
+        assert_eq!(*s.at(SimTime(u64::MAX)), 20.0);
+        // Same-instant overwrite.
+        s.step(SimTime(100), 30.0);
+        assert_eq!(*s.at(SimTime(100)), 30.0);
+    }
+
+    #[test]
+    fn uncongested_link_has_no_queue() {
+        let mut l = mk_link(1e9, Arc::new(ConstantLoad(1e8))); // 10% load
+        let t = SimTime::from_hours_test(5);
+        assert_eq!(l.queue_delay(Dir::AtoB, t), SimDuration::ZERO);
+        let d = l.transit(Dir::AtoB, t, 64, 1).unwrap();
+        // prop 500us + serialization ~0.5us
+        assert!(d >= SimDuration::from_micros(500) && d < SimDuration::from_micros(510), "{d}");
+    }
+
+    impl SimTime {
+        fn from_hours_test(h: u64) -> SimTime {
+            SimTime(h * crate::time::MICROS_PER_HOUR)
+        }
+    }
+
+    #[test]
+    fn overload_fills_buffer_and_caps_delay() {
+        // 100 Mbps link, 150 Mbps offered: buffer (125 kB) fills in
+        // 125k*8/50e6 = 20 ms of sim time; queue delay saturates at
+        // 125k*8/100e6 = 10 ms.
+        let mut l = mk_link(1e8, Arc::new(ConstantLoad(1.5e8)));
+        let q = l.queue_delay(Dir::AtoB, SimTime(crate::time::MICROS_PER_HOUR));
+        assert!((q.as_millis_f64() - 10.0).abs() < 0.1, "{q}");
+        // Reverse dir has no load.
+        let q2 = l.queue_delay(Dir::BtoA, SimTime(crate::time::MICROS_PER_HOUR));
+        assert_eq!(q2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturated_link_drops_at_overload_rate() {
+        let mut l = mk_link(1e8, Arc::new(ConstantLoad(2e8))); // 50% overload
+        let t0 = SimTime(crate::time::MICROS_PER_HOUR);
+        let mut drops = 0;
+        let n = 10_000;
+        for i in 0..n {
+            if l.transit(Dir::AtoB, t0 + SimDuration::from_micros(i), 64, i).is_err() {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.03, "drop rate {rate}");
+        let (pk, dr) = l.stats(Dir::AtoB);
+        assert_eq!(pk + dr, n);
+    }
+
+    #[test]
+    fn queue_drains_when_load_stops() {
+        struct Pulse;
+        impl OfferedLoad for Pulse {
+            fn bps(&self, t: SimTime) -> f64 {
+                if t < SimTime(10 * crate::time::MICROS_PER_MIN) {
+                    2e8
+                } else {
+                    0.0
+                }
+            }
+            fn peak_bps(&self) -> f64 {
+                2e8
+            }
+        }
+        let mut l = mk_link(1e8, Arc::new(Pulse));
+        let during = l.queue_delay(Dir::AtoB, SimTime(5 * crate::time::MICROS_PER_MIN));
+        assert!(during > SimDuration::from_millis(9), "{during}");
+        let after = l.queue_delay(Dir::AtoB, SimTime(20 * crate::time::MICROS_PER_MIN));
+        assert_eq!(after, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn link_down_drops_everything() {
+        let mut l = mk_link(1e9, Arc::new(NoLoad));
+        l.up_mut().step(SimTime(1000), false);
+        assert!(l.transit(Dir::AtoB, SimTime(0), 64, 1).is_ok());
+        assert_eq!(l.transit(Dir::AtoB, SimTime(2000), 64, 2), Err(DropReason::LinkDown));
+        // Comes back up.
+        l.up_mut().step(SimTime(5000), true);
+        assert!(l.transit(Dir::AtoB, SimTime(6000), 64, 3).is_ok());
+    }
+
+    #[test]
+    fn capacity_upgrade_clears_congestion() {
+        // The QCELL–NETPAGE mechanism: overloaded at 10 Mbps, fine at 1 Gbps.
+        let mut l = mk_link(1e7, Arc::new(ConstantLoad(1.4e7)));
+        let before = l.queue_delay(Dir::AtoB, SimTime(30 * crate::time::MICROS_PER_MIN));
+        assert!(before > SimDuration::from_millis(50), "{before}");
+        let upgrade_at = SimTime(crate::time::MICROS_PER_HOUR);
+        l.capacity_mut().step(upgrade_at, 1e9);
+        let after = l.queue_delay(Dir::AtoB, upgrade_at + SimDuration::from_mins(5));
+        assert_eq!(after, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn base_loss_floor_applies_when_uncongested() {
+        let cfg = LinkConfig { base_loss: 0.1, ..LinkConfig::default() };
+        let mut l = Link::new(
+            LinkId(3),
+            Ipv4::new(1, 1, 1, 1),
+            Ipv4::new(1, 1, 1, 2),
+            cfg,
+            Arc::new(NoLoad),
+            Arc::new(NoLoad),
+            HashNoise::new(5),
+        );
+        let n = 20_000u64;
+        let drops = (0..n).filter(|&i| l.transit(Dir::AtoB, SimTime(i), 64, i).is_err()).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn transit_is_deterministic() {
+        let mk = || mk_link(1e8, Arc::new(ConstantLoad(2e8)));
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..1000u64 {
+            let t = SimTime(i * 1000);
+            assert_eq!(a.transit(Dir::AtoB, t, 64, i), b.transit(Dir::AtoB, t, 64, i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Queue occupancy-derived delay is always within [0, buffer/cap].
+        #[test]
+        fn queue_delay_bounded(
+            cap_mbps in 1.0f64..1000.0,
+            load_mbps in 0.0f64..2000.0,
+            query_mins in proptest::collection::vec(0u64..10_000, 1..30),
+        ) {
+            let cfg = LinkConfig {
+                capacity_bps: Schedule::constant(cap_mbps * 1e6),
+                buffer_bytes: Schedule::constant(250_000.0),
+                ..LinkConfig::default()
+            };
+            let mut l = Link::new(
+                LinkId(1),
+                Ipv4::new(10, 0, 0, 1),
+                Ipv4::new(10, 0, 0, 2),
+                cfg,
+                Arc::new(ConstantLoad(load_mbps * 1e6)),
+                Arc::new(NoLoad),
+                HashNoise::new(2),
+            );
+            let mut ts: Vec<u64> = query_mins;
+            ts.sort_unstable();
+            let max_delay = 250_000.0 * 8.0 / (cap_mbps * 1e6);
+            for m in ts {
+                let d = l.queue_delay(Dir::AtoB, SimTime(m * crate::time::MICROS_PER_MIN));
+                prop_assert!(d.as_secs_f64() <= max_delay * 1.001);
+            }
+        }
+
+        /// Loss probability is a probability.
+        #[test]
+        fn loss_probability_in_unit_interval(load_mbps in 0.0f64..5000.0, t_min in 0u64..100_000) {
+            let mut l = Link::new(
+                LinkId(2),
+                Ipv4::new(10, 0, 0, 1),
+                Ipv4::new(10, 0, 0, 2),
+                LinkConfig { capacity_bps: Schedule::constant(1e8), ..LinkConfig::default() },
+                Arc::new(ConstantLoad(load_mbps * 1e6)),
+                Arc::new(NoLoad),
+                HashNoise::new(3),
+            );
+            let p = l.loss_probability(Dir::AtoB, SimTime(t_min * crate::time::MICROS_PER_MIN));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The network arena and the probe transit engine.
+//!
+//! [`Network`] owns every node and link and walks probes through the topology
+//! deterministically: forwarding by longest-prefix match hop by hop, charging
+//! each link crossing its propagation + serialization + queueing delay,
+//! expiring TTLs, generating ICMP at routers, and routing the response back —
+//! possibly over a different (asymmetric) path, which is exactly what the
+//! paper's record-route symmetry check exists to catch.
+//!
+//! Two execution modes share the same per-hop stepping function
+//! ([`Network::forward_step`]): the **fast path walk** ([`Network::send_probe`])
+//! runs a whole probe round trip in O(path length), which makes a year × six
+//! VPs × every-link-every-5-minutes campaign tractable; the **event kernel**
+//! (`kernel` module) schedules each hop as a discrete event for
+//! agent-in-the-loop experiments. A cross-validation test asserts both modes
+//! time packets identically.
+//!
+//! Record-route follows RFC 791 semantics: request packets and echo *replies*
+//! keep recording egress addresses into the nine option slots (so a ping -R
+//! of a symmetric path shows forward and reverse hops), while ICMP errors
+//! merely quote the frozen forward-path option.
+
+use crate::ip::{Ipv4, Prefix};
+use crate::link::{Dir, DropReason, Link, LinkConfig, LinkId, NoLoad, OfferedLoad};
+use crate::node::{Asn, IfaceId, Node, NodeId, NodeKind, NoResponse};
+use crate::packet::{Packet, PacketKind, ProbeId, PROBE_SIZE_BYTES};
+use crate::rng::{mix, streams, HashNoise};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum hops walked before declaring a forwarding loop.
+pub const MAX_HOPS: usize = 64;
+
+/// What a prober asks the network to send.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeSpec {
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Initial TTL. TSLP sets this so the probe expires at the near or far
+    /// router of the measured link.
+    pub ttl: u8,
+    /// ICMP echo or UDP traceroute probe.
+    pub kind: PacketKind,
+    /// Enable the record-route option.
+    pub record_route: bool,
+    /// Packet size in bytes.
+    pub size: u32,
+}
+
+impl ProbeSpec {
+    /// An ICMP echo probe with default TTL and size.
+    pub fn echo(dst: Ipv4) -> ProbeSpec {
+        ProbeSpec {
+            dst,
+            ttl: crate::packet::DEFAULT_TTL,
+            kind: PacketKind::EchoRequest,
+            record_route: false,
+            size: PROBE_SIZE_BYTES,
+        }
+    }
+
+    /// A TTL-limited probe expiring after `ttl` hops (scamper/TSLP style).
+    pub fn ttl_limited(dst: Ipv4, ttl: u8) -> ProbeSpec {
+        ProbeSpec { dst, ttl, kind: PacketKind::UdpProbe, record_route: false, size: PROBE_SIZE_BYTES }
+    }
+
+    /// Enable record-route.
+    pub fn with_record_route(mut self) -> ProbeSpec {
+        self.record_route = true;
+        self
+    }
+}
+
+/// Failure modes of a probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeError {
+    /// The source has no route toward the destination.
+    NoRoute,
+    /// Lost on the forward path at hop index `hop` (0 = first link).
+    DroppedForward(DropReason, u8),
+    /// Reached a responder that stayed silent.
+    Silent(NoResponse),
+    /// The response was lost on the way back.
+    DroppedReturn(DropReason),
+    /// Forwarding loop (or path longer than [`MAX_HOPS`]).
+    Loop,
+}
+
+/// A successful probe: who answered, how, and how long it took.
+#[derive(Clone, Debug)]
+pub struct ProbeReply {
+    /// Source address of the response packet.
+    pub responder: Ipv4,
+    /// Node that generated the response.
+    pub responder_node: NodeId,
+    /// Response kind (TimeExceeded / EchoReply / DestUnreachable).
+    pub kind: PacketKind,
+    /// Round-trip time as the prober measures it.
+    pub rtt: SimDuration,
+    /// IP-ID stamped by the responder (alias-resolution signal).
+    pub ip_id: u16,
+    /// Recorded route, if the option was set.
+    pub record_route: Option<Vec<Ipv4>>,
+    /// Ground-truth forward path (egress interface addresses actually
+    /// traversed). Not available to inference code — tests and validation
+    /// use it; honest probers must rely on `record_route`/TTL probing.
+    pub truth_forward_path: Vec<Ipv4>,
+    /// Ground-truth return path.
+    pub truth_return_path: Vec<Ipv4>,
+}
+
+/// Result of sending one probe.
+pub type ProbeResult = Result<ProbeReply, ProbeError>;
+
+/// Result of advancing a packet by one forwarding decision.
+#[derive(Clone, Debug)]
+pub enum ForwardStep {
+    /// The packet crossed a link and now sits at `next` (arrived on
+    /// `incoming`) at time `arrive`; `egress_addr` is the interface it left
+    /// through (ground-truth path material).
+    Hop {
+        /// Node the packet arrived at.
+        next: NodeId,
+        /// Interface it arrived on.
+        incoming: IfaceId,
+        /// Arrival instant.
+        arrive: SimTime,
+        /// Interface it left the previous node through.
+        egress_addr: Ipv4,
+    },
+    /// The current node must generate a response of `kind` sourced from `src`.
+    Respond {
+        /// Responding node.
+        node: NodeId,
+        /// Response kind.
+        kind: PacketKind,
+        /// Response source address.
+        src: Ipv4,
+    },
+    /// The packet was consumed by its final destination host (used for
+    /// response packets arriving back at the prober).
+    Consumed {
+        /// Consuming node.
+        node: NodeId,
+        /// Arrival instant.
+        at: SimTime,
+    },
+    /// The packet is gone.
+    Fail(ProbeError),
+}
+
+/// The simulated network: nodes, links, and an address index.
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    by_addr: HashMap<Ipv4, (NodeId, IfaceId)>,
+    noise: HashNoise,
+    next_probe: u64,
+    /// Extra uniform jitter bound applied to measured RTTs (host stack noise).
+    pub rtt_jitter: SimDuration,
+}
+
+impl Network {
+    /// An empty network seeded for deterministic behaviour.
+    pub fn new(seed: u64) -> Network {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            by_addr: HashMap::new(),
+            noise: HashNoise::new(seed),
+            next_probe: 1,
+            rtt_jitter: SimDuration::from_micros(120),
+        }
+    }
+
+    /// The deterministic noise source shared by the arena.
+    pub fn noise(&self) -> HashNoise {
+        self.noise
+    }
+
+    /// Allocate a fresh probe id.
+    pub fn alloc_probe_id(&mut self) -> ProbeId {
+        let id = ProbeId(self.next_probe);
+        self.next_probe += 1;
+        id
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, asn: Asn, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, kind, asn, name));
+        id
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+    /// Immutable link access.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+    /// Mutable link access.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+    /// Iterate node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+    /// Iterate link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Which node/interface owns `addr`?
+    pub fn owner_of(&self, addr: Ipv4) -> Option<(NodeId, IfaceId)> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// Connect two nodes with a new link; creates one interface on each side.
+    /// `load_ab` drives the queue in the `a → b` direction.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        addr_a: Ipv4,
+        b: NodeId,
+        addr_b: Ipv4,
+        cfg: LinkConfig,
+        load_ab: Arc<dyn OfferedLoad>,
+        load_ba: Arc<dyn OfferedLoad>,
+    ) -> LinkId {
+        assert!(a != b, "self-links are not supported");
+        assert!(!self.by_addr.contains_key(&addr_a), "address {addr_a} already in use");
+        assert!(!self.by_addr.contains_key(&addr_b), "address {addr_b} already in use");
+        let id = LinkId(self.links.len() as u32);
+        let link_noise = self.noise.child(streams::LOAD_NOISE, id.0 as u64);
+        self.links.push(Link::new(id, addr_a, addr_b, cfg, load_ab, load_ba, link_noise));
+        let ia = self.nodes[a.0 as usize].add_iface(addr_a, Some((id, Dir::AtoB)));
+        let ib = self.nodes[b.0 as usize].add_iface(addr_b, Some((id, Dir::BtoA)));
+        self.by_addr.insert(addr_a, (a, ia));
+        self.by_addr.insert(addr_b, (b, ib));
+        id
+    }
+
+    /// Connect with no background load (idle link).
+    pub fn connect_idle(&mut self, a: NodeId, addr_a: Ipv4, b: NodeId, addr_b: Ipv4, cfg: LinkConfig) -> LinkId {
+        self.connect(a, addr_a, b, addr_b, cfg, Arc::new(NoLoad), Arc::new(NoLoad))
+    }
+
+    /// Add a stub (loopback-style) interface not attached to any link.
+    pub fn add_stub_iface(&mut self, node: NodeId, addr: Ipv4) -> IfaceId {
+        assert!(!self.by_addr.contains_key(&addr), "address {addr} already in use");
+        let id = self.nodes[node.0 as usize].add_iface(addr, None);
+        self.by_addr.insert(addr, (node, id));
+        id
+    }
+
+    /// Install `prefix → iface` on `node`.
+    pub fn add_route(&mut self, node: NodeId, prefix: Prefix, via: IfaceId) {
+        self.nodes[node.0 as usize].add_route(prefix, via);
+    }
+
+    /// Rewind every link's lazy queue integration to the epoch. Needed when
+    /// a measurement pass re-reads a time range an earlier pass advanced
+    /// through (see [`crate::link::Link::reset_queue_state`]).
+    pub fn reset_queue_state(&mut self) {
+        for l in self.links.iter_mut() {
+            l.reset_queue_state();
+        }
+    }
+
+    /// First interface address of a node (probe source address).
+    pub fn primary_addr(&self, node: NodeId) -> Ipv4 {
+        self.nodes[node.0 as usize].ifaces.first().map(|i| i.addr).expect("node has no interface")
+    }
+
+    /// Ground-truth node path from `from` toward `dst` (following forwarding
+    /// tables, ignoring delays/drops). For validation and tests.
+    pub fn truth_path(&self, from: NodeId, dst: Ipv4) -> Option<Vec<NodeId>> {
+        let mut path = vec![from];
+        let mut cur = from;
+        for _ in 0..MAX_HOPS {
+            if self.nodes[cur.0 as usize].owns_addr(dst) {
+                return Some(path);
+            }
+            let iface = self.nodes[cur.0 as usize].next_hop(dst)?;
+            let (lid, dir) = self.nodes[cur.0 as usize].ifaces[iface.0 as usize].link?;
+            let link = &self.links[lid.0 as usize];
+            let next_addr = match dir {
+                Dir::AtoB => link.addr_b,
+                Dir::BtoA => link.addr_a,
+            };
+            let (next, _) = self.by_addr.get(&next_addr).copied()?;
+            cur = next;
+            path.push(cur);
+        }
+        None
+    }
+
+    /// Advance `pkt`, currently at `cur` (arrived on `incoming`; `None` at the
+    /// original source) at time `now`, by one forwarding decision.
+    ///
+    /// `origin` is the node that injected the packet (it never answers itself
+    /// and is where response packets are consumed). `hop_idx` must count hops
+    /// taken so far — it keys the deterministic per-hop drop decision.
+    pub fn forward_step(
+        &mut self,
+        origin: NodeId,
+        cur: NodeId,
+        incoming: Option<IfaceId>,
+        pkt: &mut Packet,
+        now: SimTime,
+        hop_idx: usize,
+    ) -> ForwardStep {
+        let node = &self.nodes[cur.0 as usize];
+        let is_response = pkt.kind.is_response();
+
+        // Arrived at the packet's destination address?
+        if cur != origin && node.owns_addr(pkt.dst) {
+            if is_response {
+                return ForwardStep::Consumed { node: cur, at: now };
+            }
+            let kind = match pkt.kind {
+                PacketKind::EchoRequest => PacketKind::EchoReply,
+                // scamper UDP probes elicit port-unreachable at the target.
+                _ => PacketKind::DestUnreachable,
+            };
+            return ForwardStep::Respond { node: cur, kind, src: pkt.dst };
+        }
+
+        // TTL is checked at each router the packet enters (not at its origin).
+        if cur != origin && !is_response {
+            if pkt.ttl <= 1 {
+                let inc = incoming.expect("transit node reached without incoming iface");
+                let src = node.icmp_source(inc);
+                return ForwardStep::Respond { node: cur, kind: PacketKind::TimeExceeded, src };
+            }
+            pkt.ttl -= 1;
+        }
+
+        if hop_idx >= MAX_HOPS {
+            return ForwardStep::Fail(ProbeError::Loop);
+        }
+
+        // Hosts other than the origin never forward.
+        if node.kind == NodeKind::Host && cur != origin {
+            let src = node.ifaces.first().map(|i| i.addr).unwrap_or(Ipv4::UNSPECIFIED);
+            if is_response {
+                return ForwardStep::Fail(ProbeError::DroppedReturn(DropReason::LinkDown));
+            }
+            return ForwardStep::Respond { node: cur, kind: PacketKind::DestUnreachable, src };
+        }
+
+        let Some(egress) = node.next_hop(pkt.dst) else {
+            if cur == origin {
+                return ForwardStep::Fail(ProbeError::NoRoute);
+            }
+            if is_response {
+                // Response blackholed: the prober just sees a timeout.
+                return ForwardStep::Fail(ProbeError::DroppedReturn(DropReason::LinkDown));
+            }
+            let inc = incoming.expect("transit node without incoming iface");
+            let src = node.icmp_source(inc);
+            return ForwardStep::Respond { node: cur, kind: PacketKind::DestUnreachable, src };
+        };
+        // A packet that would exit the interface it arrived on has reached
+        // the edge of reachability: real routers answer with a destination
+        // unreachable rather than hairpinning probes back and forth.
+        if incoming == Some(egress) && !is_response {
+            let src = node.icmp_source(egress);
+            return ForwardStep::Respond { node: cur, kind: PacketKind::DestUnreachable, src };
+        }
+
+        let egress_addr = node.iface_addr(egress);
+        let Some((lid, dir)) = node.ifaces[egress.0 as usize].link else {
+            // Route points at a stub interface: nothing answers on that
+            // segment. A transit router reports host-unreachable; a source
+            // host just has no usable route; a response dies silently.
+            if is_response {
+                return ForwardStep::Fail(ProbeError::DroppedReturn(DropReason::LinkDown));
+            }
+            if cur == origin {
+                return ForwardStep::Fail(ProbeError::NoRoute);
+            }
+            let src = incoming.map(|i| node.icmp_source(i)).unwrap_or(egress_addr);
+            return ForwardStep::Respond { node: cur, kind: PacketKind::DestUnreachable, src };
+        };
+
+        // RFC 791: requests and echo replies record; ICMP errors only quote.
+        if pkt.kind != PacketKind::TimeExceeded && pkt.kind != PacketKind::DestUnreachable {
+            if let Some(rr) = pkt.record_route.as_mut() {
+                rr.record(egress_addr);
+            }
+        }
+
+        let leg = if is_response { 0xf0f0 } else { 0x0f0f };
+        let hop_key = mix(&[pkt.probe.0, hop_idx as u64 + 1, leg]);
+        match self.links[lid.0 as usize].transit(dir, now, pkt.size, hop_key) {
+            Ok(d) => {
+                let link = &self.links[lid.0 as usize];
+                let arrive_addr = match dir {
+                    Dir::AtoB => link.addr_b,
+                    Dir::BtoA => link.addr_a,
+                };
+                let (next, inc) = self.by_addr[&arrive_addr];
+                ForwardStep::Hop { next, incoming: inc, arrive: now + d, egress_addr }
+            }
+            Err(r) => ForwardStep::Fail(if is_response {
+                ProbeError::DroppedReturn(r)
+            } else {
+                ProbeError::DroppedForward(r, hop_idx as u8)
+            }),
+        }
+    }
+
+    /// Generate the response packet a node owes `pkt`, charging the ICMP
+    /// generation delay. Returns the response and the time it leaves.
+    pub fn generate_response(
+        &mut self,
+        node: NodeId,
+        kind: PacketKind,
+        src: Ipv4,
+        pkt: &Packet,
+        now: SimTime,
+    ) -> Result<(Packet, SimTime), ProbeError> {
+        let gen_key = mix(&[pkt.probe.0, 0xabcd]);
+        let noise = self.noise;
+        let responder = &mut self.nodes[node.0 as usize];
+        let gen_delay = responder.icmp_response_delay(now, &noise, gen_key).map_err(ProbeError::Silent)?;
+        let ip_id = responder.alloc_ip_id();
+        Ok((pkt.make_response(kind, src, ip_id), now + gen_delay))
+    }
+
+    /// Send a probe from host `from` at time `t` and walk it to completion.
+    pub fn send_probe(&mut self, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
+        let probe_id = self.alloc_probe_id();
+        let src_addr = self.primary_addr(from);
+
+        let mut pkt = Packet::probe(src_addr, spec.dst, spec.kind, spec.ttl, probe_id, t);
+        pkt.size = spec.size;
+        if spec.record_route {
+            pkt = pkt.with_record_route();
+        }
+
+        // ---- Forward leg ----
+        let mut now = t;
+        let mut cur = from;
+        let mut incoming: Option<IfaceId> = None;
+        let mut truth_forward: Vec<Ipv4> = Vec::new();
+        let (rnode, rkind, rsrc) = loop {
+            match self.forward_step(from, cur, incoming, &mut pkt, now, truth_forward.len()) {
+                ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
+                    truth_forward.push(egress_addr);
+                    cur = next;
+                    incoming = Some(inc);
+                    now = arrive;
+                }
+                ForwardStep::Respond { node, kind, src } => break (node, kind, src),
+                ForwardStep::Consumed { .. } => unreachable!("request packets are never consumed"),
+                ForwardStep::Fail(e) => return Err(e),
+            }
+        };
+
+        // ---- Response generation ----
+        let (mut response, leave) = self.generate_response(rnode, rkind, rsrc, &pkt, now)?;
+        now = leave;
+        let ip_id = response.ip_id;
+
+        // ---- Return leg ----
+        let mut cur = rnode;
+        let mut incoming: Option<IfaceId> = None;
+        let mut truth_return: Vec<Ipv4> = Vec::new();
+        let arrived = loop {
+            match self.forward_step(rnode, cur, incoming, &mut response, now, truth_return.len()) {
+                ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
+                    truth_return.push(egress_addr);
+                    cur = next;
+                    incoming = Some(inc);
+                    now = arrive;
+                }
+                ForwardStep::Consumed { at, .. } => break at,
+                ForwardStep::Respond { .. } => {
+                    // A response should never elicit another response here;
+                    // treat as blackholed.
+                    return Err(ProbeError::DroppedReturn(DropReason::LinkDown));
+                }
+                ForwardStep::Fail(e) => return Err(e),
+            }
+        };
+
+        // Host-stack measurement jitter.
+        let j = self.noise.range_f64(streams::RTT_JITTER, probe_id.0, 0.0, self.rtt_jitter.as_secs_f64());
+        let done = arrived + SimDuration::from_secs_f64(j);
+
+        Ok(ProbeReply {
+            responder: rsrc,
+            responder_node: rnode,
+            kind: rkind,
+            rtt: done.since(t),
+            ip_id,
+            record_route: response.record_route.map(|rr| rr.hops),
+            truth_forward_path: truth_forward,
+            truth_return_path: truth_return,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Schedule;
+
+    /// Build: vp(host, AS100) -- r1(AS100) -- r2(AS200) -- t(host, AS200)
+    /// with point-to-point addressing and default routes both ways.
+    fn line_topology() -> (Network, NodeId, Ipv4, Ipv4, Ipv4) {
+        let mut net = Network::new(42);
+        let vp = net.add_node(NodeKind::Host, Asn(100), "vp");
+        let r1 = net.add_node(NodeKind::Router, Asn(100), "r1");
+        let r2 = net.add_node(NodeKind::Router, Asn(200), "r2");
+        let tgt = net.add_node(NodeKind::Host, Asn(200), "tgt");
+
+        let cfg = LinkConfig::default();
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), cfg.clone());
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), cfg.clone());
+        net.connect_idle(r2, Ipv4::new(10, 0, 2, 1), tgt, Ipv4::new(10, 0, 2, 2), cfg);
+
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r1, Prefix::DEFAULT, IfaceId(1));
+        net.add_route(r2, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r2, "10.0.2.0/24".parse().unwrap(), IfaceId(1));
+        net.add_route(tgt, Prefix::DEFAULT, IfaceId(0));
+
+        (net, vp, Ipv4::new(10, 0, 1, 1), Ipv4::new(10, 0, 1, 2), Ipv4::new(10, 0, 2, 2))
+    }
+
+    #[test]
+    fn echo_reaches_target() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r = net.send_probe(vp, ProbeSpec::echo(tgt_addr), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::EchoReply);
+        assert_eq!(r.responder, tgt_addr);
+        // 3 links out + 3 back at ~0.2ms prop each plus ICMP gen: ~1.2-3ms.
+        assert!(r.rtt > SimDuration::from_micros(1200) && r.rtt < SimDuration::from_millis(3), "{}", r.rtt);
+        assert_eq!(r.truth_forward_path.len(), 3);
+        assert_eq!(r.truth_return_path.len(), 3);
+    }
+
+    #[test]
+    fn ttl1_expires_at_first_router_with_incoming_iface_source() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 1), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::TimeExceeded);
+        assert_eq!(r.responder, Ipv4::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn ttl2_expires_at_far_router() {
+        let (mut net, vp, near, far, tgt_addr) = line_topology();
+        let r = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::TimeExceeded);
+        assert_eq!(r.responder, far);
+        assert_ne!(r.responder, near);
+    }
+
+    #[test]
+    fn ttl3_reaches_destination() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 3), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::DestUnreachable);
+        assert_eq!(r.responder, tgt_addr);
+    }
+
+    #[test]
+    fn record_route_covers_forward_and_reverse_on_echo() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r = net.send_probe(vp, ProbeSpec::echo(tgt_addr).with_record_route(), SimTime::ZERO).unwrap();
+        let rr = r.record_route.unwrap();
+        // Forward egresses then reverse egresses, 6 of 9 slots used.
+        assert_eq!(
+            rr,
+            vec![
+                Ipv4::new(10, 0, 0, 2),
+                Ipv4::new(10, 0, 1, 1),
+                Ipv4::new(10, 0, 2, 1),
+                Ipv4::new(10, 0, 2, 2),
+                Ipv4::new(10, 0, 1, 2),
+                Ipv4::new(10, 0, 0, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn time_exceeded_quotes_frozen_forward_rr() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r = net
+            .send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2).with_record_route(), SimTime::ZERO)
+            .unwrap();
+        let rr = r.record_route.unwrap();
+        // Only the two forward egresses; the error quote does not grow.
+        assert_eq!(rr, vec![Ipv4::new(10, 0, 0, 2), Ipv4::new(10, 0, 1, 1)]);
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        let (mut net, vp, _, _, _) = line_topology();
+        net.node_mut(vp).remove_route(Prefix::DEFAULT);
+        let e = net.send_probe(vp, ProbeSpec::echo(Ipv4::new(8, 8, 8, 8)), SimTime::ZERO).unwrap_err();
+        assert_eq!(e, ProbeError::NoRoute);
+    }
+
+    #[test]
+    fn missing_transit_route_fails() {
+        let (mut net, vp, _, _, _) = line_topology();
+        let r2 = NodeId(2);
+        net.node_mut(r2).remove_route(Prefix::DEFAULT);
+        let e = net.send_probe(vp, ProbeSpec::echo(Ipv4::new(9, 9, 9, 9)), SimTime::ZERO);
+        assert!(e.is_err());
+    }
+
+    /// vp → r1 → r2 → r3 → r1 … (a genuine 3-router routing loop).
+    fn ring_topology() -> (Network, NodeId) {
+        let mut net = Network::new(1);
+        let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+        let r1 = net.add_node(NodeKind::Router, Asn(1), "r1");
+        let r2 = net.add_node(NodeKind::Router, Asn(1), "r2");
+        let r3 = net.add_node(NodeKind::Router, Asn(1), "r3");
+        let cfg = LinkConfig::default();
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), cfg.clone());
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), cfg.clone());
+        net.connect_idle(r2, Ipv4::new(10, 0, 2, 1), r3, Ipv4::new(10, 0, 2, 2), cfg.clone());
+        net.connect_idle(r3, Ipv4::new(10, 0, 3, 1), r1, Ipv4::new(10, 0, 3, 2), cfg);
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r1, Prefix::DEFAULT, IfaceId(1)); // toward r2
+        net.add_route(r2, Prefix::DEFAULT, IfaceId(1)); // toward r3
+        net.add_route(r2, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r3, Prefix::DEFAULT, IfaceId(1)); // back to r1
+        net.add_route(r3, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        (net, vp)
+    }
+
+    #[test]
+    fn forwarding_loop_detected() {
+        let (mut net, vp) = ring_topology();
+        // TTL 255 would exhaust after the hop cap; the cap triggers first.
+        let mut spec = ProbeSpec::echo(Ipv4::new(8, 8, 8, 8));
+        spec.ttl = 255;
+        let e = net.send_probe(vp, spec, SimTime::ZERO).unwrap_err();
+        assert_eq!(e, ProbeError::Loop);
+    }
+
+    #[test]
+    fn low_ttl_in_loop_expires_cleanly() {
+        let (mut net, vp) = ring_topology();
+        let r = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(8, 8, 8, 8), 5), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::TimeExceeded);
+    }
+
+    #[test]
+    fn two_node_bounce_becomes_unreachable() {
+        // r2's only route sends the packet back out its incoming interface:
+        // the router answers destination-unreachable instead of hairpinning.
+        let mut net = Network::new(1);
+        let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+        let r1 = net.add_node(NodeKind::Router, Asn(1), "r1");
+        let r2 = net.add_node(NodeKind::Router, Asn(1), "r2");
+        let cfg = LinkConfig::default();
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), cfg.clone());
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), cfg);
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r1, Prefix::DEFAULT, IfaceId(1));
+        net.add_route(r2, Prefix::DEFAULT, IfaceId(0));
+        let r = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(8, 8, 8, 8), 5), SimTime::ZERO).unwrap();
+        assert_eq!(r.kind, PacketKind::DestUnreachable);
+        assert_eq!(r.responder, Ipv4::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn unresponsive_far_router_times_out() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        net.node_mut(NodeId(2)).icmp.responsive = false;
+        let e = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2), SimTime::ZERO).unwrap_err();
+        assert_eq!(e, ProbeError::Silent(NoResponse::Unresponsive));
+    }
+
+    #[test]
+    fn queueing_on_middle_link_inflates_far_rtt_only() {
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        {
+            let l = net.link_mut(LinkId(1));
+            *l.capacity_mut() = Schedule::constant(1e8);
+            l.set_load(Dir::AtoB, Arc::new(crate::link::ConstantLoad(1.45e8)));
+        }
+        let t = SimTime(2 * crate::time::MICROS_PER_HOUR);
+        let near = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 1), t).unwrap();
+        // The saturated queue tail-drops some probes; retry like a prober would.
+        let far = (0..20)
+            .find_map(|i| net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2), t + SimDuration::from_secs(i)).ok())
+            .expect("all far probes dropped");
+        assert!(near.rtt < SimDuration::from_millis(2), "near {}", near.rtt);
+        assert!(far.rtt > near.rtt + SimDuration::from_millis(5), "far {} near {}", far.rtt, near.rtt);
+    }
+
+    #[test]
+    fn truth_path_follows_routes() {
+        let (net, vp, _, _, tgt_addr) = line_topology();
+        let p = net.truth_path(vp, tgt_addr).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn duplicate_address_panics() {
+        let mut net = Network::new(3);
+        let a = net.add_node(NodeKind::Router, Asn(1), "a");
+        let b = net.add_node(NodeKind::Router, Asn(2), "b");
+        net.connect_idle(a, Ipv4::new(10, 0, 0, 1), b, Ipv4::new(10, 0, 0, 2), LinkConfig::default());
+        let c = net.add_node(NodeKind::Router, Asn(3), "c");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.connect_idle(c, Ipv4::new(10, 0, 0, 1), b, Ipv4::new(10, 0, 0, 9), LinkConfig::default());
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn probe_rtts_are_deterministic_across_runs() {
+        let run = || {
+            let (mut net, vp, _, _, tgt_addr) = line_topology();
+            (0..50)
+                .map(|i| net.send_probe(vp, ProbeSpec::echo(tgt_addr), SimTime(i * 1_000_000)).unwrap().rtt)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn asymmetric_return_path_shows_in_truth_and_rr() {
+        // vp -- r1 -- r2 -- tgt plus a direct r2 -> r1b "shortcut" used only
+        // for return traffic to vp's prefix, making the path asymmetric.
+        let (mut net, vp, _, _, tgt_addr) = line_topology();
+        let r1 = NodeId(1);
+        let r2 = NodeId(2);
+        net.connect_idle(r2, Ipv4::new(10, 0, 3, 1), r1, Ipv4::new(10, 0, 3, 2), LinkConfig::default());
+        // r2 returns traffic for vp's /24 via the new link (iface index 2 on r2).
+        let back_iface = net.node(r2).iface_by_addr(Ipv4::new(10, 0, 3, 1)).unwrap();
+        net.add_route(r2, "10.0.0.0/24".parse().unwrap(), back_iface);
+        let r = net.send_probe(vp, ProbeSpec::echo(tgt_addr).with_record_route(), SimTime::ZERO).unwrap();
+        // Reverse leg now crosses 10.0.3.x, not 10.0.1.2.
+        assert!(r.truth_return_path.contains(&Ipv4::new(10, 0, 3, 1)), "{:?}", r.truth_return_path);
+        let rr = r.record_route.unwrap();
+        assert!(rr.contains(&Ipv4::new(10, 0, 3, 1)), "{rr:?}");
+        assert!(!rr.contains(&Ipv4::new(10, 0, 1, 2)), "{rr:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Probe trace recording — a text-format cousin of the `--pcap` option every
+//! smoltcp example carries.
+//!
+//! Measurement campaigns are long and their artefacts need auditing; the
+//! trace sink records each probe attempt (spec, outcome, RTT) as a compact
+//! line, with the wire encoding of the response available for tooling. The
+//! sink is bounded so year-long campaigns can keep "last N" traces without
+//! unbounded memory.
+
+use crate::net::{ProbeResult, ProbeSpec};
+use crate::node::NodeId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One recorded probe attempt.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When the probe was sent.
+    pub at: SimTime,
+    /// Which node sent it.
+    pub from: NodeId,
+    /// The request.
+    pub spec: ProbeSpec,
+    /// Outcome rendered at record time (responses are summarized, not kept).
+    pub line: String,
+}
+
+/// A bounded in-memory trace sink.
+#[derive(Debug)]
+pub struct TraceSink {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    total: u64,
+}
+
+impl TraceSink {
+    /// A sink retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> TraceSink {
+        assert!(capacity > 0, "trace sink capacity must be positive");
+        TraceSink { records: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Record one probe attempt.
+    pub fn record(&mut self, at: SimTime, from: NodeId, spec: ProbeSpec, result: &ProbeResult) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "{at} node{} -> {} ttl={} ", from.0, spec.dst, spec.ttl);
+        match result {
+            Ok(r) => {
+                let _ = write!(line, "ok from={} kind={:?} rtt={}", r.responder, r.kind, r.rtt);
+                if let Some(rr) = &r.record_route {
+                    let _ = write!(line, " rr={}", rr.len());
+                }
+            }
+            Err(e) => {
+                let _ = write!(line, "fail {:?}", e);
+            }
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { at, from, spec, line });
+        self.total += 1;
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+    /// Total records ever written (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+    /// Iterate retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+    /// Render the retained window as text, one record per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::Ipv4;
+    use crate::net::{ProbeError, ProbeSpec};
+
+    fn spec() -> ProbeSpec {
+        ProbeSpec::ttl_limited(Ipv4::new(196, 49, 14, 7), 2)
+    }
+
+    #[test]
+    fn records_and_dumps() {
+        let mut sink = TraceSink::new(10);
+        sink.record(SimTime::ZERO, NodeId(0), spec(), &Err(ProbeError::NoRoute));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.total_recorded(), 1);
+        let d = sink.dump();
+        assert!(d.contains("196.49.14.7"), "{d}");
+        assert!(d.contains("NoRoute"), "{d}");
+    }
+
+    #[test]
+    fn eviction_keeps_last_n() {
+        let mut sink = TraceSink::new(3);
+        for i in 0..10u64 {
+            sink.record(SimTime(i), NodeId(0), spec(), &Err(ProbeError::NoRoute));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.total_recorded(), 10);
+        let first = sink.iter().next().unwrap();
+        assert_eq!(first.at, SimTime(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceSink::new(0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Figure data extraction and terminal rendering.
+//!
+//! For each figure of the paper (Fig. 1, 2a/2b, 3a/3b, 4a/4b) this module
+//! extracts the plotted series — near/far RTTs over a date window, or loss
+//! rates — as `(timestamp, value)` points, renders a compact ASCII plot for
+//! terminal inspection, and serializes to CSV for real plotting.
+
+use ixp_simnet::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use tslp_core::lossanalysis::LossSeries;
+use tslp_core::series::LinkSeries;
+
+/// One plottable series.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Series label ("far", "near", "loss").
+    pub label: String,
+    /// `(time, value)` points; value is ms for RTTs, fraction for loss.
+    pub points: Vec<(SimTime, f64)>,
+}
+
+/// A complete figure: one or more series over a window.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure id ("fig1", "fig2a", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl Figure {
+    /// Extract near/far RTT series from a link series over `[from, to)`,
+    /// downsampled to at most `max_points` per series.
+    pub fn rtt(id: &str, title: &str, s: &LinkSeries, from: SimTime, to: SimTime, max_points: usize) -> Figure {
+        let w = s.window(from, to);
+        let stride = (w.len() / max_points.max(1)).max(1);
+        let mut near = FigureSeries { label: "near".into(), points: Vec::new() };
+        let mut far = FigureSeries { label: "far".into(), points: Vec::new() };
+        for i in (0..w.len()).step_by(stride) {
+            let t = w.timestamp(i);
+            if w.near_ms[i].is_finite() {
+                near.points.push((t, w.near_ms[i]));
+            }
+            if w.far_ms[i].is_finite() {
+                far.points.push((t, w.far_ms[i]));
+            }
+        }
+        Figure { id: id.into(), title: title.into(), series: vec![near, far] }
+    }
+
+    /// Extract a loss figure.
+    pub fn loss(id: &str, title: &str, s: &LossSeries, from: SimTime, to: SimTime) -> Figure {
+        let points = s
+            .t
+            .iter()
+            .zip(&s.rate)
+            .filter(|(t, _)| **t >= from && **t < to)
+            .map(|(t, r)| (*t, *r * 100.0))
+            .collect();
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            series: vec![FigureSeries { label: "loss %".into(), points }],
+        }
+    }
+
+    /// CSV dump: `series,timestamp,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,time,value\n");
+        for s in &self.series {
+            for (t, v) in &s.points {
+                let _ = writeln!(out, "{},{},{v:.4}", s.label, t);
+            }
+        }
+        out
+    }
+
+    /// Render a compact ASCII plot (all series overlaid; the far/loss series
+    /// uses `*`, the near series `.`).
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        let mut out = format!("{} — {}\n", self.id, self.title);
+        let all: Vec<&(SimTime, f64)> = self.series.iter().flat_map(|s| &s.points).collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let t0 = all.iter().map(|(t, _)| *t).min().unwrap();
+        let t1 = all.iter().map(|(t, _)| *t).max().unwrap();
+        let vmax = all.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-9);
+        let span = t1.since(t0).as_micros().max(1);
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = if si == 0 && self.series.len() > 1 { '.' } else { '*' };
+            for (t, v) in &s.points {
+                let x = ((t.since(t0).as_micros() as f64 / span as f64) * (width - 1) as f64) as usize;
+                let y = ((v / vmax) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - y.min(height - 1);
+                grid[row][x.min(width - 1)] = glyph;
+            }
+        }
+        let _ = writeln!(out, "{:.1} ms/%-max", vmax);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        let _ = writeln!(out, " {}  →  {}", t0.date(), t1.date());
+        out
+    }
+}
+
+impl Figure {
+    /// Render a standalone SVG (hand-rolled; no plotting dependency). The
+    /// first series draws in muted blue (the paper's near-end series), the
+    /// second in red (far end / loss), further series cycle.
+    pub fn to_svg(&self, width: u32, height: u32) -> String {
+        const COLORS: [&str; 4] = ["#4878a8", "#c23b22", "#6a9f58", "#8c6bb1"];
+        let (w, h) = (width as f64, height as f64);
+        let (ml, mr, mt, mb) = (56.0, 16.0, 28.0, 36.0); // margins
+        let pw = w - ml - mr;
+        let ph = h - mt - mb;
+
+        let all: Vec<&(SimTime, f64)> = self.series.iter().flat_map(|s| &s.points).collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="16" text-anchor="middle" font-size="13">{} — {}</text>"#,
+            w / 2.0,
+            xml_escape(&self.id),
+            xml_escape(&self.title)
+        );
+        if all.is_empty() {
+            let _ = writeln!(out, r#"<text x="{}" y="{}" text-anchor="middle">(no data)</text>"#, w / 2.0, h / 2.0);
+            out.push_str("</svg>
+");
+            return out;
+        }
+        let t0 = all.iter().map(|(t, _)| *t).min().unwrap();
+        let t1 = all.iter().map(|(t, _)| *t).max().unwrap();
+        let span = t1.since(t0).as_micros().max(1) as f64;
+        let vmax = all.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-9) * 1.05;
+
+        let x = |t: SimTime| ml + pw * (t.since(t0).as_micros() as f64 / span);
+        let y = |v: f64| mt + ph * (1.0 - (v / vmax));
+
+        // Axes + horizontal gridlines with value labels.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" stroke="#999"/>"##
+        );
+        for g in 0..=4 {
+            let v = vmax * g as f64 / 4.0;
+            let gy = y(v);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{ml}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#ddd"/>"##,
+                ml + pw
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{:.1}</text>"#,
+                ml - 6.0,
+                gy + 4.0,
+                v
+            );
+        }
+        // Time labels at the corners and midpoint.
+        for (frac, anchor) in [(0.0, "start"), (0.5, "middle"), (1.0, "end")] {
+            let t = t0 + ixp_simnet::time::SimDuration::from_micros((span * frac) as u64);
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="{anchor}">{}</text>"#,
+                ml + pw * frac,
+                mt + ph + 16.0,
+                t.date()
+            );
+        }
+
+        // Series as polylines + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            if s.points.is_empty() {
+                continue;
+            }
+            let color = COLORS[i % COLORS.len()];
+            let mut d = String::with_capacity(s.points.len() * 12);
+            for (t, v) in &s.points {
+                let _ = write!(d, "{:.1},{:.1} ", x(*t), y(*v));
+            }
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1"/>"#,
+                d.trim_end()
+            );
+            let lx = ml + 8.0 + 110.0 * i as f64;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="2"/>"#,
+                mt + 8.0,
+                lx + 18.0,
+                mt + 8.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                lx + 24.0,
+                mt + 12.0,
+                xml_escape(&s.label)
+            );
+        }
+        out.push_str("</svg>
+");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// The standard figure windows from the paper, handy for examples/benches.
+pub mod windows {
+    use super::*;
+    use ixp_traffic::scenarios::dates;
+
+    /// Fig. 1: part of GIXA–GHANATEL phase 1 (three weeks of March 2016).
+    pub fn fig1() -> (SimTime, SimTime) {
+        (SimTime::from_date(2016, 3, 7), SimTime::from_date(2016, 3, 28))
+    }
+    /// Fig. 2: GIXA–GHANATEL phase 2.
+    pub fn fig2() -> (SimTime, SimTime) {
+        (dates::ghanatel_phase2_start(), dates::ghanatel_link_down())
+    }
+    /// Fig. 3: GIXA–KNET elevation (loss campaign overlap).
+    pub fn fig3() -> (SimTime, SimTime) {
+        (dates::knet_congestion_start(), SimTime::from_date(2016, 11, 1))
+    }
+    /// Fig. 4a: QCELL–NETPAGE phase 1.
+    pub fn fig4a() -> (SimTime, SimTime) {
+        (dates::netpage_phase1_start(), dates::netpage_upgrade())
+    }
+    /// Fig. 4b: QCELL–NETPAGE phase 2 (a slice).
+    pub fn fig4b() -> (SimTime, SimTime) {
+        (dates::netpage_upgrade(), dates::netpage_upgrade() + SimDuration::from_days(42))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_prober::tslp::TslpSample;
+    use tslp_core::series::SeriesConfig;
+
+    fn series() -> LinkSeries {
+        let start = SimTime::from_date(2016, 3, 1);
+        let cfg = SeriesConfig::five_minute(start);
+        let mut s = LinkSeries::new(cfg);
+        for i in 0..288 * 14 {
+            let t = cfg.timestamp(i);
+            let far = if (10.0..16.0).contains(&t.hour_of_day()) { 0.025 } else { 0.002 };
+            s.push(&TslpSample {
+                t,
+                near: Some(SimDuration::from_micros(800)),
+                far: Some(SimDuration::from_secs_f64(far)),
+                near_addr_ok: true,
+                far_addr_ok: true,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn rtt_figure_extracts_window() {
+        let s = series();
+        let f = Figure::rtt("fig1", "test", &s, SimTime::from_date(2016, 3, 3), SimTime::from_date(2016, 3, 10), 500);
+        assert_eq!(f.series.len(), 2);
+        assert!(!f.series[1].points.is_empty());
+        // All points inside the window.
+        for (t, _) in &f.series[1].points {
+            assert!(*t >= SimTime::from_date(2016, 3, 3) && *t < SimTime::from_date(2016, 3, 10));
+        }
+        // Downsampling respected.
+        assert!(f.series[1].points.len() <= 510);
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let s = series();
+        let f = Figure::rtt("fig1", "test", &s, SimTime::from_date(2016, 3, 3), SimTime::from_date(2016, 3, 6), 200);
+        let csv = f.to_csv();
+        assert!(csv.starts_with("series,time,value"));
+        assert!(csv.contains("far,"));
+        let art = f.render_ascii(72, 12);
+        assert!(art.contains('*'), "{art}");
+        assert!(art.contains("2016-03-0"), "{art}");
+    }
+
+    #[test]
+    fn loss_figure() {
+        let ls = LossSeries {
+            t: (0..48u64).map(|h| SimTime::from_date(2016, 7, 20) + SimDuration::from_hours(h)).collect(),
+            rate: (0..48).map(|h| if h % 24 > 10 && h % 24 < 16 { 0.4 } else { 0.0 }).collect(),
+        };
+        let f = Figure::loss("fig2b", "loss", &ls, SimTime::from_date(2016, 7, 20), SimTime::from_date(2016, 7, 22));
+        assert_eq!(f.series.len(), 1);
+        let max = f.series[0].points.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        assert!((max - 40.0).abs() < 1e-9, "{max}");
+    }
+
+    #[test]
+    fn empty_figure_safe() {
+        let f = Figure { id: "x".into(), title: "empty".into(), series: vec![] };
+        assert!(f.render_ascii(40, 8).contains("no data"));
+        assert!(f.to_svg(400, 200).contains("no data"));
+    }
+
+    #[test]
+    fn svg_renders_polylines_and_labels() {
+        let s = series();
+        let f = Figure::rtt("fig1", "svg test", &s, SimTime::from_date(2016, 3, 3), SimTime::from_date(2016, 3, 10), 300);
+        let svg = f.to_svg(800, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "near + far polylines");
+        assert!(svg.contains("2016-03-03"), "start date label");
+        assert!(svg.contains(">near<") && svg.contains(">far<"));
+        // Coordinates stay inside the viewBox.
+        for cap in svg.split("points=\"").skip(1) {
+            let pts = cap.split('"').next().unwrap();
+            for pair in pts.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+                assert!((0.0..=800.0).contains(&x), "{x}");
+                assert!((0.0..=300.0).contains(&y), "{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn svg_escapes_markup() {
+        let f = Figure { id: "a<b".into(), title: "x & y".into(), series: vec![] };
+        let svg = f.to_svg(200, 100);
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("x &amp; y"));
+    }
+}

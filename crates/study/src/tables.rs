@@ -1,0 +1,234 @@
+//! Table builders and text renderers for the paper's two tables.
+
+use crate::vpstudy::{VpStudy, THRESHOLDS_MS};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One VP's Table 1 row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// "VP1" … "VP6".
+    pub vp: String,
+    /// `(threshold_ms, flagged, diurnal)` triples.
+    pub cells: Vec<(f64, usize, usize)>,
+}
+
+/// Table 1: sensitivity of the potentially-congested label to the magnitude
+/// threshold (§5.2).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Per-VP rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Assemble from study results.
+    pub fn build(studies: &[VpStudy]) -> Table1 {
+        Table1 {
+            rows: studies
+                .iter()
+                .map(|s| Table1Row { vp: s.spec.name.to_string(), cells: s.table1_row() })
+                .collect(),
+        }
+    }
+
+    /// The "All VPs" totals row.
+    pub fn totals(&self) -> Vec<(f64, usize, usize)> {
+        THRESHOLDS_MS
+            .iter()
+            .map(|&t| {
+                let mut flagged = 0;
+                let mut diurnal = 0;
+                for r in &self.rows {
+                    if let Some(&(_, f, d)) = r.cells.iter().find(|(th, _, _)| *th == t) {
+                        flagged += f;
+                        diurnal += d;
+                    }
+                }
+                (t, flagged, diurnal)
+            })
+            .collect()
+    }
+
+    /// Render in the paper's layout: `flagged (diurnal)` per threshold.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Table 1: sensitivity of the threshold used for labeling potentially congested links");
+        let _ = writeln!(out, "{:<8} {:>12} {:>12} {:>12} {:>12}", "VP", "5 ms", "10 ms", "15 ms", "20 ms");
+        for r in &self.rows {
+            let mut line = format!("{:<8}", r.vp);
+            for &(_, f, d) in &r.cells {
+                let _ = write!(line, " {:>12}", format!("{f} ({d})"));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let mut line = format!("{:<8}", "All VPs");
+        for (_, f, d) in self.totals() {
+            let _ = write!(line, " {:>12}", format!("{f} ({d})"));
+        }
+        let _ = writeln!(out, "{line}");
+        out
+    }
+}
+
+/// One VP's Table 2 row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// VP id.
+    pub vp: String,
+    /// IXP name.
+    pub ixp: String,
+    /// Country.
+    pub country: String,
+    /// Hosting AS.
+    pub host_asn: u32,
+    /// Hosting AS name.
+    pub host_name: String,
+    /// Per-snapshot: (date string, links, peering links, congested peering,
+    /// neighbors, peers).
+    pub snapshots: Vec<(String, usize, usize, usize, usize, usize)>,
+    /// bdrmap neighbor recall averaged over snapshots (§4's 96.2 %).
+    pub mean_neighbor_recall: f64,
+    /// Total TSLP probing rounds represented.
+    pub probe_rounds: u64,
+}
+
+/// Table 2: evolution of discovered links / neighbors / congested links.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Per-VP rows.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Assemble from study results.
+    pub fn build(studies: &[VpStudy]) -> Table2 {
+        Table2 {
+            rows: studies
+                .iter()
+                .map(|s| {
+                    let recall: f64 = s.snapshots.iter().map(|c| c.accuracy.neighbor_recall).sum::<f64>()
+                        / s.snapshots.len().max(1) as f64;
+                    Table2Row {
+                        vp: s.spec.name.to_string(),
+                        ixp: s.spec.ixp_name.to_string(),
+                        country: s.spec.country.to_string(),
+                        host_asn: s.spec.host_asn.0,
+                        host_name: s.spec.host_name.to_string(),
+                        snapshots: s
+                            .snapshots
+                            .iter()
+                            .map(|c| {
+                                (
+                                    c.date.date().to_string(),
+                                    c.links,
+                                    c.peering_links,
+                                    c.congested_peering,
+                                    c.neighbors,
+                                    c.peers,
+                                )
+                            })
+                            .collect(),
+                        mean_neighbor_recall: recall,
+                        probe_rounds: s.probe_rounds,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Table 2: evolution of discovered IP links, AS neighbors, and peers per vantage point");
+        let _ = writeln!(
+            out,
+            "{:<5} {:<6} {:<14} {:<12} {:>18} {:>10} {:>14}",
+            "VP", "IXP", "host AS", "snapshot", "links (peering)", "congested", "nbrs (peers)"
+        );
+        for r in &self.rows {
+            for (i, (date, links, peering, congested, nbrs, peers)) in r.snapshots.iter().enumerate() {
+                let (vp, ixp, host) = if i == 0 {
+                    (r.vp.as_str(), r.ixp.as_str(), format!("AS{} {}", r.host_asn, r.host_name))
+                } else {
+                    ("", "", String::new())
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<6} {:<14} {:<12} {:>18} {:>10} {:>14}",
+                    vp,
+                    ixp,
+                    host,
+                    date,
+                    format!("{links} ({peering})"),
+                    congested,
+                    format!("{nbrs} ({peers})"),
+                );
+            }
+        }
+        out
+    }
+
+    /// §6.1 headline: fraction of discovered IP peering links that
+    /// experienced congestion (the paper's 2.2 %). Uses the per-VP peak
+    /// discovered peering-link count as the denominator.
+    pub fn congestion_fraction(&self, studies: &[VpStudy]) -> f64 {
+        let congested: usize = studies.iter().map(|s| s.congested_links().iter().filter(|o| o.at_ixp).count()).sum();
+        let peering: usize = self
+            .rows
+            .iter()
+            .map(|r| r.snapshots.iter().map(|s| s.2).max().unwrap_or(0))
+            .sum();
+        if peering == 0 {
+            0.0
+        } else {
+            congested as f64 / peering as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpstudy::{run_vp_study, VpStudyConfig};
+    use ixp_simnet::prelude::SimTime;
+    use ixp_topology::paper_vps;
+
+    fn quick_studies() -> Vec<VpStudy> {
+        let spec = &paper_vps()[3];
+        let cfg = VpStudyConfig {
+            window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 4, 20))),
+            with_loss: false,
+            keep_series: false,
+            ..Default::default()
+        };
+        vec![run_vp_study(spec, &cfg)]
+    }
+
+    #[test]
+    fn table1_builds_and_renders() {
+        let studies = quick_studies();
+        let t1 = Table1::build(&studies);
+        assert_eq!(t1.rows.len(), 1);
+        let text = t1.render();
+        assert!(text.contains("VP4"), "{text}");
+        assert!(text.contains("All VPs"), "{text}");
+        let totals = t1.totals();
+        assert_eq!(totals.len(), 4);
+        assert!(totals[0].1 >= totals[3].1);
+    }
+
+    #[test]
+    fn table2_builds_and_renders() {
+        let studies = quick_studies();
+        let t2 = Table2::build(&studies);
+        assert_eq!(t2.rows.len(), 1);
+        assert_eq!(t2.rows[0].snapshots.len(), 3);
+        assert!(t2.rows[0].mean_neighbor_recall > 0.8);
+        let text = t2.render();
+        assert!(text.contains("SIXP"), "{text}");
+        assert!(text.contains("AS37309"), "{text}");
+        let frac = t2.congestion_fraction(&studies);
+        assert!((0.0..=1.0).contains(&frac));
+    }
+}

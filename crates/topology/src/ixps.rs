@@ -1,0 +1,96 @@
+//! The global IXP directory: the six studied exchanges with fixed peering
+//! and management LANs (AfriNIC 196/8 space, as the real LANs are).
+
+use crate::spec::{paper_vps, VpSpec};
+use ixp_registry::ixpdir::{IxpDirectory, IxpRecord};
+use ixp_simnet::prelude::{Asn, Prefix};
+
+/// Peering and management prefixes for an IXP name. Panics on unknown names.
+pub fn ixp_lans(name: &str) -> (Prefix, Prefix) {
+    let (peering, mgmt) = match name {
+        "GIXA" => ("196.49.14.0/24", "196.49.15.0/24"),
+        "TIX" => ("196.41.96.0/24", "196.41.97.0/24"),
+        "JINX" => ("196.60.8.0/23", "196.60.10.0/24"),
+        "SIXP" => ("196.50.4.0/24", "196.50.5.0/24"),
+        "KIXP" => ("196.223.20.0/22", "196.223.24.0/24"),
+        "RINEX" => ("196.49.30.0/24", "196.49.31.0/24"),
+        other => panic!("unknown IXP {other}"),
+    };
+    (peering.parse().unwrap(), mgmt.parse().unwrap())
+}
+
+/// Build the PeeringDB/PCH-style directory covering the studied IXPs.
+/// `member_lists` supplies per-IXP member ASNs when known (may be empty).
+pub fn build_directory(specs: &[VpSpec], member_lists: &[(String, Vec<Asn>)]) -> IxpDirectory {
+    let mut dir = IxpDirectory::new();
+    for s in specs {
+        let (peering, mgmt) = ixp_lans(s.ixp_name);
+        let members = member_lists
+            .iter()
+            .find(|(n, _)| n == s.ixp_name)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default();
+        dir.add(IxpRecord {
+            id: dir.next_id(),
+            name: s.ixp_name.to_string(),
+            country: s.country.to_string(),
+            region: s.region.to_string(),
+            operator_asn: s.ixp_asn,
+            peering: vec![peering],
+            management: vec![mgmt],
+            members,
+            launched: s.ixp_launched,
+        });
+    }
+    dir
+}
+
+/// The default directory for the paper's six IXPs (no member lists yet).
+pub fn paper_directory() -> IxpDirectory {
+    build_directory(&paper_vps(), &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_simnet::prelude::Ipv4;
+
+    #[test]
+    fn six_ixps_listed() {
+        let dir = paper_directory();
+        assert_eq!(dir.len(), 6);
+        assert!(dir.by_name("KIXP").is_some());
+        assert_eq!(dir.by_name("GIXA").unwrap().launched, 2005);
+    }
+
+    #[test]
+    fn lans_disjoint() {
+        let names = ["GIXA", "TIX", "JINX", "SIXP", "KIXP", "RINEX"];
+        let mut all = Vec::new();
+        for n in names {
+            let (p, m) = ixp_lans(n);
+            all.push(p);
+            all.push(m);
+        }
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert!(!all[i].covers(all[j]) && !all[j].covers(all[i]), "{} vs {}", all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn lan_classification_works() {
+        let dir = paper_directory();
+        let gixa = dir.by_name("GIXA").unwrap().id;
+        assert_eq!(dir.link_at_ixp(Ipv4::new(196, 49, 14, 250), Ipv4::new(41, 0, 0, 1)), Some(gixa));
+        let kixp = dir.by_name("KIXP").unwrap().id;
+        assert_eq!(dir.link_at_ixp(Ipv4::new(196, 223, 23, 9), Ipv4::new(41, 0, 0, 1)), Some(kixp));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown IXP")]
+    fn unknown_ixp_panics() {
+        ixp_lans("NOPE");
+    }
+}

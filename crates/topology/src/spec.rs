@@ -1,0 +1,383 @@
+//! Specifications: the six vantage points and their hosting networks.
+//!
+//! Table 2 of the paper fixes the cast: six VPs at six African IXPs, each
+//! with a hosting AS, a measurement window, and link/neighbor counts at
+//! three bdrmap snapshots. A [`VpSpec`] captures those shape parameters —
+//! membership and link-count schedules, parallel-link factors, how many
+//! links carry non-diurnal noise (Table 1's flagged-but-not-diurnal
+//! population) — and [`paper_vps`] instantiates all six with the paper's
+//! numbers.
+
+use ixp_simnet::prelude::{Asn, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Where the VP sits (§3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VpSetting {
+    /// Plugged into the IXP's content network (VP1–VP3).
+    ContentNetwork,
+    /// Hosted by an AS that peers at the IXP (VP4–VP6).
+    Member,
+}
+
+/// A checkpoint in an entity-count schedule: `count` entities must be alive
+/// at `at`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CountAt {
+    /// Checkpoint instant.
+    pub at: SimTime,
+    /// Target number of concurrently alive entities.
+    pub count: usize,
+}
+
+/// Parameters of the non-diurnal noisy-link population (Table 1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoisySpec {
+    /// Number of links carrying sporadic level shifts.
+    pub count: usize,
+    /// Per-link magnitude scale, drawn uniformly from this range (ms). The
+    /// Table 1 threshold sweep grades the population by these scales.
+    pub scale_ms: (f64, f64),
+}
+
+/// Which scripted special links to attach (case studies and the generic
+/// transient congestion entries of Table 2's "congested" column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SpecialLink {
+    /// GIXA–GHANATEL (VP1): two-phase transit congestion, link dies 06/08.
+    Ghanatel,
+    /// GIXA–KNET (VP1): slow-ICMP diurnal elevation from 06/08.
+    Knet,
+    /// QCELL–NETPAGE (VP4): 10 Mbps saturation until the 28/04 upgrade.
+    Netpage,
+    /// A generic diurnally congested peering link that is mitigated at the
+    /// given day-of-campaign (Table 2 shows TIX with 2 early congested
+    /// links and JINX with 1, all gone by later snapshots).
+    GenericCongested {
+        /// Congestion start, days after the epoch.
+        from_day: u32,
+        /// Congestion end (mitigation), days after the epoch.
+        until_day: u32,
+        /// Saturated queue delay in ms (the buffer is sized to this). The
+        /// paper's Table 1 loses half its diurnal links at 15 ms: some
+        /// congested links ride close to the threshold.
+        magnitude_ms: u32,
+    },
+}
+
+/// Full specification of one vantage point and its hosting network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VpSpec {
+    /// "VP1" … "VP6".
+    pub name: &'static str,
+    /// IXP name ("GIXA", …).
+    pub ixp_name: &'static str,
+    /// IXP country code.
+    pub country: &'static str,
+    /// African sub-region.
+    pub region: &'static str,
+    /// IXP operator AS.
+    pub ixp_asn: Asn,
+    /// Year the IXP launched.
+    pub ixp_launched: u16,
+    /// AS hosting the probe.
+    pub host_asn: Asn,
+    /// Host AS name.
+    pub host_name: &'static str,
+    /// Content-network or member setting.
+    pub setting: VpSetting,
+    /// Measurement window start (per-VP in Table 2).
+    pub measure_start: SimTime,
+    /// Measurement window end.
+    pub measure_end: SimTime,
+    /// The three bdrmap snapshot dates of Table 2.
+    pub snapshots: [SimTime; 3],
+    /// Schedule of *IXP peer* neighbor counts.
+    pub peers: Vec<CountAt>,
+    /// Schedule of non-IXP neighbor counts (transit customers/providers).
+    pub other_neighbors: Vec<CountAt>,
+    /// Parallel IP links per non-peer neighbor: drawn from `1..=max`.
+    pub max_parallel_links: u8,
+    /// Parallel IP links per IXP peer: drawn from `1..=max`.
+    pub max_parallel_peer_links: u8,
+    /// When set, parallel links beyond each neighbor's first join gradually
+    /// inside this window instead of with the neighbor — Liquid Telecom's
+    /// link count grows 288 → 10,466 while its neighbor count grows only
+    /// 244 → 1,215 (Table 2), so ports-per-neighbor must grow too.
+    pub parallel_stagger: Option<(SimTime, SimTime)>,
+    /// Fraction of neighbor routers that never answer ICMP: invisible to
+    /// bdrmap and TSLP alike. The paper's border mapping found 96.2 % of
+    /// neighbors, not 100 % (§4).
+    pub unresponsive_fraction: f64,
+    /// When set, *extra* parallel ports (each neighbor's links beyond the
+    /// first) draw individual lifetimes from this alive-count schedule —
+    /// TIX's Table 2 row swings 59 → 98 → 36 links while its membership
+    /// stays near-constant: members add and drop ports.
+    pub port_churn: Option<Vec<CountAt>>,
+    /// Prefix length of the IXP peering LAN.
+    pub ixp_lan_len: u8,
+    /// Noisy-link population (subset of existing links get noise attached).
+    pub noisy: NoisySpec,
+    /// Scripted special links.
+    pub specials: Vec<SpecialLink>,
+    /// Number of border routers in the host AS (links are spread across
+    /// them; Liquid Telecom needs several).
+    pub border_routers: usize,
+}
+
+fn d(y: i32, m: u32, day: u32) -> SimTime {
+    SimTime::from_date(y, m, day)
+}
+
+/// The six vantage points with Table 2's shape parameters.
+pub fn paper_vps() -> Vec<VpSpec> {
+    vec![
+        VpSpec {
+            name: "VP1",
+            ixp_name: "GIXA",
+            country: "GH",
+            region: "West Africa",
+            ixp_asn: Asn(30997),
+            ixp_launched: 2005,
+            host_asn: Asn(30997),
+            host_name: "GIXA",
+            setting: VpSetting::ContentNetwork,
+            measure_start: d(2016, 2, 27),
+            measure_end: d(2017, 3, 27),
+            snapshots: [d(2016, 3, 17), d(2016, 6, 18), d(2016, 11, 15)],
+            // 13 → 8 → 7 neighbors; the commercialization purge (§6.1).
+            peers: vec![
+                CountAt { at: d(2016, 3, 17), count: 11 },
+                CountAt { at: d(2016, 6, 18), count: 6 },
+                CountAt { at: d(2016, 11, 15), count: 5 },
+            ],
+            other_neighbors: vec![CountAt { at: d(2016, 3, 17), count: 2 }],
+            max_parallel_links: 5,
+            max_parallel_peer_links: 5,
+            parallel_stagger: None,
+            unresponsive_fraction: 0.05,
+            port_churn: None,
+            ixp_lan_len: 24,
+            noisy: NoisySpec { count: 2, scale_ms: (8.0, 45.0) },
+            specials: vec![SpecialLink::Ghanatel, SpecialLink::Knet],
+            border_routers: 1,
+        },
+        VpSpec {
+            name: "VP2",
+            ixp_name: "TIX",
+            country: "TZ",
+            region: "East Africa",
+            ixp_asn: Asn(33791),
+            ixp_launched: 2004,
+            host_asn: Asn(33791),
+            host_name: "TIX",
+            setting: VpSetting::ContentNetwork,
+            measure_start: d(2016, 2, 28),
+            measure_end: d(2017, 3, 27),
+            snapshots: [d(2016, 3, 19), d(2016, 6, 18), d(2016, 11, 16)],
+            // 31 → 30 → 36 neighbors, links 59 → 98 → 36.
+            peers: vec![
+                CountAt { at: d(2016, 3, 19), count: 26 },
+                CountAt { at: d(2016, 6, 18), count: 30 },
+                CountAt { at: d(2016, 11, 16), count: 29 },
+            ],
+            other_neighbors: vec![
+                CountAt { at: d(2016, 3, 19), count: 5 },
+                CountAt { at: d(2016, 11, 16), count: 7 },
+            ],
+            max_parallel_links: 4,
+            max_parallel_peer_links: 5,
+            parallel_stagger: None,
+            unresponsive_fraction: 0.04,
+            port_churn: Some(vec![CountAt { at: d(2016, 3, 19), count: 26 }, CountAt { at: d(2016, 6, 18), count: 59 }, CountAt { at: d(2016, 11, 16), count: 2 }]),
+            ixp_lan_len: 24,
+            noisy: NoisySpec { count: 3, scale_ms: (8.0, 45.0) },
+            specials: vec![
+                SpecialLink::GenericCongested { from_day: 65, until_day: 260, magnitude_ms: 12 },
+                SpecialLink::GenericCongested { from_day: 70, until_day: 230, magnitude_ms: 14 },
+            ],
+            border_routers: 1,
+        },
+        VpSpec {
+            name: "VP3",
+            ixp_name: "JINX",
+            country: "ZA",
+            region: "Southern Africa",
+            ixp_asn: Asn(37474),
+            ixp_launched: 1996,
+            host_asn: Asn(37474),
+            host_name: "JINX",
+            setting: VpSetting::ContentNetwork,
+            measure_start: d(2016, 3, 5),
+            measure_end: d(2017, 3, 27),
+            snapshots: [d(2016, 7, 27), d(2016, 11, 15), d(2017, 2, 19)],
+            // 32 → 42 → 44 neighbors, links ~193 → 212 → 212.
+            peers: vec![
+                CountAt { at: d(2016, 7, 27), count: 27 },
+                CountAt { at: d(2016, 11, 15), count: 38 },
+                CountAt { at: d(2017, 2, 19), count: 39 },
+            ],
+            other_neighbors: vec![CountAt { at: d(2016, 7, 27), count: 5 }],
+            max_parallel_links: 9,
+            max_parallel_peer_links: 9,
+            parallel_stagger: None,
+            unresponsive_fraction: 0.04,
+            port_churn: None,
+            ixp_lan_len: 23,
+            noisy: NoisySpec { count: 60, scale_ms: (4.0, 35.0) },
+            specials: vec![SpecialLink::GenericCongested { from_day: 130, until_day: 250, magnitude_ms: 20 }],
+            border_routers: 2,
+        },
+        VpSpec {
+            name: "VP4",
+            ixp_name: "SIXP",
+            country: "GM",
+            region: "West Africa",
+            ixp_asn: Asn(327_719),
+            ixp_launched: 2014,
+            host_asn: Asn(37309),
+            host_name: "QCell",
+            setting: VpSetting::Member,
+            measure_start: d(2016, 2, 22),
+            measure_end: d(2017, 3, 27),
+            snapshots: [d(2016, 3, 18), d(2016, 7, 22), d(2016, 9, 7)],
+            // 7 → 4 → 6 neighbors, links 14 → 4 → 6.
+            peers: vec![
+                CountAt { at: d(2016, 3, 18), count: 5 },
+                CountAt { at: d(2016, 7, 22), count: 2 },
+                CountAt { at: d(2016, 9, 7), count: 4 },
+            ],
+            other_neighbors: vec![CountAt { at: d(2016, 3, 18), count: 1 }],
+            max_parallel_links: 3,
+            max_parallel_peer_links: 3,
+            parallel_stagger: None,
+            unresponsive_fraction: 0.0,
+            port_churn: None,
+            ixp_lan_len: 24,
+            noisy: NoisySpec { count: 0, scale_ms: (0.0, 0.0) },
+            specials: vec![SpecialLink::Netpage],
+            border_routers: 1,
+        },
+        VpSpec {
+            name: "VP5",
+            ixp_name: "KIXP",
+            country: "KE",
+            region: "East Africa",
+            ixp_asn: Asn(4558),
+            ixp_launched: 2002,
+            host_asn: Asn(30844),
+            host_name: "Liquid Telecom",
+            setting: VpSetting::Member,
+            measure_start: d(2016, 2, 25),
+            measure_end: d(2017, 4, 7),
+            snapshots: [d(2016, 3, 11), d(2017, 3, 23), d(2017, 4, 7)],
+            // Peers 4 → 199 → 197; other neighbors 240 → ~1010 → ~1018.
+            peers: vec![
+                CountAt { at: d(2016, 3, 11), count: 4 },
+                CountAt { at: d(2017, 3, 23), count: 199 },
+                CountAt { at: d(2017, 4, 7), count: 197 },
+            ],
+            other_neighbors: vec![
+                CountAt { at: d(2016, 3, 11), count: 240 },
+                CountAt { at: d(2017, 3, 23), count: 1009 },
+                CountAt { at: d(2017, 4, 7), count: 1018 },
+            ],
+            max_parallel_links: 18,
+            max_parallel_peer_links: 5,
+            parallel_stagger: Some((d(2016, 3, 15), d(2017, 3, 20))),
+            unresponsive_fraction: 0.04,
+            port_churn: None,
+            ixp_lan_len: 22,
+            noisy: NoisySpec { count: 150, scale_ms: (18.0, 60.0) },
+            specials: vec![],
+            border_routers: 8,
+        },
+        VpSpec {
+            name: "VP6",
+            ixp_name: "RINEX",
+            country: "RW",
+            region: "East Africa",
+            ixp_asn: Asn(37224),
+            ixp_launched: 2004,
+            host_asn: Asn(37228),
+            host_name: "RDB",
+            setting: VpSetting::Member,
+            measure_start: d(2016, 7, 8),
+            measure_end: d(2017, 3, 27),
+            snapshots: [d(2016, 7, 27), d(2016, 11, 15), d(2017, 2, 19)],
+            // 9 neighbors (1 peer) throughout; links ~79 → 82 → 72.
+            peers: vec![CountAt { at: d(2016, 7, 27), count: 1 }],
+            other_neighbors: vec![
+                CountAt { at: d(2016, 7, 27), count: 8 },
+                CountAt { at: d(2017, 2, 19), count: 8 },
+            ],
+            max_parallel_links: 16,
+            max_parallel_peer_links: 7,
+            parallel_stagger: None,
+            unresponsive_fraction: 0.0,
+            port_churn: None,
+            ixp_lan_len: 24,
+            noisy: NoisySpec { count: 70, scale_ms: (6.0, 50.0) },
+            specials: vec![],
+            border_routers: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_vps_configured() {
+        let vps = paper_vps();
+        assert_eq!(vps.len(), 6);
+        let names: Vec<_> = vps.iter().map(|v| v.ixp_name).collect();
+        assert_eq!(names, ["GIXA", "TIX", "JINX", "SIXP", "KIXP", "RINEX"]);
+    }
+
+    #[test]
+    fn vp_settings_match_paper() {
+        let vps = paper_vps();
+        assert_eq!(vps[0].setting, VpSetting::ContentNetwork);
+        assert_eq!(vps[2].setting, VpSetting::ContentNetwork);
+        assert_eq!(vps[3].setting, VpSetting::Member);
+        assert_eq!(vps[4].setting, VpSetting::Member);
+        // Host ASNs from Table 2.
+        assert_eq!(vps[3].host_asn, Asn(37309));
+        assert_eq!(vps[4].host_asn, Asn(30844));
+        assert_eq!(vps[5].host_asn, Asn(37228));
+    }
+
+    #[test]
+    fn snapshots_within_measurement_window() {
+        for vp in paper_vps() {
+            for s in vp.snapshots {
+                assert!(s >= vp.measure_start && s <= vp.measure_end, "{}: snapshot out of window", vp.name);
+            }
+            assert!(vp.measure_start < vp.measure_end);
+        }
+    }
+
+    #[test]
+    fn case_studies_attached_to_right_vps() {
+        let vps = paper_vps();
+        assert!(vps[0].specials.contains(&SpecialLink::Ghanatel));
+        assert!(vps[0].specials.contains(&SpecialLink::Knet));
+        assert!(vps[3].specials.contains(&SpecialLink::Netpage));
+        assert!(vps[4].specials.is_empty());
+    }
+
+    #[test]
+    fn schedules_nonempty_and_ordered() {
+        for vp in paper_vps() {
+            assert!(!vp.peers.is_empty(), "{}", vp.name);
+            for w in vp.peers.windows(2) {
+                assert!(w[0].at < w[1].at, "{} peer schedule out of order", vp.name);
+            }
+            for w in vp.other_neighbors.windows(2) {
+                assert!(w[0].at < w[1].at, "{} neighbor schedule out of order", vp.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Diurnal offered-load profiles.
+//!
+//! Every congestion case in the paper is a *diurnal* phenomenon: "RTTs to the
+//! far end show a recurring diurnal pattern" (§6.1), with amplitude keyed to
+//! business days (GIXA–GHANATEL's five weekday spikes, §6.2.1;
+//! QCELL–NETPAGE's 35 ms weekday vs 15 ms weekend spikes, §6.2.2). A
+//! [`DiurnalLoad`] is a pure function of time: a base rate plus a
+//! time-of-day shape scaled by a weekday or weekend peak, perturbed by
+//! deterministic per-bin noise — random-access, so the lazy queue model can
+//! sample it anywhere in the year.
+
+use ixp_simnet::link::OfferedLoad;
+use ixp_simnet::rng::{streams, HashNoise};
+use ixp_simnet::time::{SimDuration, SimTime};
+
+/// Time-of-day shape in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub enum Shape {
+    /// A Gaussian bump centred on `peak_hour` with the given standard
+    /// deviation (hours). Wraps around midnight.
+    Bump {
+        /// Hour of day of the peak (0..24).
+        peak_hour: f64,
+        /// Standard deviation, hours.
+        width_hours: f64,
+    },
+    /// A plateau between `start_hour` and `end_hour` with linear ramps of
+    /// `ramp_hours` on each side. `end_hour` may exceed 24 to wrap past
+    /// midnight (the GHANATEL events run ~20 h into the early morning).
+    Plateau {
+        /// Plateau start (hour of day).
+        start_hour: f64,
+        /// Plateau end; values > 24 wrap into the next day.
+        end_hour: f64,
+        /// Ramp length in hours on each flank.
+        ramp_hours: f64,
+    },
+}
+
+impl Shape {
+    /// Evaluate the shape at `hour ∈ [0, 24)`.
+    pub fn at(&self, hour: f64) -> f64 {
+        match *self {
+            Shape::Bump { peak_hour, width_hours } => {
+                // Circular distance on the 24h clock.
+                let mut d = (hour - peak_hour).abs();
+                if d > 12.0 {
+                    d = 24.0 - d;
+                }
+                (-0.5 * (d / width_hours).powi(2)).exp()
+            }
+            Shape::Plateau { start_hour, end_hour, ramp_hours } => {
+                // Evaluate on an unwrapped axis: try hour and hour+24.
+                let eval = |h: f64| -> f64 {
+                    if h < start_hour - ramp_hours || h > end_hour + ramp_hours {
+                        0.0
+                    } else if h < start_hour {
+                        (h - (start_hour - ramp_hours)) / ramp_hours
+                    } else if h <= end_hour {
+                        1.0
+                    } else {
+                        1.0 - (h - end_hour) / ramp_hours
+                    }
+                };
+                eval(hour).max(eval(hour + 24.0))
+            }
+        }
+    }
+}
+
+/// A deterministic diurnal offered load (bits/s).
+#[derive(Clone, Debug)]
+pub struct DiurnalLoad {
+    /// Always-present load floor.
+    pub base_bps: f64,
+    /// Peak addition on Monday–Friday.
+    pub weekday_peak_bps: f64,
+    /// Peak addition on Saturday/Sunday.
+    pub weekend_peak_bps: f64,
+    /// Time-of-day shape.
+    pub shape: Shape,
+    /// Multiplicative noise amplitude (0.05 = ±5 %) applied per bin.
+    pub noise_frac: f64,
+    /// Noise bin length.
+    pub noise_bin: SimDuration,
+    /// Noise source (derive per link via [`HashNoise::child`]).
+    pub noise: HashNoise,
+}
+
+impl DiurnalLoad {
+    /// A quiet profile: constant `base_bps` with mild noise.
+    pub fn flat(base_bps: f64, noise: HashNoise) -> DiurnalLoad {
+        DiurnalLoad {
+            base_bps,
+            weekday_peak_bps: 0.0,
+            weekend_peak_bps: 0.0,
+            shape: Shape::Bump { peak_hour: 12.0, width_hours: 6.0 },
+            noise_frac: 0.02,
+            noise_bin: SimDuration::from_mins(5),
+            noise,
+        }
+    }
+}
+
+impl OfferedLoad for DiurnalLoad {
+    fn bps(&self, t: SimTime) -> f64 {
+        let peak = if t.is_weekend() { self.weekend_peak_bps } else { self.weekday_peak_bps };
+        let mut v = self.base_bps + peak * self.shape.at(t.hour_of_day());
+        if self.noise_frac > 0.0 {
+            let bin = t.as_micros() / self.noise_bin.as_micros().max(1);
+            let n = self.noise.std_normal(streams::LOAD_NOISE, bin);
+            v *= 1.0 + self.noise_frac * n.clamp(-3.0, 3.0);
+        }
+        v.max(0.0)
+    }
+
+    fn peak_bps(&self) -> f64 {
+        (self.base_bps + self.weekday_peak_bps.max(self.weekend_peak_bps)) * (1.0 + 3.0 * self.noise_frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_peaks_at_peak_hour() {
+        let s = Shape::Bump { peak_hour: 14.0, width_hours: 3.0 };
+        assert!((s.at(14.0) - 1.0).abs() < 1e-12);
+        assert!(s.at(14.0) > s.at(10.0));
+        assert!(s.at(10.0) > s.at(2.0));
+        // Circular wrap: 23h is closer to a 1h peak than 12h is.
+        let w = Shape::Bump { peak_hour: 1.0, width_hours: 3.0 };
+        assert!(w.at(23.0) > w.at(12.0));
+    }
+
+    #[test]
+    fn plateau_levels_and_ramps() {
+        let s = Shape::Plateau { start_hour: 9.0, end_hour: 17.0, ramp_hours: 2.0 };
+        assert_eq!(s.at(12.0), 1.0);
+        assert_eq!(s.at(9.0), 1.0);
+        assert_eq!(s.at(17.0), 1.0);
+        assert!((s.at(8.0) - 0.5).abs() < 1e-12);
+        assert!((s.at(18.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(3.0), 0.0);
+        assert_eq!(s.at(22.0), 0.0);
+    }
+
+    #[test]
+    fn plateau_wraps_past_midnight() {
+        // The GHANATEL shape: up ~06:00, down ~02:00 next day.
+        let s = Shape::Plateau { start_hour: 6.0, end_hour: 26.0, ramp_hours: 1.0 };
+        assert_eq!(s.at(12.0), 1.0);
+        assert_eq!(s.at(23.0), 1.0);
+        assert_eq!(s.at(1.0), 1.0); // wrapped: hour+24 = 25 ≤ 26
+        assert!((s.at(2.5) - 0.5).abs() < 1e-9);
+        assert_eq!(s.at(4.0), 0.0);
+    }
+
+    #[test]
+    fn weekday_weekend_amplitudes_differ() {
+        let load = DiurnalLoad {
+            base_bps: 1e7,
+            weekday_peak_bps: 9e7,
+            weekend_peak_bps: 2e7,
+            shape: Shape::Bump { peak_hour: 13.0, width_hours: 4.0 },
+            noise_frac: 0.0,
+            noise_bin: SimDuration::from_mins(5),
+            noise: HashNoise::new(1),
+        };
+        // 2016-03-07 is a Monday, 2016-03-05 a Saturday.
+        let mon = SimTime::from_datetime(2016, 3, 7, 13, 0, 0);
+        let sat = SimTime::from_datetime(2016, 3, 5, 13, 0, 0);
+        assert!((load.bps(mon) - 1e8).abs() < 1.0);
+        assert!((load.bps(sat) - 3e7).abs() < 1.0);
+        assert!(load.peak_bps() >= load.bps(mon));
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let mk = |seed| DiurnalLoad {
+            base_bps: 1e8,
+            weekday_peak_bps: 0.0,
+            weekend_peak_bps: 0.0,
+            shape: Shape::Bump { peak_hour: 12.0, width_hours: 4.0 },
+            noise_frac: 0.05,
+            noise_bin: SimDuration::from_mins(5),
+            noise: HashNoise::new(seed),
+        };
+        let (a, b, c) = (mk(7), mk(7), mk(8));
+        let t = SimTime::from_datetime(2016, 6, 1, 10, 0, 0);
+        assert_eq!(a.bps(t), b.bps(t));
+        assert_ne!(a.bps(t), c.bps(t));
+        for h in 0..24 {
+            let v = a.bps(SimTime::from_datetime(2016, 6, 1, h, 0, 0));
+            assert!((0.85e8..1.15e8).contains(&v), "{v}");
+            assert!(v <= a.peak_bps());
+        }
+    }
+
+    #[test]
+    fn flat_profile_is_quiet() {
+        let l = DiurnalLoad::flat(5e6, HashNoise::new(3));
+        let t0 = SimTime::from_date(2016, 5, 2);
+        let t1 = SimTime::from_datetime(2016, 5, 2, 14, 0, 0);
+        let ratio = l.bps(t0) / l.bps(t1);
+        assert!((0.8..1.2).contains(&ratio), "{ratio}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Border mapping walk-through (§4): how the study turns traceroutes plus
+//! public data into the interdomain link list TSLP probes.
+//!
+//! Runs the inference chain step by step for VP1 at GIXA: a raw traceroute,
+//! the IP→AS trap on the peering LAN, Ally alias resolution, the full
+//! bdrmap pass at the three snapshot dates, and validation against ground
+//! truth (the paper's "96.2 % of neighbors correctly discovered").
+//!
+//! ```sh
+//! cargo run --release --example bdrmap_demo
+//! ```
+
+use african_ixp_congestion::bdrmap::prelude::*;
+use african_ixp_congestion::prober::prelude::*;
+use african_ixp_congestion::topology::{build_vp, paper_directory, paper_vps};
+use std::collections::HashSet;
+
+fn main() {
+    let spec = &paper_vps()[0]; // VP1 @ GIXA
+    let mut s = build_vp(spec, 42);
+    let dir = paper_directory();
+    let t = spec.snapshots[0];
+
+    // ---- 1. One raw traceroute --------------------------------------------
+    let sample = s.links.iter().find(|l| l.at_ixp && l.lifetime.alive_at(t)).expect("an alive peering link");
+    println!("traceroute toward {} (a prefix announced by {}):", sample.prefix, sample.far_name);
+    let tr = traceroute(&mut s.net, s.vp, sample.prefix.addr(9), &TracerouteConfig::default(), t);
+    for h in &tr.hops {
+        match h.addr {
+            Some(a) => println!("  {:>2}  {}  {:?}  {}", h.ttl, a, h.kind.unwrap(), h.rtt.unwrap()),
+            None => println!("  {:>2}  *", h.ttl),
+        }
+    }
+
+    // ---- 2. The IXP IP-to-AS trap ------------------------------------------
+    let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+    let far = sample.far;
+    println!("\nIP→AS for the far hop {far}:");
+    println!("  naive BGP-origin lookup: {:?}", mapper.asn_of(far));
+    println!("  hop_owner (LAN-aware):   {:?}  ← the LAN address is attributed from path context", mapper.hop_owner(far));
+
+    // ---- 3. Ally alias resolution ------------------------------------------
+    // Pick two links of the same far AS (parallel links = same far router)
+    // and one of a different AS, and let Ally sort them out.
+    let alive: Vec<_> = s.links.iter().filter(|l| l.lifetime.alive_at(t) && l.at_ixp).collect();
+    let (a, b) = alive
+        .iter()
+        .flat_map(|x| alive.iter().map(move |y| (x, y)))
+        .find(|(x, y)| x.far_asn == y.far_asn && x.far != y.far)
+        .expect("a neighbor with parallel links");
+    let verdict = ally_test(&mut s.net, s.vp, a.far, b.far, t);
+    println!("\nAlly({} , {}) [same router]      → {verdict:?}", a.far, b.far);
+    let other = alive.iter().find(|l| l.far_asn != a.far_asn).expect("another AS");
+    let verdict = ally_test(&mut s.net, s.vp, a.far, other.far, t);
+    println!("Ally({} , {}) [different router] → {verdict:?}", a.far, other.far);
+
+    // ---- 4. Full bdrmap snapshots + validation -----------------------------
+    println!("\nbdrmap snapshots for {} ({} @ {}):", spec.name, spec.host_name, spec.ixp_name);
+    for snap in spec.snapshots {
+        let result = {
+            let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+            run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), snap)
+        };
+        let acc = score(&s, &result, snap);
+        println!(
+            "  {}: {} links ({} peering), {} neighbors, {} routers resolved — neighbor recall {:.1}%, link recall {:.1}%, link precision {:.1}% ({} traces, ~{} probes)",
+            snap.date(),
+            result.links.len(),
+            result.peering_links().len(),
+            result.neighbors.len(),
+            result.routers.len(),
+            acc.neighbor_recall * 100.0,
+            acc.link_recall * 100.0,
+            acc.link_precision * 100.0,
+            result.traces,
+            result.probes,
+        );
+    }
+    println!("\n(paper, §4: \"on average the border mapping process correctly discovered 96.2% of the neighbors\")");
+}

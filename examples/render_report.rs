@@ -1,0 +1,32 @@
+//! Render a saved campaign report (the JSON written by
+//! `full_campaign -- --json report.json`) back into the text tables or the
+//! EXPERIMENTS.md data section — so expensive campaigns need not be re-run
+//! to reformat their results.
+//!
+//! ```sh
+//! cargo run --release --example render_report -- report.json            # text
+//! cargo run --release --example render_report -- report.json --markdown # EXPERIMENTS.md body
+//! ```
+
+use african_ixp_congestion::study::StudyReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.get(1).expect("usage: render_report <report.json> [--markdown]");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let json = std::fs::read_to_string(path).expect("read report JSON");
+    let report: StudyReport = serde_json::from_str(&json).expect("parse report JSON");
+    if markdown {
+        print!("{}", report.to_experiments_md());
+    } else {
+        print!("{}", report.table2.render());
+        println!();
+        print!("{}", report.table1.render());
+        println!(
+            "\nHeadline: {:.1}% (peak denominator) / {:.1}% (first-snapshot denominator); paper: 2.2%",
+            report.congestion_fraction * 100.0,
+            report.congestion_fraction_first_snapshot * 100.0
+        );
+        println!("bdrmap mean neighbor recall: {:.1}%", report.mean_neighbor_recall * 100.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! A tour of the synthetic public-data stack (§4's inputs): delegation
+//! files, the PCH-style IXP directory, the BGP view, AS relationships and
+//! AS-rank, organizations/siblings, and the geolocation database — all
+//! generated for VP5 (Liquid Telecom at KIXP), the largest substrate.
+//!
+//! ```sh
+//! cargo run --release --example substrate_tour
+//! ```
+
+use african_ixp_congestion::geo::{GeoDb, capital_of};
+use african_ixp_congestion::registry::prelude::*;
+use african_ixp_congestion::simnet::prelude::*;
+use african_ixp_congestion::topology::{build_vp, paper_directory, paper_vps};
+
+fn main() {
+    let spec = &paper_vps()[4]; // VP5: Liquid Telecom @ KIXP
+    println!("generating the {} substrate ({} @ {})...\n", spec.name, spec.host_name, spec.ixp_name);
+    let s = build_vp(spec, 0xAF12_2017);
+
+    // ---- RIR delegation file ------------------------------------------------
+    let delegations = s.delegations.delegations();
+    println!("== AfriNIC-style delegation file: {} records ==", delegations.len());
+    for line in s.delegations.to_file().lines().take(5) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    // ---- IXP directory -------------------------------------------------------
+    let dir = paper_directory();
+    println!("== IXP directory ({} exchanges; PCH flat file) ==", dir.len());
+    print!("{}", dir.to_pch_file());
+    println!();
+
+    // ---- BGP view -------------------------------------------------------------
+    println!("== Public BGP view from the VP's collector ==");
+    println!("  routed prefixes: {}", s.bgp.prefix_count());
+    println!("  announcements:   {}", s.bgp.announcements().len());
+    let sample = s.links.iter().find(|l| l.at_ixp).unwrap();
+    println!(
+        "  e.g. {} originated by AS{} (path length {})",
+        sample.prefix,
+        s.bgp.origin_of(sample.dst).unwrap().0,
+        s.bgp.announcements().iter().find(|a| a.prefix == sample.prefix).unwrap().path.len()
+    );
+    println!();
+
+    // ---- Relationships + AS-rank ----------------------------------------------
+    println!("== AS relationships (ground truth) and AS-rank ==");
+    let peers = s.relationships.peers_of(spec.host_asn);
+    let customers = s.relationships.customers_of(spec.host_asn);
+    let providers = s.relationships.providers_of(spec.host_asn);
+    println!(
+        "  {}: {} peers, {} customers, {} provider(s)",
+        spec.host_asn, peers.len(), customers.len(), providers.len()
+    );
+    let ranks = rank_all(&s.relationships);
+    println!("  AS-rank top 5 by customer-cone size:");
+    for r in ranks.iter().take(5) {
+        println!("    #{:<3} AS{:<7} cone {}", r.rank, r.asn.0, r.cone_size);
+    }
+    let host_rank = ranks.iter().find(|r| r.asn == spec.host_asn).unwrap();
+    println!("  the host AS ranks #{} with a cone of {}", host_rank.rank, host_rank.cone_size);
+    println!();
+
+    // ---- Organizations / siblings ----------------------------------------------
+    println!("== Organizations ==");
+    println!("  org of {}: {:?}", spec.host_asn, s.orgs.org_of(spec.host_asn));
+    println!("  siblings of {}: {:?} (the paper's semi-manual sibling list)", spec.host_asn, s.orgs.siblings_of(spec.host_asn));
+    println!();
+
+    // ---- Geolocation -------------------------------------------------------------
+    let geo = GeoDb::build(&s.delegations, &dir, 0.08, HashNoise::new(0x9e0));
+    println!("== Geolocation (Netacuity-style, 8% injected error) ==");
+    let mut right = 0;
+    let mut total = 0;
+    for d in delegations.iter().take(400) {
+        if let Some(rec) = geo.lookup(d.prefix.addr(1)) {
+            total += 1;
+            if rec.country == d.country {
+                right += 1;
+            }
+        }
+    }
+    println!("  {right}/{total} sampled delegations geolocate to their registered country");
+    println!("  KIXP LAN sample: {:?}", geo.lookup(Ipv4::new(196, 223, 21, 7)));
+    println!("  capital_of(KE) = {}", capital_of("KE"));
+    println!();
+
+    // ---- rDNS -----------------------------------------------------------------
+    println!("== Reverse DNS ({} PTR records, sparse like reality) ==", s.rdns.len());
+    for (addr, host) in s.rdns.iter().take(4) {
+        println!("  {addr} → {host}");
+    }
+
+    assert!(s.bgp.prefix_count() > 5_000, "VP5's table should be big");
+    assert!(peers.len() > 100 && customers.len() > 500);
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the African IXP congestion study reproduction.
+//!
+//! Re-exports every workspace crate so the examples and integration tests can
+//! use a single dependency. See the individual crates for the real APIs:
+//!
+//! - [`simnet`] — discrete-event network simulator substrate
+//! - [`registry`] — synthetic Internet metadata (RIR/BGP/PeeringDB equivalents)
+//! - [`topology`] — the six-IXP African substrate generator
+//! - [`traffic`] — diurnal offered-load scenarios
+//! - [`prober`] — scamper-equivalent probing engine
+//! - [`bdrmap`] — border-link inference
+//! - [`chgpt`] — change-point (level-shift) detection library
+//! - [`geo`] — geolocation + reverse-DNS hints
+//! - [`tslp`] — the TSLP congestion-inference pipeline (core contribution)
+//! - [`study`] — year-long campaign orchestration and table/figure builders
+
+pub use ixp_bdrmap as bdrmap;
+pub use ixp_chgpt as chgpt;
+pub use ixp_geo as geo;
+pub use ixp_prober as prober;
+pub use ixp_registry as registry;
+pub use ixp_simnet as simnet;
+pub use ixp_study as study;
+pub use ixp_topology as topology;
+pub use ixp_traffic as traffic;
+pub use tslp_core as tslp;

@@ -1,0 +1,122 @@
+//! Cross-crate validation of border mapping against substrate ground truth,
+//! mirroring §4's validation ("96.2 % of the neighbors ... correctly
+//! discovered").
+
+use african_ixp_congestion::bdrmap::prelude::*;
+use african_ixp_congestion::topology::{build_vp, paper_directory, paper_vps, TruthKind};
+use std::collections::HashSet;
+
+fn run_snapshot(vp_idx: usize, seed: u64, snap_idx: usize) -> (african_ixp_congestion::topology::VpSubstrate, BdrmapResult, BdrmapAccuracy) {
+    let spec = &paper_vps()[vp_idx];
+    let mut s = build_vp(spec, seed);
+    let dir = paper_directory();
+    let t = spec.snapshots[snap_idx];
+    let result = {
+        let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
+        run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
+    };
+    let acc = score(&s, &result, t);
+    (s, result, acc)
+}
+
+#[test]
+fn small_vps_all_accurate() {
+    // VP1 (GIXA), VP2 (TIX), VP4 (SIXP), VP6 (RINEX) across seeds. A small
+    // scripted fraction of neighbors is ICMP-unresponsive (the paper's
+    // recall was 96.2 %, not 100 %) — recall is judged against what is
+    // discoverable.
+    for (vp_idx, seed) in [(0usize, 1u64), (1, 2), (3, 3), (5, 4)] {
+        let (s, result, acc) = run_snapshot(vp_idx, seed, 0);
+        let t = s.spec.snapshots[0];
+        let truth = s.links_at(t);
+        let responsive: std::collections::HashSet<_> =
+            truth.iter().filter(|l| l.responsive).map(|l| l.far_asn).collect();
+        let found = responsive.iter().filter(|a| result.neighbors.contains(a)).count();
+        let discoverable_recall = found as f64 / responsive.len().max(1) as f64;
+        assert!(discoverable_recall >= 0.95, "VP index {vp_idx}: {acc:?}");
+        assert!(acc.neighbor_recall >= 0.8, "VP index {vp_idx}: {acc:?}");
+        assert!(acc.neighbor_precision >= 0.95, "VP index {vp_idx}: {acc:?}");
+        assert!(acc.link_precision >= 0.95, "VP index {vp_idx}: {acc:?}");
+    }
+}
+
+#[test]
+fn churn_visible_across_snapshots() {
+    // GIXA's membership purge (§6.1): later snapshots see fewer links.
+    let (_, first, _) = run_snapshot(0, 42, 0);
+    let (_, last, _) = run_snapshot(0, 42, 2);
+    assert!(
+        first.links.len() > last.links.len(),
+        "GIXA churn not visible: {} -> {}",
+        first.links.len(),
+        last.links.len()
+    );
+    // GHANATEL is gone by the last snapshot (link withdrawn 06/08/2016).
+    assert!(first.neighbors.contains(&ixp_simnet::prelude::Asn(29614)));
+    assert!(!last.neighbors.contains(&ixp_simnet::prelude::Asn(29614)));
+}
+
+#[test]
+fn peering_classification_matches_truth() {
+    let (s, result, _) = run_snapshot(3, 7, 0); // VP4 @ SIXP
+    let t = s.spec.snapshots[0];
+    for l in &result.links {
+        let truth = s.links_at(t).iter().find(|x| x.near == l.near && x.far == l.far).cloned();
+        if let Some(tl) = truth {
+            assert_eq!(l.at_ixp, tl.at_ixp, "classification mismatch on {} -> {}", l.near, l.far);
+        }
+    }
+}
+
+#[test]
+fn alias_resolution_groups_parallel_links() {
+    let (s, result, _) = run_snapshot(0, 42, 0); // VP1
+    let t = s.spec.snapshots[0];
+    // Ground truth: far addresses of the same neighbor AS belong to one
+    // router. Every resolved cluster must be AS-pure.
+    let asn_of = |addr| s.links_at(t).iter().find(|l| l.far == addr).map(|l| l.far_asn);
+    let mut multi = 0;
+    for cluster in &result.routers {
+        let asns: HashSet<_> = cluster.iter().filter_map(|&a| asn_of(a)).collect();
+        assert!(asns.len() <= 1, "alias cluster mixes ASes: {cluster:?} -> {asns:?}");
+        if cluster.len() > 1 {
+            multi += 1;
+        }
+    }
+    assert!(multi >= 2, "expected several multi-interface routers, got {multi}");
+}
+
+#[test]
+fn tslp_targets_derived_from_inference_work() {
+    use african_ixp_congestion::prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
+    let (mut s, result, _) = run_snapshot(1, 5, 0); // VP2 @ TIX
+    let t = s.spec.snapshots[0];
+    let mut ok = 0;
+    let total = result.links.len().min(20);
+    for l in result.links.iter().take(20) {
+        let target = TslpTarget {
+            dst: l.dst,
+            near_ttl: l.near_ttl,
+            far_ttl: l.far_ttl,
+            near_addr: l.near,
+            far_addr: l.far,
+        };
+        let smp = tslp_probe(&mut s.net, s.vp, &target, &TslpConfig::default(), t);
+        if smp.near.is_some() && smp.far.is_some() && smp.near_addr_ok && smp.far_addr_ok {
+            ok += 1;
+        }
+    }
+    assert!(ok as f64 >= 0.9 * total as f64, "only {ok}/{total} inferred targets probeable");
+}
+
+#[test]
+fn case_study_links_have_correct_truth_kinds() {
+    let spec = &paper_vps()[0];
+    let s = build_vp(spec, 42);
+    let gh = s.links.iter().find(|l| l.far_name == "GHANATEL").unwrap();
+    assert!(matches!(gh.kind, TruthKind::CaseStudy { scenario: "GIXA-GHANATEL" }));
+    let kn = s.links.iter().find(|l| l.far_name == "KNET").unwrap();
+    assert!(matches!(kn.kind, TruthKind::CaseStudy { scenario: "GIXA-KNET" }));
+    let noisy = s.links.iter().filter(|l| matches!(l.kind, TruthKind::Noisy { .. })).count();
+    assert!(noisy >= 1, "VP1 should carry noisy links for Table 1");
+}

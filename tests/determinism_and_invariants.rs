@@ -1,0 +1,127 @@
+//! Reproducibility and substrate invariants.
+//!
+//! The whole reproduction leans on determinism — identical seeds must give
+//! bit-identical campaigns — and on structural invariants of the generated
+//! substrate (schedule-consistent populations, probeable links, disjoint
+//! addressing).
+
+use african_ixp_congestion::prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
+use african_ixp_congestion::simnet::prelude::*;
+use african_ixp_congestion::study::prelude::*;
+use african_ixp_congestion::topology::{build_vp, paper_vps};
+use proptest::prelude::*;
+
+#[test]
+fn vp_study_is_bit_deterministic() {
+    let spec = &paper_vps()[3];
+    let cfg = VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 4, 1))),
+        with_loss: false,
+        keep_series: true,
+        ..Default::default()
+    };
+    let a = run_vp_study(spec, &cfg);
+    let b = run_vp_study(spec, &cfg);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!((x.near, x.far, x.far_asn), (y.near, y.far, y.far_asn));
+        assert_eq!(x.sweep, y.sweep);
+        assert_eq!(x.assessment.events, y.assessment.events);
+        match (&x.series, &y.series) {
+            (Some(sx), Some(sy)) => {
+                assert_eq!(sx.len(), sy.len());
+                // Bit-identical RTT streams.
+                for (vx, vy) in sx.far_ms.iter().zip(&sy.far_ms) {
+                    assert!(vx.to_bits() == vy.to_bits());
+                }
+            }
+            (None, None) => {}
+            _ => panic!("series retention differs between runs"),
+        }
+    }
+    for (x, y) in a.snapshots.iter().zip(&b.snapshots) {
+        assert_eq!(x.links, y.links);
+        assert_eq!(x.neighbors, y.neighbors);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = &paper_vps()[3];
+    let a = build_vp(spec, 1);
+    let b = build_vp(spec, 2);
+    // Same shape (schedule-driven), different stochastic details.
+    let far_a: Vec<_> = a.links.iter().map(|l| l.far).collect();
+    let far_b: Vec<_> = b.links.iter().map(|l| l.far).collect();
+    assert_ne!(far_a, far_b, "seeds must vary the substrate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Substrate invariants hold for arbitrary seeds (the small VPs).
+    #[test]
+    fn substrate_invariants(seed in 0u64..1000, vp_idx in prop_oneof![Just(0usize), Just(3), Just(5)]) {
+        let spec = &paper_vps()[vp_idx];
+        let mut s = build_vp(spec, seed);
+
+        // Far addresses are unique across links.
+        let mut fars: Vec<_> = s.links.iter().map(|l| l.far).collect();
+        let n = fars.len();
+        fars.sort();
+        fars.dedup();
+        prop_assert_eq!(fars.len(), n, "duplicate far addresses");
+
+        // Peering links have their far side on the IXP LAN.
+        for l in &s.links {
+            if l.at_ixp {
+                prop_assert!(s.lan.contains(l.far) || s.mgmt.contains(l.far) || s.mgmt.contains(l.near),
+                    "at_ixp link without LAN address: {} -> {}", l.near, l.far);
+            }
+        }
+
+        // Alive links answer TSLP probes at the first snapshot.
+        let t = spec.snapshots[0];
+        let mut checked = 0;
+        let links: Vec<_> = s.links.iter().filter(|l| l.lifetime.alive_at(t) && l.responsive).take(8).cloned().collect();
+        for l in links {
+            // Scenario links can legitimately drop probes under overload.
+            let is_special = l.far_name == "GHANATEL" || l.far_name == "NETPAGE";
+            let target = TslpTarget {
+                dst: l.dst, near_ttl: l.near_ttl, far_ttl: l.far_ttl,
+                near_addr: l.near, far_addr: l.far,
+            };
+            let smp = tslp_probe(&mut s.net, s.vp, &target, &TslpConfig::default(), t);
+            if !is_special {
+                prop_assert!(smp.near.is_some(), "near probe failed for {}", l.far_name);
+                prop_assert!(smp.far.is_some(), "far probe failed for {}", l.far_name);
+            }
+            checked += 1;
+        }
+        prop_assert!(checked > 0);
+
+        // Neighbor counts at snapshots stay within sane bounds of the spec.
+        let peers = s.peers_at(t).len();
+        let spec_peers = spec.peers.first().map(|c| c.count).unwrap_or(0);
+        prop_assert!(peers >= spec_peers, "peers {} < scheduled {}", peers, spec_peers);
+    }
+}
+
+#[test]
+fn table_rendering_is_stable() {
+    let spec = &paper_vps()[3];
+    let cfg = VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 4, 1))),
+        with_loss: false,
+        keep_series: false,
+        ..Default::default()
+    };
+    let studies = vec![run_vp_study(spec, &cfg)];
+    let r1 = StudyReport::build(&studies).render(&studies);
+    let r2 = StudyReport::build(&studies).render(&studies);
+    assert_eq!(r1, r2);
+    // JSON round-trips.
+    let report = StudyReport::build(&studies);
+    let back: StudyReport = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(back.congestion_fraction, report.congestion_fraction);
+}

@@ -1,0 +1,43 @@
+//! §5.1's geolocation cross-check at the study level: both ends of IXP
+//! links should geolocate (database + rDNS hints) to the IXP's country for
+//! the overwhelming majority of links, despite the injected commercial-
+//! database error rate.
+
+use african_ixp_congestion::geo::rdns::parse_hints;
+use african_ixp_congestion::simnet::prelude::*;
+use african_ixp_congestion::study::prelude::*;
+use african_ixp_congestion::topology::{build_vp, paper_vps};
+
+#[test]
+fn ixp_links_geolocate_to_ixp_country() {
+    let spec = &paper_vps()[3]; // VP4 @ SIXP (GM)
+    let cfg = VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 3, 22))),
+        with_loss: false,
+        with_rr: false,
+        keep_series: false,
+        ..Default::default()
+    };
+    let study = run_vp_study(spec, &cfg);
+    let checked: Vec<_> = study.outcomes.iter().filter(|o| o.geo_consistent.is_some()).collect();
+    assert!(!checked.is_empty(), "no link had any geolocation coverage");
+    let consistent = checked.iter().filter(|o| o.geo_consistent == Some(true)).count();
+    let frac = consistent as f64 / checked.len() as f64;
+    assert!(frac >= 0.6, "only {frac:.2} of covered links geolocate home (error model is 8%)");
+}
+
+#[test]
+fn rdns_table_parses_back() {
+    let spec = &paper_vps()[0]; // VP1 @ GIXA (GH)
+    let s = build_vp(spec, 42);
+    assert!(!s.rdns.is_empty(), "rDNS table empty");
+    let mut hinted = 0;
+    for (addr, host) in &s.rdns {
+        let hints = parse_hints(host).unwrap_or_else(|| panic!("unparseable hostname {host} for {addr}"));
+        assert!(!hints.country.is_empty());
+        hinted += 1;
+    }
+    assert!(hinted >= 10, "{hinted} hostnames");
+    // Coverage is partial, like real PTR coverage.
+    assert!(s.rdns.len() < s.links.len(), "rDNS coverage should be sparse");
+}
