@@ -8,7 +8,7 @@
 //! that counter, so the test works for real here (and fails for real across
 //! distinct routers).
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -17,8 +17,8 @@ use std::collections::HashMap;
 /// Maximum ID advance allowed between consecutive in-sequence observations.
 const ALLY_WINDOW: u16 = 200;
 
-fn ping_id(net: &mut Network, from: NodeId, dst: Ipv4, t: SimTime) -> Option<u16> {
-    match net.send_probe(from, ProbeSpec::echo(dst), t) {
+fn ping_id(net: &Network, ctx: &mut ProbeCtx, from: NodeId, dst: Ipv4, t: SimTime) -> Option<u16> {
+    match net.send_probe_in(ctx, from, ProbeSpec::echo(dst), t) {
         Ok(r) if r.kind == PacketKind::EchoReply => Some(r.ip_id),
         _ => None,
     }
@@ -30,31 +30,34 @@ fn in_sequence(a: u16, b: u16) -> bool {
 
 /// The Ally test: are `x` and `y` interfaces of the same router?
 /// Returns `None` when either address does not answer.
-pub fn ally_test(net: &mut Network, from: NodeId, x: Ipv4, y: Ipv4, t: SimTime) -> Option<bool> {
-    let a = ping_id(net, from, x, t)?;
-    let b = ping_id(net, from, y, t + SimDuration::from_millis(20))?;
-    let c = ping_id(net, from, x, t + SimDuration::from_millis(40))?;
+pub fn ally_test(net: &Network, ctx: &mut ProbeCtx, from: NodeId, x: Ipv4, y: Ipv4, t: SimTime) -> Option<bool> {
+    let a = ping_id(net, ctx, from, x, t)?;
+    let b = ping_id(net, ctx, from, y, t + SimDuration::from_millis(20))?;
+    let c = ping_id(net, ctx, from, x, t + SimDuration::from_millis(40))?;
     Some(in_sequence(a, b) && in_sequence(b, c))
 }
 
 /// Cluster `addrs` into routers by incremental Ally testing: each address is
 /// tested against one representative of every existing cluster; unresponsive
 /// addresses become singletons. O(n × clusters) probes instead of O(n²).
-pub fn resolve_aliases(net: &mut Network, from: NodeId, addrs: &[Ipv4], t0: SimTime) -> Vec<Vec<Ipv4>> {
+pub fn resolve_aliases(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    from: NodeId,
+    addrs: &[Ipv4],
+    t0: SimTime,
+) -> Vec<Vec<Ipv4>> {
     let mut clusters: Vec<Vec<Ipv4>> = Vec::new();
     let mut t = t0;
     for &a in addrs {
         let mut placed = false;
         for c in clusters.iter_mut() {
             let rep = c[0];
-            match ally_test(net, from, rep, a, t) {
-                Some(true) => {
-                    c.push(a);
-                    placed = true;
-                }
-                _ => {}
+            if let Some(true) = ally_test(net, ctx, from, rep, a, t) {
+                c.push(a);
+                placed = true;
             }
-            t = t + SimDuration::from_millis(60);
+            t += SimDuration::from_millis(60);
             if placed {
                 break;
             }
@@ -76,7 +79,8 @@ pub fn resolve_aliases(net: &mut Network, from: NodeId, addrs: &[Ipv4], t0: SimT
 /// Returns `Some(fraction_in_sequence)` (1.0 = perfect alias evidence), or
 /// `None` if any probe went unanswered.
 pub fn mbt_test(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     x: Ipv4,
     y: Ipv4,
@@ -87,10 +91,10 @@ pub fn mbt_test(
     let mut ids = Vec::with_capacity(rounds * 2);
     let mut t = t0;
     for _ in 0..rounds {
-        ids.push(ping_id(net, from, x, t)?);
-        t = t + SimDuration::from_millis(15);
-        ids.push(ping_id(net, from, y, t)?);
-        t = t + SimDuration::from_millis(15);
+        ids.push(ping_id(net, ctx, from, x, t)?);
+        t += SimDuration::from_millis(15);
+        ids.push(ping_id(net, ctx, from, y, t)?);
+        t += SimDuration::from_millis(15);
     }
     let pairs = ids.len() - 1;
     let ok = ids.windows(2).filter(|w| in_sequence(w[0], w[1])).count();
@@ -147,37 +151,42 @@ mod tests {
 
     #[test]
     fn ally_groups_same_router() {
-        let (mut net, vp, [a, b, _, _]) = multi_iface_topology();
-        assert_eq!(ally_test(&mut net, vp, a, b, SimTime::ZERO), Some(true));
+        let (net, vp, [a, b, _, _]) = multi_iface_topology();
+        let mut ctx = net.probe_ctx(0);
+        assert_eq!(ally_test(&net, &mut ctx, vp, a, b, SimTime::ZERO), Some(true));
     }
 
     #[test]
     fn ally_separates_different_routers() {
-        let (mut net, vp, [a, _, c, _]) = multi_iface_topology();
+        let (net, vp, [a, _, c, _]) = multi_iface_topology();
+        let mut ctx = net.probe_ctx(0);
         // Desynchronize the counters: r3 answers a bunch of probes first.
+        // IP-ID state is per-ctx, so the warm-up must use the same ctx.
         for i in 0..500u64 {
-            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(i * 10_000));
+            let _ = net.send_probe_in(&mut ctx, vp, ProbeSpec::echo(c), SimTime(i * 10_000));
         }
-        assert_eq!(ally_test(&mut net, vp, a, c, SimTime(600_000_0)), Some(false));
+        assert_eq!(ally_test(&net, &mut ctx, vp, a, c, SimTime(600_000_0)), Some(false));
     }
 
     #[test]
     fn ally_unresponsive_is_none() {
         let (mut net, vp, [a, _, _, _]) = multi_iface_topology();
         net.node_mut(NodeId(2)).icmp.responsive = false;
-        assert_eq!(ally_test(&mut net, vp, a, Ipv4::new(10, 0, 2, 2), SimTime::ZERO), None);
+        let mut ctx = net.probe_ctx(0);
+        assert_eq!(ally_test(&net, &mut ctx, vp, a, Ipv4::new(10, 0, 2, 2), SimTime::ZERO), None);
     }
 
     #[test]
     fn mbt_confirms_aliases_and_rejects_strangers() {
-        let (mut net, vp, [a, b, c, _]) = multi_iface_topology();
-        let alias = mbt_test(&mut net, vp, a, b, 8, SimTime::ZERO).unwrap();
+        let (net, vp, [a, b, c, _]) = multi_iface_topology();
+        let mut ctx = net.probe_ctx(0);
+        let alias = mbt_test(&net, &mut ctx, vp, a, b, 8, SimTime::ZERO).unwrap();
         assert!(alias >= 0.99, "alias MBT score {alias}");
         // Desynchronize and compare across routers: the interleaving breaks.
         for i in 0..700u64 {
-            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(10_000_000 + i * 10_000));
+            let _ = net.send_probe_in(&mut ctx, vp, ProbeSpec::echo(c), SimTime(10_000_000 + i * 10_000));
         }
-        let stranger = mbt_test(&mut net, vp, a, c, 8, SimTime(60_000_000)).unwrap();
+        let stranger = mbt_test(&net, &mut ctx, vp, a, c, 8, SimTime(60_000_000)).unwrap();
         assert!(stranger < 0.9, "stranger MBT score {stranger}");
     }
 
@@ -185,21 +194,23 @@ mod tests {
     fn mbt_unresponsive_is_none() {
         let (mut net, vp, [a, _, c, _]) = multi_iface_topology();
         net.node_mut(NodeId(3)).icmp.responsive = false;
-        assert_eq!(mbt_test(&mut net, vp, a, c, 4, SimTime::ZERO), None);
+        let mut ctx = net.probe_ctx(0);
+        assert_eq!(mbt_test(&net, &mut ctx, vp, a, c, 4, SimTime::ZERO), None);
     }
 
     #[test]
     fn clustering_recovers_routers() {
-        let (mut net, vp, [a, b, c, d]) = multi_iface_topology();
+        let (net, vp, [a, b, c, d]) = multi_iface_topology();
+        let mut ctx = net.probe_ctx(0);
         // Desynchronize counters so cross-router pairs cannot collide into
         // the ally window by accident.
         for i in 0..400u64 {
-            let _ = net.send_probe(vp, ProbeSpec::echo(c), SimTime(i * 5_000));
+            let _ = net.send_probe_in(&mut ctx, vp, ProbeSpec::echo(c), SimTime(i * 5_000));
         }
         for i in 0..900u64 {
-            let _ = net.send_probe(vp, ProbeSpec::echo(d), SimTime(i * 5_000));
+            let _ = net.send_probe_in(&mut ctx, vp, ProbeSpec::echo(d), SimTime(i * 5_000));
         }
-        let clusters = resolve_aliases(&mut net, vp, &[a, b, c, d], SimTime(10_000_000));
+        let clusters = resolve_aliases(&net, &mut ctx, vp, &[a, b, c, d], SimTime(10_000_000));
         assert_eq!(clusters.len(), 3, "{clusters:?}");
         let idx = cluster_index(&clusters);
         assert_eq!(idx[&a], idx[&b]);

@@ -26,7 +26,7 @@
 use crate::alias::resolve_aliases;
 use crate::ipasn::IpAsnMapper;
 use ixp_prober::traceroute::{traceroute, TracerouteConfig};
-use ixp_simnet::net::Network;
+use ixp_simnet::net::{Network, ProbeCtx};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Asn, Ipv4, Prefix};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -102,8 +102,10 @@ impl BdrmapResult {
 }
 
 /// Run one border-mapping snapshot at time `t`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_bdrmap(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     vp: NodeId,
     host_asn: Asn,
     siblings: &HashSet<u32>,
@@ -145,11 +147,11 @@ pub fn run_bdrmap(
         // addresses: a probe that *reaches* an interface draws a reply from
         // the destination address itself, which identifies no link.
         let dst = prefix.addr(9.min(prefix.size().saturating_sub(2)));
-        let tr = traceroute(net, vp, dst, &cfg.traceroute, when);
+        let tr = traceroute(net, ctx, vp, dst, &cfg.traceroute, when);
         traces += 1;
         probes += tr.hops.len() * cfg.traceroute.attempts as usize;
         // Space successive traces out a little (pacing across the campaign).
-        when = when + SimDuration::from_millis(500);
+        when += SimDuration::from_millis(500);
 
         // Find the border: last consecutive run of our hops from the front.
         let hops = &tr.hops;
@@ -237,8 +239,8 @@ pub fn run_bdrmap(
         }
         let mut when = t + SimDuration::from_secs(600);
         for (_, fars) in by_near {
-            let clusters = resolve_aliases(net, vp, &fars, when);
-            when = when + SimDuration::from_secs(60);
+            let clusters = resolve_aliases(net, ctx, vp, &fars, when);
+            when += SimDuration::from_secs(60);
             routers.extend(clusters);
         }
         for cluster in &routers {
@@ -270,12 +272,13 @@ mod tests {
     use ixp_topology::{build_vp, paper_vps};
 
     fn run_vp1() -> (ixp_topology::VpSubstrate, BdrmapResult) {
-        let mut s = build_vp(&paper_vps()[0], 42);
+        let s = build_vp(&paper_vps()[0], 42);
         let dir = ixp_topology::paper_directory();
         let t = s.spec.snapshots[0];
         let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
         let siblings: HashSet<u32> = HashSet::new();
-        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &BdrmapConfig::default(), t);
+        let mut ctx = s.net.probe_ctx(0);
+        let r = run_bdrmap(&s.net, &mut ctx, s.vp, s.spec.host_asn, &siblings, &mapper, &BdrmapConfig::default(), t);
         (s, r)
     }
 
@@ -317,31 +320,33 @@ mod tests {
 
     #[test]
     fn ghanatel_link_found_at_first_snapshot_only() {
-        let mut s = build_vp(&paper_vps()[0], 42);
+        let s = build_vp(&paper_vps()[0], 42);
         let dir = ixp_topology::paper_directory();
         let siblings: HashSet<u32> = HashSet::new();
         let cfg = BdrmapConfig { alias_resolution: false, ..Default::default() };
+        let mut ctx = s.net.probe_ctx(0);
         // Early snapshot: GHANATEL present.
         {
             let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-            let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[0]);
+            let r = run_bdrmap(&s.net, &mut ctx, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[0]);
             assert!(r.neighbors.contains(&Asn(29614)), "{:?}", r.neighbors);
         }
         // Late snapshot (after 06/08/2016): the link no longer answers.
         {
             let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-            let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[2]);
+            let r = run_bdrmap(&s.net, &mut ctx, s.vp, s.spec.host_asn, &siblings, &mapper, &cfg, s.spec.snapshots[2]);
             assert!(!r.neighbors.contains(&Asn(29614)), "{:?}", r.neighbors);
         }
     }
 
     #[test]
     fn prefix_cap_limits_work() {
-        let mut s = build_vp(&paper_vps()[0], 42);
+        let s = build_vp(&paper_vps()[0], 42);
         let dir = ixp_topology::paper_directory();
         let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
         let cfg = BdrmapConfig { max_prefixes: Some(3), alias_resolution: false, ..Default::default() };
-        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &cfg, s.spec.snapshots[0]);
+        let mut ctx = s.net.probe_ctx(0);
+        let r = run_bdrmap(&s.net, &mut ctx, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &cfg, s.spec.snapshots[0]);
         assert!(r.traces <= 3);
     }
 }

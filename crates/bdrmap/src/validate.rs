@@ -66,11 +66,12 @@ mod tests {
 
     #[test]
     fn vp4_accuracy_matches_paper_ballpark() {
-        let mut s = build_vp(&paper_vps()[3], 11);
+        let s = build_vp(&paper_vps()[3], 11);
         let dir = paper_directory();
         let t = s.spec.snapshots[0];
         let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-        let r = run_bdrmap(&mut s.net, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
+        let mut ctx = s.net.probe_ctx(0);
+        let r = run_bdrmap(&s.net, &mut ctx, s.vp, s.spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
         let acc = score(&s, &r, t);
         assert!(acc.neighbor_recall >= 0.9, "{acc:?}");
         assert!(acc.neighbor_precision >= 0.9, "{acc:?}");

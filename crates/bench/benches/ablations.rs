@@ -106,13 +106,13 @@ fn ablation_screening(c: &mut Criterion) {
     for (label, screening) in [("with_screening", true), ("paper_exact", false)] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let (mut net, vp, _) = line_topology(77);
+                let (net, vp, _) = line_topology(77);
                 let cfg = if screening {
                     CampaignConfig::paper(window.0, window.1)
                 } else {
                     CampaignConfig::exact(window.0, window.1)
                 };
-                let (series, _) = measure_link(&mut net, vp, &target, &cfg);
+                let (series, _) = measure_link(&net, vp, &target, &cfg);
                 series.len()
             })
         });

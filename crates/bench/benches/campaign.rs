@@ -1,0 +1,119 @@
+//! Campaign fan-out throughput (DESIGN.md §5): links measured per second by
+//! [`measure_vp_links`] as the worker pool grows. The multi-VP workload is a
+//! hub substrate with sixteen interdomain branches, half carrying a diurnal
+//! overload so both screening outcomes (short-circuit and full fidelity)
+//! appear in every run. Writes the measured baseline to
+//! `BENCH_campaign.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ixp_prober::tslp::TslpTarget;
+use ixp_simnet::prelude::*;
+use ixp_traffic::{DiurnalLoad, Shape};
+use std::sync::Arc;
+use tslp_core::campaign::{measure_vp_links, CampaignConfig};
+
+/// Hub-and-branches substrate: `branches` interdomain links behind one hub,
+/// odd branches congested with a weekday plateau.
+fn fanout_net(branches: u8) -> (Network, NodeId, Vec<TslpTarget>) {
+    let mut net = Network::new(0xBE7C);
+    let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+    let hub = net.add_node(NodeKind::Router, Asn(1), "hub");
+    net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), hub, Ipv4::new(10, 0, 0, 1), LinkConfig::default());
+    net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+    net.add_route(hub, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+
+    let mut targets = Vec::new();
+    for i in 0..branches {
+        let border = net.add_node(NodeKind::Router, Asn(1), "border");
+        let peer = net.add_node(NodeKind::Router, Asn(100 + i as u32), "peer");
+        let port = LinkConfig {
+            capacity_bps: Schedule::constant(1e8),
+            buffer_bytes: Schedule::constant(150_000.0),
+            ..LinkConfig::default()
+        };
+        let load: Arc<dyn OfferedLoad> = if i % 2 == 1 {
+            Arc::new(DiurnalLoad {
+                base_bps: 6e7,
+                weekday_peak_bps: 5e7,
+                weekend_peak_bps: 5e7,
+                shape: Shape::Plateau { start_hour: 11.0, end_hour: 15.0, ramp_hours: 1.5 },
+                noise_frac: 0.02,
+                noise_bin: SimDuration::from_mins(5),
+                noise: net.noise().child(80 + i as u64, 3),
+            })
+        } else {
+            Arc::new(NoLoad)
+        };
+        let near_addr = Ipv4::new(10, i + 1, 1, 2);
+        let far_addr = Ipv4::new(10, i + 1, 2, 2);
+        net.connect(hub, Ipv4::new(10, i + 1, 1, 1), border, near_addr, port, load, Arc::new(NoLoad));
+        net.connect_idle(border, Ipv4::new(10, i + 1, 2, 1), peer, far_addr, LinkConfig::default());
+        let prefix: Prefix = format!("41.{i}.0.0/24").parse().unwrap();
+        net.add_route(hub, prefix, IfaceId(1 + i as u16));
+        net.add_route(border, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(border, prefix, IfaceId(1));
+        net.add_route(peer, Prefix::DEFAULT, IfaceId(0));
+        targets.push(TslpTarget { dst: prefix.addr(9), near_ttl: 2, far_ttl: 3, near_addr, far_addr });
+    }
+    (net, vp, targets)
+}
+
+fn campaign_throughput(c: &mut Criterion) {
+    let (net, vp, targets) = fanout_net(16);
+    let base = CampaignConfig::exact(SimTime::from_date(2016, 3, 1), SimTime::from_date(2016, 3, 4));
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.throughput(Throughput::Elements(targets.len() as u64));
+    g.sample_size(10);
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let mut cfg = base;
+        cfg.threads = threads;
+        let mut mean_ns = 0.0;
+        g.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
+            b.iter(|| measure_vp_links(&net, vp, &targets, cfg));
+            mean_ns = b.mean_ns;
+        });
+        measured.push((threads, mean_ns));
+    }
+    g.finish();
+
+    let seq_ns = measured[0].1;
+    let links = targets.len() as f64;
+    let mut rows = Vec::new();
+    for &(threads, ns) in &measured {
+        let links_per_sec = if ns > 0.0 { links * 1e9 / ns } else { 0.0 };
+        let speedup = if ns > 0.0 { seq_ns / ns } else { 0.0 };
+        eprintln!(
+            "[campaign] threads={threads:<2} {links_per_sec:>8.1} links/s  speedup {speedup:.2}x"
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"mean_ns\": {ns:.0}, \"links_per_sec\": {links_per_sec:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    // Speedup is bounded by the host: on a single-core container every
+    // thread count collapses to ~1.0x, so record the parallelism the
+    // numbers were taken under.
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("[campaign] host parallelism: {host} (speedup is capped at this)");
+    let rounds = (base.end.0 - base.start.0) / base.interval.as_micros();
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"host_parallelism\": {host},\n  \"links\": {},\n  \"rounds_per_link\": {rounds},\n  \"results\": [\n{}\n  ]\n}}\n",
+        targets.len(),
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("[campaign] could not write {out}: {e}");
+    } else {
+        eprintln!("[campaign] baseline written to {out}");
+    }
+}
+
+criterion_group! {
+    name = campaign;
+    config = Criterion::default();
+    targets = campaign_throughput
+}
+criterion_main!(campaign);

@@ -27,38 +27,37 @@ fn campaign(from: SimTime, to: SimTime) -> CampaignConfig {
     CampaignConfig::exact(from, to)
 }
 
-fn measure_and_assess(s: &mut VpSubstrate, t: &TslpTarget, from: SimTime, to: SimTime) -> Assessment {
-    s.net.reset_queue_state();
-    let (series, _) = measure_link(&mut s.net, s.vp, t, &campaign(from, to));
+fn measure_and_assess(s: &VpSubstrate, t: &TslpTarget, from: SimTime, to: SimTime) -> Assessment {
+    // measure_link walks a fresh per-target ProbeCtx: no queue-state reset.
+    let (series, _) = measure_link(&s.net, s.vp, t, &campaign(from, to));
     assess_link(&series, &AssessConfig::default())
 }
 
 fn fig1_ghanatel_phase1(c: &mut Criterion) {
-    let (mut s, t) = vp_target(0, "GHANATEL");
+    let (s, t) = vp_target(0, "GHANATEL");
     let (from, to) = (SimTime::from_date(2016, 3, 7), SimTime::from_date(2016, 4, 18));
-    let a = measure_and_assess(&mut s, &t, from, to);
+    let a = measure_and_assess(&s, &t, from, to);
     eprintln!(
         "[fig1] GIXA-GHANATEL phase 1 (6 weeks): A_w = {:.1} ms (paper 27.9), Δt_UD = {} (paper ≈20 h), diurnal = {}",
         a.stats.a_w_ms, a.stats.dt_ud, a.diurnal
     );
     assert!(a.diurnal, "fig1 shape lost");
     c.bench_function("fig1_ghanatel_phase1", |b| {
-        b.iter(|| measure_and_assess(&mut s, &t, from, SimTime::from_date(2016, 3, 21)))
+        b.iter(|| measure_and_assess(&s, &t, from, SimTime::from_date(2016, 3, 21)))
     });
 }
 
 fn fig2_ghanatel_phase2(c: &mut Criterion) {
-    let (mut s, t) = vp_target(0, "GHANATEL");
+    let (s, t) = vp_target(0, "GHANATEL");
     let (from, to) = (dates::ghanatel_phase2_start(), dates::ghanatel_link_down());
-    let a = measure_and_assess(&mut s, &t, from, to);
+    let a = measure_and_assess(&s, &t, from, to);
     eprintln!(
         "[fig2a] GIXA-GHANATEL phase 2: A_w = {:.1} ms (paper ≈10), diurnal = {}",
         a.stats.a_w_ms, a.diurnal
     );
     // Fig 2b: the loss series on the same link/window.
-    s.net.reset_queue_state();
     let lc = LossCampaignConfig::paper(SimTime::from_date(2016, 7, 21), dates::ghanatel_link_down());
-    let ls = measure_loss_series(&mut s.net, s.vp, t.dst, t.far_ttl, &lc);
+    let ls = measure_loss_series(&s.net, s.vp, t.dst, t.far_ttl, &lc);
     eprintln!(
         "[fig2b] loss over phase 2: mean {:.1}% max {:.1}% (paper: varied 0-85%)",
         ls.mean() * 100.0,
@@ -66,35 +65,34 @@ fn fig2_ghanatel_phase2(c: &mut Criterion) {
     );
     assert!(ls.max() > 0.3, "fig2b loss shape lost");
     c.bench_function("fig2_ghanatel_phase2", |b| {
-        b.iter(|| measure_and_assess(&mut s, &t, from, SimTime::from_date(2016, 6, 29)))
+        b.iter(|| measure_and_assess(&s, &t, from, SimTime::from_date(2016, 6, 29)))
     });
 }
 
 fn fig3_knet(c: &mut Criterion) {
-    let (mut s, t) = vp_target(0, "KNET");
+    let (s, t) = vp_target(0, "KNET");
     let (from, to) = (dates::knet_congestion_start(), SimTime::from_date(2016, 9, 17));
-    let a = measure_and_assess(&mut s, &t, from, to);
+    let a = measure_and_assess(&s, &t, from, to);
     eprintln!(
         "[fig3a] GIXA-KNET (6 weeks): A_w = {:.1} ms (paper 17.5), diurnal = {}, near flat = {}",
         a.stats.a_w_ms,
         a.diurnal,
         a.near_guard == NearGuard::Clean
     );
-    s.net.reset_queue_state();
     let lc = LossCampaignConfig::paper(from, SimTime::from_date(2016, 8, 20));
-    let ls = measure_loss_series(&mut s.net, s.vp, t.dst, t.far_ttl, &lc);
+    let ls = measure_loss_series(&s.net, s.vp, t.dst, t.far_ttl, &lc);
     eprintln!("[fig3b] loss: mean {:.2}% (paper: 0.1% average)", ls.mean() * 100.0);
     assert!(a.diurnal && ls.mean() < 0.02, "fig3 shape lost");
     c.bench_function("fig3_knet", |b| {
-        b.iter(|| measure_and_assess(&mut s, &t, from, SimTime::from_date(2016, 8, 20)))
+        b.iter(|| measure_and_assess(&s, &t, from, SimTime::from_date(2016, 8, 20)))
     });
 }
 
 fn fig4_netpage(c: &mut Criterion) {
-    let (mut s, t) = vp_target(3, "NETPAGE");
-    let p1 = measure_and_assess(&mut s, &t, dates::netpage_phase1_start(), dates::netpage_upgrade());
+    let (s, t) = vp_target(3, "NETPAGE");
+    let p1 = measure_and_assess(&s, &t, dates::netpage_phase1_start(), dates::netpage_upgrade());
     let p2 = measure_and_assess(
-        &mut s,
+        &s,
         &t,
         dates::netpage_upgrade(),
         dates::netpage_upgrade() + SimDuration::from_days(42),
@@ -110,7 +108,7 @@ fn fig4_netpage(c: &mut Criterion) {
     assert!(p1.diurnal && !p2.flagged, "fig4 shape lost");
     c.bench_function("fig4_netpage", |b| {
         b.iter(|| {
-            measure_and_assess(&mut s, &t, dates::netpage_phase1_start(), SimTime::from_date(2016, 4, 11))
+            measure_and_assess(&s, &t, dates::netpage_phase1_start(), SimTime::from_date(2016, 4, 11))
         })
     });
 }

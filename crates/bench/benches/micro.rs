@@ -32,7 +32,8 @@ fn micro_probe_fast_path(c: &mut Criterion) {
 }
 
 fn micro_tslp_round(c: &mut Criterion) {
-    let (mut net, vp, tgt) = line_topology(3);
+    let (net, vp, tgt) = line_topology(3);
+    let mut ctx = net.probe_ctx(0);
     let target = TslpTarget {
         dst: tgt,
         near_ttl: 1,
@@ -45,19 +46,20 @@ fn micro_tslp_round(c: &mut Criterion) {
     c.bench_function("tslp_probe_pair", |b| {
         b.iter(|| {
             t += 300_000_000;
-            tslp_probe(&mut net, vp, &target, &cfg, SimTime(t))
+            tslp_probe(&net, &mut ctx, vp, &target, &cfg, SimTime(t))
         })
     });
 }
 
 fn micro_traceroute(c: &mut Criterion) {
-    let (mut net, vp, tgt) = line_topology(4);
+    let (net, vp, tgt) = line_topology(4);
+    let mut ctx = net.probe_ctx(0);
     let cfg = TracerouteConfig::default();
     let mut t = 0u64;
     c.bench_function("traceroute_3_hops", |b| {
         b.iter(|| {
             t += 1_000_000_000;
-            traceroute(&mut net, vp, tgt, &cfg, SimTime(t)).hops.len()
+            traceroute(&net, &mut ctx, vp, tgt, &cfg, SimTime(t)).hops.len()
         })
     });
 }

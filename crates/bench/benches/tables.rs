@@ -49,12 +49,13 @@ fn table1_sensitivity(c: &mut Criterion) {
 
 fn table2_discovery(c: &mut Criterion) {
     let spec = &paper_vps()[0]; // VP1 @ GIXA
-    let mut s = build_vp(spec, 0xBEEF);
+    let s = build_vp(spec, 0xBEEF);
     let dir = paper_directory();
     let t = spec.snapshots[0];
+    let mut ctx = s.net.probe_ctx(0);
     {
         let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-        let r = run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
+        let r = run_bdrmap(&s.net, &mut ctx, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t);
         let acc = score(&s, &r, t);
         eprintln!(
             "[table2] {} snapshot {}: {} links ({} peering), {} neighbors ({} peers) — recall {:.1}% (paper VP1 row 1: 46 (36) links, 13 (13) neighbors)",
@@ -70,7 +71,7 @@ fn table2_discovery(c: &mut Criterion) {
     c.bench_function("table2_discovery_vp1", |b| {
         b.iter(|| {
             let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-            run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
+            run_bdrmap(&s.net, &mut ctx, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
                 .links
                 .len()
         })

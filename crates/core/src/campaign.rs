@@ -12,10 +12,13 @@
 
 use crate::series::{LinkSeries, SeriesConfig};
 use ixp_prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
-use ixp_simnet::net::Network;
+use ixp_simnet::net::{Network, ProbeCtx};
 use ixp_simnet::node::NodeId;
+use ixp_simnet::rng::mix;
 use ixp_simnet::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Screening-pass settings.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -46,6 +49,11 @@ pub struct CampaignConfig {
     pub tslp: TslpProbing,
     /// Optional screening pass; `None` = paper-exact probing for all links.
     pub screening: Option<Screening>,
+    /// Worker threads for [`measure_vp`]/[`measure_vp_links`] fan-out:
+    /// `0` = one per available core, `1` = sequential. Output is identical
+    /// at every thread count (each target's walk is an independent pure
+    /// function of the shared substrate).
+    pub threads: usize,
 }
 
 /// Serializable subset of [`TslpConfig`].
@@ -78,6 +86,7 @@ impl CampaignConfig {
             interval: SimDuration::from_mins(5),
             tslp: TslpProbing::default(),
             screening: Some(Screening::default()),
+            threads: 0,
         }
     }
 
@@ -88,7 +97,8 @@ impl CampaignConfig {
 }
 
 fn run_grid(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     vp: NodeId,
     target: &TslpTarget,
     tslp: &TslpConfig,
@@ -99,7 +109,7 @@ fn run_grid(
     let rounds = grid.rounds_until(end);
     for i in 0..rounds {
         let t = grid.timestamp(i);
-        let s = tslp_probe(net, vp, target, tslp, t);
+        let s = tslp_probe(net, ctx, vp, target, tslp, t);
         series.push(&s);
     }
     series
@@ -108,12 +118,21 @@ fn run_grid(
 /// Spread (95th − 5th percentile) of the finite far samples, in ms.
 pub fn far_spread_ms(series: &LinkSeries) -> f64 {
     let (mut vals, _) = series.far_clean();
-    if vals.len() < 8 {
+    let n = vals.len();
+    if n < 8 {
         return 0.0;
     }
-    vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN after clean"));
-    let lo = vals[(vals.len() as f64 * 0.05) as usize];
-    let hi = vals[((vals.len() as f64 * 0.95) as usize).min(vals.len() - 1)];
+    // Two percentiles, not a full sort: select the 5th, then the 95th within
+    // the upper partition the first selection leaves behind.
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN after clean");
+    let lo_i = (n as f64 * 0.05) as usize;
+    let hi_i = ((n as f64 * 0.95) as usize).min(n - 1);
+    let (_, &mut lo, upper) = vals.select_nth_unstable_by(lo_i, cmp);
+    let hi = if hi_i == lo_i {
+        lo
+    } else {
+        *upper.select_nth_unstable_by(hi_i - lo_i - 1, cmp).1
+    };
     hi - lo
 }
 
@@ -124,11 +143,13 @@ pub fn far_spread_ms(series: &LinkSeries) -> f64 {
 /// still produces hundreds of excursions.
 pub fn far_excursions(series: &LinkSeries, gate_ms: f64) -> usize {
     let (mut vals, _) = series.far_clean();
-    if vals.len() < 8 {
+    let n = vals.len();
+    if n < 8 {
         return 0;
     }
-    vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN after clean"));
-    let median = vals[vals.len() / 2];
+    let median = *vals
+        .select_nth_unstable_by(n / 2, |a, b| a.partial_cmp(b).expect("NaN after clean"))
+        .1;
     vals.iter().filter(|&&v| v > median + gate_ms).count()
 }
 
@@ -136,47 +157,95 @@ pub fn far_excursions(series: &LinkSeries, gate_ms: f64) -> usize {
 /// the screening pass ruled congestion out) and whether screening short-
 /// circuited the link.
 pub fn measure_link(
-    net: &mut Network,
+    net: &Network,
     vp: NodeId,
     target: &TslpTarget,
     cfg: &CampaignConfig,
 ) -> (LinkSeries, bool) {
     let tslp: TslpConfig = cfg.tslp.into();
+    // A fresh ctx per target, seeded from the target identity: the series is
+    // a pure function of (net, vp, target, cfg), independent of which worker
+    // thread runs it or in what order — the ordering guarantee measure_vp
+    // relies on.
+    let mut ctx = net.probe_ctx(mix(&[
+        vp.0 as u64,
+        target.dst.0 as u64,
+        target.near_ttl as u64,
+        target.far_ttl as u64,
+    ]));
     if let Some(sc) = cfg.screening {
         let coarse_grid = SeriesConfig { start: cfg.start, interval: sc.interval };
-        let coarse = run_grid(net, vp, target, &tslp, coarse_grid, cfg.end);
+        let coarse = run_grid(net, &mut ctx, vp, target, &tslp, coarse_grid, cfg.end);
         // A link stays screened out only when the coarse pass saw fewer
         // than a handful of samples elevated past the smallest threshold —
         // the necessary condition for any ≥30-minute, ≥5 ms level shift.
         if far_excursions(&coarse, sc.spread_gate_ms) < 4 {
             return (coarse, true);
         }
-        // The coarse pass advanced the lazy queue anchors through the whole
-        // window; rewind before re-reading it at full fidelity.
-        net.reset_queue_state();
+        // The coarse pass advanced this ctx's lazy queue anchors through the
+        // whole window; rewind them before re-reading it at full fidelity.
+        ctx.reset_queue_state(net);
     }
     let grid = SeriesConfig { start: cfg.start, interval: cfg.interval };
-    (run_grid(net, vp, target, &tslp, grid, cfg.end), false)
+    (run_grid(net, &mut ctx, vp, target, &tslp, grid, cfg.end), false)
+}
+
+/// Resolve a `threads` knob: 0 = one worker per available core.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Measure a whole target list, fanning targets out over `cfg.threads`
+/// workers. Results come back in target order and are bit-identical to the
+/// sequential run at any thread count: each target owns a private
+/// [`ProbeCtx`] and the substrate is only read.
+pub fn measure_vp_links(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+) -> Vec<(LinkSeries, bool)> {
+    let threads = resolve_threads(cfg.threads).min(targets.len().max(1));
+    if threads <= 1 {
+        return targets.iter().map(|t| measure_link(net, vp, t, cfg)).collect();
+    }
+    // Work-stealing by atomic claim counter: workers grab the next unclaimed
+    // target index and write its result into that index's slot, so output
+    // order is target order no matter which worker finishes when.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(LinkSeries, bool)>>> =
+        targets.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(target) = targets.get(i) else { break };
+                let r = measure_link(net, vp, target, cfg);
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
+        .collect()
 }
 
 /// Measure a whole target list; returns per-target series plus the count of
 /// links the screening pass short-circuited.
 pub fn measure_vp(
-    net: &mut Network,
+    net: &Network,
     vp: NodeId,
     targets: &[TslpTarget],
     cfg: &CampaignConfig,
 ) -> (Vec<LinkSeries>, usize) {
-    let mut out = Vec::with_capacity(targets.len());
-    let mut screened = 0usize;
-    for t in targets {
-        let (s, sc) = measure_link(net, vp, t, cfg);
-        if sc {
-            screened += 1;
-        }
-        out.push(s);
-    }
-    (out, screened)
+    let results = measure_vp_links(net, vp, targets, cfg);
+    let screened = results.iter().filter(|(_, sc)| *sc).count();
+    (results.into_iter().map(|(s, _)| s).collect(), screened)
 }
 
 #[cfg(test)]
@@ -198,9 +267,9 @@ mod tests {
 
     #[test]
     fn healthy_link_is_screened_out() {
-        let (mut net, vp, _) = line_topology(50);
+        let (net, vp, _) = line_topology(50);
         let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 8));
-        let (series, screened) = measure_link(&mut net, vp, &target(), &cfg);
+        let (series, screened) = measure_link(&net, vp, &target(), &cfg);
         assert!(screened, "clean line should not need the full campaign");
         assert_eq!(series.cfg.interval, SimDuration::from_hours(1));
         assert!(!assess_link(&series, &AssessConfig::default()).flagged);
@@ -230,7 +299,7 @@ mod tests {
         net.link_mut(ixp_simnet::prelude::LinkId(1))
             .set_load(ixp_simnet::prelude::Dir::AtoB, std::sync::Arc::new(MiddayPulse));
         let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 15));
-        let (series, screened) = measure_link(&mut net, vp, &target(), &cfg);
+        let (series, screened) = measure_link(&net, vp, &target(), &cfg);
         assert!(!screened, "spread {}", far_spread_ms(&series));
         assert_eq!(series.cfg.interval, SimDuration::from_mins(5));
         let a = assess_link(&series, &AssessConfig::default());
@@ -241,19 +310,19 @@ mod tests {
 
     #[test]
     fn exact_mode_never_screens() {
-        let (mut net, vp, _) = line_topology(52);
+        let (net, vp, _) = line_topology(52);
         let cfg = CampaignConfig::exact(SimTime::ZERO, SimTime::from_date(2016, 1, 3));
-        let (series, screened) = measure_link(&mut net, vp, &target(), &cfg);
+        let (series, screened) = measure_link(&net, vp, &target(), &cfg);
         assert!(!screened);
         assert_eq!(series.len(), 2 * 288);
     }
 
     #[test]
     fn measure_vp_counts_screening() {
-        let (mut net, vp, _) = line_topology(53);
+        let (net, vp, _) = line_topology(53);
         let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 5));
         let targets = vec![target(); 3];
-        let (series, screened) = measure_vp(&mut net, vp, &targets, &cfg);
+        let (series, screened) = measure_vp(&net, vp, &targets, &cfg);
         assert_eq!(series.len(), 3);
         assert_eq!(screened, 3);
     }

@@ -177,7 +177,7 @@ pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &S
     let Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity } = pre;
     let (far, far_idx, min_len, far_validity, baseline) =
         (far, far_idx, *min_len, *far_validity, *baseline);
-    let raw_events = extract_events(&segs, baseline, cfg.threshold_ms, min_len);
+    let raw_events = extract_events(segs, baseline, cfg.threshold_ms, min_len);
     let gap = samples_for(cfg.sanitize_gap, series.cfg.interval);
     let events = sanitize_events(&raw_events, gap);
     let flagged = !events.is_empty();
@@ -192,7 +192,7 @@ pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &S
         .collect();
 
     // Near-side guard.
-    let near_guard = near_guard(series, &events, &far_idx, cfg, &det);
+    let near_guard = near_guard(series, &events, far_idx, cfg, det);
 
     // Diurnal classification over the *timed* events.
     let diurnal = flagged && near_guard == NearGuard::Clean && is_diurnal(&timed, cfg);

@@ -22,14 +22,17 @@ pub mod detect;
 pub mod lossanalysis;
 pub mod series;
 
-pub use campaign::{far_spread_ms, measure_link, measure_vp, CampaignConfig, Screening, TslpProbing};
+pub use campaign::{
+    far_excursions, far_spread_ms, measure_link, measure_vp, measure_vp_links, resolve_threads,
+    CampaignConfig, Screening, TslpProbing,
+};
 pub use detect::{assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats};
 pub use lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit};
 pub use series::{LinkSeries, SeriesConfig};
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::campaign::{measure_link, measure_vp, CampaignConfig, Screening};
+    pub use crate::campaign::{measure_link, measure_vp, measure_vp_links, CampaignConfig, Screening};
     pub use crate::detect::{
         assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
     };

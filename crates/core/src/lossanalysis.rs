@@ -10,6 +10,7 @@
 use crate::detect::TimedEvent;
 use ixp_prober::loss::{loss_batch, LossConfig};
 use ixp_simnet::net::Network;
+use ixp_simnet::rng::mix;
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::Ipv4;
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -75,21 +76,26 @@ impl LossSeries {
 }
 
 /// Run a loss campaign against one link end (TTL-limited toward `dst`).
+///
+/// Probes walk a private [`ProbeCtx`](ixp_simnet::net::ProbeCtx) seeded from
+/// `(vp, dst, ttl)`, so the series is a pure function of the arguments and
+/// safe to compute concurrently with other measurements on the same net.
 pub fn measure_loss_series(
-    net: &mut Network,
+    net: &Network,
     vp: NodeId,
     dst: Ipv4,
     ttl: u8,
     cfg: &LossCampaignConfig,
 ) -> LossSeries {
+    let mut ctx = net.probe_ctx(mix(&[vp.0 as u64, dst.0 as u64, ttl as u64, 0x1055]));
     let batch_cfg = LossConfig { batch_size: cfg.batch_size, interval: cfg.probe_interval };
     let mut out = LossSeries::default();
     let mut t = cfg.start;
     while t < cfg.end {
-        let b = loss_batch(net, vp, dst, ttl, &batch_cfg, t);
+        let b = loss_batch(net, &mut ctx, vp, dst, ttl, &batch_cfg, t);
         out.t.push(t);
         out.rate.push(b.loss_rate());
-        t = t + cfg.every;
+        t += cfg.every;
     }
     out
 }
@@ -138,18 +144,18 @@ mod tests {
 
     #[test]
     fn clean_link_no_loss() {
-        let (mut net, vp, tgt) = line_topology(60);
+        let (net, vp, tgt) = line_topology(60);
         let cfg = LossCampaignConfig::paper(SimTime::ZERO, SimTime(6 * 3_600_000_000));
-        let s = measure_loss_series(&mut net, vp, tgt, 2, &cfg);
+        let s = measure_loss_series(&net, vp, tgt, 2, &cfg);
         assert_eq!(s.len(), 6);
         assert_eq!(s.mean(), 0.0);
     }
 
     #[test]
     fn overloaded_link_loses() {
-        let (mut net, vp, tgt) = congested_line(61, 2.0);
+        let (net, vp, tgt) = congested_line(61, 2.0);
         let cfg = LossCampaignConfig::paper(SimTime(3_600_000_000), SimTime(5 * 3_600_000_000));
-        let s = measure_loss_series(&mut net, vp, tgt, 2, &cfg);
+        let s = measure_loss_series(&net, vp, tgt, 2, &cfg);
         assert!(s.mean() > 0.35, "mean loss {}", s.mean());
         assert!(s.max() <= 1.0);
     }

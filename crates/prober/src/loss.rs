@@ -5,7 +5,7 @@
 //! computed the loss rate over every batch of 100 probes". Those batches are
 //! what Figures 2b and 3b plot.
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -49,7 +49,8 @@ impl LossBatch {
 
 /// Run one batch of TTL-limited probes toward `dst` expiring at `ttl`.
 pub fn loss_batch(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     dst: Ipv4,
     ttl: u8,
@@ -59,7 +60,7 @@ pub fn loss_batch(
     let mut received = 0u32;
     for i in 0..cfg.batch_size {
         let t = t0 + SimDuration::from_micros(cfg.interval.as_micros() * i as u64);
-        if let Ok(rep) = net.send_probe(from, ProbeSpec::ttl_limited(dst, ttl), t) {
+        if let Ok(rep) = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), t) {
             if matches!(rep.kind, PacketKind::TimeExceeded | PacketKind::DestUnreachable) {
                 received += 1;
             }
@@ -75,8 +76,9 @@ mod tests {
 
     #[test]
     fn clean_link_zero_loss() {
-        let (mut net, vp, tgt) = line_topology(20);
-        let b = loss_batch(&mut net, vp, tgt, 2, &LossConfig::default(), SimTime::ZERO);
+        let (net, vp, tgt) = line_topology(20);
+        let mut ctx = net.probe_ctx(0);
+        let b = loss_batch(&net, &mut ctx, vp, tgt, 2, &LossConfig::default(), SimTime::ZERO);
         assert_eq!(b.sent, 100);
         assert_eq!(b.received, 100);
         assert_eq!(b.loss_rate(), 0.0);
@@ -87,9 +89,11 @@ mod tests {
         // 2× overload → steady-state drop ≈ 50% per crossing; the probe
         // crosses the congested direction once going out (forward dir), the
         // response returns over the unloaded reverse: expect ≈50%.
-        let (mut net, vp, tgt) = congested_line(21, 2.0);
+        let (net, vp, tgt) = congested_line(21, 2.0);
+        let mut ctx = net.probe_ctx(0);
         let b = loss_batch(
-            &mut net,
+            &net,
+            &mut ctx,
             vp,
             tgt,
             2,
@@ -102,8 +106,9 @@ mod tests {
 
     #[test]
     fn near_end_unaffected_by_far_congestion() {
-        let (mut net, vp, tgt) = congested_line(22, 2.0);
-        let b = loss_batch(&mut net, vp, tgt, 1, &LossConfig::default(), SimTime(2 * 3_600_000_000));
+        let (net, vp, tgt) = congested_line(22, 2.0);
+        let mut ctx = net.probe_ctx(0);
+        let b = loss_batch(&net, &mut ctx, vp, tgt, 1, &LossConfig::default(), SimTime(2 * 3_600_000_000));
         assert_eq!(b.loss_rate(), 0.0);
     }
 

@@ -1,6 +1,6 @@
 //! ICMP echo probing (`scamper -c ping` equivalent).
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -19,7 +19,8 @@ pub struct PingReply {
 /// Send `count` echo probes to `dst` spaced `interval` apart, starting at
 /// `t0`. `None` entries are losses/timeouts.
 pub fn ping(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     dst: Ipv4,
     count: usize,
@@ -29,7 +30,7 @@ pub fn ping(
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let t = t0 + SimDuration::from_micros(interval.as_micros() * i as u64);
-        let r = net.send_probe(from, ProbeSpec::echo(dst), t);
+        let r = net.send_probe_in(ctx, from, ProbeSpec::echo(dst), t);
         out.push(match r {
             Ok(rep) if rep.kind == PacketKind::EchoReply => {
                 Some(PingReply { rtt: rep.rtt, responder: rep.responder, ip_id: rep.ip_id })
@@ -79,8 +80,9 @@ mod tests {
 
     #[test]
     fn ping_returns_replies_in_order() {
-        let (mut net, vp, tgt) = line_topology(1);
-        let replies = ping(&mut net, vp, tgt, 5, SimDuration::from_secs(1), SimTime::ZERO);
+        let (net, vp, tgt) = line_topology(1);
+        let mut ctx = net.probe_ctx(0);
+        let replies = ping(&net, &mut ctx, vp, tgt, 5, SimDuration::from_secs(1), SimTime::ZERO);
         assert_eq!(replies.len(), 5);
         for r in &replies {
             let r = r.expect("reply expected on a clean line");
@@ -95,10 +97,11 @@ mod tests {
 
     #[test]
     fn ping_unroutable_is_all_losses() {
-        let (mut net, vp, _) = line_topology(2);
+        let (net, vp, _) = line_topology(2);
+        let mut ctx = net.probe_ctx(0);
         // 203.0.113.0/24 is not announced anywhere in the line topology, and
         // the last router drops it (no default).
-        let replies = ping(&mut net, vp, Ipv4::new(203, 0, 113, 1), 3, SimDuration::from_secs(1), SimTime::ZERO);
+        let replies = ping(&net, &mut ctx, vp, Ipv4::new(203, 0, 113, 1), 3, SimDuration::from_secs(1), SimTime::ZERO);
         let st = ping_stats(&replies);
         assert_eq!(st.received, 0);
         assert_eq!(st.loss, 1.0);

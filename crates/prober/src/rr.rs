@@ -15,7 +15,7 @@
 //! option (paths deeper than nine hops) yield `Unknown`, never a false
 //! `Symmetric`.
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::packet::RECORD_ROUTE_SLOTS;
@@ -37,13 +37,14 @@ pub enum Symmetry {
 /// `resolve` maps an interface address to an opaque link identity; return
 /// `None` for unknown addresses.
 pub fn record_route_symmetry(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     far_addr: Ipv4,
     resolve: impl Fn(Ipv4) -> Option<u64>,
     t: SimTime,
 ) -> Symmetry {
-    let reply = match net.send_probe(from, ProbeSpec::echo(far_addr).with_record_route(), t) {
+    let reply = match net.send_probe_in(ctx, from, ProbeSpec::echo(far_addr).with_record_route(), t) {
         Ok(r) if r.kind == PacketKind::EchoReply => r,
         _ => return Symmetry::Unknown,
     };
@@ -72,8 +73,10 @@ pub fn record_route_symmetry(
 /// Repeat the check `n` times spread over `span`; returns the counts of
 /// (symmetric, asymmetric, unknown). The paper re-checked symmetry "for the
 /// duration of our measurements".
+#[allow(clippy::too_many_arguments)]
 pub fn symmetry_votes(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     far_addr: Ipv4,
     resolve: impl Fn(Ipv4) -> Option<u64> + Copy,
@@ -84,7 +87,7 @@ pub fn symmetry_votes(
     let mut counts = (0usize, 0usize, 0usize);
     for i in 0..n {
         let t = t0 + ixp_simnet::time::SimDuration::from_micros(span.as_micros() * i as u64 / n.max(1) as u64);
-        match record_route_symmetry(net, from, far_addr, resolve, t) {
+        match record_route_symmetry(net, ctx, from, far_addr, resolve, t) {
             Symmetry::Symmetric => counts.0 += 1,
             Symmetry::Asymmetric => counts.1 += 1,
             Symmetry::Unknown => counts.2 += 1,
@@ -109,14 +112,13 @@ mod tests {
 
     #[test]
     fn symmetric_line_is_symmetric() {
-        let (mut net, vp, _) = line_topology(30);
+        let (net, vp, _) = line_topology(30);
+        let mut ctx = net.probe_ctx(0);
         let far = Ipv4::new(10, 0, 1, 2);
-        // Split borrows: clone the resolver data via a closure over an
-        // immutable copy is impossible here; do resolution through owner_of
-        // on a shadow network built identically.
-        let (shadow, _, _) = line_topology(30);
-        let resolve = link_resolver(&shadow);
-        assert_eq!(record_route_symmetry(&mut net, vp, far, resolve, SimTime::ZERO), Symmetry::Symmetric);
+        // Probing only borrows the network now, so the resolver can read the
+        // same `Network` the probes traverse — no shadow copy needed.
+        let resolve = link_resolver(&net);
+        assert_eq!(record_route_symmetry(&net, &mut ctx, vp, far, resolve, SimTime::ZERO), Symmetry::Symmetric);
     }
 
     #[test]
@@ -129,40 +131,40 @@ mod tests {
         let back = net.node(r2).iface_by_addr(Ipv4::new(10, 0, 3, 1)).unwrap();
         net.add_route(r2, "10.0.0.0/24".parse().unwrap(), back);
 
-        // The shadow must mirror the mutated topology for resolution.
-        let (mut shadow, _, _) = line_topology(31);
-        shadow.connect_idle(NodeId(2), Ipv4::new(10, 0, 3, 1), NodeId(1), Ipv4::new(10, 0, 3, 2), LinkConfig::default());
-        let resolve = link_resolver(&shadow);
+        let mut ctx = net.probe_ctx(0);
+        let resolve = link_resolver(&net);
 
         let far = Ipv4::new(10, 0, 1, 2);
-        assert_eq!(record_route_symmetry(&mut net, vp, far, resolve, SimTime::ZERO), Symmetry::Asymmetric);
+        assert_eq!(record_route_symmetry(&net, &mut ctx, vp, far, resolve, SimTime::ZERO), Symmetry::Asymmetric);
     }
 
     #[test]
     fn unresolvable_hop_is_unknown() {
-        let (mut net, vp, _) = line_topology(32);
+        let (net, vp, _) = line_topology(32);
+        let mut ctx = net.probe_ctx(0);
         let far = Ipv4::new(10, 0, 1, 2);
         let resolve = |_addr: Ipv4| -> Option<u64> { None };
-        assert_eq!(record_route_symmetry(&mut net, vp, far, resolve, SimTime::ZERO), Symmetry::Unknown);
+        assert_eq!(record_route_symmetry(&net, &mut ctx, vp, far, resolve, SimTime::ZERO), Symmetry::Unknown);
     }
 
     #[test]
     fn no_reply_is_unknown() {
         let (mut net, vp, _) = line_topology(33);
         net.node_mut(NodeId(2)).icmp.responsive = false;
+        let mut ctx = net.probe_ctx(0);
         let far = Ipv4::new(10, 0, 1, 2);
         let resolve = |_addr: Ipv4| -> Option<u64> { Some(1) };
-        assert_eq!(record_route_symmetry(&mut net, vp, far, resolve, SimTime::ZERO), Symmetry::Unknown);
+        assert_eq!(record_route_symmetry(&net, &mut ctx, vp, far, resolve, SimTime::ZERO), Symmetry::Unknown);
     }
 
     #[test]
     fn votes_accumulate() {
-        let (mut net, vp, _) = line_topology(34);
-        let (shadow, _, _) = line_topology(34);
-        let resolve = link_resolver(&shadow);
+        let (net, vp, _) = line_topology(34);
+        let mut ctx = net.probe_ctx(0);
+        let resolve = link_resolver(&net);
         let far = Ipv4::new(10, 0, 1, 2);
         let (s, a, u) =
-            symmetry_votes(&mut net, vp, far, resolve, SimTime::ZERO, SimDuration::from_hours(1), 10);
+            symmetry_votes(&net, &mut ctx, vp, far, resolve, SimTime::ZERO, SimDuration::from_hours(1), 10);
         assert_eq!((s, a, u), (10, 0, 0));
     }
 }

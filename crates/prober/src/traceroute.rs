@@ -6,7 +6,7 @@
 //! destination, at a hop-count cap, or after a run of consecutive silent
 //! hops (the usual `scamper` gap limit).
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -71,7 +71,14 @@ impl Default for TracerouteConfig {
 }
 
 /// Run a traceroute from `from` toward `dst` starting at `t0`.
-pub fn traceroute(net: &mut Network, from: NodeId, dst: Ipv4, cfg: &TracerouteConfig, t0: SimTime) -> Traceroute {
+pub fn traceroute(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    from: NodeId,
+    dst: Ipv4,
+    cfg: &TracerouteConfig,
+    t0: SimTime,
+) -> Traceroute {
     let mut hops = Vec::new();
     let mut reached = false;
     let mut t = t0;
@@ -79,8 +86,8 @@ pub fn traceroute(net: &mut Network, from: NodeId, dst: Ipv4, cfg: &TracerouteCo
     for ttl in 1..=cfg.max_ttl {
         let mut hop = Hop { ttl, addr: None, rtt: None, kind: None };
         for _ in 0..cfg.attempts {
-            let r = net.send_probe(from, ProbeSpec::ttl_limited(dst, ttl), t);
-            t = t + cfg.spacing;
+            let r = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), t);
+            t += cfg.spacing;
             if let Ok(rep) = r {
                 hop.addr = Some(rep.responder);
                 hop.rtt = Some(rep.rtt);
@@ -117,8 +124,9 @@ mod tests {
 
     #[test]
     fn traces_full_path() {
-        let (mut net, vp, tgt) = line_topology(3);
-        let tr = traceroute(&mut net, vp, tgt, &TracerouteConfig::default(), SimTime::ZERO);
+        let (net, vp, tgt) = line_topology(3);
+        let mut ctx = net.probe_ctx(0);
+        let tr = traceroute(&net, &mut ctx, vp, tgt, &TracerouteConfig::default(), SimTime::ZERO);
         assert!(tr.reached);
         assert_eq!(
             tr.responders(),
@@ -133,9 +141,10 @@ mod tests {
     fn silent_hop_recorded_and_gap_limit_stops() {
         let (mut net, vp, tgt) = line_topology(4);
         net.node_mut(SimNodeId(2)).icmp.responsive = false; // r2 silent
+        let mut ctx = net.probe_ctx(0);
         // The target host answers (its UDP port unreachable) when probes get
         // that far, so hop 2 is a star and hop 3 responds.
-        let tr = traceroute(&mut net, vp, tgt, &TracerouteConfig::default(), SimTime::ZERO);
+        let tr = traceroute(&net, &mut ctx, vp, tgt, &TracerouteConfig::default(), SimTime::ZERO);
         assert!(tr.reached);
         assert_eq!(tr.hops[1].addr, None);
         assert_eq!(tr.hops[2].addr, Some(tgt));
@@ -149,7 +158,8 @@ mod tests {
         // Make everything silent instead to exercise the gap limit.
         net.node_mut(SimNodeId(1)).icmp.responsive = false;
         net.node_mut(SimNodeId(2)).icmp.responsive = false;
-        let tr = traceroute(&mut net, vp, Ipv4::new(203, 0, 113, 9), &TracerouteConfig::default(), SimTime::ZERO);
+        let mut ctx = net.probe_ctx(0);
+        let tr = traceroute(&net, &mut ctx, vp, Ipv4::new(203, 0, 113, 9), &TracerouteConfig::default(), SimTime::ZERO);
         assert!(!tr.reached);
         assert_eq!(tr.hops.len(), 3, "{:?}", tr.hops); // gap_limit
         assert!(tr.responders().is_empty());
@@ -157,9 +167,10 @@ mod tests {
 
     #[test]
     fn probes_are_paced() {
-        let (mut net, vp, tgt) = line_topology(6);
+        let (net, vp, tgt) = line_topology(6);
+        let mut ctx = net.probe_ctx(0);
         let cfg = TracerouteConfig { spacing: SimDuration::from_millis(10), ..Default::default() };
-        let tr = traceroute(&mut net, vp, tgt, &cfg, SimTime::ZERO);
+        let tr = traceroute(&net, &mut ctx, vp, tgt, &cfg, SimTime::ZERO);
         // Hop k's probe goes out at ≥ k·10ms; its RTT is measured from then,
         // so RTTs stay small even though wall-clock advanced.
         for h in &tr.hops {

@@ -8,7 +8,7 @@
 //! list with scamper-style pacing and retries; the campaign loop lives in
 //! `tslp-core`.
 
-use ixp_simnet::net::{Network, ProbeSpec};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
@@ -64,7 +64,8 @@ impl Default for TslpConfig {
 /// Probe one end (TTL-limited toward `dst`); returns `(rtt, responder)` of
 /// the first answered attempt and advances the pacing clock.
 fn probe_end(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     dst: Ipv4,
     ttl: u8,
@@ -72,8 +73,8 @@ fn probe_end(
     t: &mut SimTime,
 ) -> Option<(SimDuration, Ipv4)> {
     for _ in 0..cfg.attempts {
-        let r = net.send_probe(from, ProbeSpec::ttl_limited(dst, ttl), *t);
-        *t = *t + cfg.pacing;
+        let r = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), *t);
+        *t += cfg.pacing;
         if let Ok(rep) = r {
             if rep.kind == PacketKind::TimeExceeded || rep.kind == PacketKind::DestUnreachable {
                 return Some((rep.rtt, rep.responder));
@@ -84,10 +85,17 @@ fn probe_end(
 }
 
 /// Probe one target once (near end, then far end).
-pub fn tslp_probe(net: &mut Network, from: NodeId, target: &TslpTarget, cfg: &TslpConfig, t0: SimTime) -> TslpSample {
+pub fn tslp_probe(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    from: NodeId,
+    target: &TslpTarget,
+    cfg: &TslpConfig,
+    t0: SimTime,
+) -> TslpSample {
     let mut t = t0;
-    let near = probe_end(net, from, target.dst, target.near_ttl, cfg, &mut t);
-    let far = probe_end(net, from, target.dst, target.far_ttl, cfg, &mut t);
+    let near = probe_end(net, ctx, from, target.dst, target.near_ttl, cfg, &mut t);
+    let far = probe_end(net, ctx, from, target.dst, target.far_ttl, cfg, &mut t);
     TslpSample {
         t: t0,
         near: near.map(|(rtt, _)| rtt),
@@ -99,7 +107,8 @@ pub fn tslp_probe(net: &mut Network, from: NodeId, target: &TslpTarget, cfg: &Ts
 
 /// Run one TSLP round over `targets`, pacing probes across the whole list.
 pub fn tslp_round(
-    net: &mut Network,
+    net: &Network,
+    ctx: &mut ProbeCtx,
     from: NodeId,
     targets: &[TslpTarget],
     cfg: &TslpConfig,
@@ -108,9 +117,9 @@ pub fn tslp_round(
     let mut out = Vec::with_capacity(targets.len());
     let mut t = t0;
     for tgt in targets {
-        let s = tslp_probe(net, from, tgt, cfg, t);
+        let s = tslp_probe(net, ctx, from, tgt, cfg, t);
         // Worst case the probe_end calls consumed 2×attempts pacing slots.
-        t = t + SimDuration::from_micros(cfg.pacing.as_micros() * 2 * cfg.attempts as u64);
+        t += SimDuration::from_micros(cfg.pacing.as_micros() * 2 * cfg.attempts as u64);
         out.push(s);
     }
     out
@@ -133,8 +142,9 @@ mod tests {
 
     #[test]
     fn near_and_far_measured() {
-        let (mut net, vp, _) = line_topology(7);
-        let s = tslp_probe(&mut net, vp, &target(), &TslpConfig::default(), SimTime::ZERO);
+        let (net, vp, _) = line_topology(7);
+        let mut ctx = net.probe_ctx(0);
+        let s = tslp_probe(&net, &mut ctx, vp, &target(), &TslpConfig::default(), SimTime::ZERO);
         assert!(s.near.is_some() && s.far.is_some());
         assert!(s.near_addr_ok && s.far_addr_ok);
         assert!(s.far.unwrap() > s.near.unwrap());
@@ -142,13 +152,15 @@ mod tests {
 
     #[test]
     fn congestion_shows_in_far_not_near() {
-        let (mut net, vp, _) = congested_line(8, 1.4);
+        let (net, vp, _) = congested_line(8, 1.4);
+        let mut ctx = net.probe_ctx(0);
         let t = SimTime(2 * 3_600_000_000);
         // Retry a few rounds: heavy overload can eat both attempts.
         let mut best = None;
         for k in 0..10 {
             let s = tslp_probe(
-                &mut net,
+                &net,
+                &mut ctx,
                 vp,
                 &target(),
                 &TslpConfig::default(),
@@ -166,19 +178,21 @@ mod tests {
 
     #[test]
     fn unexpected_responder_flagged() {
-        let (mut net, vp, _) = line_topology(9);
+        let (net, vp, _) = line_topology(9);
+        let mut ctx = net.probe_ctx(0);
         let mut tgt = target();
         tgt.far_addr = Ipv4::new(9, 9, 9, 9); // wrong expectation
-        let s = tslp_probe(&mut net, vp, &tgt, &TslpConfig::default(), SimTime::ZERO);
+        let s = tslp_probe(&net, &mut ctx, vp, &tgt, &TslpConfig::default(), SimTime::ZERO);
         assert!(s.far.is_some());
         assert!(!s.far_addr_ok);
     }
 
     #[test]
     fn round_covers_all_targets() {
-        let (mut net, vp, _) = line_topology(10);
+        let (net, vp, _) = line_topology(10);
+        let mut ctx = net.probe_ctx(0);
         let targets = vec![target(); 5];
-        let round = tslp_round(&mut net, vp, &targets, &TslpConfig::default(), SimTime::ZERO);
+        let round = tslp_round(&net, &mut ctx, vp, &targets, &TslpConfig::default(), SimTime::ZERO);
         assert_eq!(round.len(), 5);
         // Round timestamps advance with pacing.
         assert!(round[4].t > round[0].t);
@@ -191,7 +205,8 @@ mod tests {
     fn unresponsive_far_gives_none() {
         let (mut net, vp, _) = line_topology(11);
         net.node_mut(ixp_simnet::prelude::NodeId(2)).icmp.responsive = false;
-        let s = tslp_probe(&mut net, vp, &target(), &TslpConfig::default(), SimTime::ZERO);
+        let mut ctx = net.probe_ctx(0);
+        let s = tslp_probe(&net, &mut ctx, vp, &target(), &TslpConfig::default(), SimTime::ZERO);
         assert!(s.near.is_some());
         assert!(s.far.is_none());
         assert!(!s.far_addr_ok);

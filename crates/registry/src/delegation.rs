@@ -84,7 +84,7 @@ impl AddressRegistry {
         assert!((16..=24).contains(&len), "supported allocation sizes are /16../24, got /{len}");
         let units = 1u32 << (24 - len); // size in /24s
         // Align within the current /16.
-        let aligned = (self.sub_cursor + units - 1) / units * units;
+        let aligned = self.sub_cursor.div_ceil(units) * units;
         let (slot, offset) = if aligned + units <= 256 {
             (self.cursor, aligned)
         } else {

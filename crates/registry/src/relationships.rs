@@ -184,7 +184,7 @@ pub fn infer_relationships(paths: &[Vec<Asn>], siblings: &HashSet<(u32, u32)>) -
             let key = (a.0.min(b.0), b.0.max(a.0));
             let v = votes.entry(key).or_default();
             let a_first = a.0 < b.0;
-            if i + 1 <= summit && i < summit {
+            if i < summit {
                 // Climbing: earlier is customer of later.
                 if a_first {
                     v.up += 1;

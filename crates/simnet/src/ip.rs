@@ -110,6 +110,7 @@ impl Prefix {
         self.base
     }
     /// Mask length in bits.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

@@ -30,6 +30,15 @@
 //! same per-hop semantics as discrete events for agent-in-the-loop
 //! experiments; the two are tested to agree exactly.
 //!
+//! ## Concurrency
+//!
+//! The substrate is immutable during probing and `Sync`; all mutable walk
+//! state (queue anchors, IP-ID counters, token buckets, a route memo) lives
+//! in a [`net::ProbeCtx`] from [`net::Network::probe_ctx`]. Threads each own
+//! a ctx and probe the same `&Network` via
+//! [`net::Network::send_probe_in`] without aliasing; two epoch counters
+//! (topology, scenario) tell a ctx when to invalidate its caches.
+//!
 //! ```
 //! use ixp_simnet::prelude::*;
 //!
@@ -60,9 +69,11 @@ pub mod trace;
 pub mod prelude {
     pub use crate::fault::{Fault, FaultPlan};
     pub use crate::ip::{Ipv4, Prefix, PrefixTable};
-    pub use crate::link::{ConstantLoad, Dir, DropReason, Link, LinkConfig, LinkId, NoLoad, OfferedLoad, Schedule};
-    pub use crate::net::{Network, ProbeError, ProbeReply, ProbeResult, ProbeSpec};
-    pub use crate::node::{Asn, IcmpConfig, IfaceId, Node, NodeId, NodeKind, RespondFrom, SlowPath};
+    pub use crate::link::{
+        ConstantLoad, Dir, DropReason, Link, LinkConfig, LinkId, LinkQueueState, NoLoad, OfferedLoad, Schedule,
+    };
+    pub use crate::net::{Network, ProbeCtx, ProbeError, ProbeReply, ProbeResult, ProbeSpec};
+    pub use crate::node::{Asn, IcmpConfig, IfaceId, Node, NodeId, NodeKind, NodeScratch, RespondFrom, SlowPath};
     pub use crate::packet::{Packet, PacketKind, ProbeId};
     pub use crate::rng::HashNoise;
     pub use crate::time::{Date, SimDuration, SimTime, Weekday};

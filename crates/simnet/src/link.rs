@@ -29,6 +29,7 @@ use crate::rng::{streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Index of a link in the network arena.
@@ -52,7 +53,7 @@ impl Dir {
             Dir::BtoA => Dir::AtoB,
         }
     }
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Dir::AtoB => 0,
             Dir::BtoA => 1,
@@ -159,16 +160,28 @@ impl<T: Clone> Schedule<T> {
     }
 }
 
-/// Per-direction lazy queue state.
-#[derive(Clone)]
-struct DirState {
-    load: Arc<dyn OfferedLoad>,
+/// Per-direction lazy queue-integration state.
+///
+/// This is the *only* mutable part of the fluid queue model, split out from
+/// [`Link`] so concurrent probe walks can each carry their own copy (inside a
+/// `ProbeCtx`) while sharing the immutable link — the queue trajectory is a
+/// pure function of `(load schedule, capacity schedule, time)`, so
+/// independently integrated copies agree wherever they overlap.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkQueueState {
     anchor: SimTime,
     queue_bytes: f64,
     /// Offered load at the last integration step (reused for drop decisions).
     last_offered_bps: f64,
-    packets: u64,
-    drops: u64,
+}
+
+/// Per-direction packet/drop counters. Atomic so [`Link::transit_in`] can
+/// record traffic through a shared `&Link`; relaxed ordering — these are
+/// observability counters, never part of probe results.
+#[derive(Debug, Default)]
+struct DirCounters {
+    packets: AtomicU64,
+    drops: AtomicU64,
 }
 
 /// Static configuration for building a [`Link`].
@@ -207,6 +220,11 @@ impl Default for LinkConfig {
 }
 
 /// A point-to-point link between two interfaces with per-direction queues.
+///
+/// The link itself is immutable during probing: configuration and offered
+/// loads are shared, queue state lives either in the embedded per-link copy
+/// (the `&mut self` compatibility API) or in a caller-owned
+/// [`LinkQueueState`] (the `*_in` shared-substrate API).
 pub struct Link {
     /// Arena id.
     pub id: LinkId,
@@ -216,7 +234,9 @@ pub struct Link {
     /// B-side interface address.
     pub addr_b: Ipv4,
     cfg: LinkConfig,
-    dirs: [DirState; 2],
+    loads: [Arc<dyn OfferedLoad>; 2],
+    states: [LinkQueueState; 2],
+    counters: [DirCounters; 2],
     noise: HashNoise,
 }
 
@@ -234,15 +254,22 @@ impl Link {
         load_ba: Arc<dyn OfferedLoad>,
         noise: HashNoise,
     ) -> Link {
-        let mk = |load: Arc<dyn OfferedLoad>| DirState {
-            last_offered_bps: load.bps(SimTime::ZERO),
-            load,
+        let mk = |load: &Arc<dyn OfferedLoad>| LinkQueueState {
             anchor: SimTime::ZERO,
             queue_bytes: 0.0,
-            packets: 0,
-            drops: 0,
+            last_offered_bps: load.bps(SimTime::ZERO),
         };
-        Link { id, addr_a, addr_b, cfg, dirs: [mk(load_ab), mk(load_ba)], noise }
+        let states = [mk(&load_ab), mk(&load_ba)];
+        Link {
+            id,
+            addr_a,
+            addr_b,
+            cfg,
+            loads: [load_ab, load_ba],
+            states,
+            counters: [DirCounters::default(), DirCounters::default()],
+            noise,
+        }
     }
 
     /// The link's static configuration.
@@ -252,9 +279,9 @@ impl Link {
 
     /// Replace the offered load of one direction (scenario phase changes).
     pub fn set_load(&mut self, dir: Dir, load: Arc<dyn OfferedLoad>) {
-        let d = &mut self.dirs[dir.index()];
-        d.last_offered_bps = load.bps(d.anchor);
-        d.load = load;
+        let i = dir.index();
+        self.states[i].last_offered_bps = load.bps(self.states[i].anchor);
+        self.loads[i] = load;
     }
 
     /// Mutable access to the capacity schedule (for upgrades).
@@ -277,11 +304,24 @@ impl Link {
     /// The queue model only integrates forward; a measurement pass that
     /// re-reads an earlier time range (e.g. full-fidelity probing after a
     /// screening pass) must rewind first or it reads stale state.
+    ///
+    /// Only affects the embedded per-link state used by the `&mut self`
+    /// compatibility API; caller-owned [`LinkQueueState`]s rewind via
+    /// `ProbeCtx::reset_queue_state` (or by taking a fresh
+    /// [`Link::fresh_queue_state`]).
     pub fn reset_queue_state(&mut self) {
-        for d in self.dirs.iter_mut() {
-            d.anchor = SimTime::ZERO;
-            d.queue_bytes = 0.0;
-            d.last_offered_bps = d.load.bps(SimTime::ZERO);
+        for dir in [Dir::AtoB, Dir::BtoA] {
+            self.states[dir.index()] = self.fresh_queue_state(dir);
+        }
+    }
+
+    /// A queue state anchored at the epoch for `dir` — the starting point of
+    /// any independent integration of this link's queue trajectory.
+    pub fn fresh_queue_state(&self, dir: Dir) -> LinkQueueState {
+        LinkQueueState {
+            anchor: SimTime::ZERO,
+            queue_bytes: 0.0,
+            last_offered_bps: self.loads[dir.index()].bps(SimTime::ZERO),
         }
     }
 
@@ -297,72 +337,70 @@ impl Link {
 
     /// `(packets carried, packets dropped)` counters for one direction.
     pub fn stats(&self, dir: Dir) -> (u64, u64) {
-        let d = &self.dirs[dir.index()];
-        (d.packets, d.drops)
+        let c = &self.counters[dir.index()];
+        (c.packets.load(Ordering::Relaxed), c.drops.load(Ordering::Relaxed))
     }
 
-    /// Advance the lazy queue integration of `dir` up to `t`.
+    /// Advance a lazy queue integration of `dir` up to `t`.
     ///
-    /// Queries at `t` earlier than the current anchor (possible when the
+    /// Queries at `t` earlier than the state's anchor (possible when the
     /// event kernel interleaves with fast-path probing) return the anchored
     /// state; the approximation error is bounded by one integration step.
-    fn advance(&mut self, dir: Dir, t: SimTime) {
+    fn advance_in(&self, dir: Dir, st: &mut LinkQueueState, t: SimTime) {
         let cap_sched = &self.cfg.capacity_bps;
         let buf_sched = &self.cfg.buffer_bytes;
         let step = self.cfg.step;
-        let d = &mut self.dirs[dir.index()];
-        if t <= d.anchor {
+        let load = &self.loads[dir.index()];
+        if t <= st.anchor {
             return;
         }
         // Fast path: a link whose peak load stays well under capacity can
         // never build a queue; jump the anchor forward for free.
         let cap_now = *cap_sched.at(t);
-        if d.queue_bytes == 0.0 && d.load.peak_bps() < 0.8 * cap_now && *cap_sched.at(d.anchor) == cap_now {
-            d.anchor = t;
-            d.last_offered_bps = d.load.bps(t);
+        if st.queue_bytes == 0.0 && load.peak_bps() < 0.8 * cap_now && *cap_sched.at(st.anchor) == cap_now {
+            st.anchor = t;
+            st.last_offered_bps = load.bps(t);
             return;
         }
         // Cap the amount of history we integrate: after `buffer/cap` plus a
         // generous margin, the queue state is fully determined by recent
         // load, so skip ahead for long-idle links.
         let max_span = SimDuration::from_secs(6 * 3600);
-        if t.since(d.anchor) > max_span {
-            d.anchor = t - max_span;
+        if t.since(st.anchor) > max_span {
+            st.anchor = t - max_span;
         }
-        while d.anchor < t {
-            let dt_us = step.as_micros().min(t.since(d.anchor).as_micros());
+        while st.anchor < t {
+            let dt_us = step.as_micros().min(t.since(st.anchor).as_micros());
             let dt = dt_us as f64 / 1e6;
-            let offered = d.load.bps(d.anchor);
-            let cap = *cap_sched.at(d.anchor);
+            let offered = load.bps(st.anchor);
+            let cap = *cap_sched.at(st.anchor);
             let delta_bytes = (offered - cap) * dt / 8.0;
-            d.queue_bytes = (d.queue_bytes + delta_bytes).clamp(0.0, *buf_sched.at(d.anchor));
-            d.last_offered_bps = offered;
-            d.anchor = d.anchor + SimDuration::from_micros(dt_us);
+            st.queue_bytes = (st.queue_bytes + delta_bytes).clamp(0.0, *buf_sched.at(st.anchor));
+            st.last_offered_bps = offered;
+            st.anchor += SimDuration::from_micros(dt_us);
         }
     }
 
-    /// Current queueing delay for `dir` at `t` (advances the integration).
-    pub fn queue_delay(&mut self, dir: Dir, t: SimTime) -> SimDuration {
-        self.advance(dir, t);
+    /// Current queueing delay for `dir` at `t`, advancing `st`.
+    pub fn queue_delay_in(&self, dir: Dir, st: &mut LinkQueueState, t: SimTime) -> SimDuration {
+        self.advance_in(dir, st, t);
         let cap = self.capacity_at(t).max(1.0);
-        let q = self.dirs[dir.index()].queue_bytes;
-        SimDuration::from_secs_f64(q * 8.0 / cap)
+        SimDuration::from_secs_f64(st.queue_bytes * 8.0 / cap)
     }
 
     /// Instantaneous utilization `offered/capacity` for `dir` at `t`.
-    pub fn utilization(&mut self, dir: Dir, t: SimTime) -> f64 {
-        self.advance(dir, t);
+    pub fn utilization_in(&self, dir: Dir, st: &mut LinkQueueState, t: SimTime) -> f64 {
+        self.advance_in(dir, st, t);
         let cap = self.capacity_at(t).max(1.0);
-        self.dirs[dir.index()].last_offered_bps / cap
+        st.last_offered_bps / cap
     }
 
     /// Loss probability a packet faces crossing `dir` at `t`.
-    pub fn loss_probability(&mut self, dir: Dir, t: SimTime) -> f64 {
-        self.advance(dir, t);
+    pub fn loss_probability_in(&self, dir: Dir, st: &mut LinkQueueState, t: SimTime) -> f64 {
+        self.advance_in(dir, st, t);
         let cap = self.capacity_at(t).max(1.0);
-        let d = &self.dirs[dir.index()];
-        let overload = if d.queue_bytes >= *self.cfg.buffer_bytes.at(t) * 0.999 && d.last_offered_bps > cap {
-            (d.last_offered_bps - cap) / d.last_offered_bps
+        let overload = if st.queue_bytes >= *self.cfg.buffer_bytes.at(t) * 0.999 && st.last_offered_bps > cap {
+            (st.last_offered_bps - cap) / st.last_offered_bps
         } else {
             0.0
         };
@@ -370,20 +408,22 @@ impl Link {
         1.0 - (1.0 - overload) * (1.0 - self.cfg.base_loss)
     }
 
-    /// Carry one packet of `size` bytes across `dir` at `t`.
+    /// Carry one packet of `size` bytes across `dir` at `t`, advancing `st`.
     ///
     /// `pkt_key` must be unique per crossing attempt (probe id mixed with a
-    /// hop counter); it seeds the deterministic drop decision.
-    pub fn transit(&mut self, dir: Dir, t: SimTime, size: u32, pkt_key: u64) -> TransitResult {
+    /// hop counter); it seeds the deterministic drop decision. Takes `&self`:
+    /// the packet's fate depends only on the shared substrate, the explicit
+    /// queue state, and `pkt_key`.
+    pub fn transit_in(&self, dir: Dir, st: &mut LinkQueueState, t: SimTime, size: u32, pkt_key: u64) -> TransitResult {
+        let d_idx = dir.index();
         if !self.is_up(t) {
-            self.dirs[dir.index()].drops += 1;
+            self.counters[d_idx].drops.fetch_add(1, Ordering::Relaxed);
             return Err(DropReason::LinkDown);
         }
-        let p_loss = self.loss_probability(dir, t);
-        let d_idx = dir.index();
+        let p_loss = self.loss_probability_in(dir, st, t);
         let key = pkt_key ^ ((self.id.0 as u64) << 32) ^ ((d_idx as u64) << 63);
         if self.cfg.base_loss > 0.0 && self.noise.chance(streams::FAULT_LOSS, key, self.cfg.base_loss) {
-            self.dirs[d_idx].drops += 1;
+            self.counters[d_idx].drops.fetch_add(1, Ordering::Relaxed);
             return Err(DropReason::RandomLoss);
         }
         let overload = if self.cfg.base_loss > 0.0 {
@@ -392,14 +432,46 @@ impl Link {
             p_loss
         };
         if overload > 0.0 && self.noise.chance(streams::QUEUE_DROP, key, overload) {
-            self.dirs[d_idx].drops += 1;
+            self.counters[d_idx].drops.fetch_add(1, Ordering::Relaxed);
             return Err(DropReason::QueueFull);
         }
         let cap = self.capacity_at(t).max(1.0);
-        let queue = self.queue_delay(dir, t);
+        let queue = self.queue_delay_in(dir, st, t);
         let serialization = SimDuration::from_secs_f64(size as f64 * 8.0 / cap);
-        self.dirs[d_idx].packets += 1;
+        self.counters[d_idx].packets.fetch_add(1, Ordering::Relaxed);
         Ok(self.cfg.prop_delay + serialization + queue)
+    }
+
+    /// Current queueing delay for `dir` at `t` (embedded-state convenience).
+    pub fn queue_delay(&mut self, dir: Dir, t: SimTime) -> SimDuration {
+        let mut st = self.states[dir.index()];
+        let r = self.queue_delay_in(dir, &mut st, t);
+        self.states[dir.index()] = st;
+        r
+    }
+
+    /// Instantaneous utilization (embedded-state convenience).
+    pub fn utilization(&mut self, dir: Dir, t: SimTime) -> f64 {
+        let mut st = self.states[dir.index()];
+        let r = self.utilization_in(dir, &mut st, t);
+        self.states[dir.index()] = st;
+        r
+    }
+
+    /// Loss probability (embedded-state convenience).
+    pub fn loss_probability(&mut self, dir: Dir, t: SimTime) -> f64 {
+        let mut st = self.states[dir.index()];
+        let r = self.loss_probability_in(dir, &mut st, t);
+        self.states[dir.index()] = st;
+        r
+    }
+
+    /// Carry one packet across `dir` at `t` (embedded-state convenience).
+    pub fn transit(&mut self, dir: Dir, t: SimTime, size: u32, pkt_key: u64) -> TransitResult {
+        let mut st = self.states[dir.index()];
+        let r = self.transit_in(dir, &mut st, t, size, pkt_key);
+        self.states[dir.index()] = st;
+        r
     }
 }
 

@@ -8,12 +8,20 @@
 //! paper's record-route symmetry check exists to catch.
 //!
 //! Two execution modes share the same per-hop stepping function
-//! ([`Network::forward_step`]): the **fast path walk** ([`Network::send_probe`])
-//! runs a whole probe round trip in O(path length), which makes a year × six
-//! VPs × every-link-every-5-minutes campaign tractable; the **event kernel**
+//! ([`Network::forward_step_in`]): the **fast path walk**
+//! ([`Network::send_probe_in`]) runs a whole probe round trip in
+//! O(path length), which makes a year × six VPs ×
+//! every-link-every-5-minutes campaign tractable; the **event kernel**
 //! (`kernel` module) schedules each hop as a discrete event for
 //! agent-in-the-loop experiments. A cross-validation test asserts both modes
 //! time packets identically.
+//!
+//! The fast path runs against a **shared immutable substrate**: all mutable
+//! probing state (probe ids, lazy queue integrations, IP-ID counters,
+//! rate-limiter buckets, the route memo) lives in a caller-owned
+//! [`ProbeCtx`], so independent contexts can walk probes over the same
+//! `&Network` concurrently with bit-identical results to a serial run. The
+//! historical `&mut Network` methods delegate to an embedded default context.
 //!
 //! Record-route follows RFC 791 semantics: request packets and echo *replies*
 //! keep recording egress addresses into the nine option slots (so a ping -R
@@ -21,10 +29,10 @@
 //! merely quote the frozen forward-path option.
 
 use crate::ip::{Ipv4, Prefix};
-use crate::link::{Dir, DropReason, Link, LinkConfig, LinkId, NoLoad, OfferedLoad};
-use crate::node::{Asn, IfaceId, Node, NodeId, NodeKind, NoResponse};
+use crate::link::{Dir, DropReason, Link, LinkConfig, LinkId, LinkQueueState, NoLoad, OfferedLoad};
+use crate::node::{Asn, IfaceId, Node, NodeId, NodeKind, NodeScratch, NoResponse};
 use crate::packet::{Packet, PacketKind, ProbeId, PROBE_SIZE_BYTES};
-use crate::rng::{mix, streams, HashNoise};
+use crate::rng::{mix, splitmix64, streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -150,13 +158,108 @@ pub enum ForwardStep {
     Fail(ProbeError),
 }
 
+/// Per-walk mutable probing state, separated from the shared [`Network`].
+///
+/// The substrate (topology, routes, link configs, offered-load functions) is
+/// immutable during probing; everything a probe walk mutates lives here:
+///
+/// - the probe-id allocator (ids are `base + counter`, so distinct contexts
+///   draw from disjoint id spaces and per-packet noise streams never collide),
+/// - one lazy [`LinkQueueState`] per link direction — queue occupancy is a
+///   pure function of time, so each context integrates its own copy and any
+///   two contexts agree wherever their queries overlap,
+/// - one [`NodeScratch`] per node (IP-ID counters, ICMP rate-limiter
+///   buckets) — one context models one measurement session's view,
+/// - a route memo caching resolved `(node, dst) → egress` lookups.
+///
+/// A context is glued to the network's mutation epochs: topology or scenario
+/// changes on the `Network` invalidate the route memo or rewind the queue
+/// states, respectively, at the context's next use ([`ProbeCtx::sync`]).
+#[derive(Clone, Debug)]
+pub struct ProbeCtx {
+    base: u64,
+    next: u64,
+    topo_epoch: u64,
+    scenario_epoch: u64,
+    queues: Vec<[LinkQueueState; 2]>,
+    scratch: Vec<NodeScratch>,
+    routes: HashMap<(u32, Ipv4), Option<IfaceId>>,
+}
+
+impl Default for ProbeCtx {
+    /// The default-stream context: probe ids 1, 2, 3, … — the id sequence
+    /// the embedded compatibility context of every [`Network`] uses.
+    fn default() -> ProbeCtx {
+        ProbeCtx {
+            base: 0,
+            next: 1,
+            topo_epoch: 0,
+            scenario_epoch: 0,
+            queues: Vec::new(),
+            scratch: Vec::new(),
+            routes: HashMap::new(),
+        }
+    }
+}
+
+impl ProbeCtx {
+    /// Allocate a fresh probe id from this context's id space.
+    pub fn alloc_probe_id(&mut self) -> ProbeId {
+        let id = ProbeId(self.base.wrapping_add(self.next));
+        self.next += 1;
+        id
+    }
+
+    /// Bring the context up to date with `net`: a topology change (nodes,
+    /// links, routes, ICMP config) clears the route memo; a scenario change
+    /// (link loads, capacity schedules, queue rewinds) rewinds the queue
+    /// states to the epoch. New links/nodes get fresh state lazily.
+    pub fn sync(&mut self, net: &Network) {
+        if self.topo_epoch != net.topo_epoch {
+            self.topo_epoch = net.topo_epoch;
+            self.routes.clear();
+        }
+        if self.scenario_epoch != net.scenario_epoch {
+            self.scenario_epoch = net.scenario_epoch;
+            self.queues.clear();
+        }
+        while self.queues.len() < net.links.len() {
+            let l = &net.links[self.queues.len()];
+            self.queues.push([l.fresh_queue_state(Dir::AtoB), l.fresh_queue_state(Dir::BtoA)]);
+        }
+        while self.scratch.len() < net.nodes.len() {
+            self.scratch.push(net.nodes[self.scratch.len()].fresh_scratch());
+        }
+    }
+
+    /// Rewind this context's lazy queue integrations to the epoch, keeping
+    /// probe-id, IP-ID, and route-memo state. A measurement pass that re-reads
+    /// a time range an earlier pass advanced through (full-fidelity probing
+    /// after screening) must rewind first or it reads stale queue state.
+    pub fn reset_queue_state(&mut self, net: &Network) {
+        self.queues.clear();
+        self.sync(net);
+    }
+}
+
 /// The simulated network: nodes, links, and an address index.
+///
+/// During probing the network is an immutable shared substrate — the `*_in`
+/// probe engine takes `&self` plus a caller-owned [`ProbeCtx`], so concurrent
+/// walks never alias. The historical `&mut self` API remains and delegates to
+/// an embedded default context.
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
     by_addr: HashMap<Ipv4, (NodeId, IfaceId)>,
     noise: HashNoise,
-    next_probe: u64,
+    /// Bumped on any topology-affecting mutation (nodes, links, routes,
+    /// node config): outstanding route memos are stale.
+    topo_epoch: u64,
+    /// Bumped on any traffic-scenario mutation (link loads/schedules, queue
+    /// rewinds): outstanding queue integrations are stale.
+    scenario_epoch: u64,
+    default_ctx: ProbeCtx,
     /// Extra uniform jitter bound applied to measured RTTs (host stack noise).
     pub rtt_jitter: SimDuration,
 }
@@ -169,7 +272,9 @@ impl Network {
             links: Vec::new(),
             by_addr: HashMap::new(),
             noise: HashNoise::new(seed),
-            next_probe: 1,
+            topo_epoch: 0,
+            scenario_epoch: 0,
+            default_ctx: ProbeCtx::default(),
             rtt_jitter: SimDuration::from_micros(120),
         }
     }
@@ -179,17 +284,33 @@ impl Network {
         self.noise
     }
 
-    /// Allocate a fresh probe id.
+    /// A fresh probing context synced to the current substrate state.
+    ///
+    /// `stream` selects the context's probe-id space: `0` is the default
+    /// stream (ids 1, 2, 3, … — shared with the embedded compatibility
+    /// context), any other value is hashed into a high-entropy base so
+    /// contexts for different streams never collide in per-packet noise.
+    pub fn probe_ctx(&self, stream: u64) -> ProbeCtx {
+        let mut ctx = ProbeCtx {
+            base: if stream == 0 { 0 } else { splitmix64(stream) },
+            ..ProbeCtx::default()
+        };
+        ctx.topo_epoch = self.topo_epoch;
+        ctx.scenario_epoch = self.scenario_epoch;
+        ctx.sync(self);
+        ctx
+    }
+
+    /// Allocate a fresh probe id from the embedded default context.
     pub fn alloc_probe_id(&mut self) -> ProbeId {
-        let id = ProbeId(self.next_probe);
-        self.next_probe += 1;
-        id
+        self.default_ctx.alloc_probe_id()
     }
 
     /// Add a node; returns its id.
     pub fn add_node(&mut self, kind: NodeKind, asn: Asn, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, kind, asn, name));
+        self.topo_epoch += 1;
         id
     }
 
@@ -197,16 +318,20 @@ impl Network {
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
     }
-    /// Mutable node access.
+    /// Mutable node access. Conservatively treated as a topology mutation:
+    /// outstanding route memos are invalidated.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.topo_epoch += 1;
         &mut self.nodes[id.0 as usize]
     }
     /// Immutable link access.
     pub fn link(&self, id: LinkId) -> &Link {
         &self.links[id.0 as usize]
     }
-    /// Mutable link access.
+    /// Mutable link access. Conservatively treated as a scenario mutation:
+    /// outstanding queue integrations rewind at their next sync.
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        self.scenario_epoch += 1;
         &mut self.links[id.0 as usize]
     }
     /// Number of nodes.
@@ -233,6 +358,7 @@ impl Network {
 
     /// Connect two nodes with a new link; creates one interface on each side.
     /// `load_ab` drives the queue in the `a → b` direction.
+    #[allow(clippy::too_many_arguments)]
     pub fn connect(
         &mut self,
         a: NodeId,
@@ -253,6 +379,7 @@ impl Network {
         let ib = self.nodes[b.0 as usize].add_iface(addr_b, Some((id, Dir::BtoA)));
         self.by_addr.insert(addr_a, (a, ia));
         self.by_addr.insert(addr_b, (b, ib));
+        self.topo_epoch += 1;
         id
     }
 
@@ -266,21 +393,27 @@ impl Network {
         assert!(!self.by_addr.contains_key(&addr), "address {addr} already in use");
         let id = self.nodes[node.0 as usize].add_iface(addr, None);
         self.by_addr.insert(addr, (node, id));
+        self.topo_epoch += 1;
         id
     }
 
     /// Install `prefix → iface` on `node`.
     pub fn add_route(&mut self, node: NodeId, prefix: Prefix, via: IfaceId) {
         self.nodes[node.0 as usize].add_route(prefix, via);
+        self.topo_epoch += 1;
     }
 
     /// Rewind every link's lazy queue integration to the epoch. Needed when
     /// a measurement pass re-reads a time range an earlier pass advanced
     /// through (see [`crate::link::Link::reset_queue_state`]).
+    ///
+    /// Counts as a scenario mutation, so outstanding [`ProbeCtx`]s rewind
+    /// their own queue copies at their next sync.
     pub fn reset_queue_state(&mut self) {
         for l in self.links.iter_mut() {
             l.reset_queue_state();
         }
+        self.scenario_epoch += 1;
     }
 
     /// First interface address of a node (probe source address).
@@ -312,13 +445,16 @@ impl Network {
     }
 
     /// Advance `pkt`, currently at `cur` (arrived on `incoming`; `None` at the
-    /// original source) at time `now`, by one forwarding decision.
+    /// original source) at time `now`, by one forwarding decision, using
+    /// caller-owned mutable state.
     ///
     /// `origin` is the node that injected the packet (it never answers itself
     /// and is where response packets are consumed). `hop_idx` must count hops
     /// taken so far — it keys the deterministic per-hop drop decision.
-    pub fn forward_step(
-        &mut self,
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_step_in(
+        &self,
+        ctx: &mut ProbeCtx,
         origin: NodeId,
         cur: NodeId,
         incoming: Option<IfaceId>,
@@ -326,6 +462,7 @@ impl Network {
         now: SimTime,
         hop_idx: usize,
     ) -> ForwardStep {
+        ctx.sync(self);
         let node = &self.nodes[cur.0 as usize];
         let is_response = pkt.kind.is_response();
 
@@ -365,7 +502,19 @@ impl Network {
             return ForwardStep::Respond { node: cur, kind: PacketKind::DestUnreachable, src };
         }
 
-        let Some(egress) = node.next_hop(pkt.dst) else {
+        // Route memoization: resolved hop choices are pure functions of the
+        // forwarding tables, which cannot change while a ProbeCtx is in use
+        // (any `node_mut`/`add_route` bumps the topology epoch and clears
+        // this memo at the next sync).
+        let route = match ctx.routes.get(&(cur.0, pkt.dst)) {
+            Some(&e) => e,
+            None => {
+                let e = node.next_hop(pkt.dst);
+                ctx.routes.insert((cur.0, pkt.dst), e);
+                e
+            }
+        };
+        let Some(egress) = route else {
             if cur == origin {
                 return ForwardStep::Fail(ProbeError::NoRoute);
             }
@@ -409,9 +558,10 @@ impl Network {
 
         let leg = if is_response { 0xf0f0 } else { 0x0f0f };
         let hop_key = mix(&[pkt.probe.0, hop_idx as u64 + 1, leg]);
-        match self.links[lid.0 as usize].transit(dir, now, pkt.size, hop_key) {
+        let link = &self.links[lid.0 as usize];
+        let qstate = &mut ctx.queues[lid.0 as usize][dir.index()];
+        match link.transit_in(dir, qstate, now, pkt.size, hop_key) {
             Ok(d) => {
-                let link = &self.links[lid.0 as usize];
                 let arrive_addr = match dir {
                     Dir::AtoB => link.addr_b,
                     Dir::BtoA => link.addr_a,
@@ -427,8 +577,46 @@ impl Network {
         }
     }
 
+    /// [`Network::forward_step_in`] against the embedded default context.
+    pub fn forward_step(
+        &mut self,
+        origin: NodeId,
+        cur: NodeId,
+        incoming: Option<IfaceId>,
+        pkt: &mut Packet,
+        now: SimTime,
+        hop_idx: usize,
+    ) -> ForwardStep {
+        let mut ctx = std::mem::take(&mut self.default_ctx);
+        let r = self.forward_step_in(&mut ctx, origin, cur, incoming, pkt, now, hop_idx);
+        self.default_ctx = ctx;
+        r
+    }
+
     /// Generate the response packet a node owes `pkt`, charging the ICMP
-    /// generation delay. Returns the response and the time it leaves.
+    /// generation delay against caller-owned node state. Returns the response
+    /// and the time it leaves.
+    pub fn generate_response_in(
+        &self,
+        ctx: &mut ProbeCtx,
+        node: NodeId,
+        kind: PacketKind,
+        src: Ipv4,
+        pkt: &Packet,
+        now: SimTime,
+    ) -> Result<(Packet, SimTime), ProbeError> {
+        ctx.sync(self);
+        let gen_key = mix(&[pkt.probe.0, 0xabcd]);
+        let responder = &self.nodes[node.0 as usize];
+        let scratch = &mut ctx.scratch[node.0 as usize];
+        let gen_delay = responder
+            .icmp_response_delay_in(scratch, now, &self.noise, gen_key)
+            .map_err(ProbeError::Silent)?;
+        let ip_id = scratch.alloc_ip_id();
+        Ok((pkt.make_response(kind, src, ip_id), now + gen_delay))
+    }
+
+    /// [`Network::generate_response_in`] against the embedded default context.
     pub fn generate_response(
         &mut self,
         node: NodeId,
@@ -437,17 +625,19 @@ impl Network {
         pkt: &Packet,
         now: SimTime,
     ) -> Result<(Packet, SimTime), ProbeError> {
-        let gen_key = mix(&[pkt.probe.0, 0xabcd]);
-        let noise = self.noise;
-        let responder = &mut self.nodes[node.0 as usize];
-        let gen_delay = responder.icmp_response_delay(now, &noise, gen_key).map_err(ProbeError::Silent)?;
-        let ip_id = responder.alloc_ip_id();
-        Ok((pkt.make_response(kind, src, ip_id), now + gen_delay))
+        let mut ctx = std::mem::take(&mut self.default_ctx);
+        let r = self.generate_response_in(&mut ctx, node, kind, src, pkt, now);
+        self.default_ctx = ctx;
+        r
     }
 
-    /// Send a probe from host `from` at time `t` and walk it to completion.
-    pub fn send_probe(&mut self, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
-        let probe_id = self.alloc_probe_id();
+    /// Send a probe from host `from` at time `t` and walk it to completion,
+    /// drawing all mutable state from `ctx`. This is the shared-substrate
+    /// fast path: `&self` means any number of contexts can walk probes over
+    /// the same network concurrently.
+    pub fn send_probe_in(&self, ctx: &mut ProbeCtx, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
+        ctx.sync(self);
+        let probe_id = ctx.alloc_probe_id();
         let src_addr = self.primary_addr(from);
 
         let mut pkt = Packet::probe(src_addr, spec.dst, spec.kind, spec.ttl, probe_id, t);
@@ -462,7 +652,7 @@ impl Network {
         let mut incoming: Option<IfaceId> = None;
         let mut truth_forward: Vec<Ipv4> = Vec::new();
         let (rnode, rkind, rsrc) = loop {
-            match self.forward_step(from, cur, incoming, &mut pkt, now, truth_forward.len()) {
+            match self.forward_step_in(ctx, from, cur, incoming, &mut pkt, now, truth_forward.len()) {
                 ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
                     truth_forward.push(egress_addr);
                     cur = next;
@@ -476,7 +666,7 @@ impl Network {
         };
 
         // ---- Response generation ----
-        let (mut response, leave) = self.generate_response(rnode, rkind, rsrc, &pkt, now)?;
+        let (mut response, leave) = self.generate_response_in(ctx, rnode, rkind, rsrc, &pkt, now)?;
         now = leave;
         let ip_id = response.ip_id;
 
@@ -485,7 +675,7 @@ impl Network {
         let mut incoming: Option<IfaceId> = None;
         let mut truth_return: Vec<Ipv4> = Vec::new();
         let arrived = loop {
-            match self.forward_step(rnode, cur, incoming, &mut response, now, truth_return.len()) {
+            match self.forward_step_in(ctx, rnode, cur, incoming, &mut response, now, truth_return.len()) {
                 ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
                     truth_return.push(egress_addr);
                     cur = next;
@@ -516,6 +706,14 @@ impl Network {
             truth_forward_path: truth_forward,
             truth_return_path: truth_return,
         })
+    }
+
+    /// [`Network::send_probe_in`] against the embedded default context.
+    pub fn send_probe(&mut self, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
+        let mut ctx = std::mem::take(&mut self.default_ctx);
+        let r = self.send_probe_in(&mut ctx, from, spec, t);
+        self.default_ctx = ctx;
+        r
     }
 }
 

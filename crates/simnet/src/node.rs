@@ -140,7 +140,7 @@ impl fmt::Debug for IcmpConfig {
 
 /// Token-bucket state for the ICMP rate limiter.
 #[derive(Clone, Copy, Debug)]
-struct TokenBucket {
+pub(crate) struct TokenBucket {
     tokens: f64,
     last: SimTime,
 }
@@ -168,6 +168,34 @@ pub enum NoResponse {
     RateLimited,
 }
 
+/// Per-node mutable probing state: the IP-ID counter and the ICMP
+/// rate-limiter bucket.
+///
+/// Split out from [`Node`] so concurrent probe walks can each carry their own
+/// copy (inside a `ProbeCtx`) against a shared immutable node. One scratch
+/// models one measurement session's view of the router; alias resolution,
+/// which reads the *shared* counter semantics, must route all its probes
+/// through a single scratch.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeScratch {
+    ip_id: u16,
+    bucket: TokenBucket,
+}
+
+impl NodeScratch {
+    /// Allocate the next IP-ID from the per-router counter.
+    pub fn alloc_ip_id(&mut self) -> u16 {
+        let id = self.ip_id;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        id
+    }
+
+    /// Peek the IP-ID counter without consuming.
+    pub fn peek_ip_id(&self) -> u16 {
+        self.ip_id
+    }
+}
+
 /// A router or host.
 pub struct Node {
     /// Arena id.
@@ -184,8 +212,7 @@ pub struct Node {
     pub fwd: PrefixTable<IfaceId>,
     /// ICMP behaviour.
     pub icmp: IcmpConfig,
-    ip_id: u16,
-    bucket: TokenBucket,
+    scratch: NodeScratch,
 }
 
 impl Node {
@@ -203,9 +230,21 @@ impl Node {
             ifaces: Vec::new(),
             fwd: PrefixTable::new(),
             icmp: IcmpConfig::default(),
+            scratch: Self::scratch_for(id, asn),
+        }
+    }
+
+    fn scratch_for(id: NodeId, asn: Asn) -> NodeScratch {
+        NodeScratch {
             ip_id: (crate::rng::splitmix64(id.0 as u64 ^ (asn.0 as u64) << 32 ^ 0xA11A) & 0xFFFF) as u16,
             bucket: TokenBucket { tokens: 10.0, last: SimTime::ZERO },
         }
+    }
+
+    /// A fresh mutable probing state for this node, as it looks at boot: the
+    /// node-specific pseudo-random IP-ID start and a full rate-limiter bucket.
+    pub fn fresh_scratch(&self) -> NodeScratch {
+        Self::scratch_for(self.id, self.asn)
     }
 
     /// Add an interface; returns its id.
@@ -245,21 +284,26 @@ impl Node {
         self.fwd.lookup(dst).map(|(_, v)| *v)
     }
 
-    /// Allocate the next IP-ID from the shared per-router counter.
+    /// Allocate the next IP-ID from the embedded per-router counter.
     pub fn alloc_ip_id(&mut self) -> u16 {
-        let id = self.ip_id;
-        self.ip_id = self.ip_id.wrapping_add(1);
-        id
+        self.scratch.alloc_ip_id()
     }
 
-    /// Peek the IP-ID counter without consuming (tests only).
+    /// Peek the embedded IP-ID counter without consuming (tests only).
     pub fn peek_ip_id(&self) -> u16 {
-        self.ip_id
+        self.scratch.peek_ip_id()
     }
 
     /// Decide whether and after how long this node emits an ICMP response to
-    /// a packet arriving at `t`. `key` is the per-packet hash key for jitter.
-    pub fn icmp_response_delay(&mut self, t: SimTime, noise: &HashNoise, key: u64) -> Result<SimDuration, NoResponse> {
+    /// a packet arriving at `t`, using caller-owned mutable state. `key` is
+    /// the per-packet hash key for jitter.
+    pub fn icmp_response_delay_in(
+        &self,
+        scratch: &mut NodeScratch,
+        t: SimTime,
+        noise: &HashNoise,
+        key: u64,
+    ) -> Result<SimDuration, NoResponse> {
         if !self.icmp.responsive {
             return Err(NoResponse::Unresponsive);
         }
@@ -267,7 +311,7 @@ impl Node {
             return Err(NoResponse::Unresponsive);
         }
         if let Some(rate) = self.icmp.rate_limit_pps {
-            if !self.bucket.allow(t, rate, rate.max(10.0)) {
+            if !scratch.bucket.allow(t, rate, rate.max(10.0)) {
                 return Err(NoResponse::RateLimited);
             }
         }
@@ -280,6 +324,14 @@ impl Node {
             d = d + sp.extra_delay(t);
         }
         Ok(d)
+    }
+
+    /// [`Node::icmp_response_delay_in`] against the embedded scratch state.
+    pub fn icmp_response_delay(&mut self, t: SimTime, noise: &HashNoise, key: u64) -> Result<SimDuration, NoResponse> {
+        let mut scratch = self.scratch;
+        let r = self.icmp_response_delay_in(&mut scratch, t, noise, key);
+        self.scratch = scratch;
+        r
     }
 
     /// Source address for an ICMP error to a packet that arrived on `incoming`.
@@ -340,7 +392,7 @@ mod tests {
         let a = n.alloc_ip_id();
         let b = n.alloc_ip_id();
         assert_eq!(b, a.wrapping_add(1));
-        n.ip_id = u16::MAX;
+        n.scratch.ip_id = u16::MAX;
         assert_eq!(n.alloc_ip_id(), u16::MAX);
         assert_eq!(n.alloc_ip_id(), 0);
     }

@@ -3,6 +3,13 @@
 //! The six VPs are fully independent (separate networks, separate probing),
 //! so the campaign parallelizes perfectly across them. Crossbeam scoped
 //! threads keep borrows simple; results come back in spec order.
+//!
+//! This is the outer of two parallelism levels: within each VP,
+//! [`run_vp_study`] hands its target list to `measure_vp_links`, which fans
+//! out at *link* granularity over a work-stealing pool against the shared
+//! immutable `&Network` (see DESIGN.md §5.11 and `VpStudyConfig::threads`).
+//! Both levels are deterministic — each target's walk seeds its own
+//! `ProbeCtx` — so output is bit-identical at any thread count.
 
 use crate::vpstudy::{run_vp_study, VpStudy, VpStudyConfig};
 use ixp_topology::VpSpec;

@@ -11,11 +11,12 @@ use ixp_bdrmap::validate::{score, BdrmapAccuracy};
 use ixp_prober::rr::{record_route_symmetry, Symmetry};
 use ixp_prober::tslp::TslpTarget;
 use ixp_simnet::prelude::{Asn, Ipv4, SimTime};
+use ixp_simnet::rng::mix;
 use ixp_simnet::time::SimDuration;
 use ixp_geo::{link_in_country, GeoDb};
 use ixp_topology::{build_vp, paper_directory, TruthKind, VpSpec};
 use serde::{Deserialize, Serialize};
-use tslp_core::campaign::{measure_link, CampaignConfig};
+use tslp_core::campaign::{measure_vp_links, CampaignConfig};
 use tslp_core::detect::{assess_at_thresholds, AssessConfig, Assessment};
 use tslp_core::lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig};
 use tslp_core::series::LinkSeries;
@@ -41,6 +42,9 @@ pub struct VpStudyConfig {
     pub with_loss: bool,
     /// Keep full series for congested / case-study links (figure data).
     pub keep_series: bool,
+    /// Worker threads for the per-link campaign fan-out (0 = one per core,
+    /// 1 = sequential). Results are identical at any thread count.
+    pub threads: usize,
     /// Assessment configuration.
     pub assess: AssessConfig,
 }
@@ -55,6 +59,7 @@ impl Default for VpStudyConfig {
             with_rr: true,
             with_loss: true,
             keep_series: true,
+            threads: 0,
             assess: AssessConfig::default(),
         }
     }
@@ -182,7 +187,7 @@ fn to_target(l: &InferredLink) -> TslpTarget {
 
 /// Run the full study for one VP spec.
 pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
-    let mut substrate = build_vp(spec, cfg.seed);
+    let substrate = build_vp(spec, cfg.seed);
     let dir = paper_directory();
     let (start, end) = cfg.window.unwrap_or((spec.measure_start, spec.measure_end));
 
@@ -197,11 +202,16 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         .filter(|&a| substrate.orgs.are_siblings(Asn(a), spec.host_asn))
         .collect();
 
-    for &snap in &spec.snapshots.clone() {
+    // One discovery ctx shared across snapshots: router IP-ID counters keep
+    // incrementing between snapshots exactly as on the old shared engine,
+    // which the alias tests rely on.
+    let mut disc_ctx = substrate.net.probe_ctx(mix(&[cfg.seed, 0xbd]));
+    for &snap in &spec.snapshots {
         let result = {
             let mapper = IpAsnMapper::new(&substrate.bgp, &substrate.delegations, &dir);
             run_bdrmap(
-                &mut substrate.net,
+                &substrate.net,
+                &mut disc_ctx,
                 substrate.vp,
                 spec.host_asn,
                 &siblings,
@@ -227,18 +237,19 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         }
     }
 
-    // Reset queue state after the discovery passes (they advanced anchors).
-    substrate.net.reset_queue_state();
+    // No queue-state reset needed after discovery: every campaign target
+    // gets a fresh ProbeCtx whose lazy queue anchors start at zero.
 
     // ---- TSLP campaign over the union of discovered links ----
     if let Some(cap) = cfg.max_links {
         discovered.truncate(cap);
     }
-    let campaign = if cfg.exact_probing {
+    let mut campaign = if cfg.exact_probing {
         CampaignConfig::exact(start, end)
     } else {
         CampaignConfig::paper(start, end)
     };
+    campaign.threads = cfg.threads;
 
     let truth_of = |near: Ipv4, far: Ipv4| -> Option<TruthKind> {
         substrate.links.iter().find(|t| t.near == near && t.far == far).map(|t| t.kind.clone())
@@ -262,12 +273,16 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         m
     };
 
+    // Fan the per-link campaigns out over the worker pool. Each target owns
+    // a private ProbeCtx, so results come back in target order bit-identical
+    // to a sequential run; the slower post-processing below stays sequential.
+    let targets: Vec<_> = discovered.iter().map(to_target).collect();
+    let measured = measure_vp_links(&substrate.net, substrate.vp, &targets, &campaign);
+
     let mut outcomes: Vec<LinkOutcome> = Vec::new();
     let mut screened = 0usize;
     let mut probe_rounds = 0u64;
-    for l in &discovered {
-        let target = to_target(l);
-        let (series, screened_out) = measure_link(&mut substrate.net, substrate.vp, &target, &campaign);
+    for (l, (series, screened_out)) in discovered.iter().zip(measured) {
         if screened_out {
             screened += 1;
         }
@@ -292,7 +307,9 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
                 .first()
                 .map(|e| e.start + SimDuration::from_micros(e.width().as_micros() / 2))
                 .unwrap_or(start);
-            Some(record_route_symmetry(&mut substrate.net, substrate.vp, l.far, resolve, when))
+            let mut rr_ctx =
+                substrate.net.probe_ctx(mix(&[l.near.0 as u64, l.far.0 as u64, 0x5252]));
+            Some(record_route_symmetry(&substrate.net, &mut rr_ctx, substrate.vp, l.far, resolve, when))
         } else {
             None
         };
@@ -311,7 +328,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             let loss_end = ixp_traffic::scenarios::dates::loss_campaign_end().min(end).min(last_valid);
             if loss_start < loss_end {
                 let lc = LossCampaignConfig::paper(loss_start, loss_end);
-                let ls = measure_loss_series(&mut substrate.net, substrate.vp, l.dst, l.far_ttl, &lc);
+                let ls = measure_loss_series(&substrate.net, substrate.vp, l.dst, l.far_ttl, &lc);
                 let split = split_by_events(&ls, &assessment.events);
                 Some(LossSummary {
                     mean: ls.mean(),

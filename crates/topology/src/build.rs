@@ -836,7 +836,8 @@ mod tests {
             near_addr: link.near,
             far_addr: link.far,
         };
-        let sample = tslp_probe(&mut s.net, s.vp, &tgt, &TslpConfig::default(), t);
+        let mut ctx = s.net.probe_ctx(0);
+        let sample = tslp_probe(&s.net, &mut ctx, s.vp, &tgt, &TslpConfig::default(), t);
         assert!(sample.near.is_some(), "near probe failed");
         assert!(sample.far.is_some(), "far probe failed");
         assert!(sample.near_addr_ok && sample.far_addr_ok, "{sample:?}");
@@ -860,7 +861,8 @@ mod tests {
             near_addr: dead.near,
             far_addr: dead.far,
         };
-        let sample = tslp_probe(&mut s.net, s.vp, &tgt, &TslpConfig::default(), late);
+        let mut ctx = s.net.probe_ctx(0);
+        let sample = tslp_probe(&s.net, &mut ctx, s.vp, &tgt, &TslpConfig::default(), late);
         assert!(sample.far.is_none(), "dead link answered: {sample:?}");
     }
 
@@ -887,9 +889,10 @@ mod tests {
         };
         // Tue 2016-03-15 14:00 — deep in a phase-1 business-day plateau.
         let hot = SimTime::from_datetime(2016, 3, 15, 14, 0, 0);
+        let mut ctx = s.net.probe_ctx(0);
         let mut far_hot = None;
         for k in 0..20 {
-            let smp = tslp_probe(&mut s.net, s.vp, &tgt, &TslpConfig::default(), hot + SimDuration::from_secs(60 * k));
+            let smp = tslp_probe(&s.net, &mut ctx, s.vp, &tgt, &TslpConfig::default(), hot + SimDuration::from_secs(60 * k));
             if let Some(f) = smp.far {
                 far_hot = Some((f, smp.near.unwrap()));
                 break;
@@ -901,7 +904,7 @@ mod tests {
         // Night-time (the *next* morning — the lazy queue only integrates
         // forward in time): the plateau ends at 02:00, the queue drains.
         let cold = SimTime::from_datetime(2016, 3, 16, 4, 30, 0);
-        let smp = tslp_probe(&mut s.net, s.vp, &tgt, &TslpConfig::default(), cold);
+        let smp = tslp_probe(&s.net, &mut ctx, s.vp, &tgt, &TslpConfig::default(), cold);
         assert!(smp.far.unwrap().as_millis_f64() < 10.0, "{:?}", smp.far);
     }
 

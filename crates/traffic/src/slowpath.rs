@@ -175,7 +175,7 @@ pub fn elevated_fraction(sp: &dyn SlowPath, from: SimTime, to: SimTime, threshol
         if sp.extra_delay(t) > threshold {
             hot += 1;
         }
-        t = t + SimDuration::from_micros(step);
+        t += SimDuration::from_micros(step);
     }
     if total == 0 {
         0.0

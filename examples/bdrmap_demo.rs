@@ -17,14 +17,15 @@ use std::collections::HashSet;
 
 fn main() {
     let spec = &paper_vps()[0]; // VP1 @ GIXA
-    let mut s = build_vp(spec, 42);
+    let s = build_vp(spec, 42);
     let dir = paper_directory();
     let t = spec.snapshots[0];
+    let mut ctx = s.net.probe_ctx(0);
 
     // ---- 1. One raw traceroute --------------------------------------------
     let sample = s.links.iter().find(|l| l.at_ixp && l.lifetime.alive_at(t)).expect("an alive peering link");
     println!("traceroute toward {} (a prefix announced by {}):", sample.prefix, sample.far_name);
-    let tr = traceroute(&mut s.net, s.vp, sample.prefix.addr(9), &TracerouteConfig::default(), t);
+    let tr = traceroute(&s.net, &mut ctx, s.vp, sample.prefix.addr(9), &TracerouteConfig::default(), t);
     for h in &tr.hops {
         match h.addr {
             Some(a) => println!("  {:>2}  {}  {:?}  {}", h.ttl, a, h.kind.unwrap(), h.rtt.unwrap()),
@@ -48,10 +49,10 @@ fn main() {
         .flat_map(|x| alive.iter().map(move |y| (x, y)))
         .find(|(x, y)| x.far_asn == y.far_asn && x.far != y.far)
         .expect("a neighbor with parallel links");
-    let verdict = ally_test(&mut s.net, s.vp, a.far, b.far, t);
+    let verdict = ally_test(&s.net, &mut ctx, s.vp, a.far, b.far, t);
     println!("\nAlly({} , {}) [same router]      → {verdict:?}", a.far, b.far);
     let other = alive.iter().find(|l| l.far_asn != a.far_asn).expect("another AS");
-    let verdict = ally_test(&mut s.net, s.vp, a.far, other.far, t);
+    let verdict = ally_test(&s.net, &mut ctx, s.vp, a.far, other.far, t);
     println!("Ally({} , {}) [different router] → {verdict:?}", a.far, other.far);
 
     // ---- 4. Full bdrmap snapshots + validation -----------------------------
@@ -59,7 +60,7 @@ fn main() {
     for snap in spec.snapshots {
         let result = {
             let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-            run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), snap)
+            run_bdrmap(&s.net, &mut ctx, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), snap)
         };
         let acc = score(&s, &result, snap);
         println!(

@@ -8,12 +8,13 @@ use std::collections::HashSet;
 
 fn run_snapshot(vp_idx: usize, seed: u64, snap_idx: usize) -> (african_ixp_congestion::topology::VpSubstrate, BdrmapResult, BdrmapAccuracy) {
     let spec = &paper_vps()[vp_idx];
-    let mut s = build_vp(spec, seed);
+    let s = build_vp(spec, seed);
     let dir = paper_directory();
     let t = spec.snapshots[snap_idx];
     let result = {
         let mapper = IpAsnMapper::new(&s.bgp, &s.delegations, &dir);
-        run_bdrmap(&mut s.net, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
+        let mut ctx = s.net.probe_ctx(0);
+        run_bdrmap(&s.net, &mut ctx, s.vp, spec.host_asn, &HashSet::new(), &mapper, &BdrmapConfig::default(), t)
     };
     let acc = score(&s, &result, t);
     (s, result, acc)
@@ -89,7 +90,8 @@ fn alias_resolution_groups_parallel_links() {
 #[test]
 fn tslp_targets_derived_from_inference_work() {
     use african_ixp_congestion::prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
-    let (mut s, result, _) = run_snapshot(1, 5, 0); // VP2 @ TIX
+    let (s, result, _) = run_snapshot(1, 5, 0); // VP2 @ TIX
+    let mut ctx = s.net.probe_ctx(0);
     let t = s.spec.snapshots[0];
     let mut ok = 0;
     let total = result.links.len().min(20);
@@ -101,7 +103,7 @@ fn tslp_targets_derived_from_inference_work() {
             near_addr: l.near,
             far_addr: l.far,
         };
-        let smp = tslp_probe(&mut s.net, s.vp, &target, &TslpConfig::default(), t);
+        let smp = tslp_probe(&s.net, &mut ctx, s.vp, &target, &TslpConfig::default(), t);
         if smp.near.is_some() && smp.far.is_some() && smp.near_addr_ok && smp.far_addr_ok {
             ok += 1;
         }

@@ -63,7 +63,7 @@ proptest! {
     #[test]
     fn substrate_invariants(seed in 0u64..1000, vp_idx in prop_oneof![Just(0usize), Just(3), Just(5)]) {
         let spec = &paper_vps()[vp_idx];
-        let mut s = build_vp(spec, seed);
+        let s = build_vp(spec, seed);
 
         // Far addresses are unique across links.
         let mut fars: Vec<_> = s.links.iter().map(|l| l.far).collect();
@@ -82,6 +82,7 @@ proptest! {
 
         // Alive links answer TSLP probes at the first snapshot.
         let t = spec.snapshots[0];
+        let mut ctx = s.net.probe_ctx(0);
         let mut checked = 0;
         let links: Vec<_> = s.links.iter().filter(|l| l.lifetime.alive_at(t) && l.responsive).take(8).cloned().collect();
         for l in links {
@@ -91,7 +92,7 @@ proptest! {
                 dst: l.dst, near_ttl: l.near_ttl, far_ttl: l.far_ttl,
                 near_addr: l.near, far_addr: l.far,
             };
-            let smp = tslp_probe(&mut s.net, s.vp, &target, &TslpConfig::default(), t);
+            let smp = tslp_probe(&s.net, &mut ctx, s.vp, &target, &TslpConfig::default(), t);
             if !is_special {
                 prop_assert!(smp.near.is_some(), "near probe failed for {}", l.far_name);
                 prop_assert!(smp.far.is_some(), "far probe failed for {}", l.far_name);
@@ -105,6 +106,96 @@ proptest! {
         let spec_peers = spec.peers.first().map(|c| c.count).unwrap_or(0);
         prop_assert!(peers >= spec_peers, "peers {} < scheduled {}", peers, spec_peers);
     }
+}
+
+/// The campaign fan-out contract: `measure_vp_links` returns the same bits
+/// in the same order at every thread count, screening decisions included.
+#[test]
+fn parallel_campaign_is_bit_identical_at_any_thread_count() {
+    use african_ixp_congestion::traffic::{DiurnalLoad, Shape};
+    use african_ixp_congestion::tslp::prelude::*;
+    use std::sync::Arc;
+
+    // A hub with six branches; odd branches carry a diurnal overload, so
+    // screening passes some targets through to full fidelity and
+    // short-circuits the rest.
+    let mut net = Network::new(7777);
+    let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+    let hub = net.add_node(NodeKind::Router, Asn(1), "hub");
+    net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), hub, Ipv4::new(10, 0, 0, 1), LinkConfig::default());
+    net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+    net.add_route(hub, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+
+    let mut targets = Vec::new();
+    for i in 0..6u8 {
+        let border = net.add_node(NodeKind::Router, Asn(1), "border");
+        let peer = net.add_node(NodeKind::Router, Asn(100 + i as u32), "peer");
+        let port = LinkConfig {
+            capacity_bps: Schedule::constant(1e8),
+            buffer_bytes: Schedule::constant(150_000.0),
+            ..LinkConfig::default()
+        };
+        let load: Arc<dyn OfferedLoad> = if i % 2 == 1 {
+            Arc::new(DiurnalLoad {
+                base_bps: 6e7,
+                weekday_peak_bps: 5e7,
+                weekend_peak_bps: 5e7,
+                shape: Shape::Plateau { start_hour: 11.0, end_hour: 15.0, ramp_hours: 1.5 },
+                noise_frac: 0.02,
+                noise_bin: SimDuration::from_mins(5),
+                noise: net.noise().child(40 + i as u64, 7),
+            })
+        } else {
+            Arc::new(NoLoad)
+        };
+        let near_addr = Ipv4::new(10, i + 1, 1, 2);
+        let far_addr = Ipv4::new(10, i + 1, 2, 2);
+        net.connect(hub, Ipv4::new(10, i + 1, 1, 1), border, near_addr, port, load, Arc::new(NoLoad));
+        net.connect_idle(border, Ipv4::new(10, i + 1, 2, 1), peer, far_addr, LinkConfig::default());
+        let prefix: Prefix = format!("41.{i}.0.0/24").parse().unwrap();
+        net.add_route(hub, prefix, IfaceId(1 + i as u16));
+        net.add_route(border, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(border, prefix, IfaceId(1));
+        net.add_route(peer, Prefix::DEFAULT, IfaceId(0));
+        targets.push(TslpTarget {
+            dst: prefix.addr(9),
+            near_ttl: 2,
+            far_ttl: 3,
+            near_addr,
+            far_addr,
+        });
+    }
+
+    let base = CampaignConfig::paper(SimTime::from_date(2016, 3, 1), SimTime::from_date(2016, 3, 8));
+    let mut seq_cfg = base;
+    seq_cfg.threads = 1;
+    let seq = measure_vp_links(&net, vp, &targets, &seq_cfg);
+
+    let screened = seq.iter().filter(|(_, sc)| *sc).count();
+    assert!(screened >= 1, "clean branches should be screened out");
+    assert!(screened < seq.len(), "congested branches must reach full fidelity");
+
+    for threads in [2usize, 4, 0] {
+        let mut cfg = base;
+        cfg.threads = threads;
+        let par = measure_vp_links(&net, vp, &targets, &cfg);
+        assert_eq!(par.len(), seq.len());
+        for (i, ((ps, psc), (ss, ssc))) in par.iter().zip(&seq).enumerate() {
+            assert_eq!(psc, ssc, "screening verdict differs at {threads} threads, target {i}");
+            assert_eq!(ps.len(), ss.len(), "series length differs at {threads} threads, target {i}");
+            assert_eq!(ps.far_addr_mismatches, ss.far_addr_mismatches);
+            for (a, b) in ps.near_ms.iter().zip(&ss.near_ms) {
+                assert_eq!(a.to_bits(), b.to_bits(), "near bits differ at {threads} threads, target {i}");
+            }
+            for (a, b) in ps.far_ms.iter().zip(&ss.far_ms) {
+                assert_eq!(a.to_bits(), b.to_bits(), "far bits differ at {threads} threads, target {i}");
+            }
+        }
+    }
+
+    // The measure_vp wrapper reports the same screening count.
+    let (_, n) = measure_vp(&net, vp, &targets, &seq_cfg);
+    assert_eq!(n, screened);
 }
 
 #[test]

@@ -57,7 +57,7 @@ fn near_guard_rejects_upstream_congestion() {
         far_addr: Ipv4::new(10, 0, 2, 2),
     };
     let campaign = CampaignConfig::exact(SimTime::from_date(2016, 3, 1), SimTime::from_date(2016, 3, 22));
-    let (series, _) = measure_link(&mut net, vp, &target, &campaign);
+    let (series, _) = measure_link(&net, vp, &target, &campaign);
     let a = assess_link(&series, &AssessConfig::default());
     // Far series rises diurnally (it crosses the hot internal link), but so
     // does the near series: the link must NOT be called congested.
@@ -105,7 +105,7 @@ fn threshold_sweep_end_to_end() {
         far_addr: Ipv4::new(196, 49, 14, 30),
     };
     let campaign = CampaignConfig::exact(SimTime::from_date(2016, 3, 1), SimTime::from_date(2016, 3, 29));
-    let (series, _) = measure_link(&mut net, vp, &target, &campaign);
+    let (series, _) = measure_link(&net, vp, &target, &campaign);
     let sweep = assess_at_thresholds(&series, &AssessConfig::default(), &[5.0, 10.0, 15.0, 20.0]);
     let flags: Vec<bool> = sweep.iter().map(|(_, a)| a.flagged).collect();
     assert_eq!(flags, vec![true, true, false, false], "{flags:?}");
@@ -140,7 +140,8 @@ fn rr_asymmetry_detected_end_to_end() {
         }
     }
     let resolve = |a: Ipv4| links.get(&a).copied();
-    let verdict = record_route_symmetry(&mut net, vp, Ipv4::new(10, 0, 1, 2), resolve, SimTime::ZERO);
+    let mut ctx = net.probe_ctx(0);
+    let verdict = record_route_symmetry(&net, &mut ctx, vp, Ipv4::new(10, 0, 1, 2), resolve, SimTime::ZERO);
     assert_eq!(verdict, Symmetry::Asymmetric);
 }
 
@@ -171,7 +172,7 @@ fn netpage_detected_and_transient() {
 #[test]
 fn loss_correlates_with_congestion() {
     let spec = &paper_vps()[3];
-    let mut substrate = african_ixp_congestion::topology::build_vp(spec, 0xAF12_2017);
+    let substrate = african_ixp_congestion::topology::build_vp(spec, 0xAF12_2017);
     let netpage = substrate.links.iter().find(|l| l.far_name == "NETPAGE").unwrap().clone();
     let lc = LossCampaignConfig {
         start: SimTime::from_datetime(2016, 3, 9, 11, 0, 0), // Wed, phase-1 peak
@@ -180,7 +181,7 @@ fn loss_correlates_with_congestion() {
         batch_size: 100,
         probe_interval: SimDuration::from_secs(1),
     };
-    let during = measure_loss_series(&mut substrate.net, substrate.vp, netpage.dst, netpage.far_ttl, &lc);
+    let during = measure_loss_series(&substrate.net, substrate.vp, netpage.dst, netpage.far_ttl, &lc);
     assert!(during.mean() > 0.05, "peak-hour loss {}", during.mean());
 
     let lc2 = LossCampaignConfig {
@@ -188,7 +189,7 @@ fn loss_correlates_with_congestion() {
         end: SimTime::from_datetime(2016, 6, 8, 15, 0, 0),
         ..lc
     };
-    substrate.net.reset_queue_state();
-    let after = measure_loss_series(&mut substrate.net, substrate.vp, netpage.dst, netpage.far_ttl, &lc2);
+    // No reset needed: measure_loss_series walks a fresh per-call ProbeCtx.
+    let after = measure_loss_series(&substrate.net, substrate.vp, netpage.dst, netpage.far_ttl, &lc2);
     assert!(after.mean() < 0.02, "post-upgrade loss {}", after.mean());
 }

@@ -1,0 +1,271 @@
+//! Vendored, dependency-free subset of the `criterion` crate.
+//!
+//! Offline builds cannot reach a crates registry, so the workspace carries a
+//! small wall-clock benchmark harness exposing criterion's surface syntax:
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with throughput annotations, and [`Bencher::iter`].
+//! Timing is mean-of-samples over an adaptive iteration count with a fixed
+//! per-benchmark budget — much cheaper than upstream's bootstrap analysis,
+//! and sufficient for the repo's regression tracking.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the std optimization barrier under criterion's name.
+pub use std::hint::black_box;
+
+/// Measurement settings and top-level entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, budget: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.budget = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), self.sample_size, self.budget, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            budget: self.budget,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the wall-clock budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = t;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.budget, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.budget, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (reporting is per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples_wanted: usize,
+    budget: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration cost in [`Bencher::mean_ns`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup call; it also calibrates the per-call cost.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let per_call = warm_start.elapsed();
+
+        // Choose an iteration count per sample so one sample is ≥ ~1ms but
+        // the whole run respects the budget.
+        let per_call_ns = per_call.as_nanos().max(1) as u64;
+        let iters_per_sample = (1_000_000 / per_call_ns).clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.budget;
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u128;
+        for _ in 0..self.samples_wanted {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += iters_per_sample as u128;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.mean_ns = if total_iters == 0 { 0.0 } else { total_ns as f64 / total_iters as f64 };
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher { samples_wanted: samples, budget, mean_ns: 0.0 };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / b.mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 * 1e9 / b.mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} time: {}{rate}", format_time(b.mean_ns));
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+        sample_bench(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| 2 * 2));
+    }
+}

@@ -1,0 +1,59 @@
+//! Vendored, dependency-free subset of the `crossbeam` crate.
+//!
+//! Offline builds cannot reach a crates registry; the only crossbeam API the
+//! workspace uses is `crossbeam::thread::scope`, which std has provided
+//! natively since 1.63. This shim adapts `std::thread::scope` to crossbeam's
+//! calling convention (closures receive the scope, `scope` returns a
+//! `Result`). One behavioral difference: a panicking child thread propagates
+//! the panic out of `scope` itself rather than surfacing as `Err`, which is
+//! strictly louder and fine for this workspace.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Borrow-friendly thread scope; a copyable wrapper over
+    /// [`std::thread::Scope`] so spawned closures can receive it by value.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to this scope. The closure receives the scope
+        /// again (crossbeam's convention), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; data.len()];
+        super::thread::scope(|s| {
+            for (slot, v) in results.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = v * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+}

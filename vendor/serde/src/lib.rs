@@ -1,0 +1,488 @@
+//! Vendored, dependency-free subset of the `serde` crate.
+//!
+//! Offline builds cannot reach a crates registry, so the workspace carries a
+//! minimal serde replacement. Instead of upstream's visitor-based zero-copy
+//! architecture, this shim uses a simple tree data model: [`Serialize`]
+//! lowers values into a [`Value`] tree and [`Deserialize`] rebuilds them from
+//! one. The derive macros (re-exported from the vendored `serde_derive` when
+//! the `derive` feature is on) target these traits, and the vendored
+//! `serde_json` maps [`Value`] to and from JSON text with the same external
+//! representation serde_json uses (structs as objects, unit enum variants as
+//! strings, data variants as single-key objects, newtype structs as their
+//! inner value, non-finite floats as `null`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every value serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also carries non-finite floats and `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (preserves full `u64` precision).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key–value map in insertion order (keys are strings for JSON).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Borrow the entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string when this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Produce the tree representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the tree representation.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in a serialized map (derive-macro helper).
+pub fn field<'v>(entries: &'v [(Value, Value)], name: &str) -> Result<&'v Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let raw = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    // Tolerate stringified numeric map keys.
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| Error::msg(format!("invalid integer `{s}`")))?,
+                    other => return Err(Error::msg(format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| Error::msg("integer out of range"))?,
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| Error::msg(format!("invalid integer `{s}`")))?,
+                    other => return Err(Error::msg(format!("expected integer, got {}", other.kind()))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // serde_json convention: NaN/inf have no JSON form and become null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected float, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))?;
+        // Only `&'static str` spec fields use this; the handful of parsed
+        // names are deliberately leaked to satisfy the static lifetime.
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<(), Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::msg(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::msg(format!("expected sequence, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::msg("wrong array length"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::msg("expected tuple sequence"))?;
+                let mut it = s.iter();
+                let out = ($({
+                    let _ = $n;
+                    $t::from_value(it.next().ok_or_else(|| Error::msg("tuple too short"))?)?
+                },)+);
+                if it.next().is_some() {
+                    return Err(Error::msg("tuple too long"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Map(entries.map(|(k, v)| (k.to_value(), v.to_value())).collect())
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    v.as_map()
+        .ok_or_else(|| Error::msg(format!("expected map, got {}", v.kind())))?
+        .iter()
+        .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        let v: Vec<(String, f64)> = vec![("a".into(), 0.5)];
+        let back = Vec::<(String, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        let back = BTreeMap::<u32, String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,493 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde shim.
+//!
+//! The build environment has no crates registry, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the raw
+//! [`proc_macro::TokenStream`]. Supported shapes — which cover every derive
+//! in this workspace — are: named-field structs, tuple/newtype structs, unit
+//! structs, and enums with unit, newtype, tuple, or struct variants, plus
+//! plain type parameters (`Schedule<T>`). `#[serde(...)]` helper attributes
+//! are not supported (none are used in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity (1 = newtype).
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type parameter identifiers (lifetimes/consts unsupported — unused here).
+    params: Vec<String>,
+    body: Body,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute groups (doc comments included) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one field/variant/type expression to the top-level comma
+/// (consuming it), tracking `<...>` nesting. Returns the next start index.
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            depth += 1;
+        } else if is_punct(&toks[i], '>') {
+            depth -= 1;
+        } else if is_punct(&toks[i], ',') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the names of named fields inside a brace group.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            _ => break,
+        }
+        i = skip_to_comma(&toks, i + 1);
+    }
+    out
+}
+
+/// Count the comma-separated types inside a paren group.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_to_comma(&toks, i);
+    }
+    arity
+}
+
+fn enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        out.push(Variant { name, kind });
+        // Consume an explicit discriminant (`= expr`) and the trailing comma.
+        i = skip_to_comma(&toks, i);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+
+    let is_enum = match &toks[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde derive: expected struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generic parameters: collect type-param idents at depth 1.
+    let mut params = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 1i32;
+        let mut expecting = true;
+        i += 1;
+        while i < toks.len() && depth > 0 {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 1 {
+                expecting = true;
+            } else if is_punct(&toks[i], '\'') {
+                // Lifetime parameter: skip its identifier.
+                expecting = false;
+                i += 1;
+            } else if let TokenTree::Ident(id) = &toks[i] {
+                if depth == 1 && expecting {
+                    params.push(id.to_string());
+                    expecting = false;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let body = if is_enum {
+        let group = toks[i..]
+            .iter()
+            .find_map(|t| match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+                _ => None,
+            })
+            .expect("serde derive: enum body not found");
+        Body::Enum(enum_variants(group))
+    } else {
+        // Skip a possible where clause (unused in this workspace) by scanning
+        // for the first body group or semicolon.
+        let mut body = Body::Unit;
+        for t in &toks[i..] {
+            match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    body = Body::Struct(named_fields(g.stream()));
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    body = Body::Tuple(tuple_arity(g.stream()));
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => {}
+            }
+        }
+        body
+    };
+
+    Item { name, params, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize>` header pieces for a (possibly generic) type.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decls: Vec<String> = item.params.iter().map(|p| format!("{p}: {bound}")).collect();
+        (format!("<{}>", decls.join(", ")), format!("<{}>", item.params.join(", ")))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (decl, args) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "Self::{vn}(f0) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "Self::{vn}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Value::Str(::std::string::String::from(\"{f}\")), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "Self::{vn} {{ {fields} }} => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            fields = fields.join(", "),
+                            entries = entries.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{decl} ::serde::Serialize for {name}{args} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (decl, args) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?")).collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected sequence for {name}\"))?;\n\
+                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Body::Unit => {
+            format!(
+                "match v {{ ::serde::Value::Null => ::std::result::Result::Ok(Self), \
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected null for {name}\")) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.kind, VariantKind::Unit)).collect();
+            let data: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.kind, VariantKind::Unit)).collect();
+
+            let str_arm = if unit.is_empty() {
+                format!(
+                    "::serde::Value::Str(_) => ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"unexpected string variant for {name}\")),"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &unit {
+                    let vn = &v.name;
+                    let _ =
+                        write!(arms, "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),");
+                }
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {arms} \
+                     _ => ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"unknown variant for {name}\")) }},"
+                )
+            };
+
+            let map_arm = if data.is_empty() {
+                format!(
+                    "::serde::Value::Map(_) => ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"unexpected map variant for {name}\")),"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &data {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => {
+                            let _ = write!(
+                                arms,
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 Self::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                                .collect();
+                            let _ = write!(
+                                arms,
+                                "\"{vn}\" => {{ let s = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::msg(\"expected sequence for {name}::{vn}\"))?; \
+                                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::msg(\"wrong tuple length for {name}::{vn}\")); }} \
+                                 ::std::result::Result::Ok(Self::{vn}({items})) }},",
+                                items = items.join(", ")
+                            );
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            let _ = write!(
+                                arms,
+                                "\"{vn}\" => {{ let m = payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::msg(\"expected map for {name}::{vn}\"))?; \
+                                 ::std::result::Result::Ok(Self::{vn} {{ {inits} }}) }},",
+                                inits = inits.join(", ")
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (k, payload) = &entries[0];\n\
+                     match k.as_str().unwrap_or(\"\") {{ {arms} \
+                     _ => ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"unknown variant for {name}\")) }}\n\
+                     }},"
+                )
+            };
+
+            format!(
+                "match v {{ {str_arm} {map_arm} _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected enum representation for {name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Derive the offline shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde derive: generated invalid Serialize impl")
+}
+
+/// Derive the offline shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde derive: generated invalid Deserialize impl")
+}
