@@ -1,0 +1,153 @@
+//! Detection throughput (DESIGN.md §5.12): links per second through the
+//! §5.2 change-point engine over a synthetic 13-month corpus, priced
+//! against the frozen pre-change (seed) detector, with heap allocations on
+//! the scratch path counted by a wrapping global allocator. Writes the
+//! measured baseline to `BENCH_detect.json` at the repo root; see
+//! `scripts/bench_detect.sh` for the regression gate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ixp_bench::{detect_corpus, seed_detector};
+use ixp_chgpt::segment::DetectorConfig;
+use ixp_chgpt::DetectorScratch;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tslp_core::campaign::pool_map_with;
+
+/// Global allocator wrapper counting allocation calls, so the bench can
+/// *prove* the scratch path is allocation-free after warm-up instead of
+/// asserting it rhetorically.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A campaign-realistic 16-link corpus (mostly healthy, a few heavy-tailed,
+/// two routing steps, two emerging-congestion links) over the paper's
+/// 13 months.
+const LINKS: usize = 16;
+const MONTHS: usize = 13;
+
+fn detect_throughput(c: &mut Criterion) {
+    let corpus = detect_corpus(LINKS, MONTHS);
+    let samples = corpus[0].len();
+    // The campaign's operating point: AssessConfig::default's 4 ms gate.
+    let cfg = DetectorConfig { magnitude_gate: 4.0, ..DetectorConfig::default() };
+
+    let mut g = c.benchmark_group("detect_throughput");
+    g.throughput(Throughput::Elements(LINKS as u64));
+    g.sample_size(2);
+    g.measurement_time(Duration::from_secs(6));
+
+    let mut seed_ns = 0.0;
+    g.bench_function("seed_baseline", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|s| seed_detector::detect_change_points(s, &cfg).len())
+                .sum::<usize>()
+        });
+        seed_ns = b.mean_ns;
+    });
+
+    let mut scratch_ns = 0.0;
+    let mut scratch = DetectorScratch::new();
+    g.bench_function("scratch_early_exit", |b| {
+        b.iter(|| {
+            corpus.iter().map(|s| scratch.detect_change_points(s, &cfg).len()).sum::<usize>()
+        });
+        scratch_ns = b.mean_ns;
+    });
+
+    let mut pool_ns = 0.0;
+    g.bench_function("scratch_parallel", |b| {
+        b.iter(|| {
+            pool_map_with(0, &corpus, DetectorScratch::new, |sc, _, s| {
+                sc.detect_change_points(s, &cfg).len()
+            })
+            .into_iter()
+            .sum::<usize>()
+        });
+        pool_ns = b.mean_ns;
+    });
+    g.finish();
+
+    // Steady-state allocation count: one full corpus pass through an
+    // already-warm scratch. The scratch buffers sit at their high-water
+    // mark, so this must be zero.
+    let mut total_cps = 0usize;
+    for s in &corpus {
+        total_cps += scratch.detect_change_points(s, &cfg).len();
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for s in &corpus {
+        total_cps += scratch.detect_change_points(s, &cfg).len();
+    }
+    let steady_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    eprintln!("[detect] steady-state allocations over {LINKS} links: {steady_allocs} (cps seen: {total_cps})");
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let per_link = |pass_ns: f64| pass_ns / LINKS as f64;
+    let rate = |pass_ns: f64| if pass_ns > 0.0 { LINKS as f64 * 1e9 / pass_ns } else { 0.0 };
+    let speedup = if pool_ns > 0.0 { seed_ns / pool_ns } else { 0.0 };
+    eprintln!(
+        "[detect] seed {:.0} ns/link, scratch {:.0} ns/link, pool {:.0} ns/link ({:.2}x vs seed, host parallelism {host})",
+        per_link(seed_ns),
+        per_link(scratch_ns),
+        per_link(pool_ns),
+        speedup
+    );
+
+    // Headline links_per_sec first: scripts/bench_detect.sh reads the first
+    // occurrence as the regression-gated figure.
+    let rows: Vec<String> = [
+        ("seed_baseline", seed_ns),
+        ("scratch_early_exit", scratch_ns),
+        ("scratch_parallel", pool_ns),
+    ]
+    .iter()
+    .map(|(name, ns)| {
+        format!(
+            "    {{\"name\": \"{name}\", \"mean_ns_per_link\": {:.0}, \"links_per_sec\": {:.2}}}",
+            per_link(*ns),
+            rate(*ns)
+        )
+    })
+    .collect();
+    let json = format!(
+        "{{\n  \"links_per_sec\": {:.2},\n  \"bench\": \"detect_throughput\",\n  \"mean_ns_per_link\": {:.0},\n  \"speedup_vs_seed\": {:.3},\n  \"steady_state_allocs\": {steady_allocs},\n  \"host_parallelism\": {host},\n  \"links\": {LINKS},\n  \"months\": {MONTHS},\n  \"samples_per_link\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rate(pool_ns),
+        per_link(pool_ns),
+        speedup,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detect.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("[detect] could not write {out}: {e}");
+    } else {
+        eprintln!("[detect] baseline written to {out}");
+    }
+}
+
+criterion_group! {
+    name = detect;
+    config = Criterion::default();
+    targets = detect_throughput
+}
+criterion_main!(detect);

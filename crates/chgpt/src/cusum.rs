@@ -7,7 +7,19 @@
 //! `S_diff = max S − min S`, calibrated by comparing against the ranges of
 //! random permutations of the window (the bootstrap): if the observed range
 //! beats, say, 95 % of permuted ranges, a change point is declared.
+//!
+//! The bootstrap supports a **sequential early exit**: when the caller only
+//! needs the accept/reject decision at a fixed confidence (the segmentation
+//! loop's case), permutation `k` of `N` can stop as soon as the count of
+//! below-range permutations either already reaches the accept threshold or
+//! can no longer reach it even if every remaining permutation lands below.
+//! Both stopping rules are exact — the decision and the split index are
+//! identical to the full run; only the reported confidence value becomes a
+//! bound on the correct side of the threshold instead of the exact
+//! fraction. `DetectorConfig::exact_confidence` disables the shortcut for
+//! callers that need the exact value.
 
+use crate::scratch::DetectorScratch;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -21,6 +33,8 @@ pub struct CusumResult {
     /// The CUSUM range `max S − min S`.
     pub range: f64,
     /// Fraction of bootstrap permutations whose range fell below `range`.
+    /// Under an early-exit decision this is a bound that settles the same
+    /// side of the decision threshold as the exact fraction.
     pub confidence: f64,
 }
 
@@ -50,23 +64,81 @@ pub fn cusum_peak(window: &[f64]) -> (usize, f64) {
     (best_idx, smax - smin)
 }
 
-/// Run the permutation bootstrap for `window`, returning the full result.
-///
-/// `iters` permutations are drawn with an RNG seeded from `seed`, so the
-/// whole analysis is deterministic. The achievable confidence resolution is
-/// `1/iters`.
-pub fn cusum_bootstrap(window: &[f64], iters: usize, seed: u64) -> CusumResult {
+/// CUSUM range only, for bootstrap replicates: permutations are compared
+/// purely on `smax - smin`, so tracking the arg-max of `|s|` (a float abs,
+/// compare, and two stores per sample) is dead work there. The partial sums
+/// are accumulated in exactly the same order as [`cusum_peak`], so the
+/// returned range is bit-identical to `cusum_peak(window).1`.
+fn cusum_range(window: &[f64]) -> f64 {
+    let n = window.len();
+    let mean = window.iter().sum::<f64>() / n as f64;
+    let mut s = 0.0;
+    let (mut smax, mut smin) = (f64::MIN, f64::MAX);
+    for &x in window {
+        s += x - mean;
+        if s > smax {
+            smax = s;
+        }
+        if s < smin {
+            smin = s;
+        }
+    }
+    smax - smin
+}
+
+/// Smallest below-count `t` such that `t / iters >= conf` — the accept
+/// threshold of the decision `confidence >= conf` in integer form. Computed
+/// with the same `f64` division the decision itself uses, so the early exit
+/// agrees with the full run bit-for-bit. May exceed `iters` when `conf > 1`
+/// (accept then being unreachable, exactly like the full run).
+fn accept_count(iters: usize, conf: f64) -> usize {
+    let mut t = (conf * iters as f64).ceil().max(0.0) as usize;
+    while t > 0 && (t - 1) as f64 / iters as f64 >= conf {
+        t -= 1;
+    }
+    while t <= iters && (t as f64 / iters as f64) < conf {
+        t += 1;
+    }
+    t
+}
+
+/// Core bootstrap loop over a caller-provided shuffle buffer. With
+/// `decision = Some(conf)` the permutation loop stops as soon as the
+/// accept/reject outcome of `confidence >= conf` is mathematically settled.
+pub(crate) fn bootstrap_core(
+    window: &[f64],
+    iters: usize,
+    seed: u64,
+    decision: Option<f64>,
+    shuffle: &mut Vec<f64>,
+) -> CusumResult {
     let (split, range) = cusum_peak(window);
     if range == 0.0 {
         // Perfectly flat window: nothing to test.
         return CusumResult { split, range, confidence: 0.0 };
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut shuffled = window.to_vec();
+    shuffle.clear();
+    shuffle.extend_from_slice(window);
+    let accept_at = decision.map(|conf| accept_count(iters, conf));
     let mut below = 0usize;
-    for _ in 0..iters {
-        shuffled.shuffle(&mut rng);
-        let (_, r) = cusum_peak(&shuffled);
+    for done in 0..iters {
+        if let Some(t) = accept_at {
+            if below >= t {
+                // Accept settled: below can only grow, and below/iters
+                // already clears the threshold.
+                return CusumResult { split, range, confidence: below as f64 / iters as f64 };
+            }
+            if below + (iters - done) < t {
+                // Reject settled: even if every remaining permutation lands
+                // below, the final count stays under t. Report the upper
+                // bound — strictly below the threshold by construction.
+                let bound = (below + (iters - done)) as f64 / iters as f64;
+                return CusumResult { split, range, confidence: bound };
+            }
+        }
+        shuffle.shuffle(&mut rng);
+        let r = cusum_range(shuffle);
         if r < range {
             below += 1;
         }
@@ -74,11 +146,53 @@ pub fn cusum_bootstrap(window: &[f64], iters: usize, seed: u64) -> CusumResult {
     CusumResult { split, range, confidence: below as f64 / iters as f64 }
 }
 
+/// Run the permutation bootstrap for `window`, returning the full result.
+///
+/// `iters` permutations are drawn with an RNG seeded from `seed`, so the
+/// whole analysis is deterministic. The achievable confidence resolution is
+/// `1/iters`.
+pub fn cusum_bootstrap(window: &[f64], iters: usize, seed: u64) -> CusumResult {
+    let mut shuffle = Vec::new();
+    bootstrap_core(window, iters, seed, None, &mut shuffle)
+}
+
+/// [`cusum_bootstrap`] over reusable scratch memory, with an optional
+/// sequential early exit: `decision = Some(conf)` stops permuting the
+/// moment the accept/reject outcome of `confidence >= conf` is settled
+/// (identical decision and split as the full run), `None` runs every
+/// permutation and reports the exact confidence.
+pub fn cusum_bootstrap_with(
+    window: &[f64],
+    iters: usize,
+    seed: u64,
+    decision: Option<f64>,
+    scratch: &mut DetectorScratch,
+) -> CusumResult {
+    bootstrap_core(window, iters, seed, decision, &mut scratch.shuffle)
+}
+
+/// Selection-based core of [`spread_reaches`]: one `select_nth_unstable_by`
+/// for the decile baseline plus a single counting pass over the raw window
+/// — O(n) instead of the seed's O(n log n) sort, with identical verdicts
+/// (pinned by `spread_matches_sorting_implementation`).
+pub(crate) fn spread_core(window: &[f64], min_magnitude: f64, buf: &mut Vec<f64>) -> bool {
+    if window.len() < 4 {
+        return false;
+    }
+    buf.clear();
+    buf.extend_from_slice(window);
+    let k = buf.len() / 10;
+    let (_, &mut baseline, _) =
+        buf.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("NaN in series"));
+    let threshold = baseline + min_magnitude;
+    window.iter().filter(|&&v| v > threshold).count() >= 4
+}
+
 /// Cheap necessary condition for a detectable shift: at least four samples
 /// must sit `min_magnitude` above the window's low-quantile baseline, or no
 /// level shift of that magnitude lasting ≥ a few samples can exist and the
 /// bootstrap can be skipped entirely. This is what keeps a 10,000-link
-/// campaign tractable: healthy links cost one O(n log n) scan instead of
+/// campaign tractable: healthy links cost one O(n) selection instead of
 /// hundreds of permutations.
 ///
 /// Counting excursions (rather than a percentile spread) matters: a
@@ -86,16 +200,55 @@ pub fn cusum_bootstrap(window: &[f64], iters: usize, seed: u64) -> CusumResult {
 /// few percent of samples — invisible to a 95th percentile, but thousands
 /// of excursions.
 pub fn spread_reaches(window: &[f64], min_magnitude: f64) -> bool {
-    if window.len() < 4 {
-        return false;
+    let mut buf = Vec::new();
+    spread_core(window, min_magnitude, &mut buf)
+}
+
+/// [`spread_reaches`] over reusable scratch memory.
+pub fn spread_reaches_with(
+    window: &[f64],
+    min_magnitude: f64,
+    scratch: &mut DetectorScratch,
+) -> bool {
+    spread_core(window, min_magnitude, &mut scratch.select)
+}
+
+/// Core of [`cusum_cp_interval`] over caller-provided buffers.
+pub(crate) fn cp_interval_core(
+    window: &[f64],
+    iters: usize,
+    seed: u64,
+    conf: f64,
+    boot: &mut Vec<f64>,
+    estimates: &mut Vec<usize>,
+) -> (usize, usize) {
+    assert!((0.0..1.0).contains(&conf), "confidence must be in (0, 1)");
+    let (split, _) = cusum_peak(window);
+    let cut = (split + 1).clamp(1, window.len() - 1);
+    let (left, right) = window.split_at(cut);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    estimates.clear();
+    boot.clear();
+    boot.resize(window.len(), 0.0);
+    for _ in 0..iters {
+        for (i, v) in boot.iter_mut().enumerate() {
+            *v = if i < cut {
+                left[rand::Rng::gen_range(&mut rng, 0..left.len())]
+            } else {
+                right[rand::Rng::gen_range(&mut rng, 0..right.len())]
+            };
+        }
+        estimates.push(cusum_peak(boot).0);
     }
-    let mut sorted = window.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
-    let baseline = sorted[sorted.len() / 10];
-    let threshold = baseline + min_magnitude;
-    // `sorted` is ordered: count the tail above the threshold.
-    let first_above = sorted.partition_point(|&v| v <= threshold);
-    sorted.len() - first_above >= 4
+    estimates.sort_unstable();
+    let tail = (1.0 - conf) / 2.0;
+    let lo = estimates[((iters as f64) * tail) as usize];
+    // The lower index truncates toward the tail; the upper index must round
+    // half-up so both tails clip symmetrically — truncating both (as the
+    // seed did) biases the interval low for small `iters`.
+    let hi_idx = ((iters as f64) * (1.0 - tail) + 0.5) as usize;
+    let hi = estimates[hi_idx.min(iters - 1)];
+    (lo.min(hi), hi.max(lo))
 }
 
 /// Bootstrap confidence interval for a change-point *location* (the second
@@ -109,28 +262,20 @@ pub fn spread_reaches(window: &[f64], min_magnitude: f64) -> bool {
 /// indices `(lo, hi)` (inclusive). Sharp steps give tight intervals; shifts
 /// barely above the noise give wide ones.
 pub fn cusum_cp_interval(window: &[f64], iters: usize, seed: u64, conf: f64) -> (usize, usize) {
-    assert!((0.0..1.0).contains(&conf), "confidence must be in (0, 1)");
-    let (split, _) = cusum_peak(window);
-    let cut = (split + 1).clamp(1, window.len() - 1);
-    let (left, right) = window.split_at(cut);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut estimates = Vec::with_capacity(iters);
-    let mut boot = vec![0.0; window.len()];
-    for _ in 0..iters {
-        for (i, v) in boot.iter_mut().enumerate() {
-            *v = if i < cut {
-                left[rand::Rng::gen_range(&mut rng, 0..left.len())]
-            } else {
-                right[rand::Rng::gen_range(&mut rng, 0..right.len())]
-            };
-        }
-        estimates.push(cusum_peak(&boot).0);
-    }
-    estimates.sort_unstable();
-    let tail = (1.0 - conf) / 2.0;
-    let lo = estimates[((iters as f64) * tail) as usize];
-    let hi = estimates[(((iters as f64) * (1.0 - tail)) as usize).min(iters - 1)];
-    (lo.min(hi), hi.max(lo))
+    let (mut boot, mut estimates) = (Vec::new(), Vec::new());
+    cp_interval_core(window, iters, seed, conf, &mut boot, &mut estimates)
+}
+
+/// [`cusum_cp_interval`] over reusable scratch memory (the `boot` and
+/// `estimates` buffers come from the scratch).
+pub fn cusum_cp_interval_with(
+    window: &[f64],
+    iters: usize,
+    seed: u64,
+    conf: f64,
+    scratch: &mut DetectorScratch,
+) -> (usize, usize) {
+    cp_interval_core(window, iters, seed, conf, &mut scratch.boot, &mut scratch.estimates)
 }
 
 #[cfg(test)]
@@ -139,6 +284,28 @@ mod tests {
 
     fn step_series(n: usize, at: usize, lo: f64, hi: f64) -> Vec<f64> {
         (0..n).map(|i| if i < at { lo } else { hi }).collect()
+    }
+
+    #[test]
+    fn range_only_variant_is_bitwise_identical() {
+        let mut x = 1u64;
+        let series: Vec<f64> = (0..257)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+            })
+            .collect();
+        for w in [2, 3, 17, 256, 257] {
+            let (_, range) = cusum_peak(&series[..w]);
+            assert_eq!(range.to_bits(), cusum_range(&series[..w]).to_bits());
+        }
+    }
+
+    fn hash_noise(i: u64) -> f64 {
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % 1000) as f64
     }
 
     #[test]
@@ -169,14 +336,7 @@ mod tests {
     #[test]
     fn bootstrap_unconfident_on_noise() {
         // Deterministic "noise" via a full avalanche hash; no change point.
-        let s: Vec<f64> = (0..200u64)
-            .map(|i| {
-                let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                ((z ^ (z >> 31)) % 1000) as f64
-            })
-            .collect();
+        let s: Vec<f64> = (0..200u64).map(hash_noise).collect();
         let r = cusum_bootstrap(&s, 199, 7);
         assert!(r.confidence < 0.97, "confidence {}", r.confidence);
     }
@@ -185,6 +345,59 @@ mod tests {
     fn bootstrap_is_deterministic() {
         let s = step_series(80, 30, 0.0, 1.0);
         assert_eq!(cusum_bootstrap(&s, 99, 5), cusum_bootstrap(&s, 99, 5));
+    }
+
+    /// The sequential early exit must land on the same side of the decision
+    /// threshold as the exhaustive run, for both clear accepts, clear
+    /// rejects, and borderline windows — and the split must be identical.
+    #[test]
+    fn early_exit_decision_matches_full_run() {
+        let mut scratch = DetectorScratch::new();
+        let corpora: Vec<Vec<f64>> = vec![
+            step_series(120, 40, 10.0, 20.0),               // clear accept
+            (0..200u64).map(hash_noise).collect(),          // clear reject
+            (0..120u64).map(|i| hash_noise(i) / 400.0 + if i < 60 { 0.0 } else { 1.0 }).collect(),
+            (0..80u64).map(|i| hash_noise(i) / 100.0).collect(),
+        ];
+        for series in &corpora {
+            for conf in [0.0, 0.5, 0.9, 0.95, 0.99] {
+                for (iters, seed) in [(99usize, 5u64), (199, 42), (199, 7)] {
+                    let exact = cusum_bootstrap(series, iters, seed);
+                    let fast = cusum_bootstrap_with(series, iters, seed, Some(conf), &mut scratch);
+                    assert_eq!(exact.split, fast.split);
+                    assert_eq!(exact.range, fast.range);
+                    assert_eq!(
+                        exact.confidence >= conf,
+                        fast.confidence >= conf,
+                        "decision diverged at conf {conf}: exact {} fast {}",
+                        exact.confidence,
+                        fast.confidence
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_with_scratch_is_bitwise_identical() {
+        let mut scratch = DetectorScratch::new();
+        let s: Vec<f64> = (0..150u64).map(hash_noise).collect();
+        assert_eq!(cusum_bootstrap(&s, 199, 9), cusum_bootstrap_with(&s, 199, 9, None, &mut scratch));
+    }
+
+    #[test]
+    fn accept_count_is_the_decision_boundary() {
+        for iters in [10usize, 99, 100, 199, 500] {
+            for conf in [0.0, 0.5, 0.9, 0.95, 0.975, 0.99, 1.0] {
+                let t = accept_count(iters, conf);
+                if t > 0 {
+                    assert!((t - 1) as f64 / (iters as f64) < conf, "t-1 accepts: {iters} {conf}");
+                }
+                if t <= iters {
+                    assert!(t as f64 / iters as f64 >= conf, "t rejects: {iters} {conf}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -200,11 +413,40 @@ mod tests {
 
     #[test]
     fn spread_ignores_rare_outliers() {
-        // One spike in 200 samples must not open the gate: the 95th
-        // percentile clips it.
+        // One spike in 200 samples must not open the gate: the decile
+        // baseline plus excursion count clips it.
         let mut s = vec![1.0; 200];
         s[77] = 500.0;
         assert!(!spread_reaches(&s, 10.0));
+    }
+
+    /// Pin the selection-based `spread_reaches` against the seed's sorting
+    /// implementation on a population of random windows.
+    #[test]
+    fn spread_matches_sorting_implementation() {
+        fn seed_spread(window: &[f64], min_magnitude: f64) -> bool {
+            if window.len() < 4 {
+                return false;
+            }
+            let mut sorted = window.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+            let baseline = sorted[sorted.len() / 10];
+            let threshold = baseline + min_magnitude;
+            let first_above = sorted.partition_point(|&v| v <= threshold);
+            sorted.len() - first_above >= 4
+        }
+        let mut scratch = DetectorScratch::new();
+        for case in 0..200u64 {
+            let n = (hash_noise(case * 31) as usize) % 60;
+            let window: Vec<f64> = (0..n as u64)
+                .map(|i| hash_noise(case.wrapping_mul(1000).wrapping_add(i)) / 20.0)
+                .collect();
+            for mag in [0.0, 1.0, 5.0, 12.0, 40.0] {
+                let want = seed_spread(&window, mag);
+                assert_eq!(spread_reaches(&window, mag), want, "case {case} mag {mag}");
+                assert_eq!(spread_reaches_with(&window, mag, &mut scratch), want);
+            }
+        }
     }
 
     #[test]
@@ -242,5 +484,38 @@ mod tests {
     fn cp_interval_deterministic() {
         let s = step_series(150, 60, 1.0, 9.0);
         assert_eq!(cusum_cp_interval(&s, 99, 5, 0.9), cusum_cp_interval(&s, 99, 5, 0.9));
+    }
+
+    #[test]
+    fn cp_interval_scratch_matches_wrapper() {
+        let mut scratch = DetectorScratch::new();
+        let s = step_series(150, 60, 1.0, 9.0);
+        let want = cusum_cp_interval(&s, 99, 5, 0.9);
+        // Twice through the same scratch: reuse must not perturb results.
+        assert_eq!(cusum_cp_interval_with(&s, 99, 5, 0.9, &mut scratch), want);
+        assert_eq!(cusum_cp_interval_with(&s, 99, 5, 0.9, &mut scratch), want);
+    }
+
+    /// The upper percentile index rounds half-up; with `iters` chosen so
+    /// truncation and half-up disagree (30 × 0.95 = 28.5), the interval
+    /// must now include the higher-order statistic.
+    #[test]
+    fn cp_interval_upper_index_rounds_half_up() {
+        // A weak noisy step spreads the bootstrap estimates over many
+        // distinct indices, so estimates[28] != estimates[29] generically.
+        let weak: Vec<f64> = (0..120)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_add(0x51_7CC1);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let noise = ((z >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 8.0;
+                if i < 60 { 10.0 + noise } else { 13.5 + noise }
+            })
+            .collect();
+        // Reconstruct the estimate distribution the interval is cut from.
+        let mut boot = Vec::new();
+        let mut estimates = Vec::new();
+        let (_, hi) = cp_interval_core(&weak, 30, 17, 0.9, &mut boot, &mut estimates);
+        // estimates is left sorted by the core; half-up of 28.5 is 29.
+        assert_eq!(hi, estimates[29].max(estimates[(30.0 * 0.05) as usize]));
     }
 }

@@ -7,6 +7,7 @@
 //! *sanitize* the raw level-shift output before measuring widths (merging
 //! stutters where the detector briefly dips between adjacent events).
 
+use crate::scratch::DetectorScratch;
 use crate::segment::Segment;
 use serde::{Deserialize, Serialize};
 
@@ -47,22 +48,57 @@ pub struct EventStats {
 /// queue is empty". Using a low quantile instead of the minimum keeps a
 /// single anomalously low segment from dragging the baseline down.
 pub fn baseline_level(segments: &[Segment], quantile: f64) -> f64 {
+    let mut buf = Vec::new();
+    baseline_core(segments, quantile, &mut buf)
+}
+
+/// [`baseline_level`] over reusable scratch memory.
+pub fn baseline_level_with(
+    segments: &[Segment],
+    quantile: f64,
+    scratch: &mut DetectorScratch,
+) -> f64 {
+    baseline_core(segments, quantile, &mut scratch.weights)
+}
+
+/// Weighted-quantile core: instead of sorting all segments by level
+/// (O(n log n)), run a quickselect-style narrowing — partition around the
+/// median position, sum the left partition's lengths, and recurse into the
+/// half holding the target cumulative length. Shrinking ranges make the
+/// selection work n + n/2 + n/4 + … = O(n) expected. Level ties return the
+/// identical value under any ordering, so the result matches the sorted
+/// walk exactly.
+pub(crate) fn baseline_core(
+    segments: &[Segment],
+    quantile: f64,
+    buf: &mut Vec<(f64, usize)>,
+) -> f64 {
     assert!((0.0..=1.0).contains(&quantile), "quantile out of range");
     let total: usize = segments.iter().map(|s| s.len()).sum();
     if total == 0 {
         return f64::NAN;
     }
-    let mut segs: Vec<&Segment> = segments.iter().collect();
-    segs.sort_by(|a, b| a.level.partial_cmp(&b.level).expect("NaN level"));
-    let target = (quantile * total as f64) as usize;
-    let mut seen = 0usize;
-    for s in segs {
-        seen += s.len();
-        if seen > target {
-            return s.level;
+    buf.clear();
+    buf.extend(segments.iter().map(|s| (s.level, s.len())));
+    // The answer is the level of the first segment (in level order) whose
+    // cumulative length exceeds `target`.
+    let mut target = (quantile * total as f64) as usize;
+    let (mut lo, mut hi) = (0usize, buf.len());
+    loop {
+        if hi - lo == 1 {
+            return buf[lo].0;
+        }
+        let mid = lo + (hi - lo) / 2;
+        buf[lo..hi]
+            .select_nth_unstable_by(mid - lo, |a, b| a.0.partial_cmp(&b.0).expect("NaN level"));
+        let left_len: usize = buf[lo..mid].iter().map(|p| p.1).sum();
+        if left_len > target {
+            hi = mid;
+        } else {
+            target -= left_len;
+            lo = mid;
         }
     }
-    unreachable!("quantile walk exhausted segments");
 }
 
 /// Extract events: maximal runs of segments elevated ≥ `threshold` above
@@ -149,6 +185,48 @@ mod tests {
         // A tiny rogue low segment does not own the baseline at q=0.10.
         let segs2 = vec![seg(0, 5, -20.0), seg(5, 1000, 1.0)];
         assert_eq!(baseline_level(&segs2, 0.10), 1.0);
+    }
+
+    #[test]
+    fn baseline_quickselect_matches_sorted_walk() {
+        fn sorted_walk(segments: &[Segment], quantile: f64) -> f64 {
+            let total: usize = segments.iter().map(|s| s.len()).sum();
+            let mut sorted: Vec<&Segment> = segments.iter().collect();
+            sorted.sort_by(|a, b| a.level.partial_cmp(&b.level).unwrap());
+            let target = (quantile * total as f64) as usize;
+            let mut seen = 0usize;
+            for s in sorted {
+                seen += s.len();
+                if seen > target {
+                    return s.level;
+                }
+            }
+            unreachable!()
+        }
+        let mut scratch = DetectorScratch::new();
+        for case in 0..150u64 {
+            let mut h = case.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = || {
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h >> 32
+            };
+            let n = 1 + (next() % 40) as usize;
+            let mut start = 0usize;
+            let segs: Vec<Segment> = (0..n)
+                .map(|_| {
+                    let len = 1 + (next() % 60) as usize;
+                    let level = (next() % 9) as f64; // few distinct levels → ties
+                    let s = seg(start, start + len, level);
+                    start += len;
+                    s
+                })
+                .collect();
+            for q in [0.0, 0.05, 0.10, 0.5, 0.9] {
+                let want = sorted_walk(&segs, q);
+                assert_eq!(baseline_level(&segs, q), want, "case {case} q {q}");
+                assert_eq!(baseline_level_with(&segs, q, &mut scratch), want);
+            }
+        }
     }
 
     #[test]

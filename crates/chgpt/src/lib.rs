@@ -32,13 +32,21 @@ pub mod cusum;
 pub mod events;
 pub mod online;
 pub mod rank;
+pub mod scratch;
 pub mod segment;
 pub mod window;
 
-pub use cusum::{cusum_bootstrap, cusum_cp_interval, cusum_peak, spread_reaches, CusumResult};
-pub use events::{baseline_level, event_stats, extract_events, sanitize_events, EventStats, ShiftEvent};
+pub use cusum::{
+    cusum_bootstrap, cusum_bootstrap_with, cusum_cp_interval, cusum_cp_interval_with, cusum_peak,
+    spread_reaches, spread_reaches_with, CusumResult,
+};
+pub use events::{
+    baseline_level, baseline_level_with, event_stats, extract_events, sanitize_events, EventStats,
+    ShiftEvent,
+};
 pub use online::{online_events, OnlineConfig, OnlineDetector, OnlineVerdict};
-pub use rank::rank_transform;
+pub use rank::{rank_transform, rank_transform_with};
+pub use scratch::DetectorScratch;
 pub use segment::{detect_change_points, level_segments, segments, DetectorConfig, Segment};
 pub use window::{detect_window_shifts, WindowConfig};
 
@@ -50,6 +58,7 @@ pub mod prelude {
     };
     pub use crate::online::{online_events, OnlineConfig, OnlineDetector, OnlineVerdict};
     pub use crate::rank::rank_transform;
+    pub use crate::scratch::DetectorScratch;
     pub use crate::segment::{detect_change_points, level_segments, segments, DetectorConfig, Segment};
     pub use crate::window::{detect_window_shifts, WindowConfig};
 }

@@ -6,16 +6,22 @@
 //! the heavy-tailed spikes ICMP time series are full of (a single 500 ms
 //! outlier moves a mean-CUSUM a lot, but only one rank step).
 
-/// Replace each value by its 1-based rank; ties receive the average of the
-/// ranks they span (the standard mid-rank convention).
-pub fn rank_transform(values: &[f64]) -> Vec<f64> {
+use crate::scratch::DetectorScratch;
+
+/// Core of [`rank_transform`] over caller-provided buffers. The index sort
+/// is unstable — output-identical to a stable sort, because every member of
+/// a tie run receives the same averaged rank no matter how the run is
+/// ordered internally.
+pub(crate) fn rank_into(values: &[f64], idx: &mut Vec<usize>, out: &mut Vec<f64>) {
     let n = values.len();
+    out.clear();
+    out.resize(n, 0.0);
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in series"));
-    let mut ranks = vec![0.0; n];
+    idx.clear();
+    idx.extend(0..n);
+    idx.sort_unstable_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in series"));
     let mut i = 0;
     while i < n {
         // Find the tie run [i, j).
@@ -26,10 +32,25 @@ pub fn rank_transform(values: &[f64]) -> Vec<f64> {
         // Average rank of positions i..j (1-based ranks i+1 ..= j).
         let avg = (i + 1 + j) as f64 / 2.0;
         for &k in &idx[i..j] {
-            ranks[k] = avg;
+            out[k] = avg;
         }
         i = j;
     }
+}
+
+/// Replace each value by its 1-based rank; ties receive the average of the
+/// ranks they span (the standard mid-rank convention).
+pub fn rank_transform(values: &[f64]) -> Vec<f64> {
+    let (mut idx, mut out) = (Vec::new(), Vec::new());
+    rank_into(values, &mut idx, &mut out);
+    out
+}
+
+/// [`rank_transform`] over reusable scratch memory; the returned slice
+/// borrows the scratch and is valid until the next call that uses it.
+pub fn rank_transform_with<'a>(values: &[f64], scratch: &'a mut DetectorScratch) -> &'a [f64] {
+    let DetectorScratch { ranks, sort_idx, .. } = scratch;
+    rank_into(values, sort_idx, ranks);
     ranks
 }
 
@@ -54,6 +75,16 @@ mod tests {
     fn empty_and_single() {
         assert!(rank_transform(&[]).is_empty());
         assert_eq!(rank_transform(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn scratch_variant_matches_wrapper() {
+        let mut scratch = DetectorScratch::new();
+        let cases: [&[f64]; 4] =
+            [&[], &[42.0], &[1.0, 5.0, 5.0, 9.0], &[3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 2.6]];
+        for values in cases {
+            assert_eq!(rank_transform_with(values, &mut scratch), rank_transform(values));
+        }
     }
 
     #[test]

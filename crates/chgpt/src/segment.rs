@@ -6,8 +6,9 @@
 //! (the paper tunes this to level shifts "that last at least 30 minutes",
 //! i.e. six 5-minute samples).
 
-use crate::cusum::{cusum_bootstrap, spread_reaches};
-use crate::rank::rank_transform;
+use crate::cusum::{bootstrap_core, spread_core};
+use crate::rank::rank_into;
+use crate::scratch::DetectorScratch;
 use serde::{Deserialize, Serialize};
 
 /// Detector configuration.
@@ -36,6 +37,12 @@ pub struct DetectorConfig {
     pub max_window: usize,
     /// RNG seed for the bootstrap.
     pub seed: u64,
+    /// Disable the bootstrap's sequential early exit and always run every
+    /// permutation. The early exit settles the accept/reject decision and
+    /// split identically, so this only matters to callers that consume the
+    /// exact `confidence` *value* (e.g. reporting p-values); the detector
+    /// itself only compares against the threshold. Default `false`.
+    pub exact_confidence: bool,
 }
 
 impl Default for DetectorConfig {
@@ -48,6 +55,7 @@ impl Default for DetectorConfig {
             magnitude_gate: 0.0,
             max_window: 288,
             seed: 0x1234_5678,
+            exact_confidence: false,
         }
     }
 }
@@ -74,25 +82,36 @@ impl Segment {
     }
 }
 
-fn median(window: &[f64]) -> f64 {
-    let mut v = window.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
-    let n = v.len();
+/// Selection-based median over a caller-provided buffer: one
+/// `select_nth_unstable_by` instead of a full sort. For even `n` the lower
+/// middle value is the maximum of the left partition the selection leaves
+/// behind — bitwise identical to the sorted formula, since `f64` addition
+/// is commutative.
+pub(crate) fn median_core(window: &[f64], buf: &mut Vec<f64>) -> f64 {
+    let n = window.len();
     if n == 0 {
         return f64::NAN;
     }
+    buf.clear();
+    buf.extend_from_slice(window);
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in series");
+    let (left, &mut upper, _) = buf.select_nth_unstable_by(n / 2, cmp);
     if n % 2 == 1 {
-        v[n / 2]
+        upper
     } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2.0
+        let lower = left.iter().copied().fold(f64::MIN, f64::max);
+        (lower + upper) / 2.0
     }
 }
 
-/// Detect all change points in `series`. Returns sorted indices; index `i`
-/// means "a new regime begins at sample `i`".
-pub fn detect_change_points(series: &[f64], cfg: &DetectorConfig) -> Vec<usize> {
-    let mut cps = Vec::new();
-    let mut stack = vec![(0usize, series.len())];
+/// Core segmentation loop over caller-provided scratch. Leaves the sorted
+/// change points in `scratch.cps`.
+pub(crate) fn detect_into(series: &[f64], cfg: &DetectorConfig, scratch: &mut DetectorScratch) {
+    let DetectorScratch { shuffle, ranks, sort_idx, select, stack, cps, .. } = scratch;
+    cps.clear();
+    stack.clear();
+    stack.push((0usize, series.len()));
+    let decision = if cfg.exact_confidence { None } else { Some(cfg.confidence) };
     // Depth guard: segmentation of an n-sample series can produce at most
     // n / min_segment change points; anything beyond is a logic error.
     let max_cps = series.len() / cfg.min_segment.max(1) + 1;
@@ -102,19 +121,18 @@ pub fn detect_change_points(series: &[f64], cfg: &DetectorConfig) -> Vec<usize> 
             continue;
         }
         let window = &series[lo..hi];
-        if cfg.magnitude_gate > 0.0 && !spread_reaches(window, cfg.magnitude_gate) {
+        if cfg.magnitude_gate > 0.0 && !spread_core(window, cfg.magnitude_gate, select) {
             continue;
         }
-        let ranked;
         let data: &[f64] = if cfg.use_ranks {
-            ranked = rank_transform(window);
-            &ranked
+            rank_into(window, sort_idx, ranks);
+            ranks
         } else {
             window
         };
         // Seed varies per window so sibling windows don't share permutations.
         let seed = cfg.seed ^ ((lo as u64) << 32) ^ hi as u64;
-        let r = cusum_bootstrap(data, cfg.bootstrap_iters, seed);
+        let r = bootstrap_core(data, cfg.bootstrap_iters, seed, decision, shuffle);
         if r.confidence < cfg.confidence {
             // No whole-window shift; descend into halves (no change point
             // recorded) so window-scale structure stays visible.
@@ -134,29 +152,47 @@ pub fn detect_change_points(series: &[f64], cfg: &DetectorConfig) -> Vec<usize> 
         stack.push((split, hi));
     }
     cps.sort_unstable();
-    cps
+}
+
+/// Cut `series` at the change points already in `scratch.cps`, leaving the
+/// segments in `scratch.segs`.
+pub(crate) fn segments_into(series: &[f64], scratch: &mut DetectorScratch) {
+    let DetectorScratch { select, cps, segs, .. } = scratch;
+    segs.clear();
+    if series.is_empty() {
+        return;
+    }
+    let mut start = 0usize;
+    for &cp in cps.iter() {
+        assert!(cp > start && cp < series.len(), "change point {cp} out of order/bounds");
+        segs.push(Segment { start, end: cp, level: median_core(&series[start..cp], select) });
+        start = cp;
+    }
+    segs.push(Segment { start, end: series.len(), level: median_core(&series[start..], select) });
+}
+
+/// Detect all change points in `series`. Returns sorted indices; index `i`
+/// means "a new regime begins at sample `i`".
+pub fn detect_change_points(series: &[f64], cfg: &DetectorConfig) -> Vec<usize> {
+    let mut scratch = DetectorScratch::new();
+    detect_into(series, cfg, &mut scratch);
+    scratch.cps
 }
 
 /// Cut `series` into level segments at `change_points`.
 pub fn segments(series: &[f64], change_points: &[usize]) -> Vec<Segment> {
-    if series.is_empty() {
-        return Vec::new();
-    }
-    let mut out = Vec::with_capacity(change_points.len() + 1);
-    let mut start = 0usize;
-    for &cp in change_points {
-        assert!(cp > start && cp < series.len(), "change point {cp} out of order/bounds");
-        out.push(Segment { start, end: cp, level: median(&series[start..cp]) });
-        start = cp;
-    }
-    out.push(Segment { start, end: series.len(), level: median(&series[start..]) });
-    out
+    let mut scratch = DetectorScratch::new();
+    scratch.cps.extend_from_slice(change_points);
+    segments_into(series, &mut scratch);
+    scratch.segs
 }
 
 /// Convenience: detect and segment in one call.
 pub fn level_segments(series: &[f64], cfg: &DetectorConfig) -> Vec<Segment> {
-    let cps = detect_change_points(series, cfg);
-    segments(series, &cps)
+    let mut scratch = DetectorScratch::new();
+    detect_into(series, cfg, &mut scratch);
+    segments_into(series, &mut scratch);
+    scratch.segs
 }
 
 #[cfg(test)]
@@ -260,6 +296,37 @@ mod tests {
         }
         let cfg = DetectorConfig::default();
         assert!(detect_change_points(&s, &cfg).is_empty(), "rank CUSUM flagged outliers");
+    }
+
+    #[test]
+    fn exact_confidence_mode_same_change_points() {
+        // The escape hatch disables the early exit; decisions (and hence
+        // change points) must be identical either way.
+        let s = noisy_steps(&[(150, 3.0), (80, 19.0), (400, 3.0), (60, 15.0)], 2.0);
+        let fast = DetectorConfig::default();
+        let exact = DetectorConfig { exact_confidence: true, ..fast.clone() };
+        assert_eq!(detect_change_points(&s, &fast), detect_change_points(&s, &exact));
+    }
+
+    #[test]
+    fn median_core_matches_sorting() {
+        fn sorted_median(window: &[f64]) -> f64 {
+            let mut v = window.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = v.len();
+            if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 }
+        }
+        let mut buf = Vec::new();
+        for n in 1usize..40 {
+            let window: Vec<f64> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    ((h >> 40) % 17) as f64 // plenty of ties
+                })
+                .collect();
+            assert_eq!(median_core(&window, &mut buf), sorted_median(&window), "n={n}");
+        }
+        assert!(median_core(&[], &mut buf).is_nan());
     }
 
     #[test]

@@ -25,29 +25,24 @@ impl Default for WindowConfig {
     }
 }
 
-fn median_of(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
-    let n = v.len();
-    if n % 2 == 1 {
-        v[n / 2]
-    } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2.0
-    }
-}
-
 /// Detect change points: indices where the left/right window medians differ
 /// by at least the threshold, keeping only the local maximum of each
 /// contiguous exceedance run.
+///
+/// Each window median is one `select_nth_unstable_by` over a buffer reused
+/// across the whole slide, so the scan allocates a single half-window
+/// buffer total instead of two fresh sorted copies per position.
 pub fn detect_window_shifts(series: &[f64], cfg: &WindowConfig) -> Vec<usize> {
     let w = cfg.half_window;
     if series.len() < 2 * w + 1 || w == 0 {
         return Vec::new();
     }
     let mut out = Vec::new();
+    let mut buf = Vec::with_capacity(w);
     let mut run_best: Option<(usize, f64)> = None;
     for i in w..series.len() - w {
-        let left = median_of(series[i - w..i].to_vec());
-        let right = median_of(series[i..i + w].to_vec());
+        let left = crate::segment::median_core(&series[i - w..i], &mut buf);
+        let right = crate::segment::median_core(&series[i..i + w], &mut buf);
         let diff = (right - left).abs();
         if diff >= cfg.threshold {
             match run_best {

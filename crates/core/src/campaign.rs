@@ -199,6 +199,55 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// Fan `items` out over a work-stealing pool of `threads` workers, each
+/// holding private per-worker state built by `init` (a detector scratch, a
+/// probe context — anything that should be reused across items but never
+/// shared). Results come back in item order and are identical to the
+/// sequential run at any thread count, provided `f` is a pure function of
+/// `(state, index, item)` where `state` carries no cross-item information —
+/// the contract every caller in this workspace upholds.
+///
+/// `threads = 1` (or a single item) runs inline on the calling thread with
+/// one state, no pool.
+pub fn pool_map_with<T, R, S>(
+    threads: usize,
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
+    }
+    // Work-stealing by atomic claim counter: workers grab the next unclaimed
+    // item index and write its result into that index's slot, so output
+    // order is item order no matter which worker finishes when.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(&mut state, i, item);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
 /// Measure a whole target list, fanning targets out over `cfg.threads`
 /// workers. Results come back in target order and are bit-identical to the
 /// sequential run at any thread count: each target owns a private
@@ -209,30 +258,7 @@ pub fn measure_vp_links(
     targets: &[TslpTarget],
     cfg: &CampaignConfig,
 ) -> Vec<(LinkSeries, bool)> {
-    let threads = resolve_threads(cfg.threads).min(targets.len().max(1));
-    if threads <= 1 {
-        return targets.iter().map(|t| measure_link(net, vp, t, cfg)).collect();
-    }
-    // Work-stealing by atomic claim counter: workers grab the next unclaimed
-    // target index and write its result into that index's slot, so output
-    // order is target order no matter which worker finishes when.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(LinkSeries, bool)>>> =
-        targets.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(target) = targets.get(i) else { break };
-                let r = measure_link(net, vp, target, cfg);
-                *slots[i].lock().expect("slot lock poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
-        .collect()
+    pool_map_with(cfg.threads, targets, || (), |_, _, t| measure_link(net, vp, t, cfg))
 }
 
 /// Measure a whole target list; returns per-target series plus the count of
@@ -315,6 +341,28 @@ mod tests {
         let (series, screened) = measure_link(&net, vp, &target(), &cfg);
         assert!(!screened);
         assert_eq!(series.len(), 2 * 288);
+    }
+
+    #[test]
+    fn pool_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1usize, 2, 3, 8] {
+            // Per-worker state: a reused buffer, as a stand-in for a scratch.
+            let got = pool_map_with(
+                threads,
+                &items,
+                Vec::<u64>::new,
+                |buf, i, &x| {
+                    buf.push(x);
+                    assert_eq!(items[i], x);
+                    x * x
+                },
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // Empty input is fine.
+        assert!(pool_map_with(4, &[] as &[u64], || (), |_, _, &x| x).is_empty());
     }
 
     #[test]

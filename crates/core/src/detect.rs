@@ -14,8 +14,9 @@
 //!    up→down width `Δt_UD`, and the sustained/transient label (§6.1).
 
 use crate::series::LinkSeries;
-use ixp_chgpt::events::{baseline_level, event_stats, extract_events, sanitize_events, ShiftEvent};
-use ixp_chgpt::segment::{level_segments, DetectorConfig, Segment};
+use ixp_chgpt::events::{event_stats, extract_events, sanitize_events, ShiftEvent};
+use ixp_chgpt::scratch::DetectorScratch;
+use ixp_chgpt::segment::{DetectorConfig, Segment};
 use ixp_simnet::time::{SimDuration, SimTime, MICROS_PER_DAY};
 use serde::{Deserialize, Serialize};
 
@@ -152,6 +153,19 @@ pub struct Segmentation {
 /// Run the level-shift detector once; the expensive, threshold-independent
 /// half of [`assess_link`]. Returns `None` when the series is too short.
 pub fn segment_far(series: &LinkSeries, cfg: &AssessConfig) -> Option<Segmentation> {
+    segment_far_with(series, cfg, &mut DetectorScratch::new())
+}
+
+/// [`segment_far`] over reusable detector scratch: the detection internals
+/// (shuffle, rank, selection and stack buffers) come from `scratch`, so a
+/// per-worker scratch makes the hot per-window path allocation-free. The
+/// returned [`Segmentation`] still owns its data — it outlives the scratch
+/// across a threshold sweep.
+pub fn segment_far_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    scratch: &mut DetectorScratch,
+) -> Option<Segmentation> {
     let (far, far_idx) = series.far_clean();
     let far_validity = series.far_validity();
     let min_len = samples_for(cfg.min_event, series.cfg.interval);
@@ -159,21 +173,41 @@ pub fn segment_far(series: &LinkSeries, cfg: &AssessConfig) -> Option<Segmentati
         return None;
     }
     let det = DetectorConfig { min_segment: min_len.max(cfg.detector.min_segment), ..cfg.detector.clone() };
-    let segs = level_segments(&far, &det);
-    let baseline = baseline_level(&segs, cfg.baseline_quantile);
+    let (segs, baseline) = scratch.segment_series(&far, &det, cfg.baseline_quantile);
+    let segs = segs.to_vec();
     Some(Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity })
 }
 
 /// Run the full assessment for one link.
 pub fn assess_link(series: &LinkSeries, cfg: &AssessConfig) -> Assessment {
-    match segment_far(series, cfg) {
-        Some(pre) => assess_from_segmentation(series, cfg, &pre),
+    assess_link_with(series, cfg, &mut DetectorScratch::new())
+}
+
+/// [`assess_link`] over reusable detector scratch (one per worker thread).
+pub fn assess_link_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    scratch: &mut DetectorScratch,
+) -> Assessment {
+    match segment_far_with(series, cfg, scratch) {
+        Some(pre) => assess_from_segmentation_with(series, cfg, &pre, scratch),
         None => empty_assessment(series.far_validity(), f64::NAN),
     }
 }
 
 /// The cheap, threshold-dependent half of the assessment.
 pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &Segmentation) -> Assessment {
+    assess_from_segmentation_with(series, cfg, pre, &mut DetectorScratch::new())
+}
+
+/// [`assess_from_segmentation`] over reusable detector scratch (the near-
+/// side guard runs the detector on the near series).
+pub fn assess_from_segmentation_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    pre: &Segmentation,
+    scratch: &mut DetectorScratch,
+) -> Assessment {
     let Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity } = pre;
     let (far, far_idx, min_len, far_validity, baseline) =
         (far, far_idx, *min_len, *far_validity, *baseline);
@@ -192,7 +226,7 @@ pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &S
         .collect();
 
     // Near-side guard.
-    let near_guard = near_guard(series, &events, far_idx, cfg, det);
+    let near_guard = near_guard(series, &events, far_idx, cfg, det, scratch);
 
     // Diurnal classification over the *timed* events.
     let diurnal = flagged && near_guard == NearGuard::Clean && is_diurnal(&timed, cfg);
@@ -234,6 +268,16 @@ pub fn assess_from_segmentation(series: &LinkSeries, cfg: &AssessConfig, pre: &S
 /// running the (expensive, threshold-independent) segmentation only once —
 /// the Table 1 sensitivity sweep.
 pub fn assess_at_thresholds(series: &LinkSeries, cfg: &AssessConfig, thresholds_ms: &[f64]) -> Vec<(f64, Assessment)> {
+    assess_at_thresholds_with(series, cfg, thresholds_ms, &mut DetectorScratch::new())
+}
+
+/// [`assess_at_thresholds`] over reusable detector scratch.
+pub fn assess_at_thresholds_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    thresholds_ms: &[f64],
+    scratch: &mut DetectorScratch,
+) -> Vec<(f64, Assessment)> {
     let min_t = thresholds_ms.iter().cloned().fold(f64::INFINITY, f64::min);
     let base_cfg = AssessConfig {
         detector: DetectorConfig {
@@ -242,13 +286,13 @@ pub fn assess_at_thresholds(series: &LinkSeries, cfg: &AssessConfig, thresholds_
         },
         ..cfg.clone()
     };
-    let pre = segment_far(series, &base_cfg);
+    let pre = segment_far_with(series, &base_cfg, scratch);
     thresholds_ms
         .iter()
         .map(|&t| {
             let c = AssessConfig { threshold_ms: t, ..base_cfg.clone() };
             let a = match &pre {
-                Some(p) => assess_from_segmentation(series, &c, p),
+                Some(p) => assess_from_segmentation_with(series, &c, p, scratch),
                 None => empty_assessment(series.far_validity(), f64::NAN),
             };
             (t, a)
@@ -281,14 +325,14 @@ fn near_guard(
     far_idx: &[usize],
     cfg: &AssessConfig,
     det: &DetectorConfig,
+    scratch: &mut DetectorScratch,
 ) -> NearGuard {
     let (near, near_idx) = series.near_clean();
     if near.len() < 2 * det.min_segment || near.len() < series.len() / 4 {
         return NearGuard::Unclear;
     }
-    let segs: Vec<Segment> = level_segments(&near, det);
-    let base = baseline_level(&segs, cfg.baseline_quantile);
-    let near_events = extract_events(&segs, base, cfg.threshold_ms, det.min_segment);
+    let (segs, base) = scratch.segment_series(&near, det, cfg.baseline_quantile);
+    let near_events = extract_events(segs, base, cfg.threshold_ms, det.min_segment);
     if near_events.is_empty() || far_events.is_empty() {
         return NearGuard::Clean;
     }

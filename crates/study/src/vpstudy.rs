@@ -8,6 +8,7 @@
 use ixp_bdrmap::infer::{run_bdrmap, BdrmapConfig, InferredLink};
 use ixp_bdrmap::ipasn::IpAsnMapper;
 use ixp_bdrmap::validate::{score, BdrmapAccuracy};
+use ixp_chgpt::DetectorScratch;
 use ixp_prober::rr::{record_route_symmetry, Symmetry};
 use ixp_prober::tslp::TslpTarget;
 use ixp_simnet::prelude::{Asn, Ipv4, SimTime};
@@ -16,8 +17,8 @@ use ixp_simnet::time::SimDuration;
 use ixp_geo::{link_in_country, GeoDb};
 use ixp_topology::{build_vp, paper_directory, TruthKind, VpSpec};
 use serde::{Deserialize, Serialize};
-use tslp_core::campaign::{measure_vp_links, CampaignConfig};
-use tslp_core::detect::{assess_at_thresholds, AssessConfig, Assessment};
+use tslp_core::campaign::{measure_vp_links, pool_map_with, CampaignConfig};
+use tslp_core::detect::{assess_at_thresholds_with, AssessConfig, Assessment};
 use tslp_core::lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig};
 use tslp_core::series::LinkSeries;
 
@@ -279,16 +280,25 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
     let targets: Vec<_> = discovered.iter().map(to_target).collect();
     let measured = measure_vp_links(&substrate.net, substrate.vp, &targets, &campaign);
 
-    let mut outcomes: Vec<LinkOutcome> = Vec::new();
-    let mut screened = 0usize;
-    let mut probe_rounds = 0u64;
-    for (l, (series, screened_out)) in discovered.iter().zip(measured) {
-        if screened_out {
-            screened += 1;
-        }
-        probe_rounds += series.len() as u64 * 2;
+    let screened = measured.iter().filter(|(_, sc)| *sc).count();
+    let probe_rounds: u64 = measured.iter().map(|(s, _)| s.len() as u64 * 2).sum();
 
-        let sweep_full = assess_at_thresholds(&series, &cfg.assess, &THRESHOLDS_MS);
+    // Fan the per-link assessment (detector + RR + loss) over the same
+    // work-stealing pool, each worker reusing one DetectorScratch across
+    // every link it claims — the detection fast path stays allocation-free
+    // per window. Every probe context inside is seeded from link identity,
+    // so outcomes are identical at any thread count (tested below).
+    let work: Vec<(&InferredLink, &LinkSeries, bool)> = discovered
+        .iter()
+        .zip(&measured)
+        .map(|(l, (series, screened_out))| (l, series, *screened_out))
+        .collect();
+    let outcomes: Vec<LinkOutcome> = pool_map_with(
+        cfg.threads,
+        &work,
+        DetectorScratch::new,
+        |scratch, _, &(l, series, screened_out)| {
+        let sweep_full = assess_at_thresholds_with(series, &cfg.assess, &THRESHOLDS_MS, scratch);
         let assessment = sweep_full
             .iter()
             .find(|(t, _)| *t == cfg.assess.threshold_ms)
@@ -353,7 +363,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         );
 
         let keep = cfg.keep_series && (assessment.congested || matches!(truth_of(l.near, l.far), Some(TruthKind::CaseStudy { .. })));
-        outcomes.push(LinkOutcome {
+        LinkOutcome {
             near: l.near,
             far: l.far,
             far_asn: l.far_asn,
@@ -365,10 +375,11 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             geo_consistent,
             loss,
             truth: truth_of(l.near, l.far),
-            series: if keep { Some(series) } else { None },
+            series: if keep { Some(series.clone()) } else { None },
             screened_out,
-        });
-    }
+        }
+        },
+    );
 
     // Fill per-snapshot congested counts: a congested peering link counts at
     // a snapshot when it has an event within ±20 days of the date.
@@ -449,6 +460,36 @@ mod tests {
         // NETPAGE is diurnal at 5 and 10 ms.
         assert!(row[0].2 >= 1, "{row:?}");
         assert!(row[1].2 >= 1, "{row:?}");
+    }
+
+    #[test]
+    fn outcomes_identical_at_any_thread_count() {
+        let spec = &paper_vps()[3];
+        let run = |threads: usize| {
+            let cfg = VpStudyConfig {
+                window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 3, 21))),
+                with_loss: false,
+                max_links: Some(12),
+                threads,
+                ..Default::default()
+            };
+            run_vp_study(spec, &cfg)
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(a.screened, b.screened);
+        assert_eq!(a.probe_rounds, b.probe_rounds);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!((x.near, x.far), (y.near, y.far));
+            assert_eq!(x.sweep, y.sweep);
+            assert_eq!(x.symmetry, y.symmetry);
+            assert_eq!(x.geo_consistent, y.geo_consistent);
+            assert_eq!(
+                serde_json::to_string(&x.assessment).unwrap(),
+                serde_json::to_string(&y.assessment).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Re-run the detection throughput bench and regression-gate the baseline.
+#
+# The bench itself writes BENCH_detect.json. This wrapper keeps the previous
+# baseline and refuses to let a >10% links/sec regression silently replace
+# it; pass --force to accept the new number anyway (e.g. after an intended
+# trade-off or on a different host).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+if [[ "${1:-}" == "--force" ]]; then
+  FORCE=1
+fi
+
+BASELINE=BENCH_detect.json
+BACKUP=
+if [[ -f "$BASELINE" ]]; then
+  BACKUP=$(mktemp)
+  cp "$BASELINE" "$BACKUP"
+fi
+
+cargo bench -p ixp-bench --bench detect
+
+if [[ -n "$BACKUP" ]]; then
+  # First links_per_sec in the file is the headline (pool) rate.
+  old=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BACKUP")
+  new=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BASELINE")
+  echo "[bench_detect] links/sec: previous $old, new $new"
+  if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n < 0.9 * o) }'; then
+    if [[ "$FORCE" == "1" ]]; then
+      echo "[bench_detect] >10% regression accepted (--force)"
+    else
+      cp "$BACKUP" "$BASELINE"
+      rm -f "$BACKUP"
+      echo "[bench_detect] ERROR: new rate is >10% below the recorded baseline." >&2
+      echo "[bench_detect] Baseline restored; re-run with --force to accept." >&2
+      exit 1
+    fi
+  fi
+  rm -f "$BACKUP"
+fi
+
+echo "[bench_detect] baseline $BASELINE updated"

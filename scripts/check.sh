@@ -12,4 +12,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> all checks passed"
