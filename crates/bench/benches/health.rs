@@ -1,0 +1,140 @@
+//! Measurement-integrity overhead (DESIGN.md §5.13): price the health
+//! classification + fault-masked assessment against the plain unmasked
+//! assessment over the same synthetic corpus. The robustness layer runs on
+//! every link of every campaign, so it must be nearly free — the gate is
+//! <5% overhead. Writes `BENCH_health.json` at the repo root; see
+//! `scripts/bench_health.sh` for the regression gate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ixp_bench::detect_corpus;
+use ixp_chgpt::DetectorScratch;
+use ixp_simnet::prelude::{SimDuration, SimTime};
+use std::time::Duration;
+use tslp_core::campaign::pool_map_with;
+use tslp_core::detect::{assess_link_masked_with, assess_link_with, AssessConfig};
+use tslp_core::health::classify_link;
+use tslp_core::series::{LinkSeries, SeriesConfig};
+
+const LINKS: usize = 16;
+const MONTHS: usize = 13;
+
+/// Lift the far-value corpus into full `LinkSeries`, with a quiet near side
+/// and campaign-realistic measurement damage: a quarter of the links get
+/// maintenance-style gaps punched into the far series so the classifier
+/// and the mask have real intervals to chew on.
+fn health_corpus() -> Vec<LinkSeries> {
+    let grid = SeriesConfig {
+        start: SimTime::from_date(2016, 2, 22),
+        interval: SimDuration::from_mins(5),
+    };
+    detect_corpus(LINKS, MONTHS)
+        .into_iter()
+        .enumerate()
+        .map(|(k, mut far)| {
+            let n = far.len();
+            if k % 4 == 0 {
+                // Recurring 4-hour outages (48 rounds) every ~5 days.
+                let stride = 5 * 288;
+                let mut i = stride / 2;
+                while i + 48 < n {
+                    for v in &mut far[i..i + 48] {
+                        *v = f64::NAN;
+                    }
+                    i += stride;
+                }
+            }
+            LinkSeries {
+                cfg: grid,
+                near_ms: vec![0.4; n],
+                far_ms: far,
+                far_addr_mismatches: 0,
+            }
+        })
+        .collect()
+}
+
+fn health_overhead(c: &mut Criterion) {
+    let corpus = health_corpus();
+    let samples = corpus[0].len();
+    let cfg = AssessConfig::default();
+
+    let mut g = c.benchmark_group("health_overhead");
+    g.throughput(Throughput::Elements(LINKS as u64));
+    g.sample_size(2);
+    g.measurement_time(Duration::from_secs(6));
+
+    let mut plain_ns = 0.0;
+    g.bench_function("assess_unmasked", |b| {
+        b.iter(|| {
+            pool_map_with(0, &corpus, DetectorScratch::new, |sc, _, s| {
+                assess_link_with(s, &cfg, sc).events.len()
+            })
+            .into_iter()
+            .sum::<usize>()
+        });
+        plain_ns = b.mean_ns;
+    });
+
+    let mut masked_ns = 0.0;
+    g.bench_function("classify_and_assess_masked", |b| {
+        b.iter(|| {
+            pool_map_with(0, &corpus, DetectorScratch::new, |sc, _, s| {
+                let mask = classify_link(s, &cfg.health);
+                let a = assess_link_masked_with(s, &cfg, &mask, sc);
+                a.events.len() + a.artifacts.len()
+            })
+            .into_iter()
+            .sum::<usize>()
+        });
+        masked_ns = b.mean_ns;
+    });
+    g.finish();
+
+    let rate = |pass_ns: f64| if pass_ns > 0.0 { LINKS as f64 * 1e9 / pass_ns } else { 0.0 };
+    let overhead_pct =
+        if plain_ns > 0.0 { (masked_ns - plain_ns) / plain_ns * 100.0 } else { 0.0 };
+    eprintln!(
+        "[health] unmasked {:.0} ns/link ({:.2} links/s), classify+masked {:.0} ns/link ({:.2} links/s): {overhead_pct:+.2}% overhead",
+        plain_ns / LINKS as f64,
+        rate(plain_ns),
+        masked_ns / LINKS as f64,
+        rate(masked_ns),
+    );
+
+    // The detect bench's headline rate, for cross-reference in the record.
+    let detect_rate = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_detect.json"
+    ))
+    .ok()
+    .and_then(|s| {
+        s.lines()
+            .find(|l| l.contains("\"links_per_sec\""))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    })
+    .unwrap_or(0.0);
+
+    // Headline links_per_sec first: scripts/bench_health.sh reads the first
+    // occurrence as the regression-gated figure.
+    let json = format!(
+        "{{\n  \"links_per_sec\": {:.2},\n  \"bench\": \"health_overhead\",\n  \"unmasked_links_per_sec\": {:.2},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"detect_links_per_sec\": {detect_rate:.2},\n  \"links\": {LINKS},\n  \"months\": {MONTHS},\n  \"samples_per_link\": {samples},\n  \"results\": [\n    {{\"name\": \"assess_unmasked\", \"mean_ns_per_link\": {:.0}}},\n    {{\"name\": \"classify_and_assess_masked\", \"mean_ns_per_link\": {:.0}}}\n  ]\n}}\n",
+        rate(masked_ns),
+        rate(plain_ns),
+        plain_ns / LINKS as f64,
+        masked_ns / LINKS as f64,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_health.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("[health] could not write {out}: {e}");
+    } else {
+        eprintln!("[health] baseline written to {out}");
+    }
+}
+
+criterion_group! {
+    name = health;
+    config = Criterion::default();
+    targets = health_overhead
+}
+criterion_main!(health);

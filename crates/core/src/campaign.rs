@@ -10,6 +10,7 @@
 //! detector handles like any other series and (by construction of the
 //! spread gate) can never flag. Disable screening to run paper-exact.
 
+use crate::checkpoint::CheckpointStore;
 use crate::series::{LinkSeries, SeriesConfig};
 use ixp_prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
 use ixp_simnet::net::{Network, ProbeCtx};
@@ -17,6 +18,7 @@ use ixp_simnet::node::NodeId;
 use ixp_simnet::rng::mix;
 use ixp_simnet::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -63,17 +65,32 @@ pub struct TslpProbing {
     pub attempts: u32,
     /// Probe pacing.
     pub pacing: SimDuration,
+    /// Extra wait before each retry, for outwaiting ICMP rate limiters
+    /// (`ZERO` = legacy back-to-back retries).
+    pub retry_backoff: SimDuration,
+    /// Deterministic jitter on the backoff, as a fraction of it.
+    pub retry_jitter: f64,
 }
 
 impl Default for TslpProbing {
     fn default() -> Self {
-        TslpProbing { attempts: 2, pacing: SimDuration::from_millis(10) }
+        TslpProbing {
+            attempts: 2,
+            pacing: SimDuration::from_millis(10),
+            retry_backoff: SimDuration::ZERO,
+            retry_jitter: 0.0,
+        }
     }
 }
 
 impl From<TslpProbing> for TslpConfig {
     fn from(p: TslpProbing) -> TslpConfig {
-        TslpConfig { attempts: p.attempts, pacing: p.pacing }
+        TslpConfig {
+            attempts: p.attempts,
+            pacing: p.pacing,
+            retry_backoff: p.retry_backoff,
+            retry_jitter: p.retry_jitter,
+        }
     }
 }
 
@@ -190,12 +207,99 @@ pub fn measure_link(
     (run_grid(net, &mut ctx, vp, target, &tslp, grid, cfg.end), false)
 }
 
+/// Fingerprint of everything in a [`CampaignConfig`] that shapes measured
+/// series. Bound into every checkpoint so a config change invalidates old
+/// checkpoints instead of replaying them. `threads` is deliberately
+/// excluded: thread count never changes results, so a checkpoint taken at
+/// one thread count must resume at any other.
+pub fn campaign_fingerprint(cfg: &CampaignConfig) -> u64 {
+    let (sc_interval, sc_gate) = match cfg.screening {
+        Some(sc) => (sc.interval.as_micros(), sc.spread_gate_ms.to_bits()),
+        None => (0, 0),
+    };
+    mix(&[
+        cfg.start.0,
+        cfg.end.0,
+        cfg.interval.as_micros(),
+        cfg.tslp.attempts as u64,
+        cfg.tslp.pacing.as_micros(),
+        cfg.tslp.retry_backoff.as_micros(),
+        cfg.tslp.retry_jitter.to_bits(),
+        sc_interval,
+        sc_gate,
+    ])
+}
+
+/// [`measure_link`] through a [`CheckpointStore`]: replay the series from
+/// disk when a checkpoint for this exact target + campaign config exists,
+/// otherwise measure and persist. A failed write is swallowed — persistence
+/// is an optimization, never a correctness requirement.
+pub fn measure_link_checkpointed(
+    net: &Network,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+    store: &CheckpointStore,
+) -> (LinkSeries, bool) {
+    let key = CheckpointStore::key_for(vp, target);
+    if let Some(hit) = store.load(key) {
+        return hit;
+    }
+    let (series, screened) = measure_link(net, vp, target, cfg);
+    let _ = store.store(key, &series, screened);
+    (series, screened)
+}
+
+/// [`measure_vp_links`] through an optional [`CheckpointStore`]: finished
+/// links replay from disk, the rest are measured (and checkpointed) by the
+/// worker pool. With the same config and substrate, a resumed run is
+/// bit-identical to an uninterrupted one.
+pub fn measure_vp_links_checkpointed(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+) -> Vec<(LinkSeries, bool)> {
+    match store {
+        Some(st) => pool_map_with(cfg.threads, targets, || (), |_, _, t| {
+            measure_link_checkpointed(net, vp, t, cfg, st)
+        }),
+        None => measure_vp_links(net, vp, targets, cfg),
+    }
+}
+
 /// Resolve a `threads` knob: 0 = one worker per available core.
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         threads
+    }
+}
+
+/// One pool item whose worker panicked instead of returning a result.
+///
+/// A poisoned link (a substrate bug, a pathological series, an assertion
+/// deep in the detector) quarantines as a `WorkerFailure` instead of
+/// killing a multi-hour campaign: the panic payload is captured, the
+/// worker's per-item state is discarded (it may be mid-mutation), and the
+/// worker continues with the remaining items on a fresh state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerFailure {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
     }
 }
 
@@ -207,8 +311,69 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// `(state, index, item)` where `state` carries no cross-item information —
 /// the contract every caller in this workspace upholds.
 ///
+/// A panic in `f` does not abort the run: the item comes back as
+/// `Err(`[`WorkerFailure`]`)`, the possibly-poisoned state is dropped, and
+/// the worker rebuilds state via `init` before its next item. Because each
+/// item is independent, quarantining one item cannot change any other
+/// item's result — the any-thread-count determinism guarantee holds for
+/// the `Ok` entries.
+///
 /// `threads = 1` (or a single item) runs inline on the calling thread with
 /// one state, no pool.
+pub fn pool_try_map_with<T, R, S>(
+    threads: usize,
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<Result<R, WorkerFailure>>
+where
+    T: Sync,
+    R: Send,
+{
+    // `state` is `None` right after a panic: the old state may be mid-
+    // mutation and must not leak into later items.
+    let run_one = |state: &mut Option<S>, i: usize, item: &T| -> Result<R, WorkerFailure> {
+        let mut s = state.take().unwrap_or_else(&init);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut s, i, item))) {
+            Ok(r) => {
+                *state = Some(s);
+                Ok(r)
+            }
+            Err(payload) => Err(WorkerFailure { index: i, message: panic_message(payload) }),
+        }
+    };
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = None;
+        return items.iter().enumerate().map(|(i, t)| run_one(&mut state, i, t)).collect();
+    }
+    // Work-stealing by atomic claim counter: workers grab the next unclaimed
+    // item index and write its result into that index's slot, so output
+    // order is item order no matter which worker finishes when.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, WorkerFailure>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = run_one(&mut state, i, item);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`pool_try_map_with`] for callers that treat a worker panic as fatal:
+/// the first failure (in item order) is re-raised on the calling thread.
 pub fn pool_map_with<T, R, S>(
     threads: usize,
     items: &[T],
@@ -219,32 +384,12 @@ where
     T: Sync,
     R: Send,
 {
-    let threads = resolve_threads(threads).min(items.len().max(1));
-    if threads <= 1 {
-        let mut state = init();
-        return items.iter().enumerate().map(|(i, t)| f(&mut state, i, t)).collect();
-    }
-    // Work-stealing by atomic claim counter: workers grab the next unclaimed
-    // item index and write its result into that index's slot, so output
-    // order is item order no matter which worker finishes when.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { break };
-                    let r = f(&mut state, i, item);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
-                }
-            });
-        }
-    });
-    slots
+    pool_try_map_with(threads, items, init, f)
         .into_iter()
-        .map(|m| m.into_inner().expect("slot lock poisoned").expect("worker filled every slot"))
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("worker panicked on item {}: {}", e.index, e.message),
+        })
         .collect()
 }
 
@@ -373,5 +518,75 @@ mod tests {
         let (series, screened) = measure_vp(&net, vp, &targets, &cfg);
         assert_eq!(series.len(), 3);
         assert_eq!(screened, 3);
+    }
+
+    #[test]
+    fn poisoned_item_quarantines_not_aborts() {
+        let items: Vec<u64> = (0..40).collect();
+        for threads in [1usize, 3] {
+            let got = pool_try_map_with(threads, &items, || 0u64, |acc, _, &x| {
+                assert!(x % 13 != 7, "poisoned item {x}");
+                *acc += 1; // per-worker state keeps working after a panic
+                x * 2
+            });
+            assert_eq!(got.len(), items.len());
+            for (i, r) in got.iter().enumerate() {
+                if i % 13 == 7 {
+                    let e = r.as_ref().expect_err("poisoned item must fail");
+                    assert_eq!(e.index, i);
+                    assert!(e.message.contains("poisoned item"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 2, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked on item 2")]
+    fn pool_map_reraises_first_failure() {
+        let items: Vec<u64> = (0..5).collect();
+        pool_map_with(1, &items, || (), |_, _, &x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn checkpointed_measurement_resumes_bit_identical() {
+        let dir = std::env::temp_dir()
+            .join(format!("tslp-campaign-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (net, vp, _) = line_topology(54);
+        let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 8));
+        let targets = vec![target(); 2];
+        let plain = measure_vp_links(&net, vp, &targets, &cfg);
+
+        let store = CheckpointStore::new(&dir, campaign_fingerprint(&cfg)).unwrap();
+        // First pass measures and persists; both targets share one key (the
+        // same walk), so one checkpoint covers them.
+        let first = measure_vp_links_checkpointed(&net, vp, &targets, &cfg, Some(&store));
+        assert!(!store.is_empty());
+        // Second pass replays from disk: must match the uncheckpointed run
+        // bit for bit.
+        let resumed = measure_vp_links_checkpointed(&net, vp, &targets, &cfg, Some(&store));
+        for ((p, f), r) in plain.iter().zip(&first).zip(&resumed) {
+            for out in [f, r] {
+                assert_eq!(out.1, p.1);
+                assert_eq!(
+                    out.0.far_ms.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    p.0.far_ms.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                );
+                assert_eq!(
+                    out.0.near_ms.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    p.0.near_ms.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                );
+            }
+        }
+        // A changed config gets a different fingerprint and ignores the old
+        // checkpoints.
+        let cfg2 = CampaignConfig::exact(SimTime::ZERO, SimTime::from_date(2016, 1, 8));
+        assert_ne!(campaign_fingerprint(&cfg), campaign_fingerprint(&cfg2));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

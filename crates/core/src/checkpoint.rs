@@ -1,0 +1,297 @@
+//! Versioned on-disk checkpoints for resumable campaigns.
+//!
+//! A 13-month campaign over thousands of links is hours of wall-clock even
+//! simulated; a crash (or a deliberate kill) should not force re-measuring
+//! links that already finished. A [`CheckpointStore`] persists each link's
+//! measured [`LinkSeries`] (plus its screening verdict) under a key derived
+//! from the *measurement identity* — VP, destination, TTLs, expected
+//! addresses — and a fingerprint of the campaign configuration. Resuming
+//! with the same substrate and config replays finished links from disk and
+//! re-measures only the rest; because each link's series is a pure function
+//! of `(net, vp, target, cfg)`, a resumed campaign is **bit-identical** to
+//! an uninterrupted one at any thread count.
+//!
+//! The format is a private little-endian binary layout (not JSON: the
+//! series are full of `NaN` markers, which JSON cannot represent, and the
+//! resume guarantee needs exact `f64` bit patterns):
+//!
+//! ```text
+//! magic      8 B  b"TSLPCKPT"
+//! version    4 B  u32 LE (currently 1)
+//! config     8 B  u64 LE  campaign fingerprint
+//! screened   1 B  0 | 1
+//! start      8 B  u64 LE  grid start, µs
+//! interval   8 B  u64 LE  grid interval, µs
+//! mismatches 8 B  u64 LE  far_addr_mismatches
+//! rounds     8 B  u64 LE  n
+//! near       8n B f64 bit patterns, u64 LE
+//! far        8n B f64 bit patterns, u64 LE
+//! ```
+//!
+//! Any mismatch — magic, version, fingerprint, truncation — makes `load`
+//! return `None` and the link is simply re-measured: stale checkpoints can
+//! cost time, never correctness. Writes go through a temp file + rename so
+//! a kill mid-write never leaves a half checkpoint behind.
+
+use crate::series::{LinkSeries, SeriesConfig};
+use ixp_prober::tslp::TslpTarget;
+use ixp_simnet::node::NodeId;
+use ixp_simnet::rng::mix;
+use ixp_simnet::time::{SimDuration, SimTime};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"TSLPCKPT";
+const VERSION: u32 = 1;
+
+/// A directory of per-link series checkpoints for one campaign.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory. `fingerprint`
+    /// binds the stored series to one campaign configuration — use
+    /// [`crate::campaign::campaign_fingerprint`]; checkpoints written under
+    /// a different fingerprint are ignored on load.
+    pub fn new(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, fingerprint })
+    }
+
+    /// The checkpoint key for one measurement: a hash of everything that
+    /// identifies the target walk (VP, destination, TTL pair, expected
+    /// responder addresses).
+    pub fn key_for(vp: NodeId, target: &TslpTarget) -> u64 {
+        mix(&[
+            vp.0 as u64,
+            target.dst.0 as u64,
+            target.near_ttl as u64,
+            target.far_ttl as u64,
+            target.near_addr.0 as u64,
+            target.far_addr.0 as u64,
+        ])
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("link-{key:016x}.ckpt"))
+    }
+
+    /// Load a checkpointed `(series, screened)` pair, or `None` when the
+    /// checkpoint is missing, corrupt, or from a different campaign config.
+    pub fn load(&self, key: u64) -> Option<(LinkSeries, bool)> {
+        decode(&fs::read(self.path_for(key)).ok()?, self.fingerprint)
+    }
+
+    /// Persist one link's measurement atomically (temp file + rename).
+    pub fn store(&self, key: u64, series: &LinkSeries, screened: bool) -> io::Result<()> {
+        let bytes = encode(series, screened, self.fingerprint);
+        let final_path = self.path_for(key);
+        let tmp_path = self.dir.join(format!("link-{key:016x}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Number of checkpoints currently on disk (any fingerprint).
+    pub fn len(&self) -> usize {
+        count_checkpoints(&self.dir)
+    }
+
+    /// True when the directory holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn count_checkpoints(dir: &Path) -> usize {
+    fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn encode(series: &LinkSeries, screened: bool, fingerprint: u64) -> Vec<u8> {
+    let n = series.len();
+    let mut out = Vec::with_capacity(8 + 4 + 8 + 1 + 8 * 4 + 16 * n);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.push(screened as u8);
+    out.extend_from_slice(&series.cfg.start.0.to_le_bytes());
+    out.extend_from_slice(&series.cfg.interval.as_micros().to_le_bytes());
+    out.extend_from_slice(&(series.far_addr_mismatches as u64).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    for v in &series.near_ms {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in &series.far_ms {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// A tiny cursor over the checkpoint bytes; every read is bounds-checked so
+/// a truncated file decodes to `None`, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let end = self.pos.checked_add(N)?;
+        let bytes = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        bytes.try_into().ok()
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_le_bytes)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+}
+
+fn decode(bytes: &[u8], fingerprint: u64) -> Option<(LinkSeries, bool)> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if &c.take::<8>()? != MAGIC || c.u32()? != VERSION || c.u64()? != fingerprint {
+        return None;
+    }
+    let screened = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let start = SimTime(c.u64()?);
+    let interval = SimDuration::from_micros(c.u64()?);
+    let mismatches = c.u64()? as usize;
+    let n = c.u64()? as usize;
+    // Exact-size check before reading the payload: 16 bytes per round left.
+    if bytes.len() - c.pos != 16 * n {
+        return None;
+    }
+    let mut near_ms = Vec::with_capacity(n);
+    let mut far_ms = Vec::with_capacity(n);
+    for _ in 0..n {
+        near_ms.push(f64::from_bits(c.u64()?));
+    }
+    for _ in 0..n {
+        far_ms.push(f64::from_bits(c.u64()?));
+    }
+    let series = LinkSeries {
+        cfg: SeriesConfig { start, interval },
+        near_ms,
+        far_ms,
+        far_addr_mismatches: mismatches,
+    };
+    Some((series, screened))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_simnet::prelude::Ipv4;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tslp-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn target() -> TslpTarget {
+        TslpTarget {
+            dst: Ipv4::new(10, 0, 2, 2),
+            near_ttl: 1,
+            far_ttl: 2,
+            near_addr: Ipv4::new(10, 0, 0, 1),
+            far_addr: Ipv4::new(10, 0, 1, 2),
+        }
+    }
+
+    fn sample_series() -> LinkSeries {
+        let cfg = SeriesConfig::five_minute(SimTime::from_date(2016, 3, 1));
+        let mut s = LinkSeries::new(cfg);
+        s.near_ms = vec![1.25, f64::NAN, 1.5, f64::NAN];
+        s.far_ms = vec![2.5, 3.75, f64::NAN, f64::NAN];
+        s.far_addr_mismatches = 2;
+        s
+    }
+
+    /// Exact equality including NaN positions and bit patterns.
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::new(&dir, 0xDEAD_BEEF).unwrap();
+        let key = CheckpointStore::key_for(NodeId(7), &target());
+        assert!(store.load(key).is_none(), "no checkpoint yet");
+        let s = sample_series();
+        store.store(key, &s, true).unwrap();
+        let (got, screened) = store.load(key).expect("stored checkpoint must load");
+        assert!(screened);
+        assert_eq!(bits(&got.near_ms), bits(&s.near_ms));
+        assert_eq!(bits(&got.far_ms), bits(&s.far_ms));
+        assert_eq!(got.cfg.start, s.cfg.start);
+        assert_eq!(got.cfg.interval, s.cfg.interval);
+        assert_eq!(got.far_addr_mismatches, 2);
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_miss() {
+        let dir = tmpdir("fingerprint");
+        let store = CheckpointStore::new(&dir, 1).unwrap();
+        let key = CheckpointStore::key_for(NodeId(7), &target());
+        store.store(key, &sample_series(), false).unwrap();
+        let other = CheckpointStore::new(&dir, 2).unwrap();
+        assert!(other.load(key).is_none(), "foreign fingerprint must not load");
+        assert!(store.load(key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let store = CheckpointStore::new(&dir, 9).unwrap();
+        let key = CheckpointStore::key_for(NodeId(3), &target());
+        store.store(key, &sample_series(), false).unwrap();
+        let path = dir.join(format!("link-{key:016x}.ckpt"));
+        let full = fs::read(&path).unwrap();
+        for cut in [0usize, 4, 8, 21, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(store.load(key).is_none(), "truncated at {cut} must miss");
+        }
+        fs::write(&path, b"garbage that is long enough to cover the header area").unwrap();
+        assert!(store.load(key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_distinguish_targets() {
+        let a = CheckpointStore::key_for(NodeId(1), &target());
+        let b = CheckpointStore::key_for(NodeId(2), &target());
+        let mut t = target();
+        t.far_ttl = 3;
+        let c = CheckpointStore::key_for(NodeId(1), &t);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

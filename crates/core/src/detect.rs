@@ -12,7 +12,18 @@
 //!    over the time of day;
 //! 5. characterizes the waveform: average magnitude `A_w`, average
 //!    up→down width `Δt_UD`, and the sustained/transient label (§6.1).
+//!
+//! The `*_masked` entry points additionally take a [`HealthReport`] from
+//! [`crate::health`] and attribute level shifts that begin or end inside
+//! (or within [`AssessConfig::mask_slack`] of) a far-side gap/outage
+//! interval to **measurement artifacts** instead of congestion — they land
+//! in [`Assessment::artifacts`], never in [`Assessment::events`], and do
+//! not contribute to the flagged/diurnal/congested verdicts. The near-side
+//! guard is extended the same way: far events coincident with *near-side*
+//! gaps are vetoed as [`NearGuard::CoincidentGaps`]. The unmasked entry
+//! points behave exactly as before (an always-clean mask).
 
+use crate::health::{HealthReport, LinkHealth};
 use crate::series::LinkSeries;
 use ixp_chgpt::events::{event_stats, extract_events, sanitize_events, ShiftEvent};
 use ixp_chgpt::scratch::DetectorScratch;
@@ -52,6 +63,13 @@ pub struct AssessConfig {
     /// Events continuing into the last this-many days of valid data make
     /// the congestion *sustained*.
     pub sustain_tail: SimDuration,
+    /// Health classification thresholds for the masked assessment.
+    pub health: crate::health::HealthConfig,
+    /// A level shift beginning or ending within this long of a gap/outage
+    /// boundary is attributed to the gap (a measurement artifact), not to
+    /// congestion. Matches the 30-minute minimum event duration: the
+    /// detector cannot place a boundary more precisely than that anyway.
+    pub mask_slack: SimDuration,
 }
 
 impl Default for AssessConfig {
@@ -67,6 +85,8 @@ impl Default for AssessConfig {
             min_validity: 0.25,
             near_overlap_limit: 0.3,
             sustain_tail: SimDuration::from_days(10),
+            health: crate::health::HealthConfig::default(),
+            mask_slack: SimDuration::from_mins(30),
         }
     }
 }
@@ -79,6 +99,10 @@ pub enum NearGuard {
     /// Near series shifts together with the far series: the congestion is
     /// upstream of the measured link.
     CoincidentShifts,
+    /// The near series has gap/outage intervals coincident with the far
+    /// events (masked assessment only): whatever elevated the far series
+    /// also broke near measurement, so the link cannot be blamed.
+    CoincidentGaps,
     /// Not enough near data to decide ("unclear patterns" of §5.2).
     Unclear,
 }
@@ -137,6 +161,14 @@ pub struct Assessment {
     pub far_validity: f64,
     /// Baseline far RTT (ms).
     pub baseline_ms: f64,
+    /// Measurement health of the series (always `Clean` on the unmasked
+    /// path, which assumes nothing about data quality).
+    pub health: LinkHealth,
+    /// Level shifts attributed to measurement artifacts: they began or
+    /// ended inside (or within slack of) a far gap/outage interval. Kept
+    /// for reporting; excluded from [`Assessment::events`] and from every
+    /// verdict.
+    pub artifacts: Vec<TimedEvent>,
 }
 
 /// Threshold-independent detector output, reusable across a threshold sweep.
@@ -208,25 +240,92 @@ pub fn assess_from_segmentation_with(
     pre: &Segmentation,
     scratch: &mut DetectorScratch,
 ) -> Assessment {
+    assess_core(series, cfg, pre, None, scratch)
+}
+
+/// [`assess_link`] under a measurement-health mask: level shifts whose
+/// boundaries coincide with a far-side gap/outage interval in `mask` are
+/// attributed to measurement artifacts, and far events coincident with
+/// near-side gaps veto the link as [`NearGuard::CoincidentGaps`]. Obtain
+/// the mask from [`crate::health::classify_link`] (typically with
+/// [`AssessConfig::health`]).
+pub fn assess_link_masked(series: &LinkSeries, cfg: &AssessConfig, mask: &HealthReport) -> Assessment {
+    assess_link_masked_with(series, cfg, mask, &mut DetectorScratch::new())
+}
+
+/// [`assess_link_masked`] over reusable detector scratch.
+pub fn assess_link_masked_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    mask: &HealthReport,
+    scratch: &mut DetectorScratch,
+) -> Assessment {
+    match segment_far_with(series, cfg, scratch) {
+        Some(pre) => assess_core(series, cfg, &pre, Some(mask), scratch),
+        None => Assessment { health: mask.overall, ..empty_assessment(series.far_validity(), f64::NAN) },
+    }
+}
+
+/// Shared implementation: `mask = None` is the unmasked path (identical
+/// decisions to the pre-mask assessment), `Some` applies artifact masking.
+fn assess_core(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    pre: &Segmentation,
+    mask: Option<&HealthReport>,
+    scratch: &mut DetectorScratch,
+) -> Assessment {
     let Segmentation { far, far_idx, segs, baseline, det, min_len, far_validity } = pre;
     let (far, far_idx, min_len, far_validity, baseline) =
         (far, far_idx, *min_len, *far_validity, *baseline);
     let raw_events = extract_events(segs, baseline, cfg.threshold_ms, min_len);
     let gap = samples_for(cfg.sanitize_gap, series.cfg.interval);
-    let events = sanitize_events(&raw_events, gap);
+    let mut events = sanitize_events(&raw_events, gap);
+
+    // Partition events whose boundaries touch a far gap/outage (within
+    // slack) into artifacts: a shift that starts or ends where measurement
+    // broke is evidence about the measurement, not about the queue.
+    let slack = samples_for(cfg.mask_slack, series.cfg.interval);
+    let mut artifact_raw: Vec<ShiftEvent> = Vec::new();
+    if let Some(h) = mask {
+        if !h.gaps.is_empty() {
+            let (kept, art) = events.into_iter().partition(|e: &ShiftEvent| {
+                let start_round = far_idx[e.start];
+                let end_round = far_idx[(e.end - 1).min(far_idx.len() - 1)];
+                !h.near_far_gap(start_round, slack) && !h.near_far_gap(end_round, slack)
+            });
+            events = kept;
+            artifact_raw = art;
+        }
+    }
     let flagged = !events.is_empty();
 
-    let timed: Vec<TimedEvent> = events
-        .iter()
-        .map(|e| TimedEvent {
-            start: series.timestamp(far_idx[e.start]),
-            end: series.timestamp(far_idx[(e.end - 1).min(far_idx.len() - 1)]) + series.cfg.interval,
-            magnitude_ms: e.magnitude,
-        })
-        .collect();
+    let to_timed = |e: &ShiftEvent| TimedEvent {
+        start: series.timestamp(far_idx[e.start]),
+        end: series.timestamp(far_idx[(e.end - 1).min(far_idx.len() - 1)]) + series.cfg.interval,
+        magnitude_ms: e.magnitude,
+    };
+    let timed: Vec<TimedEvent> = events.iter().map(to_timed).collect();
+    let artifacts: Vec<TimedEvent> = artifact_raw.iter().map(to_timed).collect();
 
-    // Near-side guard.
-    let near_guard = near_guard(series, &events, far_idx, cfg, det, scratch);
+    // Near-side guard, extended under a mask: far events spending too much
+    // of their span inside near-side measurement gaps cannot exonerate the
+    // near series, so they veto the link just like coincident near shifts.
+    let mut guard = near_guard(series, &events, far_idx, cfg, det, scratch);
+    if let Some(h) = mask {
+        if guard != NearGuard::CoincidentShifts && !h.near_gaps.is_empty() && flagged {
+            let spans: Vec<(usize, usize)> = events
+                .iter()
+                .map(|e| (far_idx[e.start], far_idx[(e.end - 1).min(far_idx.len() - 1)] + 1))
+                .collect();
+            let total: usize = spans.iter().map(|(a, b)| b - a).sum();
+            let covered = gap_overlap(&spans, &h.near_gaps, slack);
+            if total > 0 && covered as f64 / total as f64 > cfg.near_overlap_limit {
+                guard = NearGuard::CoincidentGaps;
+            }
+        }
+    }
+    let near_guard = guard;
 
     // Diurnal classification over the *timed* events.
     let diurnal = flagged && near_guard == NearGuard::Clean && is_diurnal(&timed, cfg);
@@ -251,17 +350,46 @@ pub fn assess_from_segmentation_with(
         Some(last_valid.saturating_since(last_event_end) <= cfg.sustain_tail)
     };
 
+    // An untrusted series cannot support a congestion verdict. AddrUnstable
+    // always vetoes (the answers may not even be the link's). Silent vetoes
+    // only when validity is below `min_validity`: a link with months of good
+    // data that is later decommissioned (the GHANATEL pattern) is Silent
+    // overall yet its live-era congestion evidence is real.
+    let health = mask.map_or(LinkHealth::Clean, |h| h.overall);
+    let trusted = match health {
+        LinkHealth::AddrUnstable => false,
+        LinkHealth::Silent => mask.is_none_or(|h| h.far_validity >= cfg.min_validity),
+        _ => true,
+    };
+
     Assessment {
         flagged,
         diurnal,
-        congested: flagged && diurnal && near_guard == NearGuard::Clean,
+        congested: flagged && diurnal && near_guard == NearGuard::Clean && trusted,
         near_guard,
         events: timed,
         stats,
         sustained,
         far_validity,
         baseline_ms: baseline,
+        health,
+        artifacts,
     }
+}
+
+/// Rounds of `spans` covered by `gaps`, each gap widened by `slack`.
+fn gap_overlap(spans: &[(usize, usize)], gaps: &[crate::health::GapInterval], slack: usize) -> usize {
+    let mut overlap = 0usize;
+    for &(a, b) in spans {
+        for g in gaps {
+            let lo = a.max(g.start.saturating_sub(slack));
+            let hi = b.min(g.end.saturating_add(slack));
+            if hi > lo {
+                overlap += hi - lo;
+            }
+        }
+    }
+    overlap
 }
 
 /// Re-evaluate the flagged/diurnal verdicts at several thresholds while
@@ -300,18 +428,64 @@ pub fn assess_at_thresholds_with(
         .collect()
 }
 
-fn empty_assessment(far_validity: f64, baseline: f64) -> Assessment {
-    Assessment {
-        flagged: false,
-        diurnal: false,
-        congested: false,
-        near_guard: NearGuard::Unclear,
-        events: Vec::new(),
-        stats: WaveformStats::default(),
-        sustained: None,
-        far_validity,
-        baseline_ms: baseline,
+/// [`assess_at_thresholds_with`] under a measurement-health mask: the
+/// segmentation and the health classification each run once, the masked
+/// verdict logic runs per threshold.
+pub fn assess_at_thresholds_masked_with(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    thresholds_ms: &[f64],
+    mask: &HealthReport,
+    scratch: &mut DetectorScratch,
+) -> Vec<(f64, Assessment)> {
+    let min_t = thresholds_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let base_cfg = AssessConfig {
+        detector: DetectorConfig {
+            magnitude_gate: cfg.detector.magnitude_gate.min(min_t * 0.8),
+            ..cfg.detector.clone()
+        },
+        ..cfg.clone()
+    };
+    let pre = segment_far_with(series, &base_cfg, scratch);
+    thresholds_ms
+        .iter()
+        .map(|&t| {
+            let c = AssessConfig { threshold_ms: t, ..base_cfg.clone() };
+            let a = match &pre {
+                Some(p) => assess_core(series, &c, p, Some(mask), scratch),
+                None => Assessment {
+                    health: mask.overall,
+                    ..empty_assessment(series.far_validity(), f64::NAN)
+                },
+            };
+            (t, a)
+        })
+        .collect()
+}
+
+impl Assessment {
+    /// An all-negative assessment: nothing flagged, no events, unknown near
+    /// side. Produced for too-short series; also what a quarantined link
+    /// carries in the study layer.
+    pub fn empty(far_validity: f64, baseline_ms: f64) -> Assessment {
+        Assessment {
+            flagged: false,
+            diurnal: false,
+            congested: false,
+            near_guard: NearGuard::Unclear,
+            events: Vec::new(),
+            stats: WaveformStats::default(),
+            sustained: None,
+            far_validity,
+            baseline_ms,
+            health: LinkHealth::Clean,
+            artifacts: Vec::new(),
+        }
     }
+}
+
+fn empty_assessment(far_validity: f64, baseline: f64) -> Assessment {
+    Assessment::empty(far_validity, baseline)
 }
 
 fn samples_for(d: SimDuration, interval: SimDuration) -> usize {
@@ -568,5 +742,133 @@ mod tests {
         let s = synth(0, flat(1.0), flat(1.0));
         let a = assess_link(&s, &AssessConfig::default());
         assert!(!a.flagged);
+    }
+
+    use crate::health::classify_link;
+
+    /// A far series whose only "shift" is the detector stitching across a
+    /// maintenance gap: elevated readings hug both edges of a daily outage.
+    fn gap_artifact_far(day0: u64) -> impl Fn(SimTime) -> f64 {
+        move |t: SimTime| {
+            let d = t.day_index() - day0;
+            let h = t.hour_of_day();
+            if (5..15).contains(&d) && (2.0..5.0).contains(&h) {
+                f64::NAN // nightly maintenance window
+            } else if (5..15).contains(&d) && ((1.5..2.0).contains(&h) || (5.0..5.5).contains(&h)) {
+                30.0 + jitter(t, 1.0) // elevated only while ramping in/out of it
+            } else {
+                2.0 + jitter(t, 0.8)
+            }
+        }
+    }
+
+    #[test]
+    fn gap_edge_shifts_become_artifacts() {
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let s = synth(28, gap_artifact_far(day0), flat(0.5));
+        let cfg = AssessConfig::default();
+        let unmasked = assess_link(&s, &cfg);
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::Gappy, "{mask:?}");
+        let masked = assess_link_masked(&s, &cfg, &mask);
+        assert!(!masked.congested, "gap-edge shifts must not read as congestion");
+        assert!(!masked.flagged, "every event touches a gap: {:?}", masked.events);
+        assert!(!masked.artifacts.is_empty(), "edge shifts must be kept as artifacts");
+        assert_eq!(masked.health, LinkHealth::Gappy);
+        // The unmasked path keeps its old behavior: whatever it decided,
+        // it reports Clean health and no artifacts.
+        assert_eq!(unmasked.health, LinkHealth::Clean);
+        assert!(unmasked.artifacts.is_empty());
+    }
+
+    #[test]
+    fn true_congestion_survives_unrelated_gap() {
+        // Business-hours congestion plus a 4-hour maintenance gap at night
+        // in a different week: masking must not eat the real signal.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            if t.day_index() - day0 == 20 && (1.0..5.0).contains(&t.hour_of_day()) {
+                f64::NAN
+            } else {
+                diurnal_far(t)
+            }
+        };
+        let s = synth(28, far, flat(0.5));
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::Gappy);
+        let a = assess_link_masked(&s, &cfg, &mask);
+        assert!(a.congested, "real congestion must survive an unrelated gap");
+        assert_eq!(a.health, LinkHealth::Gappy);
+    }
+
+    #[test]
+    fn near_gap_coincidence_vetoes() {
+        // The far series shifts exactly while the *near* series is dark:
+        // the VP (or its access link) was misbehaving, not the far queue.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.8);
+            if (8..22).contains(&(t.day_index() - day0)) && (9.0..16.0).contains(&t.hour_of_day()) {
+                base + 25.0
+            } else {
+                base
+            }
+        };
+        let near = move |t: SimTime| {
+            if (8..22).contains(&(t.day_index() - day0)) && (8.5..16.5).contains(&t.hour_of_day()) {
+                f64::NAN
+            } else {
+                1.0 + jitter(t, 0.5)
+            }
+        };
+        let s = synth(28, far, near);
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert!(!mask.near_gaps.is_empty(), "near gaps must be tracked");
+        let a = assess_link_masked(&s, &cfg, &mask);
+        assert!(a.flagged, "the far shifts themselves are real events");
+        assert_eq!(a.near_guard, NearGuard::CoincidentGaps, "{:?}", a.near_guard);
+        assert!(!a.congested);
+    }
+
+    #[test]
+    fn masked_matches_unmasked_on_clean_series() {
+        let s = synth(28, diurnal_far, flat(0.5));
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::Clean);
+        let masked = assess_link_masked(&s, &cfg, &mask);
+        let unmasked = assess_link(&s, &cfg);
+        assert_eq!(masked.congested, unmasked.congested);
+        assert_eq!(masked.events, unmasked.events);
+        assert_eq!(masked.near_guard, unmasked.near_guard);
+        assert!(masked.artifacts.is_empty());
+    }
+
+    #[test]
+    fn untrusted_health_vetoes_congestion() {
+        // Diurnal far pattern but every response from the wrong address.
+        let start = SimTime::from_date(2016, 3, 1);
+        let cfg_s = crate::series::SeriesConfig::five_minute(start);
+        let mut s = LinkSeries::new(cfg_s);
+        for i in 0..(28 * 288) as usize {
+            let t = cfg_s.timestamp(i);
+            let f = diurnal_far(t);
+            s.push(&TslpSample {
+                t,
+                near: Some(SimDuration::from_millis(1)),
+                far: Some(SimDuration::from_secs_f64(f / 1e3)),
+                near_addr_ok: true,
+                far_addr_ok: false,
+            });
+        }
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::AddrUnstable);
+        let a = assess_link_masked(&s, &cfg, &mask);
+        assert!(a.flagged && a.diurnal, "the waveform itself still reads as diurnal");
+        assert!(!a.congested, "untrusted responders cannot confirm congestion");
+        assert!(assess_link(&s, &cfg).congested, "unmasked path is blind to this");
     }
 }

@@ -12,30 +12,44 @@
 //! - [`series`] — per-link near/far RTT series with missing-data handling;
 //! - [`campaign`] — the year-long probing driver (with the documented
 //!   screening optimization; disable for paper-exact probing);
-//! - [`detect`] — the per-link congestion assessment;
+//! - [`health`] — per-link measurement-health classification and the
+//!   gap/outage intervals the masked assessment consumes;
+//! - [`detect`] — the per-link congestion assessment (masked and unmasked);
+//! - [`checkpoint`] — versioned on-disk per-link series checkpoints for
+//!   resumable campaigns;
 //! - [`lossanalysis`] — 1 pps / 100-probe loss batches and event correlation.
 
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod detect;
+pub mod health;
 pub mod lossanalysis;
 pub mod series;
 
 pub use campaign::{
     far_excursions, far_spread_ms, measure_link, measure_vp, measure_vp_links, resolve_threads,
-    CampaignConfig, Screening, TslpProbing,
+    CampaignConfig, Screening, TslpProbing, WorkerFailure,
 };
-pub use detect::{assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats};
+pub use checkpoint::CheckpointStore;
+pub use detect::{
+    assess_at_thresholds, assess_link, assess_link_masked, AssessConfig, Assessment, NearGuard,
+    TimedEvent, WaveformStats,
+};
+pub use health::{classify_link, GapInterval, GapKind, HealthConfig, HealthReport, LinkHealth};
 pub use lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit};
 pub use series::{LinkSeries, SeriesConfig};
 
 /// Common imports.
 pub mod prelude {
     pub use crate::campaign::{measure_link, measure_vp, measure_vp_links, CampaignConfig, Screening};
+    pub use crate::checkpoint::CheckpointStore;
     pub use crate::detect::{
-        assess_at_thresholds, assess_link, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
+        assess_at_thresholds, assess_link, assess_link_masked, AssessConfig, Assessment, NearGuard,
+        TimedEvent, WaveformStats,
     };
+    pub use crate::health::{classify_link, HealthConfig, HealthReport, LinkHealth};
     pub use crate::lossanalysis::{
         measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit,
     };

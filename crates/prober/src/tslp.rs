@@ -53,12 +53,40 @@ pub struct TslpConfig {
     /// Spacing between successive probe transmissions. 10 ms = the paper's
     /// 100 packets-per-second ceiling.
     pub pacing: SimDuration,
+    /// Extra wait before each retry (the first attempt is never delayed).
+    /// A router whose ICMP rate limiter ate the first attempt gets this
+    /// long to refill its token bucket before the retry arrives; a
+    /// back-to-back retry at `pacing` distance hits the same empty bucket.
+    /// `ZERO` keeps the legacy immediate-retry behavior.
+    pub retry_backoff: SimDuration,
+    /// Jitter on the backoff, as a fraction of it: the actual wait is
+    /// `retry_backoff * (1 + retry_jitter * u)` with `u ∈ [0, 1)` hashed
+    /// from `(dst, ttl, round time, attempt)`. Spreads retries so targets
+    /// behind one limiter do not resynchronize, while staying exactly
+    /// reproducible run to run.
+    pub retry_jitter: f64,
 }
 
 impl Default for TslpConfig {
     fn default() -> Self {
-        TslpConfig { attempts: 2, pacing: SimDuration::from_millis(10) }
+        TslpConfig {
+            attempts: 2,
+            pacing: SimDuration::from_millis(10),
+            retry_backoff: SimDuration::ZERO,
+            retry_jitter: 0.0,
+        }
     }
+}
+
+/// The deterministic retry wait before attempt `attempt` (1-based retries).
+fn retry_wait(cfg: &TslpConfig, dst: Ipv4, ttl: u8, t: SimTime, attempt: u32) -> SimDuration {
+    let mut wait = cfg.retry_backoff.as_micros();
+    if cfg.retry_jitter > 0.0 {
+        let h = ixp_simnet::rng::mix(&[0x7B5F, dst.0 as u64, ttl as u64, t.0, attempt as u64]);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        wait += (wait as f64 * cfg.retry_jitter * u) as u64;
+    }
+    SimDuration::from_micros(wait)
 }
 
 /// Probe one end (TTL-limited toward `dst`); returns `(rtt, responder)` of
@@ -72,7 +100,10 @@ fn probe_end(
     cfg: &TslpConfig,
     t: &mut SimTime,
 ) -> Option<(SimDuration, Ipv4)> {
-    for _ in 0..cfg.attempts {
+    for attempt in 0..cfg.attempts {
+        if attempt > 0 && cfg.retry_backoff > SimDuration::ZERO {
+            *t += retry_wait(cfg, dst, ttl, *t, attempt);
+        }
         let r = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), *t);
         *t += cfg.pacing;
         if let Ok(rep) = r {
@@ -118,8 +149,14 @@ pub fn tslp_round(
     let mut t = t0;
     for tgt in targets {
         let s = tslp_probe(net, ctx, from, tgt, cfg, t);
-        // Worst case the probe_end calls consumed 2×attempts pacing slots.
-        t += SimDuration::from_micros(cfg.pacing.as_micros() * 2 * cfg.attempts as u64);
+        // Worst case the probe_end calls consumed 2×attempts pacing slots
+        // plus a maximally-jittered backoff before every retry.
+        let backoff_worst =
+            (cfg.retry_backoff.as_micros() as f64 * (1.0 + cfg.retry_jitter)) as u64;
+        t += SimDuration::from_micros(
+            cfg.pacing.as_micros() * 2 * cfg.attempts as u64
+                + backoff_worst * 2 * cfg.attempts.saturating_sub(1) as u64,
+        );
         out.push(s);
     }
     out
@@ -199,6 +236,71 @@ mod tests {
         for s in &round {
             assert!(s.near.is_some());
         }
+    }
+
+    #[test]
+    fn backoff_outwaits_icmp_rate_limiter() {
+        // The far router rate-limits ICMP to 1 pps (burst 10). Draining the
+        // bucket leaves an immediate retry with nothing, while a retry held
+        // back ~2 s finds a refilled token.
+        let setup = || {
+            let (mut net, vp, _) = line_topology(12);
+            net.node_mut(ixp_simnet::prelude::NodeId(2)).icmp.rate_limit_pps = Some(1.0);
+            (net, vp)
+        };
+        let t0 = SimTime::ZERO;
+        let drain = |net: &Network, ctx: &mut ProbeCtx, vp| {
+            for _ in 0..10 {
+                let _ = net.send_probe_in(ctx, vp, ProbeSpec::ttl_limited(target().dst, 2), t0);
+            }
+        };
+
+        // Legacy back-to-back retries: both attempts hit the empty bucket.
+        let (net, vp) = setup();
+        let mut ctx = net.probe_ctx(0);
+        drain(&net, &mut ctx, vp);
+        let s = tslp_probe(&net, &mut ctx, vp, &target(), &TslpConfig::default(), t0);
+        assert!(s.near.is_some());
+        assert!(s.far.is_none(), "10 ms retry should still be rate-limited");
+
+        // Backed-off retry: the bucket refills during the wait.
+        let (net, vp) = setup();
+        let mut ctx = net.probe_ctx(0);
+        drain(&net, &mut ctx, vp);
+        let cfg = TslpConfig { retry_backoff: SimDuration::from_secs(2), ..TslpConfig::default() };
+        let s = tslp_probe(&net, &mut ctx, vp, &target(), &cfg, t0);
+        assert!(s.far.is_some(), "2 s backoff must outwait a 1 pps limiter");
+        assert!(s.far_addr_ok);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic() {
+        // Jitter in [backoff, 2×backoff): with a 1.5 s base the retry always
+        // waits ≥ 1.5 s, enough for a 1 pps bucket — and two identical runs
+        // agree bit for bit.
+        let cfg = TslpConfig {
+            retry_backoff: SimDuration::from_micros(1_500_000),
+            retry_jitter: 1.0,
+            ..TslpConfig::default()
+        };
+        let run = || {
+            let (mut net, vp, _) = line_topology(13);
+            net.node_mut(ixp_simnet::prelude::NodeId(2)).icmp.rate_limit_pps = Some(1.0);
+            let mut ctx = net.probe_ctx(0);
+            for _ in 0..10 {
+                let _ = net.send_probe_in(
+                    &mut ctx,
+                    vp,
+                    ProbeSpec::ttl_limited(target().dst, 2),
+                    SimTime::ZERO,
+                );
+            }
+            tslp_probe(&net, &mut ctx, vp, &target(), &cfg, SimTime::ZERO)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.far.is_some(), "jittered backoff still outwaits the limiter");
+        assert_eq!(a, b, "hash-derived jitter must reproduce exactly");
     }
 
     #[test]

@@ -112,11 +112,15 @@ impl FaultPlan {
                     max_dur.as_micros() as f64,
                 ) as u64;
                 let start = from + SimDuration::from_micros((span.as_micros() as f64 * start_frac) as u64);
-                plan.faults.push(Fault::LinkOutage {
-                    link: l,
-                    from: start,
-                    until: start + SimDuration::from_micros(dur_us),
-                });
+                // Clamp to the plan window: an outage drawn near `until`
+                // must not leak past the campaign end.
+                let end = SimTime(
+                    start
+                        .0
+                        .saturating_add(dur_us)
+                        .min(until.0),
+                );
+                plan.faults.push(Fault::LinkOutage { link: l, from: start, until: end });
             }
         }
         plan
@@ -255,6 +259,7 @@ mod tests {
             if let Fault::LinkOutage { from: s, until: e, .. } = f {
                 assert!(s < e);
                 assert!(*s >= from);
+                assert!(*e <= until, "outage {e:?} leaks past the window end {until:?}");
             }
         }
     }

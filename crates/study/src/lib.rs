@@ -27,8 +27,11 @@ pub use figures::{Figure, FigureSeries};
 pub use groundtruth::{case_comparisons, confusion, CaseComparison, Confusion};
 pub use parallel::run_all_vps;
 pub use report::StudyReport;
-pub use tables::{Table1, Table2};
-pub use vpstudy::{run_vp_study, LinkOutcome, SnapshotCounts, VpStudy, VpStudyConfig, THRESHOLDS_MS};
+pub use tables::{IntegrityTable, Table1, Table2};
+pub use vpstudy::{
+    run_vp_study, IntegritySummary, LinkOutcome, SnapshotCounts, VpStudy, VpStudyConfig,
+    THRESHOLDS_MS,
+};
 
 /// Common imports.
 pub mod prelude {
@@ -36,6 +39,8 @@ pub mod prelude {
     pub use crate::groundtruth::{case_comparisons, confusion, Confusion};
     pub use crate::parallel::run_all_vps;
     pub use crate::report::StudyReport;
-    pub use crate::tables::{Table1, Table2};
-    pub use crate::vpstudy::{run_vp_study, LinkOutcome, VpStudy, VpStudyConfig, THRESHOLDS_MS};
+    pub use crate::tables::{IntegrityTable, Table1, Table2};
+    pub use crate::vpstudy::{
+        run_vp_study, IntegritySummary, LinkOutcome, VpStudy, VpStudyConfig, THRESHOLDS_MS,
+    };
 }

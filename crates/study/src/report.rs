@@ -3,7 +3,7 @@
 
 use crate::groundtruth::{case_comparisons, confusion, render_validation};
 use crate::tables::{Table1, Table2};
-use crate::vpstudy::VpStudy;
+use crate::vpstudy::{IntegritySummary, VpStudy};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -29,6 +29,9 @@ pub struct StudyReport {
     pub cases: Vec<crate::groundtruth::CaseComparison>,
     /// Per-VP confusion matrices against ground truth.
     pub validation: Vec<(String, crate::groundtruth::Confusion)>,
+    /// Per-VP measurement-integrity summary (health classes, artifact
+    /// events, quarantined links).
+    pub integrity: Vec<(String, IntegritySummary)>,
 }
 
 impl StudyReport {
@@ -72,6 +75,10 @@ impl StudyReport {
             mean_neighbor_recall: if recall_n == 0 { 0.0 } else { recall_sum / recall_n as f64 },
             cases: case_comparisons(studies),
             validation: studies.iter().map(|s| (s.spec.name.to_string(), confusion(s))).collect(),
+            integrity: studies
+                .iter()
+                .map(|s| (s.spec.name.to_string(), s.integrity_summary()))
+                .collect(),
         }
     }
 
@@ -100,6 +107,16 @@ impl StudyReport {
             "bdrmap mean neighbor recall: {:.1}% (paper: 96.2%)",
             self.mean_neighbor_recall * 100.0
         );
+        out.push('\n');
+        let _ = writeln!(out, "Measurement integrity (links by health class):");
+        for (vp, i) in &self.integrity {
+            let _ = writeln!(
+                out,
+                "  {vp}: clean={} gappy={} rate-limited={} addr-unstable={} silent={} | artifact events={} quarantined={}",
+                i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                i.artifact_events, i.quarantined
+            );
+        }
         out.push('\n');
         out.push_str(&render_validation(studies));
         out
@@ -172,6 +189,19 @@ Paper's All-VPs row: 339 (6) / 301 (6) / 290 (3) / 262 (3).
                 c.paper_sustained,
                 c.measured_sustained,
                 c.detected
+            );
+        }
+        let _ = writeln!(out, "
+### Measurement integrity per VP
+");
+        let _ = writeln!(out, "| VP | clean | gappy | rate-limited | addr-unstable | silent | artifact events | quarantined |");
+        let _ = writeln!(out, "|----|-------|-------|--------------|---------------|--------|-----------------|-------------|");
+        for (vp, i) in &self.integrity {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                vp, i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                i.artifact_events, i.quarantined
             );
         }
         let _ = writeln!(out, "

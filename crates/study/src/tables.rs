@@ -1,6 +1,7 @@
-//! Table builders and text renderers for the paper's two tables.
+//! Table builders and text renderers for the paper's two tables, plus the
+//! measurement-integrity table the robustness layer adds.
 
-use crate::vpstudy::{VpStudy, THRESHOLDS_MS};
+use crate::vpstudy::{IntegritySummary, VpStudy, THRESHOLDS_MS};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -187,6 +188,47 @@ impl Table2 {
     }
 }
 
+/// The measurement-integrity table: per-VP link counts by health class,
+/// artifact-masked events, and quarantined links. Not a paper table — it is
+/// the §5.2 "measurement misbehaving vs links misbehaving" audit trail.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IntegrityTable {
+    /// `(vp name, summary)` per VP.
+    pub rows: Vec<(String, IntegritySummary)>,
+}
+
+impl IntegrityTable {
+    /// Assemble from study results.
+    pub fn build(studies: &[VpStudy]) -> IntegrityTable {
+        IntegrityTable {
+            rows: studies
+                .iter()
+                .map(|s| (s.spec.name.to_string(), s.integrity_summary()))
+                .collect(),
+        }
+    }
+
+    /// Render as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Measurement integrity: links per health class");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>6} {:>13} {:>14} {:>7} {:>16} {:>12}",
+            "VP", "clean", "gappy", "rate-limited", "addr-unstable", "silent", "artifact events", "quarantined"
+        );
+        for (vp, i) in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>6} {:>6} {:>13} {:>14} {:>7} {:>16} {:>12}",
+                vp, i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                i.artifact_events, i.quarantined
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +272,22 @@ mod tests {
         assert!(text.contains("AS37309"), "{text}");
         let frac = t2.congestion_fraction(&studies);
         assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn integrity_table_builds_and_renders() {
+        let studies = quick_studies();
+        let it = IntegrityTable::build(&studies);
+        assert_eq!(it.rows.len(), 1);
+        let i = it.rows[0].1;
+        assert_eq!(
+            i.clean + i.gappy + i.rate_limited + i.addr_unstable + i.silent,
+            studies[0].outcomes.len(),
+            "every link gets exactly one health class"
+        );
+        assert_eq!(i.quarantined, 0, "no faults injected, nothing quarantines");
+        let text = it.render();
+        assert!(text.contains("Measurement integrity"), "{text}");
+        assert!(text.contains("VP4"), "{text}");
     }
 }

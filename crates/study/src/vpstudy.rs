@@ -15,10 +15,15 @@ use ixp_simnet::prelude::{Asn, Ipv4, SimTime};
 use ixp_simnet::rng::mix;
 use ixp_simnet::time::SimDuration;
 use ixp_geo::{link_in_country, GeoDb};
+use ixp_simnet::fault::FaultPlan;
 use ixp_topology::{build_vp, paper_directory, TruthKind, VpSpec};
 use serde::{Deserialize, Serialize};
-use tslp_core::campaign::{measure_vp_links, pool_map_with, CampaignConfig};
-use tslp_core::detect::{assess_at_thresholds_with, AssessConfig, Assessment};
+use tslp_core::campaign::{
+    campaign_fingerprint, measure_vp_links_checkpointed, pool_try_map_with, CampaignConfig,
+};
+use tslp_core::checkpoint::CheckpointStore;
+use tslp_core::detect::{assess_at_thresholds_masked_with, AssessConfig, Assessment};
+use tslp_core::health::{classify_link, LinkHealth};
 use tslp_core::lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig};
 use tslp_core::series::LinkSeries;
 
@@ -48,6 +53,13 @@ pub struct VpStudyConfig {
     pub threads: usize,
     /// Assessment configuration.
     pub assess: AssessConfig,
+    /// Faults injected into the substrate before discovery and probing —
+    /// the chaos-gauntlet hook. Empty by default.
+    pub faults: FaultPlan,
+    /// Checkpoint per-link series under this directory; on a re-run,
+    /// finished links replay from disk and the study result is bit-identical
+    /// to an uninterrupted run. `None` disables checkpointing.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for VpStudyConfig {
@@ -62,6 +74,8 @@ impl Default for VpStudyConfig {
             keep_series: true,
             threads: 0,
             assess: AssessConfig::default(),
+            faults: FaultPlan::default(),
+            checkpoint_dir: None,
         }
     }
 }
@@ -109,12 +123,23 @@ pub struct LinkOutcome {
     pub series: Option<LinkSeries>,
     /// Screening short-circuited this link.
     pub screened_out: bool,
+    /// Measurement health of the link's series (the integrity column).
+    pub health: LinkHealth,
+    /// Level shifts attributed to measurement artifacts instead of
+    /// congestion (gap-coincident boundaries).
+    pub artifact_events: usize,
+    /// The assessment worker panicked on this link; the panic message. A
+    /// quarantined link carries an empty assessment and never counts as
+    /// congested.
+    pub quarantined: Option<String>,
 }
 
 impl LinkOutcome {
     /// The §6.1 definition: recurring diurnal far pattern, flat near side.
     pub fn congested(&self) -> bool {
-        self.assessment.congested && self.symmetry != Some(Symmetry::Asymmetric)
+        self.quarantined.is_none()
+            && self.assessment.congested
+            && self.symmetry != Some(Symmetry::Asymmetric)
     }
 }
 
@@ -179,6 +204,43 @@ impl VpStudy {
     pub fn congested_links(&self) -> Vec<&LinkOutcome> {
         self.outcomes.iter().filter(|o| o.congested()).collect()
     }
+
+    /// Measurement-integrity summary over all outcomes: per-health-class
+    /// counts, total artifact-masked events, quarantined links.
+    pub fn integrity_summary(&self) -> IntegritySummary {
+        let mut s = IntegritySummary::default();
+        for o in &self.outcomes {
+            match o.health {
+                LinkHealth::Clean => s.clean += 1,
+                LinkHealth::Gappy => s.gappy += 1,
+                LinkHealth::RateLimited => s.rate_limited += 1,
+                LinkHealth::AddrUnstable => s.addr_unstable += 1,
+                LinkHealth::Silent => s.silent += 1,
+            }
+            s.artifact_events += o.artifact_events;
+            s.quarantined += usize::from(o.quarantined.is_some());
+        }
+        s
+    }
+}
+
+/// Per-VP counts for the measurement-integrity report column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegritySummary {
+    /// Links whose series measured clean.
+    pub clean: usize,
+    /// Links with gap/outage intervals.
+    pub gappy: usize,
+    /// Links shaped by an ICMP rate limiter.
+    pub rate_limited: usize,
+    /// Links answering from unexpected addresses.
+    pub addr_unstable: usize,
+    /// Links with (almost) no far answers.
+    pub silent: usize,
+    /// Level shifts attributed to measurement artifacts across all links.
+    pub artifact_events: usize,
+    /// Links whose assessment worker panicked and was quarantined.
+    pub quarantined: usize,
 }
 
 /// Derive a TSLP target from an inferred link.
@@ -188,7 +250,10 @@ fn to_target(l: &InferredLink) -> TslpTarget {
 
 /// Run the full study for one VP spec.
 pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
-    let substrate = build_vp(spec, cfg.seed);
+    let mut substrate = build_vp(spec, cfg.seed);
+    // Chaos hook: compile injected faults onto the substrate before anything
+    // probes it — discovery and the campaign both run under the faults.
+    cfg.faults.apply(&mut substrate.net);
     let dir = paper_directory();
     let (start, end) = cfg.window.unwrap_or((spec.measure_start, spec.measure_end));
 
@@ -278,7 +343,20 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
     // a private ProbeCtx, so results come back in target order bit-identical
     // to a sequential run; the slower post-processing below stays sequential.
     let targets: Vec<_> = discovered.iter().map(to_target).collect();
-    let measured = measure_vp_links(&substrate.net, substrate.vp, &targets, &campaign);
+    // Checkpoints are bound to the campaign config, the substrate identity
+    // (seed, host AS), *and* the injected fault plan: a checkpoint from
+    // another VP, another seed, or a differently-faulted substrate must
+    // never replay here. The fault plan is folded in as an FNV hash of its
+    // debug form — every fault parameter lands in that string.
+    let store = cfg.checkpoint_dir.as_ref().map(|d| {
+        let faults_fp = format!("{:?}", cfg.faults)
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        let fp = mix(&[campaign_fingerprint(&campaign), cfg.seed, spec.host_asn.0 as u64, faults_fp]);
+        CheckpointStore::new(d, fp).expect("checkpoint directory must be creatable")
+    });
+    let measured =
+        measure_vp_links_checkpointed(&substrate.net, substrate.vp, &targets, &campaign, store.as_ref());
 
     let screened = measured.iter().filter(|(_, sc)| *sc).count();
     let probe_rounds: u64 = measured.iter().map(|(s, _)| s.len() as u64 * 2).sum();
@@ -293,12 +371,16 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         .zip(&measured)
         .map(|(l, (series, screened_out))| (l, series, *screened_out))
         .collect();
-    let outcomes: Vec<LinkOutcome> = pool_map_with(
+    let assessed = pool_try_map_with(
         cfg.threads,
         &work,
         DetectorScratch::new,
         |scratch, _, &(l, series, screened_out)| {
-        let sweep_full = assess_at_thresholds_with(series, &cfg.assess, &THRESHOLDS_MS, scratch);
+        // Measurement-integrity mask: classify the series once, thread the
+        // gap/outage intervals through every threshold's assessment.
+        let mask = classify_link(series, &cfg.assess.health);
+        let sweep_full =
+            assess_at_thresholds_masked_with(series, &cfg.assess, &THRESHOLDS_MS, &mask, scratch);
         let assessment = sweep_full
             .iter()
             .find(|(t, _)| *t == cfg.assess.threshold_ms)
@@ -370,6 +452,9 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             far_name: substrate.asdb.name_of(l.far_asn),
             at_ixp: l.at_ixp,
             sweep,
+            health: mask.overall,
+            artifact_events: assessment.artifacts.len(),
+            quarantined: None,
             assessment,
             symmetry,
             geo_consistent,
@@ -380,6 +465,35 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         }
         },
     );
+    // Quarantine: a panicked assessment becomes an inert outcome carrying
+    // the panic message instead of killing the whole study.
+    let outcomes: Vec<LinkOutcome> = assessed
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|failure| {
+                let (l, series, screened_out) = work[i];
+                LinkOutcome {
+                    near: l.near,
+                    far: l.far,
+                    far_asn: l.far_asn,
+                    far_name: substrate.asdb.name_of(l.far_asn),
+                    at_ixp: l.at_ixp,
+                    sweep: Vec::new(),
+                    health: classify_link(series, &cfg.assess.health).overall,
+                    artifact_events: 0,
+                    quarantined: Some(failure.message),
+                    assessment: Assessment::empty(series.far_validity(), f64::NAN),
+                    symmetry: None,
+                    geo_consistent: None,
+                    loss: None,
+                    truth: truth_of(l.near, l.far),
+                    series: None,
+                    screened_out,
+                }
+            })
+        })
+        .collect();
 
     // Fill per-snapshot congested counts: a congested peering link counts at
     // a snapshot when it has an event within ±20 days of the date.

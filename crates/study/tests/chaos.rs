@@ -1,0 +1,397 @@
+//! The chaos gauntlet: sweep deterministic [`FaultPlan`]s — link flaps,
+//! router maintenance, ICMP rate limiting, loopback-sourced responses,
+//! permanent silence, and combinations — through the **full** vpstudy
+//! pipeline (discovery → screening → campaign → masked assessment) and
+//! assert the measurement-integrity layer holds the line:
+//!
+//! - zero false congestion labels on fault-only links (§5.2's "measurement
+//!   misbehaving" must never read as "link misbehaving");
+//! - the seeded QCELL–NETPAGE congestion is still recovered under every
+//!   plan (masking must not eat true positives);
+//! - fault-hit links surface in the non-Clean health classes;
+//! - a checkpoint/kill/resume run is bit-identical to an uninterrupted
+//!   run at any thread count.
+//!
+//! Every plan is deterministic (hash-noise seeded or hand-placed), so a
+//! failure here reproduces exactly.
+
+use ixp_simnet::fault::{Fault, FaultPlan};
+use ixp_simnet::prelude::{HashNoise, Ipv4, LinkId, Network, NodeId, SimDuration, SimTime};
+use ixp_study::groundtruth::truth_expects_congested;
+use ixp_study::{run_vp_study, VpStudy, VpStudyConfig};
+use ixp_topology::{build_vp, paper_vps, TruthKind, VpSpec};
+use tslp_core::health::LinkHealth;
+
+/// The default study seed (keep in sync with `VpStudyConfig::default`).
+const SEED: u64 = 0xAF12_2017;
+
+/// VP4 (SIXP) over the same 13-week window the vpstudy unit tests use:
+/// long enough to catch the NETPAGE congestion and its 28/04 mitigation.
+fn window() -> (SimTime, SimTime) {
+    (SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 5, 20))
+}
+
+fn vp4() -> &'static VpSpec {
+    // paper_vps() allocates; leak one copy for the test process.
+    Box::leak(Box::new(paper_vps()[3].clone()))
+}
+
+/// Find the node owning an interface address.
+fn node_of(net: &Network, addr: Ipv4) -> Option<NodeId> {
+    net.node_ids().find(|&n| net.node(n).ifaces.iter().any(|i| i.addr == addr))
+}
+
+/// Fault targets: the *healthy responsive* truth links of the VP4 substrate
+/// — links where any congestion verdict is by definition false.
+struct FaultTargets {
+    /// Simulator link ids (for outages).
+    links: Vec<LinkId>,
+    /// `(far router, far address)` pairs (for node-level faults).
+    far_nodes: Vec<(NodeId, Ipv4)>,
+}
+
+fn fault_targets() -> FaultTargets {
+    let substrate = build_vp(vp4(), SEED);
+    let mut links = Vec::new();
+    let mut far_nodes = Vec::new();
+    for t in &substrate.links {
+        if t.responsive && matches!(t.kind, TruthKind::Healthy) {
+            links.push(t.link_id);
+            if let Some(n) = node_of(&substrate.net, t.far) {
+                far_nodes.push((n, t.far));
+            }
+        }
+    }
+    assert!(!links.is_empty(), "VP4 substrate must carry healthy links to fault");
+    assert!(!far_nodes.is_empty(), "healthy far routers must be addressable");
+    FaultTargets { links, far_nodes }
+}
+
+fn run_with(faults: FaultPlan) -> VpStudy {
+    let cfg = VpStudyConfig {
+        window: Some(window()),
+        with_loss: false,
+        keep_series: false,
+        faults,
+        ..Default::default()
+    };
+    run_vp_study(vp4(), &cfg)
+}
+
+/// The gauntlet's core invariant: every congested verdict must point at a
+/// link the scenario *actually* congests. Fault-only links never qualify.
+fn assert_no_false_congestion(s: &VpStudy, label: &str) {
+    for o in &s.outcomes {
+        if o.congested() {
+            assert!(
+                o.truth.as_ref().is_some_and(truth_expects_congested),
+                "{label}: fault-only link to {} ({:?} -> {:?}, health {:?}, truth {:?}) \
+                 labelled congested",
+                o.far_name, o.near, o.far, o.health, o.truth
+            );
+        }
+    }
+}
+
+/// Masking must not eat the seeded true positive: QCELL–NETPAGE stays
+/// congested under every plan (the faults only ever target healthy links).
+fn assert_netpage_recovered(s: &VpStudy, label: &str) {
+    let np = s
+        .outcomes
+        .iter()
+        .find(|o| o.far_name == "NETPAGE")
+        .unwrap_or_else(|| panic!("{label}: NETPAGE link must still be discovered"));
+    assert!(np.congested(), "{label}: seeded NETPAGE congestion must survive the faults");
+    assert!(np.assessment.diurnal, "{label}: NETPAGE must still read diurnal");
+}
+
+/// Outcomes for the faulted far addresses (a faulted link can legitimately
+/// be missing when the fault blinded discovery to it).
+fn faulted_outcomes<'a>(s: &'a VpStudy, fars: &[Ipv4]) -> Vec<&'a ixp_study::LinkOutcome> {
+    s.outcomes.iter().filter(|o| fars.contains(&o.far)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Plans 1–8: random link flaps at escalating seeds.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn link_flaps_never_fake_congestion() {
+    let t = fault_targets();
+    let (from, until) = window();
+    for seed in 1..=8u64 {
+        let noise = HashNoise::new(seed);
+        // ~25 outages/link/year over a quarter-year window: every healthy
+        // link flaps several times, 30 min – 8 h each.
+        let plan = FaultPlan::random_link_flaps(
+            &t.links,
+            from,
+            until,
+            25.0,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(8),
+            &noise,
+        );
+        assert!(!plan.faults.is_empty(), "flap seed {seed} produced no outages");
+        let s = run_with(plan);
+        let label = format!("flaps seed {seed}");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 9–13: recurring router maintenance windows.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn maintenance_windows_never_fake_congestion() {
+    let t = fault_targets();
+    let (from, until) = window();
+    let span_days = until.since(from).as_secs_f64() as u64 / 86_400;
+    // (stride days, duration hours): from 3-hourly blips to day-long works.
+    for (pi, &(stride, hours)) in [(7u64, 3u64), (5, 6), (10, 12), (4, 4), (14, 24)].iter().enumerate() {
+        let mut plan = FaultPlan::new();
+        for (ni, &(node, _)) in t.far_nodes.iter().enumerate() {
+            // First window lands after the 03-18 discovery snapshot (day 25)
+            // and staggers per router so windows do not all align.
+            let mut day = 26 + (ni as u64 % 3) * 2;
+            while day < span_days {
+                let start = from + SimDuration::from_days(day) + SimDuration::from_hours(ni as u64 % 5);
+                plan = plan.with(Fault::NodeMaintenance {
+                    node,
+                    from: start,
+                    until: start + SimDuration::from_hours(hours),
+                });
+                day += stride;
+            }
+        }
+        let s = run_with(plan);
+        let label = format!("maintenance plan {pi} (every {stride}d for {hours}h)");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+        // The silenced routers must surface in the integrity report, never
+        // as Clean: their series carry the maintenance gaps.
+        let fars: Vec<Ipv4> = t.far_nodes.iter().map(|&(_, a)| a).collect();
+        let hit = faulted_outcomes(&s, &fars);
+        assert!(!hit.is_empty(), "{label}: faulted links vanished from the study");
+        for o in &hit {
+            assert_ne!(o.health, LinkHealth::Clean, "{label}: {:?} measured clean", o.far);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 14–17: permanent ICMP rate limiting on the far routers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn icmp_rate_limits_never_fake_congestion() {
+    let t = fault_targets();
+    // A round answers when *any* attempt gets a token, so rounds only
+    // starve below ~1 token/hour (0.00028 pps). All swept rates sit under
+    // that, with varying severity.
+    for &pps in &[0.00005f64, 0.0001, 0.00015, 0.0002] {
+        let mut plan = FaultPlan::new();
+        for &(node, _) in &t.far_nodes {
+            plan = plan.with(Fault::IcmpRateLimit { node, pps });
+        }
+        let s = run_with(plan);
+        let label = format!("rate limit {pps} pps");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+        let fars: Vec<Ipv4> = t.far_nodes.iter().map(|&(_, a)| a).collect();
+        let hit = faulted_outcomes(&s, &fars);
+        assert!(!hit.is_empty(), "{label}: faulted links vanished from the study");
+        for o in &hit {
+            assert_ne!(o.health, LinkHealth::Clean, "{label}: {:?} measured clean", o.far);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 18–20: loopback-sourced ICMP (responses from a fixed address).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn loopback_sourced_routers_never_fake_congestion() {
+    let t = fault_targets();
+    for count in 1..=3usize {
+        let mut plan = FaultPlan::new();
+        for (k, &(node, _)) in t.far_nodes.iter().take(count).enumerate() {
+            // TEST-NET-2 addresses: guaranteed foreign to the substrate.
+            plan = plan.with(Fault::LoopbackSourced {
+                node,
+                addr: Ipv4::new(198, 51, 100, 10 + k as u8),
+            });
+        }
+        let s = run_with(plan);
+        let label = format!("loopback-sourced x{count}");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 21–23: permanent silence (decommissioned ACL) mid-campaign.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanent_silence_never_fakes_congestion() {
+    let t = fault_targets();
+    let (from, _) = window();
+    for &day in &[40u64, 55, 70] {
+        let mut plan = FaultPlan::new();
+        for &(node, _) in &t.far_nodes {
+            plan = plan.with(Fault::PermanentSilence { node, from: from + SimDuration::from_days(day) });
+        }
+        let s = run_with(plan);
+        let label = format!("permanent silence from day {day}");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+        let fars: Vec<Ipv4> = t.far_nodes.iter().map(|&(_, a)| a).collect();
+        let hit = faulted_outcomes(&s, &fars);
+        assert!(!hit.is_empty(), "{label}: faulted links vanished from the study");
+        for o in &hit {
+            // A long trailing outage classifies Silent; a shorter one Gappy.
+            assert_ne!(o.health, LinkHealth::Clean, "{label}: {:?} measured clean", o.far);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 24–25: combination storms.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn combined_fault_storms_never_fake_congestion() {
+    let t = fault_targets();
+    let (from, until) = window();
+
+    // Plan 24: flaps + maintenance + a rate limiter, on disjoint subsets.
+    let third = (t.far_nodes.len() / 3).max(1);
+    let mut plan = FaultPlan::random_link_flaps(
+        &t.links[..t.links.len().min(third)],
+        from,
+        until,
+        30.0,
+        SimDuration::from_hours(1),
+        SimDuration::from_hours(6),
+        &HashNoise::new(24),
+    );
+    for &(node, _) in t.far_nodes.iter().skip(third).take(third) {
+        let start = from + SimDuration::from_days(30);
+        plan = plan.with(Fault::NodeMaintenance { node, from: start, until: start + SimDuration::from_days(2) });
+    }
+    for &(node, _) in t.far_nodes.iter().skip(2 * third) {
+        plan = plan.with(Fault::IcmpRateLimit { node, pps: 0.0002 });
+    }
+    let s = run_with(plan);
+    assert_no_false_congestion(&s, "combo storm A");
+    assert_netpage_recovered(&s, "combo storm A");
+
+    // Plan 25: every fault class at once on overlapping targets.
+    let mut plan = FaultPlan::random_link_flaps(
+        &t.links,
+        from,
+        until,
+        15.0,
+        SimDuration::from_mins(45),
+        SimDuration::from_hours(4),
+        &HashNoise::new(25),
+    );
+    for (k, &(node, _)) in t.far_nodes.iter().enumerate() {
+        match k % 4 {
+            0 => {
+                let start = from + SimDuration::from_days(28 + k as u64);
+                plan = plan.with(Fault::NodeMaintenance {
+                    node,
+                    from: start,
+                    until: start + SimDuration::from_hours(8),
+                });
+            }
+            1 => plan = plan.with(Fault::IcmpRateLimit { node, pps: 0.0003 }),
+            2 => {
+                plan = plan.with(Fault::LoopbackSourced {
+                    node,
+                    addr: Ipv4::new(198, 51, 100, 100 + k as u8),
+                })
+            }
+            _ => {
+                plan = plan
+                    .with(Fault::PermanentSilence { node, from: from + SimDuration::from_days(60) })
+            }
+        }
+    }
+    let s = run_with(plan);
+    assert_no_false_congestion(&s, "combo storm B");
+    assert_netpage_recovered(&s, "combo storm B");
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: checkpoint / kill / resume is bit-identical, any thread count.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkpoint_kill_resume_bit_identical_at_any_thread_count() {
+    let spec = vp4();
+    let (from, _) = window();
+    // Run under faults too: resume must replay the *faulted* series.
+    let faults = || {
+        FaultPlan::random_link_flaps(
+            &fault_targets().links,
+            from,
+            SimTime::from_date(2016, 3, 21),
+            40.0,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(3),
+            &HashNoise::new(7),
+        )
+    };
+    let cfg = |max_links: Option<usize>, dir: Option<std::path::PathBuf>, threads: usize| VpStudyConfig {
+        window: Some((from, SimTime::from_date(2016, 3, 21))),
+        with_loss: false,
+        keep_series: false,
+        max_links,
+        threads,
+        checkpoint_dir: dir,
+        faults: faults(),
+        ..Default::default()
+    };
+    for &threads in &[1usize, 3] {
+        let dir = std::env::temp_dir()
+            .join(format!("ixp-chaos-ckpt-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The reference: one uninterrupted run, no checkpointing.
+        let uninterrupted = run_vp_study(spec, &cfg(Some(12), None, threads));
+
+        // The "killed" run: checkpoints only the first 6 links, then dies.
+        let _partial = run_vp_study(spec, &cfg(Some(6), Some(dir.clone()), threads));
+
+        // The resumed run: replays the 6 checkpointed links from disk and
+        // measures the rest live.
+        let resumed = run_vp_study(spec, &cfg(Some(12), Some(dir.clone()), threads));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(uninterrupted.outcomes.len(), resumed.outcomes.len());
+        assert_eq!(uninterrupted.screened, resumed.screened, "threads {threads}");
+        assert_eq!(uninterrupted.probe_rounds, resumed.probe_rounds, "threads {threads}");
+        for (x, y) in uninterrupted.outcomes.iter().zip(&resumed.outcomes) {
+            assert_eq!((x.near, x.far), (y.near, y.far));
+            assert_eq!(x.sweep, y.sweep, "threads {threads}: sweep diverged on {:?}", x.far);
+            assert_eq!(x.health, y.health);
+            assert_eq!(x.artifact_events, y.artifact_events);
+            assert_eq!(x.screened_out, y.screened_out);
+            assert_eq!(x.quarantined, y.quarantined);
+            // Bit-exact assessment: every f64 survives the f64::to_bits
+            // round-trip through the checkpoint file.
+            assert_eq!(
+                serde_json::to_string(&x.assessment).unwrap(),
+                serde_json::to_string(&y.assessment).unwrap(),
+                "threads {threads}: assessment diverged on {:?}",
+                x.far
+            );
+        }
+    }
+}

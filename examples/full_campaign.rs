@@ -6,12 +6,20 @@
 //! cargo run --release --example full_campaign            # quick: ~6-month TSLP window
 //! cargo run --release --example full_campaign -- --full  # the paper's 13-month window
 //! cargo run --release --example full_campaign -- --json report.json
+//! cargo run --release --example full_campaign -- --checkpoint-dir ckpt/
 //! ```
 //!
 //! The quick mode probes the same links with the same machinery over a
 //! shorter window (22/02/2016 – 31/08/2016); bdrmap snapshots still run at
 //! the paper's dates. Expect a few minutes in quick mode (the Liquid
 //! Telecom VP alone carries ~10,000 links), longer with `--full`.
+//!
+//! With `--checkpoint-dir`, every finished link's series is persisted as it
+//! completes; re-running the same command after a crash or a Ctrl-C replays
+//! the finished links from disk and produces a report bit-identical to an
+//! uninterrupted run. Checkpoints are keyed to the campaign window, probing
+//! config, and per-VP substrate, so a `--full` run never replays quick-mode
+//! files.
 
 use african_ixp_congestion::simnet::prelude::*;
 use african_ixp_congestion::study::prelude::*;
@@ -31,11 +39,20 @@ fn main() {
         .position(|a| a == "--experiments")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let checkpoint_dir = args
+        .iter()
+        .position(|a| a == "--checkpoint-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
 
     let specs = paper_vps();
+    if let Some(d) = &checkpoint_dir {
+        println!("checkpointing per-link series under {} (re-run to resume)", d.display());
+    }
     let cfg = VpStudyConfig {
         window: if full { None } else { Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 8, 31))) },
         keep_series: false,
+        checkpoint_dir,
         ..Default::default()
     };
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Re-run the measurement-integrity overhead bench and gate it twice:
+#
+#  1. Absolute gate: health classification + fault masking must cost <5%
+#     over the plain unmasked assessment (the robustness layer runs on
+#     every link of every campaign).
+#  2. Regression gate: like bench_detect.sh, refuse to let a >10%
+#     links/sec regression silently replace the recorded baseline; pass
+#     --force to accept the new number anyway.
+#
+# The bench itself writes BENCH_health.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+if [[ "${1:-}" == "--force" ]]; then
+  FORCE=1
+fi
+
+BASELINE=BENCH_health.json
+BACKUP=
+if [[ -f "$BASELINE" ]]; then
+  BACKUP=$(mktemp)
+  cp "$BASELINE" "$BACKUP"
+fi
+
+cargo bench -p ixp-bench --bench health
+
+overhead=$(awk -F': ' '/"overhead_pct"/ {gsub(/,/, "", $2); print $2; exit}' "$BASELINE")
+echo "[bench_health] classification+masking overhead: ${overhead}%"
+if awk -v o="$overhead" 'BEGIN { exit !(o >= 5.0) }'; then
+  if [[ -n "$BACKUP" ]]; then
+    cp "$BACKUP" "$BASELINE"
+    rm -f "$BACKUP"
+  fi
+  echo "[bench_health] ERROR: overhead ${overhead}% breaches the <5% budget." >&2
+  exit 1
+fi
+
+if [[ -n "$BACKUP" ]]; then
+  # First links_per_sec in the file is the headline (masked) rate.
+  old=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BACKUP")
+  new=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BASELINE")
+  echo "[bench_health] links/sec: previous $old, new $new"
+  if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n < 0.9 * o) }'; then
+    if [[ "$FORCE" == "1" ]]; then
+      echo "[bench_health] >10% regression accepted (--force)"
+    else
+      cp "$BACKUP" "$BASELINE"
+      rm -f "$BACKUP"
+      echo "[bench_health] ERROR: new rate is >10% below the recorded baseline." >&2
+      echo "[bench_health] Baseline restored; re-run with --force to accept." >&2
+      exit 1
+    fi
+  fi
+  rm -f "$BACKUP"
+fi
+
+echo "[bench_health] baseline $BASELINE updated"

@@ -117,3 +117,37 @@ fn loopback_sourced_icmp_breaks_addr_expectations_not_pipeline() {
     let a = assess_link(&series, &AssessConfig::default());
     assert!(!a.congested);
 }
+
+#[test]
+fn fault_plan_loopback_sourcing_reads_addr_unstable_never_congested() {
+    // Same pathology injected through the FaultPlan compiler, then pushed
+    // through the health classifier and the masked assessment: the link
+    // lands in the AddrUnstable class and the verdict stays untrusted.
+    let (mut net, vp, target) = line();
+    FaultPlan::new()
+        .with(Fault::LoopbackSourced { node: NodeId(2), addr: Ipv4::new(198, 51, 100, 9) })
+        .apply(&mut net);
+    let (series, _) = measure_link(&net, vp, &target, &week_campaign());
+    assert!(series.far_validity() > 0.9, "responses still arrive");
+    assert!(series.far_addr_consistency() < 0.1, "every reply from the fixed address");
+    let mask = classify_link(&series, &HealthConfig::default());
+    assert_eq!(mask.overall, LinkHealth::AddrUnstable);
+    let a = assess_link_masked(&series, &AssessConfig::default(), &mask);
+    assert!(!a.congested, "an address-unstable series must never read congested");
+}
+
+#[test]
+fn fault_plan_rate_limiter_reads_rate_limited_never_congested() {
+    // A 0.002 pps limiter starves ~40% of the 5-minute rounds in short
+    // scattered runs: the health classifier calls it RateLimited and the
+    // masked assessment refuses to flag it.
+    let (mut net, vp, target) = line();
+    FaultPlan::new().with(Fault::IcmpRateLimit { node: NodeId(2), pps: 0.002 }).apply(&mut net);
+    let (series, _) = measure_link(&net, vp, &target, &week_campaign());
+    assert!(series.far_validity() < 0.9, "limiter had no effect");
+    let mask = classify_link(&series, &HealthConfig::default());
+    assert_eq!(mask.overall, LinkHealth::RateLimited);
+    let a = assess_link_masked(&series, &AssessConfig::default(), &mask);
+    assert!(!a.flagged, "token starvation must not look like a level shift");
+    assert!(!a.congested);
+}
