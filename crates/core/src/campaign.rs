@@ -12,7 +12,8 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::series::{LinkSeries, SeriesConfig};
-use ixp_prober::tslp::{tslp_probe, TslpConfig, TslpTarget};
+use ixp_obs::{Histogram, LinkEvent, LinkKey, LinkRecorder, NoopRecorder, Recorder, SheetRecorder};
+use ixp_prober::tslp::{tslp_probe_rec, TslpConfig, TslpTarget};
 use ixp_simnet::net::{Network, ProbeCtx};
 use ixp_simnet::node::NodeId;
 use ixp_simnet::rng::mix;
@@ -21,6 +22,12 @@ use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Telemetry key for a measured link: near/far interface addresses.
+pub fn link_key(target: &TslpTarget) -> LinkKey {
+    LinkKey::new(target.near_addr.0, target.far_addr.0)
+}
 
 /// Screening-pass settings.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -113,20 +120,20 @@ impl CampaignConfig {
     }
 }
 
-fn run_grid(
+fn run_grid<P: Recorder>(
     net: &Network,
     ctx: &mut ProbeCtx,
     vp: NodeId,
     target: &TslpTarget,
     tslp: &TslpConfig,
-    grid: SeriesConfig,
-    end: SimTime,
+    (grid, end): (SeriesConfig, SimTime),
+    prec: &P,
 ) -> LinkSeries {
     let mut series = LinkSeries::new(grid);
     let rounds = grid.rounds_until(end);
     for i in 0..rounds {
         let t = grid.timestamp(i);
-        let s = tslp_probe(net, ctx, vp, target, tslp, t);
+        let s = tslp_probe_rec(net, ctx, vp, target, tslp, t, prec);
         series.push(&s);
     }
     series
@@ -170,15 +177,17 @@ pub fn far_excursions(series: &LinkSeries, gate_ms: f64) -> usize {
     vals.iter().filter(|&&v| v > median + gate_ms).count()
 }
 
-/// Measure one link over the campaign window. Returns the series (coarse if
-/// the screening pass ruled congestion out) and whether screening short-
-/// circuited the link.
-pub fn measure_link(
+/// The shared body of [`measure_link`]/[`measure_link_rec`], generic over
+/// the probe-event recorder so the uninstrumented path monomorphizes the
+/// telemetry calls away entirely. Also returns the total probe-round count
+/// (coarse + full) for the telemetry ledger.
+fn measure_link_impl<P: Recorder>(
     net: &Network,
     vp: NodeId,
     target: &TslpTarget,
     cfg: &CampaignConfig,
-) -> (LinkSeries, bool) {
+    prec: &P,
+) -> (LinkSeries, bool, u64) {
     let tslp: TslpConfig = cfg.tslp.into();
     // A fresh ctx per target, seeded from the target identity: the series is
     // a pure function of (net, vp, target, cfg), independent of which worker
@@ -190,21 +199,74 @@ pub fn measure_link(
         target.near_ttl as u64,
         target.far_ttl as u64,
     ]));
+    let mut rounds = 0u64;
     if let Some(sc) = cfg.screening {
         let coarse_grid = SeriesConfig { start: cfg.start, interval: sc.interval };
-        let coarse = run_grid(net, &mut ctx, vp, target, &tslp, coarse_grid, cfg.end);
+        let coarse = run_grid(net, &mut ctx, vp, target, &tslp, (coarse_grid, cfg.end), prec);
+        rounds += coarse.len() as u64;
         // A link stays screened out only when the coarse pass saw fewer
         // than a handful of samples elevated past the smallest threshold —
         // the necessary condition for any ≥30-minute, ≥5 ms level shift.
         if far_excursions(&coarse, sc.spread_gate_ms) < 4 {
-            return (coarse, true);
+            return (coarse, true, rounds);
         }
         // The coarse pass advanced this ctx's lazy queue anchors through the
         // whole window; rewind them before re-reading it at full fidelity.
         ctx.reset_queue_state(net);
     }
     let grid = SeriesConfig { start: cfg.start, interval: cfg.interval };
-    (run_grid(net, &mut ctx, vp, target, &tslp, grid, cfg.end), false)
+    let full = run_grid(net, &mut ctx, vp, target, &tslp, (grid, cfg.end), prec);
+    rounds += full.len() as u64;
+    (full, false, rounds)
+}
+
+/// Measure one link over the campaign window. Returns the series (coarse if
+/// the screening pass ruled congestion out) and whether screening short-
+/// circuited the link.
+pub fn measure_link(
+    net: &Network,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+) -> (LinkSeries, bool) {
+    let (series, screened, _) = measure_link_impl(net, vp, target, cfg, &NoopRecorder);
+    (series, screened)
+}
+
+/// [`measure_link`] with telemetry: per-probe events (sent / answered /
+/// timed-out / retried / rate-limited) accumulate in a link-local
+/// [`LinkRecorder`] and fold into `rec` once, as a per-link
+/// [`ixp_obs::ProbeLedger`]. The near/far RTT histograms are derived from
+/// the retained series here, with one sequential scan per link — the probe
+/// loop itself only bumps counters. With a disabled recorder the measured
+/// series is bit-identical to [`measure_link`] — telemetry only observes.
+pub fn measure_link_rec<R: Recorder>(
+    net: &Network,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+    rec: &R,
+) -> (LinkSeries, bool) {
+    if !rec.enabled() {
+        return measure_link(net, vp, target, cfg);
+    }
+    let lr = LinkRecorder::new();
+    let (series, screened, rounds) = measure_link_impl(net, vp, target, cfg, &lr);
+    lr.add_rounds(rounds);
+    if screened {
+        lr.screened_out();
+    }
+    lr.fold_into(rec, link_key(target));
+    let hist_of = |vals: &[f64]| {
+        let mut h = Histogram::new();
+        for &v in vals {
+            h.record(v); // NaN holes (missed rounds) carry no magnitude
+        }
+        h
+    };
+    rec.merge_hist("tslp_near_rtt_ms", &hist_of(&series.near_ms));
+    rec.merge_hist("tslp_far_rtt_ms", &hist_of(&series.far_ms));
+    (series, screened)
 }
 
 /// Fingerprint of everything in a [`CampaignConfig`] that shapes measured
@@ -241,12 +303,31 @@ pub fn measure_link_checkpointed(
     cfg: &CampaignConfig,
     store: &CheckpointStore,
 ) -> (LinkSeries, bool) {
+    measure_link_checkpointed_rec(net, vp, target, cfg, store, &NoopRecorder)
+}
+
+/// [`measure_link_checkpointed`] with telemetry: checkpoint replays and
+/// persists are recorded as per-link ledger events plus the
+/// `checkpoint_hits` / `checkpoint_writes` counters.
+pub fn measure_link_checkpointed_rec<R: Recorder>(
+    net: &Network,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+    store: &CheckpointStore,
+    rec: &R,
+) -> (LinkSeries, bool) {
     let key = CheckpointStore::key_for(vp, target);
     if let Some(hit) = store.load(key) {
+        rec.add("checkpoint_hits", 1);
+        rec.link_event(link_key(target), LinkEvent::CheckpointHit);
         return hit;
     }
-    let (series, screened) = measure_link(net, vp, target, cfg);
-    let _ = store.store(key, &series, screened);
+    let (series, screened) = measure_link_rec(net, vp, target, cfg, rec);
+    if store.store(key, &series, screened).is_ok() {
+        rec.add("checkpoint_writes", 1);
+        rec.link_event(link_key(target), LinkEvent::CheckpointWrite);
+    }
     (series, screened)
 }
 
@@ -261,11 +342,64 @@ pub fn measure_vp_links_checkpointed(
     cfg: &CampaignConfig,
     store: Option<&CheckpointStore>,
 ) -> Vec<(LinkSeries, bool)> {
+    measure_vp_links_checkpointed_rec(net, vp, targets, cfg, store, &NoopRecorder)
+}
+
+/// Per-worker pool state for telemetry runs: each worker accumulates into a
+/// private [`MetricSheet`](ixp_obs::MetricSheet) (no shared-state contention
+/// on the probe hot path) that folds into the campaign recorder exactly once
+/// — on drop, so a quarantined worker state still surrenders the telemetry
+/// of the items it completed. All sheet merges are commutative and
+/// associative, so drain order (and thread count) never shows in the totals.
+struct DrainSheet<'a, R: Recorder> {
+    local: SheetRecorder,
+    out: &'a R,
+}
+
+impl<'a, R: Recorder> DrainSheet<'a, R> {
+    fn new(out: &'a R) -> Self {
+        DrainSheet { local: SheetRecorder::new(), out }
+    }
+}
+
+impl<R: Recorder> Drop for DrainSheet<'_, R> {
+    fn drop(&mut self) {
+        self.out.fold(&self.local.take_sheet());
+    }
+}
+
+/// [`measure_vp_links_checkpointed`] with telemetry (see
+/// [`measure_vp_links_rec`]); checkpoint replays and writes land in the
+/// per-link ledgers.
+pub fn measure_vp_links_checkpointed_rec<R: Recorder + Sync>(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+    rec: &R,
+) -> Vec<(LinkSeries, bool)> {
+    if !rec.enabled() {
+        // Off path: no worker sheets, no per-link recorders — the pool runs
+        // exactly as it did before telemetry existed.
+        return match store {
+            Some(st) => pool_map_with(cfg.threads, targets, || (), |_, _, t| {
+                measure_link_checkpointed(net, vp, t, cfg, st)
+            }),
+            None => measure_vp_links(net, vp, targets, cfg),
+        };
+    }
     match store {
-        Some(st) => pool_map_with(cfg.threads, targets, || (), |_, _, t| {
-            measure_link_checkpointed(net, vp, t, cfg, st)
-        }),
-        None => measure_vp_links(net, vp, targets, cfg),
+        Some(st) => pool_map_rec(
+            cfg.threads,
+            targets,
+            || DrainSheet::new(rec),
+            |ds, _, t| measure_link_checkpointed_rec(net, vp, t, cfg, st, &ds.local),
+            rec,
+            "campaign",
+            |_, t| link_key(t).label(),
+        ),
+        None => measure_vp_links_rec(net, vp, targets, cfg, rec),
     }
 }
 
@@ -289,6 +423,14 @@ pub fn resolve_threads(threads: usize) -> usize {
 pub struct WorkerFailure {
     /// Index of the failed item in the input slice.
     pub index: usize,
+    /// Pool worker that hit the panic. Which worker claims which item is a
+    /// scheduling accident, so this field is diagnostic only — telemetry
+    /// snapshots strip it from their deterministic form.
+    pub worker: usize,
+    /// Human-readable key of the failed item (for campaign pools, the
+    /// near-far link label), so a quarantine in a multi-hour run can be
+    /// traced to its link without re-deriving the target list.
+    pub key: String,
     /// The panic payload, rendered as text.
     pub message: String,
 }
@@ -330,22 +472,62 @@ where
     T: Sync,
     R: Send,
 {
+    pool_try_map_rec(threads, items, init, f, &NoopRecorder, "pool", |i, _| i.to_string())
+}
+
+/// [`pool_try_map_with`] with telemetry: each worker reports how many items
+/// it processed and how long it stayed busy (`rec.worker`), panics bump the
+/// `pool_panics` counter, and a [`WorkerFailure`] carries the worker id and
+/// the item's `key_of` label. `key_of` is only evaluated on a panic — the
+/// happy path never pays for it. With a disabled recorder this is exactly
+/// [`pool_try_map_with`]: the timing clock is never read.
+pub fn pool_try_map_rec<T, R, S, Rec>(
+    threads: usize,
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    rec: &Rec,
+    pool: &str,
+    key_of: impl Fn(usize, &T) -> String + Sync,
+) -> Vec<Result<R, WorkerFailure>>
+where
+    T: Sync,
+    R: Send,
+    Rec: Recorder + Sync,
+{
     // `state` is `None` right after a panic: the old state may be mid-
     // mutation and must not leak into later items.
-    let run_one = |state: &mut Option<S>, i: usize, item: &T| -> Result<R, WorkerFailure> {
+    let run_one = |state: &mut Option<S>, w: usize, i: usize, item: &T| {
         let mut s = state.take().unwrap_or_else(&init);
         match catch_unwind(AssertUnwindSafe(|| f(&mut s, i, item))) {
             Ok(r) => {
                 *state = Some(s);
                 Ok(r)
             }
-            Err(payload) => Err(WorkerFailure { index: i, message: panic_message(payload) }),
+            Err(payload) => {
+                rec.add("pool_panics", 1);
+                Err(WorkerFailure {
+                    index: i,
+                    worker: w,
+                    key: key_of(i, item),
+                    message: panic_message(payload),
+                })
+            }
         }
     };
+    // Per-worker wall clock, read only when telemetry is on — the off path
+    // must not touch `Instant` at all.
+    let clock = |on: bool| if on { Some(Instant::now()) } else { None };
     let threads = resolve_threads(threads).min(items.len().max(1));
     if threads <= 1 {
+        let t0 = clock(rec.enabled());
         let mut state = None;
-        return items.iter().enumerate().map(|(i, t)| run_one(&mut state, i, t)).collect();
+        let out: Vec<_> =
+            items.iter().enumerate().map(|(i, t)| run_one(&mut state, 0, i, t)).collect();
+        if let Some(t0) = t0 {
+            rec.worker(pool, 0, items.len() as u64, t0.elapsed().as_nanos() as u64);
+        }
+        return out;
     }
     // Work-stealing by atomic claim counter: workers grab the next unclaimed
     // item index and write its result into that index's slot, so output
@@ -354,14 +536,21 @@ where
     let slots: Vec<Mutex<Option<Result<R, WorkerFailure>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for w in 0..threads {
+            let (run_one, slots, next, rec, clock) = (&run_one, &slots, &next, &rec, &clock);
+            scope.spawn(move || {
+                let t0 = clock(rec.enabled());
                 let mut state = None;
+                let mut done = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let r = run_one(&mut state, i, item);
+                    let r = run_one(&mut state, w, i, item);
                     *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                    done += 1;
+                }
+                if let Some(t0) = t0 {
+                    rec.worker(pool, w, done, t0.elapsed().as_nanos() as u64);
                 }
             });
         }
@@ -384,11 +573,34 @@ where
     T: Sync,
     R: Send,
 {
-    pool_try_map_with(threads, items, init, f)
+    pool_map_rec(threads, items, init, f, &NoopRecorder, "pool", |i, _| i.to_string())
+}
+
+/// [`pool_try_map_rec`] with fatal panics: the first failure (in item
+/// order) is re-raised on the calling thread, carrying the worker id and
+/// item key alongside the original payload.
+pub fn pool_map_rec<T, R, S, Rec>(
+    threads: usize,
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    rec: &Rec,
+    pool: &str,
+    key_of: impl Fn(usize, &T) -> String + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    Rec: Recorder + Sync,
+{
+    pool_try_map_rec(threads, items, init, f, rec, pool, key_of)
         .into_iter()
         .map(|r| match r {
             Ok(v) => v,
-            Err(e) => panic!("worker panicked on item {}: {}", e.index, e.message),
+            Err(e) => panic!(
+                "worker panicked on item {} (worker {}, key {}): {}",
+                e.index, e.worker, e.key, e.message
+            ),
         })
         .collect()
 }
@@ -404,6 +616,32 @@ pub fn measure_vp_links(
     cfg: &CampaignConfig,
 ) -> Vec<(LinkSeries, bool)> {
     pool_map_with(cfg.threads, targets, || (), |_, _, t| measure_link(net, vp, t, cfg))
+}
+
+/// [`measure_vp_links`] with telemetry: every worker accumulates per-link
+/// probe ledgers, RTT histograms, and campaign counters into a private
+/// sheet, folded into `rec` once per worker ([`DrainSheet`]). Counters,
+/// ledgers, and histograms are identical at every thread count; only the
+/// per-worker rows (`rec.worker`) depend on scheduling.
+pub fn measure_vp_links_rec<R: Recorder + Sync>(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+    rec: &R,
+) -> Vec<(LinkSeries, bool)> {
+    if !rec.enabled() {
+        return measure_vp_links(net, vp, targets, cfg);
+    }
+    pool_map_rec(
+        cfg.threads,
+        targets,
+        || DrainSheet::new(rec),
+        |ds, _, t| measure_link_rec(net, vp, t, cfg, &ds.local),
+        rec,
+        "campaign",
+        |_, t| link_key(t).label(),
+    )
 }
 
 /// Measure a whole target list; returns per-target series plus the count of
@@ -540,6 +778,98 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn worker_failures_carry_worker_and_key() {
+        let items: Vec<u64> = (0..12).collect();
+        for threads in [1usize, 3] {
+            let got = pool_try_map_rec(
+                threads,
+                &items,
+                || (),
+                |_, _, &x| {
+                    assert!(x != 5, "boom");
+                    x
+                },
+                &NoopRecorder,
+                "pool",
+                |_, x| format!("item-{x}"),
+            );
+            let e = got[5].as_ref().expect_err("item 5 must fail");
+            assert_eq!(e.index, 5);
+            assert!(e.worker < threads, "worker {} of {}", e.worker, threads);
+            assert_eq!(e.key, "item-5");
+        }
+    }
+
+    #[test]
+    fn pool_telemetry_counts_workers_and_panics() {
+        use ixp_obs::MetricsRegistry;
+        let items: Vec<u64> = (0..30).collect();
+        let reg = MetricsRegistry::new();
+        let got = pool_try_map_rec(
+            3,
+            &items,
+            || (),
+            |_, _, &x| {
+                assert!(x != 11 && x != 22, "boom");
+                x
+            },
+            &reg,
+            "sq",
+            |i, _| i.to_string(),
+        );
+        assert_eq!(got.iter().filter(|r| r.is_err()).count(), 2);
+        let sheet = reg.snapshot();
+        assert_eq!(sheet.counter("pool_panics"), 2);
+        let items_done: u64 = sheet
+            .workers
+            .iter()
+            .filter(|(k, _)| k.starts_with("sq/"))
+            .map(|(_, w)| w.items)
+            .sum();
+        assert_eq!(items_done, 30, "every item attributed to some worker");
+    }
+
+    #[test]
+    fn campaign_telemetry_is_thread_count_invariant() {
+        use ixp_obs::MetricsRegistry;
+        let (net, vp, _) = line_topology(55);
+        let cfg1 = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 5))
+        };
+        let cfg3 = CampaignConfig { threads: 3, ..cfg1 };
+        let targets = vec![target(); 4];
+
+        let run = |cfg: &CampaignConfig| {
+            let reg = MetricsRegistry::new();
+            let out = measure_vp_links_rec(&net, vp, &targets, cfg, &reg);
+            (out, reg.snapshot())
+        };
+        let (out1, s1) = run(&cfg1);
+        let (out3, s3) = run(&cfg3);
+        // NaN-proof bitwise comparison of the measured series.
+        let bits = |out: &[(LinkSeries, bool)]| {
+            out.iter()
+                .map(|(s, sc)| {
+                    let far: Vec<u64> = s.far_ms.iter().map(|v| v.to_bits()).collect();
+                    let near: Vec<u64> = s.near_ms.iter().map(|v| v.to_bits()).collect();
+                    (near, far, *sc)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&out1), bits(&out3), "series identical at any thread count");
+        // Everything except the scheduling-dependent worker rows must agree.
+        assert_eq!(s1.counters, s3.counters);
+        assert_eq!(s1.ledgers, s3.ledgers);
+        assert_eq!(s1.histograms, s3.histograms);
+        assert!(s1.counter("probes_sent") > 0);
+        assert_eq!(s1.counter("links_screened"), 4);
+        // And the recorded run returns exactly what the plain run returns.
+        let plain = measure_vp_links(&net, vp, &targets, &cfg1);
+        assert_eq!(bits(&out1), bits(&plain), "telemetry only observes");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::series::LinkSeries;
 use ixp_chgpt::events::{event_stats, extract_events, sanitize_events, ShiftEvent};
 use ixp_chgpt::scratch::DetectorScratch;
 use ixp_chgpt::segment::{DetectorConfig, Segment};
+use ixp_obs::{LinkEvent, LinkKey, Recorder};
 use ixp_simnet::time::{SimDuration, SimTime, MICROS_PER_DAY};
 use serde::{Deserialize, Serialize};
 
@@ -263,6 +264,51 @@ pub fn assess_link_masked_with(
     match segment_far_with(series, cfg, scratch) {
         Some(pre) => assess_core(series, cfg, &pre, Some(mask), scratch),
         None => Assessment { health: mask.overall, ..empty_assessment(series.far_validity(), f64::NAN) },
+    }
+}
+
+/// [`assess_link_masked_with`] with telemetry: the verdict lands in the
+/// aggregate `links_*` counters and in the link's ledger (event counts,
+/// artifact counts, health class). A disabled recorder records nothing and
+/// the assessment itself is unchanged — telemetry only observes.
+pub fn assess_link_masked_rec<R: Recorder>(
+    series: &LinkSeries,
+    cfg: &AssessConfig,
+    mask: &HealthReport,
+    scratch: &mut DetectorScratch,
+    rec: &R,
+    key: LinkKey,
+) -> Assessment {
+    let a = assess_link_masked_with(series, cfg, mask, scratch);
+    record_assessment(rec, key, &a);
+    a
+}
+
+/// Fold one assessment's verdict into a telemetry recorder: aggregate
+/// counters, the per-link ledger's event/artifact/health fields, and the
+/// validity/baseline distributions.
+pub fn record_assessment<R: Recorder>(rec: &R, key: LinkKey, a: &Assessment) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.add("links_assessed", 1);
+    if a.flagged {
+        rec.add("links_flagged", 1);
+    }
+    if a.diurnal {
+        rec.add("links_diurnal", 1);
+    }
+    if a.congested {
+        rec.add("links_congested", 1);
+    }
+    rec.add("congestion_events", a.events.len() as u64);
+    rec.add("artifact_events", a.artifacts.len() as u64);
+    rec.link_event(key, LinkEvent::Events(a.events.len() as u64));
+    rec.link_event(key, LinkEvent::Artifacts(a.artifacts.len() as u64));
+    rec.link_event(key, LinkEvent::Health(a.health.token()));
+    rec.observe("far_validity", a.far_validity);
+    if a.baseline_ms.is_finite() {
+        rec.observe("baseline_far_ms", a.baseline_ms);
     }
 }
 

@@ -29,15 +29,18 @@ pub mod lossanalysis;
 pub mod series;
 
 pub use campaign::{
-    far_excursions, far_spread_ms, measure_link, measure_vp, measure_vp_links, resolve_threads,
-    CampaignConfig, Screening, TslpProbing, WorkerFailure,
+    far_excursions, far_spread_ms, link_key, measure_link, measure_link_rec, measure_vp,
+    measure_vp_links, measure_vp_links_rec, resolve_threads, CampaignConfig, Screening,
+    TslpProbing, WorkerFailure,
 };
 pub use checkpoint::CheckpointStore;
 pub use detect::{
-    assess_at_thresholds, assess_link, assess_link_masked, AssessConfig, Assessment, NearGuard,
-    TimedEvent, WaveformStats,
+    assess_at_thresholds, assess_link, assess_link_masked, assess_link_masked_rec,
+    record_assessment, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
 };
-pub use health::{classify_link, GapInterval, GapKind, HealthConfig, HealthReport, LinkHealth};
+pub use health::{
+    classify_link, classify_link_rec, GapInterval, GapKind, HealthConfig, HealthReport, LinkHealth,
+};
 pub use lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig, LossSeries, LossSplit};
 pub use series::{LinkSeries, SeriesConfig};
 

@@ -1,0 +1,286 @@
+//! Exporters: Prometheus text exposition, the versioned [`RunManifest`]
+//! JSON snapshot, and a human-readable hierarchical stage profile.
+
+use crate::metrics::{Histogram, MetricSheet};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Version stamp of the [`RunManifest`] JSON layout.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The versioned JSON snapshot `full_campaign --metrics-out` writes: enough
+/// to reproduce the run (config fingerprint, seed, threads) plus everything
+/// the telemetry layer collected (counters, histograms, per-link ledgers,
+/// per-stage timings, per-worker stats).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Layout version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Fingerprint of the measurement-shaping configuration.
+    pub config_fingerprint: u64,
+    /// Substrate/build seed.
+    pub seed: u64,
+    /// Resolved worker thread count.
+    pub threads: usize,
+    /// Total wall time of the run, seconds (volatile).
+    pub wall_secs: f64,
+    /// The collected telemetry.
+    pub sheet: MetricSheet,
+}
+
+impl RunManifest {
+    /// Assemble a manifest around a drained sheet.
+    pub fn new(
+        config_fingerprint: u64,
+        seed: u64,
+        threads: usize,
+        wall_secs: f64,
+        sheet: MetricSheet,
+    ) -> RunManifest {
+        RunManifest { version: MANIFEST_VERSION, config_fingerprint, seed, threads, wall_secs, sheet }
+    }
+
+    /// Pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parse a manifest back (validation, tests, tooling).
+    pub fn from_json(s: &str) -> Result<RunManifest, String> {
+        let m: RunManifest = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if m.version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {}", m.version));
+        }
+        Ok(m)
+    }
+
+    /// The manifest with every wall-clock-derived field zeroed: run wall
+    /// time, per-stage `wall_ns`, the per-worker table (work stealing makes
+    /// item→worker assignment scheduling-dependent), and quarantine worker
+    /// indices. What remains is a pure function of (config, seed, thread
+    /// count) — and everything except per-worker gauges is identical at
+    /// *any* thread count. Serialized for the determinism tests.
+    pub fn deterministic_json(&self) -> String {
+        let mut m = self.clone();
+        m.wall_secs = 0.0;
+        m.sheet.workers.clear();
+        for t in m.sheet.stages.values_mut() {
+            t.wall_ns = 0;
+        }
+        for l in m.sheet.ledgers.values_mut() {
+            if let Some(q) = &mut l.quarantined {
+                q.worker = 0;
+            }
+        }
+        serde_json::to_string_pretty(&m).expect("manifest serializes")
+    }
+}
+
+/// Make a metric or label chunk exposition-safe.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' }).collect()
+}
+
+fn esc_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_hist(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, c) in h.counts.iter().enumerate() {
+        cum += c;
+        let ub = Histogram::upper_bound(i);
+        if ub.is_infinite() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_f64(ub));
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render a sheet in the Prometheus text exposition format (v0.0.4), every
+/// series prefixed `ixp_`. Counters and gauges map directly; histograms get
+/// the classic cumulative `_bucket`/`_sum`/`_count` triplet; per-link
+/// ledgers, stages, and workers become labeled families.
+pub fn prometheus_text(sheet: &MetricSheet) -> String {
+    let mut out = String::new();
+    for (k, v) in &sheet.counters {
+        let name = format!("ixp_{}_total", sanitize(k));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (k, v) in &sheet.gauges {
+        let name = format!("ixp_{}", sanitize(k));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(*v));
+    }
+    for (k, h) in &sheet.histograms {
+        write_hist(&mut out, &format!("ixp_{}", sanitize(k)), h);
+    }
+    if !sheet.ledgers.is_empty() {
+        for fam in ["probes_sent", "probes_answered", "probes_timed_out", "probes_retried", "probes_rate_limited"] {
+            let _ = writeln!(out, "# TYPE ixp_link_{fam}_total counter");
+        }
+        for (link, l) in &sheet.ledgers {
+            let lab = esc_label(link);
+            let _ = writeln!(out, "ixp_link_probes_sent_total{{link=\"{lab}\"}} {}", l.sent);
+            let _ = writeln!(out, "ixp_link_probes_answered_total{{link=\"{lab}\"}} {}", l.answered);
+            let _ = writeln!(out, "ixp_link_probes_timed_out_total{{link=\"{lab}\"}} {}", l.timed_out);
+            let _ = writeln!(out, "ixp_link_probes_retried_total{{link=\"{lab}\"}} {}", l.retries);
+            let _ = writeln!(
+                out,
+                "ixp_link_probes_rate_limited_total{{link=\"{lab}\"}} {}",
+                l.rate_limited
+            );
+            if let Some(h) = &l.health {
+                let _ = writeln!(
+                    out,
+                    "ixp_link_health{{link=\"{lab}\",class=\"{}\"}} 1",
+                    esc_label(h)
+                );
+            }
+        }
+    }
+    for (path, t) in &sheet.stages {
+        let lab = esc_label(path);
+        let _ = writeln!(
+            out,
+            "ixp_stage_wall_seconds{{stage=\"{lab}\"}} {}",
+            fmt_f64(t.wall_ns as f64 / 1e9)
+        );
+        let _ = writeln!(
+            out,
+            "ixp_stage_sim_seconds{{stage=\"{lab}\"}} {}",
+            fmt_f64(t.sim_us as f64 / 1e6)
+        );
+        let _ = writeln!(out, "ixp_stage_calls{{stage=\"{lab}\"}} {}", t.calls);
+    }
+    for (key, w) in &sheet.workers {
+        let (pool, worker) = key.rsplit_once("/worker").unwrap_or((key.as_str(), "0"));
+        let _ = writeln!(
+            out,
+            "ixp_worker_items{{pool=\"{}\",worker=\"{}\"}} {}",
+            esc_label(pool),
+            esc_label(worker),
+            w.items
+        );
+        let _ = writeln!(
+            out,
+            "ixp_worker_busy_seconds{{pool=\"{}\",worker=\"{}\"}} {}",
+            esc_label(pool),
+            esc_label(worker),
+            fmt_f64(w.busy_ns as f64 / 1e9)
+        );
+    }
+    out
+}
+
+/// Render the stage profile as an indented tree, nesting on `/` in stage
+/// paths. `BTreeMap` ordering guarantees a parent prints before its
+/// children, so a simple depth indent reconstructs the hierarchy.
+pub fn stage_profile(sheet: &MetricSheet) -> String {
+    let mut out = String::new();
+    for (path, t) in &sheet.stages {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{leaf:<24} wall {:>9.3}s  sim {:>12.0}s  x{}",
+            "",
+            t.wall_ns as f64 / 1e9,
+            t.sim_us as f64 / 1e6,
+            t.calls,
+            indent = depth * 2,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{LinkEvent, LinkKey, ProbeLedger, QuarantineNote};
+    use crate::metrics::SheetRecorder;
+    use crate::Recorder;
+
+    fn sample_sheet() -> MetricSheet {
+        let rec = SheetRecorder::new();
+        rec.add("probes_sent", 7);
+        rec.gauge("threads", 4.0);
+        rec.observe("tslp_far_rtt_ms", 1.5);
+        rec.observe("tslp_far_rtt_ms", 24.0);
+        let mut l = ProbeLedger { sent: 4, answered: 3, ..ProbeLedger::default() };
+        l.health = Some("clean".into());
+        rec.ledger(LinkKey::new(0x0A000001, 0x0A000102), &l);
+        rec.stage("vp/SIXP/campaign", 1_500_000_000, 3_000_000);
+        rec.worker("campaign", 2, 9, 2_000_000);
+        rec.into_sheet()
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_families() {
+        let text = prometheus_text(&sample_sheet());
+        assert!(text.contains("# TYPE ixp_probes_sent_total counter"));
+        assert!(text.contains("ixp_probes_sent_total 7"));
+        assert!(text.contains("ixp_threads 4.0"));
+        assert!(text.contains("ixp_tslp_far_rtt_ms_bucket{le=\"2.0\"}"));
+        assert!(text.contains("ixp_tslp_far_rtt_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ixp_tslp_far_rtt_ms_sum 25.5"));
+        assert!(text.contains("ixp_link_probes_sent_total{link=\"10.0.0.1-10.0.1.2\"} 4"));
+        assert!(text.contains("ixp_link_health{link=\"10.0.0.1-10.0.1.2\",class=\"clean\"} 1"));
+        assert!(text.contains("ixp_stage_sim_seconds{stage=\"vp/SIXP/campaign\"} 3.0"));
+        assert!(text.contains("ixp_worker_items{pool=\"campaign\",worker=\"2\"} 9"));
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = RunManifest::new(0xDEAD, 42, 4, 1.25, sample_sheet());
+        let parsed = RunManifest::from_json(&m.to_json()).expect("valid manifest");
+        assert_eq!(parsed.version, MANIFEST_VERSION);
+        assert_eq!(parsed.config_fingerprint, 0xDEAD);
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.sheet, m.sheet);
+    }
+
+    #[test]
+    fn deterministic_json_strips_wall_fields() {
+        let mut sheet = sample_sheet();
+        sheet.ledgers.get_mut("10.0.0.1-10.0.1.2").unwrap().apply_event(
+            &LinkEvent::Quarantined(QuarantineNote { worker: 3, message: "boom".into() }),
+        );
+        let a = RunManifest::new(1, 2, 3, 9.0, sheet.clone());
+        let mut b = RunManifest::new(1, 2, 3, 4.0, sheet);
+        b.sheet.stages.get_mut("vp/SIXP/campaign").unwrap().wall_ns = 77;
+        b.sheet.workers.get_mut("campaign/worker2").unwrap().busy_ns = 1;
+        if let Some(q) = &mut b.sheet.ledgers.get_mut("10.0.0.1-10.0.1.2").unwrap().quarantined {
+            q.worker = 9;
+        }
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(a.deterministic_json().contains("boom"), "panic text survives");
+    }
+
+    #[test]
+    fn stage_profile_nests_by_slash() {
+        let rec = SheetRecorder::new();
+        rec.stage("vp", 0, 0);
+        rec.stage("vp/SIXP", 0, 0);
+        rec.stage("vp/SIXP/campaign", 0, 0);
+        let text = stage_profile(&rec.into_sheet());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("vp "));
+        assert!(lines[1].starts_with("  SIXP"));
+        assert!(lines[2].starts_with("    campaign"));
+    }
+}

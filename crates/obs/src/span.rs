@@ -1,0 +1,81 @@
+//! RAII stage timers.
+//!
+//! A [`StageSpan`] measures one pipeline stage — substrate build, bdrmap
+//! sweep, TSLP campaign, detection, report render — and folds `(wall_ns,
+//! sim_us)` into the recorder's stage profile when dropped. Stage paths are
+//! slash-separated (`"vp/SIXP/campaign"`); the exporters nest the profile by
+//! splitting on `/`. Spans may close repeatedly under one path (per-link
+//! loss windows, per-snapshot bdrmap passes): timings merge by summation,
+//! with `calls` counting the closures.
+//!
+//! Wall time is volatile run to run and is stripped by
+//! [`crate::RunManifest::deterministic_json`]; simulated time is part of the
+//! deterministic snapshot.
+
+use crate::Recorder;
+use std::time::Instant;
+
+/// A running stage timer. Construct with [`StageSpan::enter`]; the timing is
+/// recorded on drop. Against a disabled recorder the span never reads the
+/// wall clock and the drop records nothing.
+#[derive(Debug)]
+pub struct StageSpan<'a, R: Recorder> {
+    rec: &'a R,
+    path: String,
+    started: Option<Instant>,
+    sim_us: u64,
+}
+
+impl<'a, R: Recorder> StageSpan<'a, R> {
+    /// Open a span under `path`.
+    pub fn enter(rec: &'a R, path: impl Into<String>) -> StageSpan<'a, R> {
+        let started = rec.enabled().then(Instant::now);
+        StageSpan { rec, path: path.into(), started, sim_us: 0 }
+    }
+
+    /// Attribute `sim_us` microseconds of simulated time to the stage (e.g.
+    /// the campaign window a stage replayed).
+    pub fn add_sim_us(&mut self, sim_us: u64) {
+        self.sim_us += sim_us;
+    }
+}
+
+impl<R: Recorder> Drop for StageSpan<'_, R> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.rec.stage(&self.path, wall_ns, self.sim_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SheetRecorder;
+    use crate::NoopRecorder;
+
+    #[test]
+    fn span_folds_on_drop() {
+        let rec = SheetRecorder::new();
+        {
+            let mut s = StageSpan::enter(&rec, "vp/SIXP/campaign");
+            s.add_sim_us(42);
+        }
+        {
+            let mut s = StageSpan::enter(&rec, "vp/SIXP/campaign");
+            s.add_sim_us(8);
+        }
+        let sheet = rec.into_sheet();
+        let t = &sheet.stages["vp/SIXP/campaign"];
+        assert_eq!(t.sim_us, 50);
+        assert_eq!(t.calls, 2);
+    }
+
+    #[test]
+    fn noop_span_records_nothing() {
+        let rec = NoopRecorder;
+        let s = StageSpan::enter(&rec, "x");
+        assert!(s.started.is_none());
+    }
+}

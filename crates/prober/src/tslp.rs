@@ -8,8 +8,9 @@
 //! list with scamper-style pacing and retries; the campaign loop lives in
 //! `tslp-core`.
 
-use ixp_simnet::net::{Network, ProbeCtx, ProbeSpec};
-use ixp_simnet::node::NodeId;
+use ixp_obs::{End, NoopRecorder, ProbeEvent, Recorder};
+use ixp_simnet::net::{Network, ProbeCtx, ProbeError, ProbeSpec};
+use ixp_simnet::node::{NodeId, NoResponse};
 use ixp_simnet::prelude::{Ipv4, PacketKind};
 use ixp_simnet::time::{SimDuration, SimTime};
 
@@ -90,28 +91,47 @@ fn retry_wait(cfg: &TslpConfig, dst: Ipv4, ttl: u8, t: SimTime, attempt: u32) ->
 }
 
 /// Probe one end (TTL-limited toward `dst`); returns `(rtt, responder)` of
-/// the first answered attempt and advances the pacing clock.
-fn probe_end(
+/// the first answered attempt and advances the pacing clock. The whole
+/// retry loop reports to `rec` as one [`ProbeEvent`] outcome — attempts,
+/// rate-limiter drops, and the answer (or timeout) — so the hot path pays a
+/// single recorder dispatch per end; with the no-op recorder even that
+/// vanishes under monomorphization.
+fn probe_end<R: Recorder>(
     net: &Network,
     ctx: &mut ProbeCtx,
     from: NodeId,
-    dst: Ipv4,
-    ttl: u8,
+    (dst, ttl, end): (Ipv4, u8, End),
     cfg: &TslpConfig,
     t: &mut SimTime,
+    rec: &R,
 ) -> Option<(SimDuration, Ipv4)> {
+    let mut rate_limited = 0u32;
     for attempt in 0..cfg.attempts {
         if attempt > 0 && cfg.retry_backoff > SimDuration::ZERO {
             *t += retry_wait(cfg, dst, ttl, *t, attempt);
         }
         let r = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), *t);
         *t += cfg.pacing;
-        if let Ok(rep) = r {
-            if rep.kind == PacketKind::TimeExceeded || rep.kind == PacketKind::DestUnreachable {
+        match r {
+            Ok(rep)
+                if rep.kind == PacketKind::TimeExceeded
+                    || rep.kind == PacketKind::DestUnreachable =>
+            {
+                rec.probe(ProbeEvent {
+                    end,
+                    attempts: attempt + 1,
+                    rate_limited,
+                    rtt_ms: Some(rep.rtt.as_millis_f64()),
+                });
                 return Some((rep.rtt, rep.responder));
             }
+            Err(ProbeError::Silent(NoResponse::RateLimited)) => {
+                rate_limited += 1;
+            }
+            _ => {}
         }
     }
+    rec.probe(ProbeEvent { end, attempts: cfg.attempts, rate_limited, rtt_ms: None });
     None
 }
 
@@ -124,9 +144,24 @@ pub fn tslp_probe(
     cfg: &TslpConfig,
     t0: SimTime,
 ) -> TslpSample {
+    tslp_probe_rec(net, ctx, from, target, cfg, t0, &NoopRecorder)
+}
+
+/// [`tslp_probe`] reporting probe-level telemetry to `rec` (typically a
+/// per-link [`ixp_obs::LinkRecorder`]). The measured sample is bit-identical
+/// to the unrecorded call — telemetry only observes.
+pub fn tslp_probe_rec<R: Recorder>(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    from: NodeId,
+    target: &TslpTarget,
+    cfg: &TslpConfig,
+    t0: SimTime,
+    rec: &R,
+) -> TslpSample {
     let mut t = t0;
-    let near = probe_end(net, ctx, from, target.dst, target.near_ttl, cfg, &mut t);
-    let far = probe_end(net, ctx, from, target.dst, target.far_ttl, cfg, &mut t);
+    let near = probe_end(net, ctx, from, (target.dst, target.near_ttl, End::Near), cfg, &mut t, rec);
+    let far = probe_end(net, ctx, from, (target.dst, target.far_ttl, End::Far), cfg, &mut t, rec);
     TslpSample {
         t: t0,
         near: near.map(|(rtt, _)| rtt),
@@ -301,6 +336,53 @@ mod tests {
         let b = run();
         assert!(a.far.is_some(), "jittered backoff still outwaits the limiter");
         assert_eq!(a, b, "hash-derived jitter must reproduce exactly");
+    }
+
+    #[test]
+    fn telemetry_counts_probes_and_rate_limits() {
+        use ixp_obs::LinkRecorder;
+        // Clean line: both ends answer on the first attempt.
+        let (net, vp, _) = line_topology(14);
+        let mut ctx = net.probe_ctx(0);
+        let lr = LinkRecorder::new();
+        let s = tslp_probe_rec(&net, &mut ctx, vp, &target(), &TslpConfig::default(), SimTime::ZERO, &lr);
+        assert!(s.near.is_some() && s.far.is_some());
+        let led = lr.ledger_snapshot();
+        assert_eq!((led.sent, led.answered, led.retries), (2, 2, 0));
+        assert_eq!((led.timed_out, led.rate_limited), (0, 0));
+
+        // Far router rate-limits and its bucket is drained: both far
+        // attempts are eaten, the round times out on the far end.
+        let (mut net, vp, _) = line_topology(15);
+        net.node_mut(ixp_simnet::prelude::NodeId(2)).icmp.rate_limit_pps = Some(1.0);
+        let mut ctx = net.probe_ctx(0);
+        for _ in 0..10 {
+            let _ = net.send_probe_in(&mut ctx, vp, ProbeSpec::ttl_limited(target().dst, 2), SimTime::ZERO);
+        }
+        let lr = LinkRecorder::new();
+        let s = tslp_probe_rec(&net, &mut ctx, vp, &target(), &TslpConfig::default(), SimTime::ZERO, &lr);
+        assert!(s.near.is_some() && s.far.is_none());
+        let led = lr.ledger_snapshot();
+        assert_eq!(led.sent, 3, "near 1 + far 2 attempts");
+        assert_eq!(led.rate_limited, 2, "both far attempts eaten by the limiter");
+        assert_eq!(led.timed_out, 1, "far end timed out");
+        assert_eq!(led.retries, 1);
+    }
+
+    #[test]
+    fn recorded_probe_is_bit_identical_to_plain() {
+        let run = |recorded: bool| {
+            let (net, vp, _) = congested_line(16, 1.3);
+            let mut ctx = net.probe_ctx(0);
+            let t = SimTime(5 * 3_600_000_000);
+            if recorded {
+                let lr = ixp_obs::LinkRecorder::new();
+                tslp_probe_rec(&net, &mut ctx, vp, &target(), &TslpConfig::default(), t, &lr)
+            } else {
+                tslp_probe(&net, &mut ctx, vp, &target(), &TslpConfig::default(), t)
+            }
+        };
+        assert_eq!(run(true), run(false), "telemetry must only observe");
     }
 
     #[test]

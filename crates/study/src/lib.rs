@@ -25,12 +25,12 @@ pub mod vpstudy;
 
 pub use figures::{Figure, FigureSeries};
 pub use groundtruth::{case_comparisons, confusion, CaseComparison, Confusion};
-pub use parallel::run_all_vps;
+pub use parallel::{run_all_vps, run_all_vps_rec};
 pub use report::StudyReport;
 pub use tables::{IntegrityTable, Table1, Table2};
 pub use vpstudy::{
-    run_vp_study, IntegritySummary, LinkOutcome, SnapshotCounts, VpStudy, VpStudyConfig,
-    THRESHOLDS_MS,
+    run_vp_study, run_vp_study_rec, IntegritySummary, LinkOutcome, SnapshotCounts, VpStudy,
+    VpStudyConfig, THRESHOLDS_MS,
 };
 
 /// Common imports.

@@ -11,18 +11,31 @@
 //! Both levels are deterministic — each target's walk seeds its own
 //! `ProbeCtx` — so output is bit-identical at any thread count.
 
-use crate::vpstudy::{run_vp_study, VpStudy, VpStudyConfig};
+use crate::vpstudy::{run_vp_study_rec, VpStudy, VpStudyConfig};
+use ixp_obs::{NoopRecorder, Recorder};
 use ixp_topology::VpSpec;
 
 /// Run a study for every spec, one thread per VP (bounded by the platform).
 pub fn run_all_vps(specs: &[VpSpec], cfg: &VpStudyConfig) -> Vec<VpStudy> {
+    run_all_vps_rec(specs, cfg, &NoopRecorder)
+}
+
+/// [`run_all_vps`] with telemetry: all VP studies share one recorder. Stage
+/// paths are namespaced per VP (`vp/<name>/…`), per-link ledgers are keyed by
+/// address pair, and counter merges are commutative — so the combined
+/// snapshot is identical no matter how the VP threads interleave.
+pub fn run_all_vps_rec<R: Recorder + Sync>(
+    specs: &[VpSpec],
+    cfg: &VpStudyConfig,
+    rec: &R,
+) -> Vec<VpStudy> {
     let mut slots: Vec<Option<VpStudy>> = Vec::new();
     slots.resize_with(specs.len(), || None);
     crossbeam::thread::scope(|scope| {
         for (slot, spec) in slots.iter_mut().zip(specs) {
             let cfg = cfg.clone();
             scope.spawn(move |_| {
-                *slot = Some(run_vp_study(spec, &cfg));
+                *slot = Some(run_vp_study_rec(spec, &cfg, rec));
             });
         }
     })
@@ -33,6 +46,7 @@ pub fn run_all_vps(specs: &[VpSpec], cfg: &VpStudyConfig) -> Vec<VpStudy> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vpstudy::run_vp_study;
     use ixp_simnet::prelude::SimTime;
     use ixp_topology::paper_vps;
 

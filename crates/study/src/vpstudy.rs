@@ -9,6 +9,7 @@ use ixp_bdrmap::infer::{run_bdrmap, BdrmapConfig, InferredLink};
 use ixp_bdrmap::ipasn::IpAsnMapper;
 use ixp_bdrmap::validate::{score, BdrmapAccuracy};
 use ixp_chgpt::DetectorScratch;
+use ixp_obs::{LinkEvent, LinkKey, NoopRecorder, QuarantineNote, Recorder, StageSpan};
 use ixp_prober::rr::{record_route_symmetry, Symmetry};
 use ixp_prober::tslp::TslpTarget;
 use ixp_simnet::prelude::{Asn, Ipv4, SimTime};
@@ -19,10 +20,10 @@ use ixp_simnet::fault::FaultPlan;
 use ixp_topology::{build_vp, paper_directory, TruthKind, VpSpec};
 use serde::{Deserialize, Serialize};
 use tslp_core::campaign::{
-    campaign_fingerprint, measure_vp_links_checkpointed, pool_try_map_with, CampaignConfig,
+    campaign_fingerprint, measure_vp_links_checkpointed_rec, pool_try_map_rec, CampaignConfig,
 };
 use tslp_core::checkpoint::CheckpointStore;
-use tslp_core::detect::{assess_at_thresholds_masked_with, AssessConfig, Assessment};
+use tslp_core::detect::{assess_at_thresholds_masked_with, record_assessment, AssessConfig, Assessment};
 use tslp_core::health::{classify_link, LinkHealth};
 use tslp_core::lossanalysis::{measure_loss_series, split_by_events, LossCampaignConfig};
 use tslp_core::series::LinkSeries;
@@ -250,14 +251,30 @@ fn to_target(l: &InferredLink) -> TslpTarget {
 
 /// Run the full study for one VP spec.
 pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
+    run_vp_study_rec(spec, cfg, &NoopRecorder)
+}
+
+/// [`run_vp_study`] with telemetry: every pipeline stage times itself into
+/// the recorder's stage profile (`vp/<name>/build`, `.../bdrmap`,
+/// `.../campaign`, `.../assess`), the campaign fans its per-link probe
+/// ledgers through worker-local sheets, and assessment verdicts, health
+/// classes, RR checks, loss campaigns, and quarantines all land in counters
+/// and per-link ledger fields. With a disabled recorder (the default
+/// [`NoopRecorder`]) the study is bit-identical to [`run_vp_study`] and no
+/// clock is ever read.
+pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, rec: &R) -> VpStudy {
+    let stage = |name: &str| format!("vp/{}/{}", spec.name, name);
+    let build_span = StageSpan::enter(rec, stage("build"));
     let mut substrate = build_vp(spec, cfg.seed);
     // Chaos hook: compile injected faults onto the substrate before anything
     // probes it — discovery and the campaign both run under the faults.
     cfg.faults.apply(&mut substrate.net);
+    drop(build_span);
     let dir = paper_directory();
     let (start, end) = cfg.window.unwrap_or((spec.measure_start, spec.measure_end));
 
     // ---- bdrmap snapshots ----
+    let bdrmap_span = StageSpan::enter(rec, stage("bdrmap"));
     let mut snapshots = Vec::new();
     let mut discovered: Vec<InferredLink> = Vec::new();
     let mut seen: std::collections::HashSet<(Ipv4, Ipv4)> = std::collections::HashSet::new();
@@ -302,6 +319,9 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             }
         }
     }
+    rec.add("bdrmap_snapshots", spec.snapshots.len() as u64);
+    rec.add("links_discovered", discovered.len() as u64);
+    drop(bdrmap_span);
 
     // No queue-state reset needed after discovery: every campaign target
     // gets a fresh ProbeCtx whose lazy queue anchors start at zero.
@@ -343,6 +363,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
     // a private ProbeCtx, so results come back in target order bit-identical
     // to a sequential run; the slower post-processing below stays sequential.
     let targets: Vec<_> = discovered.iter().map(to_target).collect();
+    rec.add("links_probed", targets.len() as u64);
     // Checkpoints are bound to the campaign config, the substrate identity
     // (seed, host AS), *and* the injected fault plan: a checkpoint from
     // another VP, another seed, or a differently-faulted substrate must
@@ -355,11 +376,23 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         let fp = mix(&[campaign_fingerprint(&campaign), cfg.seed, spec.host_asn.0 as u64, faults_fp]);
         CheckpointStore::new(d, fp).expect("checkpoint directory must be creatable")
     });
-    let measured =
-        measure_vp_links_checkpointed(&substrate.net, substrate.vp, &targets, &campaign, store.as_ref());
+    let measured = {
+        let mut span = StageSpan::enter(rec, stage("campaign"));
+        span.add_sim_us(end.since(start).as_micros());
+        measure_vp_links_checkpointed_rec(
+            &substrate.net,
+            substrate.vp,
+            &targets,
+            &campaign,
+            store.as_ref(),
+            rec,
+        )
+    };
 
     let screened = measured.iter().filter(|(_, sc)| *sc).count();
     let probe_rounds: u64 = measured.iter().map(|(s, _)| s.len() as u64 * 2).sum();
+
+    let assess_span = StageSpan::enter(rec, stage("assess"));
 
     // Fan the per-link assessment (detector + RR + loss) over the same
     // work-stealing pool, each worker reusing one DetectorScratch across
@@ -371,14 +404,15 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         .zip(&measured)
         .map(|(l, (series, screened_out))| (l, series, *screened_out))
         .collect();
-    let assessed = pool_try_map_with(
+    let assessed = pool_try_map_rec(
         cfg.threads,
         &work,
         DetectorScratch::new,
         |scratch, _, &(l, series, screened_out)| {
+        let key = LinkKey::new(l.near.0, l.far.0);
         // Measurement-integrity mask: classify the series once, thread the
         // gap/outage intervals through every threshold's assessment.
-        let mask = classify_link(series, &cfg.assess.health);
+        let mask = tslp_core::health::classify_link_rec(series, &cfg.assess.health, rec, key);
         let sweep_full =
             assess_at_thresholds_masked_with(series, &cfg.assess, &THRESHOLDS_MS, &mask, scratch);
         let assessment = sweep_full
@@ -388,6 +422,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             .unwrap_or_else(|| sweep_full[1].1.clone());
         let sweep: Vec<(f64, bool, bool)> =
             sweep_full.iter().map(|(t, a)| (*t, a.flagged, a.diurnal)).collect();
+        record_assessment(rec, key, &assessment);
 
         // RR symmetry for diurnal candidates (§5.2), probed *during* an
         // event window so the link is guaranteed up (the KNET link does not
@@ -401,6 +436,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
                 .unwrap_or(start);
             let mut rr_ctx =
                 substrate.net.probe_ctx(mix(&[l.near.0 as u64, l.far.0 as u64, 0x5252]));
+            rec.add("rr_checks", 1);
             Some(record_route_symmetry(&substrate.net, &mut rr_ctx, substrate.vp, l.far, resolve, when))
         } else {
             None
@@ -419,6 +455,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             let loss_start = ixp_traffic::scenarios::dates::loss_campaign_start().max(start);
             let loss_end = ixp_traffic::scenarios::dates::loss_campaign_end().min(end).min(last_valid);
             if loss_start < loss_end {
+                rec.add("loss_campaigns", 1);
                 let lc = LossCampaignConfig::paper(loss_start, loss_end);
                 let ls = measure_loss_series(&substrate.net, substrate.vp, l.dst, l.far_ttl, &lc);
                 let split = split_by_events(&ls, &assessment.events);
@@ -464,6 +501,9 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             screened_out,
         }
         },
+        rec,
+        "assess",
+        |_, (l, _, _)| LinkKey::new(l.near.0, l.far.0).label(),
     );
     // Quarantine: a panicked assessment becomes an inert outcome carrying
     // the panic message instead of killing the whole study.
@@ -473,6 +513,14 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
         .map(|(i, r)| {
             r.unwrap_or_else(|failure| {
                 let (l, series, screened_out) = work[i];
+                rec.add("links_quarantined", 1);
+                rec.link_event(
+                    LinkKey::new(l.near.0, l.far.0),
+                    LinkEvent::Quarantined(QuarantineNote {
+                        worker: failure.worker,
+                        message: failure.message.clone(),
+                    }),
+                );
                 LinkOutcome {
                     near: l.near,
                     far: l.far,
@@ -494,6 +542,7 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
             })
         })
         .collect();
+    drop(assess_span);
 
     // Fill per-snapshot congested counts: a congested peering link counts at
     // a snapshot when it has an event within ±20 days of the date.

@@ -1,0 +1,134 @@
+//! Telemetry determinism contract, end to end.
+//!
+//! The instrumentation layer promises three things, each tested here against
+//! a real (small) VP study:
+//!
+//! 1. **Observation only** — an instrumented run returns bit-identical
+//!    study results to an uninstrumented one.
+//! 2. **Reproducibility** — same seed + same thread count ⇒ identical
+//!    [`RunManifest::deterministic_json`] snapshots (wall-clock fields are
+//!    volatile by design and stripped).
+//! 3. **Thread-count invariance** — counters, per-link ledgers, histograms,
+//!    and simulated stage time are identical at *any* thread count; only
+//!    the per-worker rows depend on scheduling.
+
+use ixp_obs::{prometheus_text, MetricSheet, MetricsRegistry, RunManifest};
+use ixp_simnet::prelude::SimTime;
+use ixp_study::vpstudy::{run_vp_study, run_vp_study_rec, VpStudyConfig};
+use ixp_study::VpStudy;
+use ixp_topology::paper_vps;
+
+fn quick_cfg(threads: usize) -> VpStudyConfig {
+    VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 3, 21))),
+        with_loss: false,
+        max_links: Some(12),
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Run the VP4 study instrumented; return the study and the drained sheet.
+fn instrumented_run(threads: usize) -> (VpStudy, MetricSheet) {
+    let spec = &paper_vps()[3];
+    let reg = MetricsRegistry::new();
+    let study = run_vp_study_rec(spec, &quick_cfg(threads), &reg);
+    (study, reg.snapshot())
+}
+
+/// Serialize the parts of a study that must never vary.
+fn study_fingerprint(s: &VpStudy) -> String {
+    let assessments: Vec<String> = s
+        .outcomes
+        .iter()
+        .map(|o| serde_json::to_string(&o.assessment).unwrap())
+        .collect();
+    format!("{}|{}|{}|{:?}", s.screened, s.probe_rounds, s.outcomes.len(), assessments)
+}
+
+#[test]
+fn same_seed_same_threads_identical_snapshot() {
+    let (_, sheet_a) = instrumented_run(2);
+    let (_, sheet_b) = instrumented_run(2);
+    let a = RunManifest::new(0xF00, 1, 2, 3.25, sheet_a);
+    let b = RunManifest::new(0xF00, 1, 2, 9.75, sheet_b);
+    // Wall-clock fields differ run to run; the deterministic form must not.
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    // And the manifest round-trips as valid versioned JSON.
+    let parsed = RunManifest::from_json(&a.to_json()).expect("valid manifest");
+    assert_eq!(parsed.sheet, a.sheet);
+    assert_eq!(parsed.config_fingerprint, 0xF00);
+}
+
+#[test]
+fn counters_identical_at_any_thread_count() {
+    let (study1, s1) = instrumented_run(1);
+    let (study3, s3) = instrumented_run(3);
+    assert_eq!(study_fingerprint(&study1), study_fingerprint(&study3));
+    assert_eq!(s1.counters, s3.counters, "counters are scheduling-independent");
+    assert_eq!(s1.ledgers, s3.ledgers, "per-link ledgers are scheduling-independent");
+    assert_eq!(s1.histograms, s3.histograms, "histogram merges commute");
+    // Stage profile: simulated time and call counts agree; wall time is
+    // volatile and deliberately excluded.
+    let sim_profile = |s: &MetricSheet| {
+        s.stages.iter().map(|(k, t)| (k.clone(), t.sim_us, t.calls)).collect::<Vec<_>>()
+    };
+    assert_eq!(sim_profile(&s1), sim_profile(&s3));
+}
+
+#[test]
+fn noop_recorder_is_bit_identical_to_plain() {
+    let spec = &paper_vps()[3];
+    let plain = run_vp_study(spec, &quick_cfg(2));
+    let (instrumented, sheet) = instrumented_run(2);
+    assert_eq!(
+        study_fingerprint(&plain),
+        study_fingerprint(&instrumented),
+        "telemetry must only observe"
+    );
+    assert!(sheet.counter("probes_sent") > 0, "but the instrumented run did record");
+}
+
+#[test]
+fn telemetry_agrees_with_study_accounting() {
+    let (study, sheet) = instrumented_run(2);
+
+    // Every measured link owns a ledger; every assessed link was counted.
+    assert_eq!(sheet.ledgers.len(), study.outcomes.len());
+    assert_eq!(sheet.counter("links_assessed"), study.outcomes.len() as u64);
+    assert_eq!(sheet.counter("links_screened"), study.screened as u64);
+    assert_eq!(sheet.counter("links_probed"), study.outcomes.len() as u64);
+    assert!(sheet.counter("links_discovered") >= sheet.counter("links_probed"));
+
+    // Health-class counters reproduce the integrity summary exactly.
+    let integrity = study.integrity_summary();
+    assert_eq!(sheet.counter("health_clean"), integrity.clean as u64);
+    assert_eq!(sheet.counter("health_gappy"), integrity.gappy as u64);
+    assert_eq!(sheet.counter("health_rate_limited"), integrity.rate_limited as u64);
+    assert_eq!(sheet.counter("health_addr_unstable"), integrity.addr_unstable as u64);
+    assert_eq!(sheet.counter("health_silent"), integrity.silent as u64);
+    assert_eq!(sheet.counter("artifact_events"), integrity.artifact_events as u64);
+    assert_eq!(sheet.counter("links_quarantined"), integrity.quarantined as u64);
+
+    // The congestion verdict counters match the outcome list.
+    let congested = study.outcomes.iter().filter(|o| o.assessment.congested).count();
+    assert_eq!(sheet.counter("links_congested"), congested as u64);
+
+    // Probe accounting: answers never exceed sends; the campaign recorded
+    // per-round activity for every link.
+    assert!(sheet.counter("probes_answered") <= sheet.counter("probes_sent"));
+    assert!(sheet.counter("probe_rounds") > 0);
+    for (link, ledger) in &sheet.ledgers {
+        assert!(ledger.health.is_some(), "link {link} missing health class");
+        assert!(ledger.rounds > 0, "link {link} recorded no rounds");
+    }
+
+    // The Prometheus exposition carries the same numbers.
+    let prom = prometheus_text(&sheet);
+    assert!(prom.contains(&format!(
+        "ixp_links_assessed_total {}",
+        study.outcomes.len()
+    )));
+    assert!(prom.contains("ixp_stage_sim_seconds{stage=\"vp/VP4/campaign\"}"));
+    assert!(prom.contains("ixp_link_probes_sent_total{link=\""));
+}

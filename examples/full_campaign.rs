@@ -7,6 +7,7 @@
 //! cargo run --release --example full_campaign -- --full  # the paper's 13-month window
 //! cargo run --release --example full_campaign -- --json report.json
 //! cargo run --release --example full_campaign -- --checkpoint-dir ckpt/
+//! cargo run --release --example full_campaign -- --metrics-out run.json
 //! ```
 //!
 //! The quick mode probes the same links with the same machinery over a
@@ -20,9 +21,19 @@
 //! uninterrupted run. Checkpoints are keyed to the campaign window, probing
 //! config, and per-VP substrate, so a `--full` run never replays quick-mode
 //! files.
+//!
+//! With `--metrics-out`, the campaign runs instrumented: per-stage timings,
+//! per-link probe ledgers, RTT histograms, and pipeline counters are
+//! collected into a versioned [`RunManifest`] JSON snapshot at the given
+//! path, a Prometheus text exposition next to it (`<path>.prom`), and a
+//! stage profile on stdout. Telemetry only observes — the report is
+//! bit-identical with or without it.
 
+use african_ixp_congestion::obs::{prometheus_text, stage_profile, MetricsRegistry, RunManifest};
 use african_ixp_congestion::simnet::prelude::*;
+use african_ixp_congestion::simnet::rng::mix;
 use african_ixp_congestion::study::prelude::*;
+use african_ixp_congestion::study::run_all_vps_rec;
 use african_ixp_congestion::topology::paper_vps;
 use std::time::Instant;
 
@@ -44,6 +55,11 @@ fn main() {
         .position(|a| a == "--checkpoint-dir")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let specs = paper_vps();
     if let Some(d) = &checkpoint_dir {
@@ -62,8 +78,34 @@ fn main() {
         if full { "full 13-month" } else { "quick 6-month" }
     );
     let t0 = Instant::now();
-    let studies = run_all_vps(&specs, &cfg);
-    println!("campaign finished in {:.1}s of wall time\n", t0.elapsed().as_secs_f64());
+    let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    let studies = match &registry {
+        Some(reg) => run_all_vps_rec(&specs, &cfg, reg),
+        None => run_all_vps(&specs, &cfg),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    println!("campaign finished in {wall:.1}s of wall time\n");
+
+    if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+        let sheet = reg.snapshot();
+        // The manifest's config fingerprint covers everything that shapes
+        // the measured series: the seed and the campaign window actually run
+        // (quick default or --full per-spec windows).
+        let fp = mix(&[
+            cfg.seed,
+            cfg.window.map(|(s, _)| s.0).unwrap_or(0),
+            cfg.window.map(|(_, e)| e.0).unwrap_or(0),
+            full as u64,
+        ]);
+        let threads = african_ixp_congestion::tslp::resolve_threads(cfg.threads);
+        let manifest = RunManifest::new(fp, cfg.seed, threads, wall, sheet.clone());
+        std::fs::write(path, manifest.to_json()).expect("write metrics snapshot");
+        let prom_path = format!("{path}.prom");
+        std::fs::write(&prom_path, prometheus_text(&sheet)).expect("write Prometheus exposition");
+        println!("stage profile:");
+        print!("{}", stage_profile(&sheet));
+        println!("wrote {path} and {prom_path}\n");
+    }
 
     for s in &studies {
         println!(

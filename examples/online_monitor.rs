@@ -15,6 +15,7 @@
 //! ```
 
 use african_ixp_congestion::chgpt::online::{OnlineConfig, OnlineDetector, OnlineVerdict};
+use african_ixp_congestion::obs::{MetricsRegistry, Recorder};
 use african_ixp_congestion::simnet::kernel::{Agent, AgentCtx, Kernel, ProbeEvent};
 use african_ixp_congestion::simnet::prelude::*;
 use african_ixp_congestion::traffic::{DiurnalLoad, Shape};
@@ -58,22 +59,46 @@ struct Monitor {
     deadline: SimTime,
     alarm_count: u32,
     misses: u32,
+    /// Live telemetry: counters stream into the shared registry as probes
+    /// return, so an operator (or the kernel owner) can snapshot mid-run.
+    metrics: Arc<MetricsRegistry>,
+    next_report: SimTime,
+}
+
+impl Monitor {
+    /// Print the one-line live summary once per simulated day.
+    fn report(&mut self, now: SimTime) {
+        if now < self.next_report {
+            return;
+        }
+        self.next_report = now + SimDuration::from_days(1);
+        println!("  [{now}] {}", self.metrics.snapshot().one_line());
+    }
 }
 
 impl Agent for Monitor {
     fn on_start(&mut self, ctx: &mut AgentCtx) {
+        self.metrics.add("probes_sent", 1);
         ctx.send(ProbeSpec::ttl_limited(self.dst, 2));
     }
 
     fn on_probe_event(&mut self, ev: ProbeEvent, ctx: &mut AgentCtx) {
         match ev {
             ProbeEvent::Response { rtt, .. } => {
+                self.metrics.add("probes_answered", 1);
+                self.metrics.observe("monitor_rtt_ms", rtt.as_millis_f64());
                 if self.detector.push(rtt.as_millis_f64()) == OnlineVerdict::UpshiftAlarm {
                     self.alarm_count += 1;
+                    self.metrics.add("upshift_alarms", 1);
                 }
             }
-            ProbeEvent::Failed { .. } => self.misses += 1,
+            ProbeEvent::Failed { .. } => {
+                self.misses += 1;
+                self.metrics.add("probes_timed_out", 1);
+            }
         }
+        self.metrics.gauge("baseline_ms", self.detector.baseline());
+        self.report(ctx.now());
         if ctx.now() >= self.deadline {
             println!(
                 "agent stopping at {}: {} alarms, {} missed probes",
@@ -88,6 +113,7 @@ impl Agent for Monitor {
     }
 
     fn on_wake(&mut self, ctx: &mut AgentCtx) {
+        self.metrics.add("probes_sent", 1);
         ctx.send(ProbeSpec::ttl_limited(self.dst, 2));
     }
 }
@@ -98,6 +124,7 @@ fn main() {
     // ---- Event-kernel run: the agent probes, detects, and stops itself.
     let (net, vp, prefix) = build_port_topology(4242);
     let mut kernel = Kernel::new(net);
+    let metrics = Arc::new(MetricsRegistry::new());
     kernel.add_agent(
         vp,
         Box::new(Monitor {
@@ -106,11 +133,21 @@ fn main() {
             deadline,
             alarm_count: 0,
             misses: 0,
+            metrics: Arc::clone(&metrics),
+            next_report: SimTime::ZERO + SimDuration::from_days(1),
         }),
     );
     println!("monitoring one IXP port for a simulated week (5-minute rounds, streaming Page's CUSUM)...");
+    println!("live counters (one line per simulated day):");
     let events = kernel.run(None);
     println!("kernel processed {events} events up to {}", kernel.now());
+    let final_sheet = metrics.snapshot();
+    println!("final counters: {}", final_sheet.one_line());
+    assert_eq!(
+        final_sheet.counter("probes_answered") + final_sheet.counter("probes_timed_out"),
+        final_sheet.counter("probes_sent"),
+        "every probe accounted for"
+    );
     println!();
 
     // ---- Deterministic fast-path replay: same seed ⇒ same RTTs ⇒ the

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Re-run the telemetry overhead bench and gate it twice:
+#
+#  1. Absolute gate: a live MetricsRegistry must cost <3% over the plain
+#     (uninstrumented) campaign path — telemetry is always-on in
+#     production runs, so its budget is tighter than the integrity layer's.
+#  2. Regression gate: refuse to let a >10% links/sec regression silently
+#     replace the recorded baseline; pass --force to accept the new
+#     number anyway.
+#
+# The bench itself writes BENCH_obs.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+if [[ "${1:-}" == "--force" ]]; then
+  FORCE=1
+fi
+
+BASELINE=BENCH_obs.json
+BACKUP=
+if [[ -f "$BASELINE" ]]; then
+  BACKUP=$(mktemp)
+  cp "$BASELINE" "$BACKUP"
+fi
+
+cargo bench -p ixp-bench --bench obs
+
+overhead=$(awk -F': ' '/"overhead_pct"/ {gsub(/,/, "", $2); print $2; exit}' "$BASELINE")
+echo "[bench_obs] live-registry overhead: ${overhead}%"
+if awk -v o="$overhead" 'BEGIN { exit !(o >= 3.0) }'; then
+  if [[ -n "$BACKUP" ]]; then
+    cp "$BACKUP" "$BASELINE"
+    rm -f "$BACKUP"
+  fi
+  echo "[bench_obs] ERROR: overhead ${overhead}% breaches the <3% budget." >&2
+  exit 1
+fi
+
+if [[ -n "$BACKUP" ]]; then
+  # First links_per_sec in the file is the headline (plain) rate.
+  old=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BACKUP")
+  new=$(awk -F': ' '/"links_per_sec"/ {gsub(/,/, "", $2); print $2; exit}' "$BASELINE")
+  echo "[bench_obs] links/sec: previous $old, new $new"
+  if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n < 0.9 * o) }'; then
+    if [[ "$FORCE" == "1" ]]; then
+      echo "[bench_obs] >10% regression accepted (--force)"
+    else
+      cp "$BACKUP" "$BASELINE"
+      rm -f "$BACKUP"
+      echo "[bench_obs] ERROR: new rate is >10% below the recorded baseline." >&2
+      echo "[bench_obs] Baseline restored; re-run with --force to accept." >&2
+      exit 1
+    fi
+  fi
+  rm -f "$BACKUP"
+fi
+
+echo "[bench_obs] baseline $BASELINE updated"

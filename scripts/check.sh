@@ -1,7 +1,18 @@
 #!/usr/bin/env bash
 # Repo health gate: release build, full test suite, lint-clean workspace.
+#
+# With --bench-gates, additionally runs the performance gates (the health,
+# detect, and telemetry overhead benches with their budget/regression
+# checks). These take several minutes, so they are opt-in; any extra
+# arguments (e.g. --force) are forwarded to the gate scripts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_GATES=0
+if [[ "${1:-}" == "--bench-gates" ]]; then
+  BENCH_GATES=1
+  shift
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -17,5 +28,14 @@ cargo clippy --workspace -- -D warnings
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run
+
+if [[ "$BENCH_GATES" == "1" ]]; then
+  echo "==> bench gate: health (<5% overhead, >10% regression)"
+  scripts/bench_health.sh "$@"
+  echo "==> bench gate: detect (>10% regression)"
+  scripts/bench_detect.sh "$@"
+  echo "==> bench gate: obs (<3% overhead, >10% regression)"
+  scripts/bench_obs.sh "$@"
+fi
 
 echo "==> all checks passed"
