@@ -21,7 +21,9 @@ const MONTHS: usize = 13;
 /// Lift the far-value corpus into full `LinkSeries`, with a quiet near side
 /// and campaign-realistic measurement damage: a quarter of the links get
 /// maintenance-style gaps punched into the far series so the classifier
-/// and the mask have real intervals to chew on.
+/// and the mask have real intervals to chew on, and a (different) quarter
+/// get a mid-campaign path change so the fingerprint scan and the
+/// path-change masking path are priced in too.
 fn health_corpus() -> Vec<LinkSeries> {
     let grid = SeriesConfig {
         start: SimTime::from_date(2016, 2, 22),
@@ -43,11 +45,25 @@ fn health_corpus() -> Vec<LinkSeries> {
                     i += stride;
                 }
             }
+            let path_fp = far
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if !v.is_finite() {
+                        0
+                    } else if k % 4 == 1 && i >= n / 2 {
+                        0xBBBB // routing event at mid-campaign
+                    } else {
+                        0xAAAA
+                    }
+                })
+                .collect();
             LinkSeries {
                 cfg: grid,
                 near_ms: vec![0.4; n],
                 far_ms: far,
                 far_addr_mismatches: 0,
+                path_fp,
             }
         })
         .collect()

@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! magic      8 B  b"TSLPCKPT"
-//! version    4 B  u32 LE (currently 1)
+//! version    4 B  u32 LE (currently 2)
 //! config     8 B  u64 LE  campaign fingerprint
 //! screened   1 B  0 | 1
 //! start      8 B  u64 LE  grid start, µs
@@ -26,12 +26,15 @@
 //! rounds     8 B  u64 LE  n
 //! near       8n B f64 bit patterns, u64 LE
 //! far        8n B f64 bit patterns, u64 LE
+//! path_fp    8n B u64 LE  per-round path fingerprints (version ≥ 2)
 //! ```
 //!
 //! Any mismatch — magic, version, fingerprint, truncation — makes `load`
 //! return `None` and the link is simply re-measured: stale checkpoints can
-//! cost time, never correctness. Writes go through a temp file + rename so
-//! a kill mid-write never leaves a half checkpoint behind.
+//! cost time, never correctness. In particular version-1 checkpoints (no
+//! `path_fp` section) are re-measured rather than replayed with a fabricated
+//! path history. Writes go through a temp file + rename so a kill mid-write
+//! never leaves a half checkpoint behind.
 
 use crate::series::{LinkSeries, SeriesConfig};
 use ixp_prober::tslp::TslpTarget;
@@ -43,7 +46,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"TSLPCKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A directory of per-link series checkpoints for one campaign.
 #[derive(Clone, Debug)]
@@ -123,7 +126,7 @@ fn count_checkpoints(dir: &Path) -> usize {
 
 fn encode(series: &LinkSeries, screened: bool, fingerprint: u64) -> Vec<u8> {
     let n = series.len();
-    let mut out = Vec::with_capacity(8 + 4 + 8 + 1 + 8 * 4 + 16 * n);
+    let mut out = Vec::with_capacity(8 + 4 + 8 + 1 + 8 * 4 + 24 * n);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&fingerprint.to_le_bytes());
@@ -137,6 +140,12 @@ fn encode(series: &LinkSeries, screened: bool, fingerprint: u64) -> Vec<u8> {
     }
     for v in &series.far_ms {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    // Campaign-produced series always carry one fingerprint per round, but
+    // hand-built or windowed series may not — pad with the unknown sentinel
+    // so the layout stays exactly 24 bytes per round.
+    for i in 0..n {
+        out.extend_from_slice(&series.path_fp.get(i).copied().unwrap_or(0).to_le_bytes());
     }
     out
 }
@@ -180,23 +189,28 @@ fn decode(bytes: &[u8], fingerprint: u64) -> Option<(LinkSeries, bool)> {
     let interval = SimDuration::from_micros(c.u64()?);
     let mismatches = c.u64()? as usize;
     let n = c.u64()? as usize;
-    // Exact-size check before reading the payload: 16 bytes per round left.
-    if bytes.len() - c.pos != 16 * n {
+    // Exact-size check before reading the payload: 24 bytes per round left.
+    if bytes.len() - c.pos != 24 * n {
         return None;
     }
     let mut near_ms = Vec::with_capacity(n);
     let mut far_ms = Vec::with_capacity(n);
+    let mut path_fp = Vec::with_capacity(n);
     for _ in 0..n {
         near_ms.push(f64::from_bits(c.u64()?));
     }
     for _ in 0..n {
         far_ms.push(f64::from_bits(c.u64()?));
     }
+    for _ in 0..n {
+        path_fp.push(c.u64()?);
+    }
     let series = LinkSeries {
         cfg: SeriesConfig { start, interval },
         near_ms,
         far_ms,
         far_addr_mismatches: mismatches,
+        path_fp,
     };
     Some((series, screened))
 }
@@ -228,6 +242,7 @@ mod tests {
         s.near_ms = vec![1.25, f64::NAN, 1.5, f64::NAN];
         s.far_ms = vec![2.5, 3.75, f64::NAN, f64::NAN];
         s.far_addr_mismatches = 2;
+        s.path_fp = vec![0xAAAA, 0, 0xBBBB, 0];
         s
     }
 
@@ -251,6 +266,7 @@ mod tests {
         assert_eq!(got.cfg.start, s.cfg.start);
         assert_eq!(got.cfg.interval, s.cfg.interval);
         assert_eq!(got.far_addr_mismatches, 2);
+        assert_eq!(got.path_fp, s.path_fp);
         assert_eq!(store.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -264,6 +280,22 @@ mod tests {
         let other = CheckpointStore::new(&dir, 2).unwrap();
         assert!(other.load(key).is_none(), "foreign fingerprint must not load");
         assert!(store.load(key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_version_is_a_miss() {
+        // A version-1 checkpoint (pre-path_fp layout) must be re-measured,
+        // not replayed with a fabricated path history.
+        let dir = tmpdir("version");
+        let store = CheckpointStore::new(&dir, 5).unwrap();
+        let key = CheckpointStore::key_for(NodeId(4), &target());
+        store.store(key, &sample_series(), false).unwrap();
+        let path = dir.join(format!("link-{key:016x}.ckpt"));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(key).is_none(), "version 1 must not load");
         let _ = fs::remove_dir_all(&dir);
     }
 

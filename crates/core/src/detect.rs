@@ -16,12 +16,16 @@
 //! The `*_masked` entry points additionally take a [`HealthReport`] from
 //! [`crate::health`] and attribute level shifts that begin or end inside
 //! (or within [`AssessConfig::mask_slack`] of) a far-side gap/outage
-//! interval to **measurement artifacts** instead of congestion — they land
-//! in [`Assessment::artifacts`], never in [`Assessment::events`], and do
-//! not contribute to the flagged/diurnal/congested verdicts. The near-side
-//! guard is extended the same way: far events coincident with *near-side*
-//! gaps are vetoed as [`NearGuard::CoincidentGaps`]. The unmasked entry
-//! points behave exactly as before (an always-clean mask).
+//! interval — or within slack of a fingerprinted **path change** (a routing
+//! event re-converged the forwarding path under the measurement) — to
+//! **measurement artifacts** instead of congestion: they land in
+//! [`Assessment::artifacts`], never in [`Assessment::events`], and do not
+//! contribute to the flagged/diurnal/congested verdicts. Shifts on a stable
+//! path are untouched, so campaigns without routing events keep verdicts
+//! bit-identical. The near-side guard is extended the same way: far events
+//! coincident with *near-side* gaps are vetoed as
+//! [`NearGuard::CoincidentGaps`]. The unmasked entry points behave exactly
+//! as before (an always-clean mask).
 
 use crate::health::{HealthReport, LinkHealth};
 use crate::series::LinkSeries;
@@ -328,17 +332,22 @@ fn assess_core(
     let gap = samples_for(cfg.sanitize_gap, series.cfg.interval);
     let mut events = sanitize_events(&raw_events, gap);
 
-    // Partition events whose boundaries touch a far gap/outage (within
-    // slack) into artifacts: a shift that starts or ends where measurement
-    // broke is evidence about the measurement, not about the queue.
+    // Partition events whose boundaries touch a far gap/outage or a
+    // fingerprinted path change (within slack) into artifacts: a shift that
+    // starts or ends where measurement broke — or where routing swapped the
+    // path under the ladder — is evidence about the measurement, not about
+    // the queue. Events on a stable, fully answered path are untouched.
     let slack = samples_for(cfg.mask_slack, series.cfg.interval);
     let mut artifact_raw: Vec<ShiftEvent> = Vec::new();
     if let Some(h) = mask {
-        if !h.gaps.is_empty() {
+        if !h.gaps.is_empty() || !h.path_changes.is_empty() {
             let (kept, art) = events.into_iter().partition(|e: &ShiftEvent| {
                 let start_round = far_idx[e.start];
                 let end_round = far_idx[(e.end - 1).min(far_idx.len() - 1)];
-                !h.near_far_gap(start_round, slack) && !h.near_far_gap(end_round, slack)
+                !h.near_far_gap(start_round, slack)
+                    && !h.near_far_gap(end_round, slack)
+                    && !h.near_path_change(start_round, slack)
+                    && !h.near_path_change(end_round, slack)
             });
             events = kept;
             artifact_raw = art;
@@ -400,7 +409,10 @@ fn assess_core(
     // always vetoes (the answers may not even be the link's). Silent vetoes
     // only when validity is below `min_validity`: a link with months of good
     // data that is later decommissioned (the GHANATEL pattern) is Silent
-    // overall yet its live-era congestion evidence is real.
+    // overall yet its live-era congestion evidence is real. PathChange stays
+    // trusted: the samples themselves are sound, and the change-coincident
+    // shifts were already diverted to artifacts above — shifts on the stable
+    // stretches between changes are real evidence.
     let health = mask.map_or(LinkHealth::Clean, |h| h.overall);
     let trusted = match health {
         LinkHealth::AddrUnstable => false,
@@ -635,6 +647,7 @@ mod tests {
                 far: if f.is_finite() { Some(SimDuration::from_secs_f64(f / 1e3)) } else { None },
                 near_addr_ok: true,
                 far_addr_ok: true,
+                path_fp: if n.is_finite() && f.is_finite() { 0xFEED } else { 0 },
             });
         }
         s
@@ -878,6 +891,83 @@ mod tests {
         assert!(!a.congested);
     }
 
+    /// Rewrite the fingerprint regime of answered rounds by day offset.
+    fn set_fp_regimes(s: &mut LinkSeries, day0: u64, regime: impl Fn(u64) -> u64) {
+        for i in 0..s.len() {
+            if s.path_fp[i] != 0 {
+                let d = s.cfg.timestamp(i).day_index() - day0;
+                s.path_fp[i] = regime(d);
+            }
+        }
+    }
+
+    #[test]
+    fn path_change_shift_becomes_artifact() {
+        // A 20 ms level shift exactly spanning a routing transient: the
+        // fingerprint flips to a new regime for days 10..13 and back. The
+        // elevation is a longer path, not a queue — masked assessment must
+        // divert it to artifacts and keep zero congestion labels.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let far = move |t: SimTime| {
+            let base = 2.0 + jitter(t, 0.8);
+            if (10..13).contains(&(t.day_index() - day0)) {
+                base + 20.0
+            } else {
+                base
+            }
+        };
+        let mut s = synth(28, far, flat(0.5));
+        set_fp_regimes(&mut s, day0, |d| if (10..13).contains(&d) { 0xBBBB } else { 0xAAAA });
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::PathChange, "{mask:?}");
+        assert_eq!(mask.path_changes.len(), 2, "{:?}", mask.path_changes);
+        let a = assess_link_masked(&s, &cfg, &mask);
+        assert!(!a.flagged, "path-coincident shift must not flag: {:?}", a.events);
+        assert!(!a.congested);
+        assert!(!a.artifacts.is_empty(), "the shift must be kept as an artifact");
+        assert_eq!(a.health, LinkHealth::PathChange);
+        // The unmasked path still sees a plain level shift — the masking is
+        // what the fingerprints buy.
+        assert!(assess_link(&s, &cfg).flagged);
+    }
+
+    #[test]
+    fn true_congestion_survives_unrelated_path_change() {
+        // Business-hours congestion all month, plus one midnight routing
+        // event on day 20: masking the change instant must not eat the
+        // recurring real signal.
+        let day0 = SimTime::from_date(2016, 3, 1).day_index();
+        let mut s = synth(28, diurnal_far, flat(0.5));
+        set_fp_regimes(&mut s, day0, |d| if d < 20 { 0xAAAA } else { 0xBBBB });
+        let cfg = AssessConfig::default();
+        let mask = classify_link(&s, &cfg.health);
+        assert_eq!(mask.overall, LinkHealth::PathChange);
+        let a = assess_link_masked(&s, &cfg, &mask);
+        assert!(a.congested, "recall: real congestion must survive a path change");
+        assert_eq!(a.health, LinkHealth::PathChange, "the verdict still notes the event");
+    }
+
+    #[test]
+    fn stable_fingerprints_keep_verdicts_identical() {
+        // A series probed on a never-changing path must assess exactly like
+        // the same series with no fingerprints at all (pre-fingerprinting
+        // checkpoints deserialize with `path_fp` empty).
+        let cfg = AssessConfig::default();
+        let with_fp = synth(28, diurnal_far, flat(0.5));
+        let mut without_fp = with_fp.clone();
+        without_fp.path_fp.clear();
+        let a = assess_link_masked(&with_fp, &cfg, &classify_link(&with_fp, &cfg.health));
+        let b = assess_link_masked(&without_fp, &cfg, &classify_link(&without_fp, &cfg.health));
+        assert_eq!(
+            (a.flagged, a.diurnal, a.congested, a.near_guard, a.health),
+            (b.flagged, b.diurnal, b.congested, b.near_guard, b.health)
+        );
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.artifacts, b.artifacts);
+        assert_eq!(a.stats, b.stats);
+    }
+
     #[test]
     fn masked_matches_unmasked_on_clean_series() {
         let s = synth(28, diurnal_far, flat(0.5));
@@ -907,6 +997,7 @@ mod tests {
                 far: Some(SimDuration::from_secs_f64(f / 1e3)),
                 near_addr_ok: true,
                 far_addr_ok: false,
+                path_fp: 0xFEED,
             });
         }
         let cfg = AssessConfig::default();

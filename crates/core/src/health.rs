@@ -45,6 +45,12 @@ pub enum LinkHealth {
     /// far router is rate-limiting ICMP, so validity is a property of the
     /// limiter, not of the link.
     RateLimited,
+    /// The TTL-ladder path fingerprint changed mid-series: a routing event
+    /// re-converged the forwarding path under the measurement, so level
+    /// shifts coincident with the change are path artifacts, not queueing.
+    /// The answered samples themselves are trustworthy — only shifts at the
+    /// change instants must be attributed to routing.
+    PathChange,
     /// Far responses repeatedly arrive from an unexpected address
     /// (loopback-sourced router or a path change under the measurement).
     AddrUnstable,
@@ -60,6 +66,7 @@ impl LinkHealth {
             LinkHealth::Clean => "clean",
             LinkHealth::Gappy => "gappy",
             LinkHealth::RateLimited => "rate-limited",
+            LinkHealth::PathChange => "path-change",
             LinkHealth::AddrUnstable => "addr-unstable",
             LinkHealth::Silent => "silent",
         }
@@ -166,6 +173,9 @@ pub struct HealthReport {
     pub scattered_loss: f64,
     /// Mean spacing of answered far rounds, in rounds (1.0 = every round).
     pub mean_interarrival: f64,
+    /// Round indices where the TTL-ladder path fingerprint changed
+    /// ([`LinkSeries::path_change_rounds`]), ascending.
+    pub path_changes: Vec<usize>,
 }
 
 impl HealthReport {
@@ -181,6 +191,7 @@ impl HealthReport {
             longest_loss_run: 0,
             scattered_loss: 0.0,
             mean_interarrival: f64::INFINITY,
+            path_changes: Vec::new(),
         }
     }
 
@@ -200,6 +211,16 @@ impl HealthReport {
     /// Total rounds covered by far gaps.
     pub fn gap_rounds(&self) -> usize {
         self.gaps.iter().map(|g| g.len()).sum()
+    }
+
+    /// Is round `i` within `slack` rounds of a recorded path change? A
+    /// change at round `c` taints `[c - slack, c + slack]`: the shift the
+    /// detector sees can land a few rounds off the fingerprint transition
+    /// when the transition round itself went unanswered.
+    pub fn near_path_change(&self, i: usize, slack: usize) -> bool {
+        self.path_changes
+            .iter()
+            .any(|&c| i + slack >= c && i <= c.saturating_add(slack))
     }
 
     /// Gap intervals mapped to campaign time on `series`' grid.
@@ -250,6 +271,7 @@ fn label(
     has_outage: bool,
     outage_rounds: usize,
     addr_consistency: f64,
+    path_changes: usize,
     cfg: &HealthConfig,
 ) -> LinkHealth {
     if rounds == 0 {
@@ -263,6 +285,12 @@ fn label(
     }
     if addr_consistency < cfg.min_addr_consistency {
         return LinkHealth::AddrUnstable;
+    }
+    // A fingerprinted path change outranks loss-shape evidence: the series
+    // is a concatenation of different paths, so its level structure cannot
+    // be read as one link's queue without masking the change instants.
+    if path_changes > 0 {
+        return LinkHealth::PathChange;
     }
     // Scattered loss: unanswered rounds not explained by gap intervals,
     // relative to the rounds outside gaps. Gaps are structural (flaps,
@@ -282,8 +310,9 @@ fn label(
 ///
 /// Evidence precedence (worst wins): `Silent` (no data, or a long trailing
 /// outage) > `AddrUnstable` (answers cannot be trusted to come from the
-/// link) > `RateLimited` (validity is shaped by the limiter) > `Gappy`
-/// (usable, but shifts near gap edges are suspect) > `Clean`.
+/// link) > `PathChange` (the series spans more than one forwarding path) >
+/// `RateLimited` (validity is shaped by the limiter) > `Gappy` (usable, but
+/// shifts near gap edges are suspect) > `Clean`.
 pub fn classify_link(series: &LinkSeries, cfg: &HealthConfig) -> HealthReport {
     let n = series.len();
     if n == 0 {
@@ -297,6 +326,7 @@ pub fn classify_link(series: &LinkSeries, cfg: &HealthConfig) -> HealthReport {
     let answered = series.far_ms.iter().filter(|v| v.is_finite()).count();
     let far_validity = answered as f64 / n as f64;
     let addr_consistency = series.far_addr_consistency();
+    let path_changes = series.path_change_rounds();
     let gap_rounds: usize = gaps.iter().map(|g| g.len()).sum();
     let outage_rounds: usize =
         gaps.iter().filter(|g| g.kind == GapKind::Outage).map(|g| g.len()).sum();
@@ -330,12 +360,31 @@ pub fn classify_link(series: &LinkSeries, cfg: &HealthConfig) -> HealthReport {
                 }
             }
         }
-        windows.push(label(rounds, answered_w, gap_w, has_outage, outage_w, addr_consistency, cfg));
+        let changes_w = path_changes.iter().filter(|&&c| (w..hi).contains(&c)).count();
+        windows.push(label(
+            rounds,
+            answered_w,
+            gap_w,
+            has_outage,
+            outage_w,
+            addr_consistency,
+            changes_w,
+            cfg,
+        ));
         w = hi;
     }
 
     let has_outage = gaps.iter().any(|g| g.kind == GapKind::Outage);
-    let overall = label(n, answered, gap_rounds, has_outage, outage_rounds, addr_consistency, cfg);
+    let overall = label(
+        n,
+        answered,
+        gap_rounds,
+        has_outage,
+        outage_rounds,
+        addr_consistency,
+        path_changes.len(),
+        cfg,
+    );
 
     HealthReport {
         overall,
@@ -347,6 +396,7 @@ pub fn classify_link(series: &LinkSeries, cfg: &HealthConfig) -> HealthReport {
         longest_loss_run: longest,
         scattered_loss,
         mean_interarrival,
+        path_changes,
     }
 }
 
@@ -365,6 +415,10 @@ pub fn classify_link_rec<R: Recorder>(
         rec.add(&format!("health_{}", rep.overall.token()), 1);
         rec.add("health_gap_rounds", rep.gap_rounds() as u64);
         rec.link_event(key, LinkEvent::Health(rep.overall.token()));
+        if !rep.path_changes.is_empty() {
+            rec.add("health_path_change_total", rep.path_changes.len() as u64);
+            rec.link_event(key, LinkEvent::PathChanges(rep.path_changes.len() as u64));
+        }
     }
     rep
 }
@@ -388,6 +442,7 @@ mod tests {
                 far: f.map(SimDuration::from_secs_f64),
                 near_addr_ok: true,
                 far_addr_ok: f.is_some() && addr_ok(i),
+                path_fp: if f.is_some() { 0xFEED } else { 0 },
             });
         }
         s
@@ -450,6 +505,44 @@ mod tests {
     }
 
     #[test]
+    fn path_change_outranks_loss_shape_but_not_silence() {
+        // A mid-campaign fingerprint flip labels the series PathChange even
+        // though every round answered cleanly.
+        let mut s = series(2880, |_| Some(0.002), |_| true);
+        for fp in s.path_fp[1500..].iter_mut() {
+            *fp = 0xBEEF;
+        }
+        let h = classify_link(&s, &HealthConfig::default());
+        assert_eq!(h.overall, LinkHealth::PathChange);
+        assert_eq!(h.path_changes, vec![1500]);
+        // Only the window containing the change is tainted.
+        assert_eq!(h.windows[1500 / 288], LinkHealth::PathChange);
+        assert_eq!(h.windows[0], LinkHealth::Clean);
+        assert_eq!(h.windows.last(), Some(&LinkHealth::Clean));
+        assert!(h.near_path_change(1500, 0));
+        assert!(h.near_path_change(1494, 6) && h.near_path_change(1506, 6));
+        assert!(!h.near_path_change(1493, 6));
+
+        // Silence still wins: a path change cannot rescue a dead series.
+        let mut dead = series(2880, |i| (i < 100).then_some(0.002), |_| true);
+        if let Some(fp) = dead.path_fp.get_mut(50) {
+            *fp = 0xBEEF;
+        }
+        assert_eq!(classify_link(&dead, &HealthConfig::default()).overall, LinkHealth::Silent);
+    }
+
+    #[test]
+    fn rate_limited_rounds_cannot_fake_a_path_change() {
+        // Every third round answered (limiter-shaped): the unknown rounds
+        // carry fingerprint 0, and the surviving rounds agree — so the label
+        // stays RateLimited, not PathChange.
+        let s = series(2880, |i| if i % 3 == 0 { Some(0.002) } else { None }, |_| true);
+        let h = classify_link(&s, &HealthConfig::default());
+        assert_eq!(h.overall, LinkHealth::RateLimited);
+        assert!(h.path_changes.is_empty());
+    }
+
+    #[test]
     fn addr_mismatches_read_as_unstable() {
         let s = series(2880, |_| Some(0.002), |_| false);
         let h = classify_link(&s, &HealthConfig::default());
@@ -478,6 +571,7 @@ mod tests {
                 far: Some(SimDuration::from_millis(2)),
                 near_addr_ok: near_up,
                 far_addr_ok: true,
+                path_fp: if near_up { 0xFEED } else { 0 },
             });
         }
         let h = classify_link(&s, &HealthConfig::default());
@@ -512,6 +606,7 @@ mod tests {
                 far: up.then_some(SimDuration::from_millis(2)),
                 near_addr_ok: true,
                 far_addr_ok: up,
+                path_fp: if up { 0xFEED } else { 0 },
             });
         }
         let h = classify_link(&s, &HealthConfig::default());

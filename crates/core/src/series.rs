@@ -49,18 +49,30 @@ pub struct LinkSeries {
     pub far_ms: Vec<f64>,
     /// Rounds whose far response came from an unexpected address.
     pub far_addr_mismatches: usize,
+    /// Per-round path fingerprints (hop-set hash of the TTL ladder's near
+    /// and far responders; `0` = unknown round). May be empty on hand-built
+    /// series, in which case the pipeline treats every round as path-unknown
+    /// (no change attribution).
+    pub path_fp: Vec<u64>,
 }
 
 impl LinkSeries {
     /// Empty series on a grid.
     pub fn new(cfg: SeriesConfig) -> LinkSeries {
-        LinkSeries { cfg, near_ms: Vec::new(), far_ms: Vec::new(), far_addr_mismatches: 0 }
+        LinkSeries {
+            cfg,
+            near_ms: Vec::new(),
+            far_ms: Vec::new(),
+            far_addr_mismatches: 0,
+            path_fp: Vec::new(),
+        }
     }
 
     /// Append one round's sample.
     pub fn push(&mut self, s: &TslpSample) {
         self.near_ms.push(s.near.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN));
         self.far_ms.push(s.far.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN));
+        self.path_fp.push(s.path_fp);
         if s.far.is_some() && !s.far_addr_ok {
             self.far_addr_mismatches += 1;
         }
@@ -118,7 +130,29 @@ impl LinkSeries {
             near_ms: self.near_ms[lo..hi].to_vec(),
             far_ms: self.far_ms[lo..hi].to_vec(),
             far_addr_mismatches: 0,
+            path_fp: self.path_fp.get(lo..hi).map(<[u64]>::to_vec).unwrap_or_default(),
         }
+    }
+
+    /// Round indices where the measured path changed: position of the first
+    /// round of each new path regime. A change is declared between
+    /// consecutive *known* fingerprints that differ; unknown rounds
+    /// (fingerprint `0`, e.g. rate-limited) never produce one, so a limiter
+    /// eating probes cannot fake a routing event. Empty when the series
+    /// predates fingerprinting.
+    pub fn path_change_rounds(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut last = 0u64;
+        for (i, &fp) in self.path_fp.iter().enumerate() {
+            if fp == 0 {
+                continue;
+            }
+            if last != 0 && fp != last {
+                out.push(i);
+            }
+            last = fp;
+        }
+        out
     }
 }
 
@@ -146,6 +180,7 @@ mod tests {
             far: far.map(SimDuration::from_secs_f64),
             near_addr_ok: near.is_some(),
             far_addr_ok: ok && far.is_some(),
+            path_fp: if near.is_some() && far.is_some() { 0xFEED } else { 0 },
         }
     }
 
@@ -179,6 +214,27 @@ mod tests {
         s.push(&sample(Some(0.001), Some(0.002), true));
         s.push(&sample(Some(0.001), Some(0.002), false));
         assert!((s.far_addr_consistency() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_change_rounds_skip_unknown() {
+        let mut s = LinkSeries::new(SeriesConfig::five_minute(SimTime::ZERO));
+        for _ in 0..4 {
+            s.push(&sample(Some(0.001), Some(0.002), true));
+        }
+        // Dark round, then the path flips (different fingerprint regime).
+        s.push(&sample(Some(0.001), None, false));
+        let mut flipped = sample(Some(0.001), Some(0.002), true);
+        flipped.path_fp = 0xBEEF;
+        s.push(&flipped);
+        s.push(&flipped);
+        assert_eq!(s.path_change_rounds(), vec![5]);
+        // The dark round alone never counts as a change.
+        let mut d = LinkSeries::new(SeriesConfig::five_minute(SimTime::ZERO));
+        d.push(&sample(Some(0.001), Some(0.002), true));
+        d.push(&sample(Some(0.001), None, false));
+        d.push(&sample(Some(0.001), Some(0.002), true));
+        assert!(d.path_change_rounds().is_empty());
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub enum LinkEvent {
     Events(u64),
     /// Level shifts attributed to measurement artifacts (masked).
     Artifacts(u64),
+    /// Forwarding-path changes observed in the link's TTL-ladder
+    /// fingerprints (routing events under the measurement).
+    PathChanges(u64),
     /// The worker processing this link panicked and was quarantined.
     Quarantined(QuarantineNote),
 }
@@ -125,6 +128,8 @@ pub struct ProbeLedger {
     pub events: u64,
     /// Artifact-masked level shifts.
     pub artifact_events: u64,
+    /// Forwarding-path changes seen in the TTL-ladder fingerprints.
+    pub path_changes: u64,
     /// Set when the link's worker panicked and the link was quarantined.
     pub quarantined: Option<QuarantineNote>,
 }
@@ -151,6 +156,7 @@ impl ProbeLedger {
             LinkEvent::Health(tok) => self.health = Some((*tok).to_string()),
             LinkEvent::Events(n) => self.events += n,
             LinkEvent::Artifacts(n) => self.artifact_events += n,
+            LinkEvent::PathChanges(n) => self.path_changes += n,
             LinkEvent::Quarantined(note) => self.quarantined = Some(note.clone()),
         }
     }
@@ -172,6 +178,7 @@ impl ProbeLedger {
         }
         self.events += other.events;
         self.artifact_events += other.artifact_events;
+        self.path_changes += other.path_changes;
         if other.quarantined.is_some() {
             self.quarantined.clone_from(&other.quarantined);
         }
@@ -301,9 +308,11 @@ mod tests {
         let mut b = ProbeLedger::default();
         b.apply(ProbeEvent { end: End::Far, attempts: 1, rate_limited: 1, rtt_ms: None });
         b.apply_event(&LinkEvent::Health("gappy"));
+        b.apply_event(&LinkEvent::PathChanges(2));
         a.merge(&b);
         assert_eq!((a.sent, a.answered, a.rate_limited, a.timed_out), (2, 1, 1, 1));
         assert_eq!(a.health.as_deref(), Some("gappy"));
+        assert_eq!(a.path_changes, 2);
         assert_eq!(a.answer_rate(), 0.5);
     }
 

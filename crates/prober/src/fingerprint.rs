@@ -1,0 +1,177 @@
+//! Per-round path fingerprinting from the TSLP TTL ladder.
+//!
+//! Fontugne et al. (PAPERS.md) treat *forwarding* changes as first-class
+//! anomalies next to delay shifts; the paper's own case studies correlate
+//! congestion episodes with routing events (the GHANATEL transit shutdown of
+//! 15/06/2016, the link removal of 06/08/2016). The campaign therefore needs
+//! to know, per round, whether the near/far path it measured is the same
+//! path it measured last round — without any extra probes.
+//!
+//! The fingerprint comes free: the TSLP round already collects the
+//! responder addresses of the near- and far-TTL probes (the hop set of the
+//! TTL ladder at this link). [`fingerprint`] hashes them into one `u64`;
+//! consecutive rounds with different nonzero fingerprints mark a path
+//! change. Rounds where either end went unanswered yield the sentinel `0`
+//! ("unknown") and are *skipped* when counting transitions — a rate-limited
+//! or dark round must never masquerade as a routing event.
+//!
+//! [`spot_check_symmetry`] adds the paper's §5.2 cross-check: a periodic
+//! record-route symmetry vote on the far address, run on its own probing
+//! context so the check never perturbs campaign RTTs.
+
+use crate::rr::{symmetry_votes, Symmetry};
+use ixp_simnet::net::{Network, ProbeCtx};
+use ixp_simnet::node::NodeId;
+use ixp_simnet::prelude::Ipv4;
+use ixp_simnet::rng::mix;
+use ixp_simnet::time::{SimDuration, SimTime};
+
+/// Fingerprint sentinel: one (or both) ladder ends went unanswered, the
+/// round's path identity is unknown.
+pub const FP_UNKNOWN: u64 = 0;
+
+/// Hash the TTL ladder's responder addresses into a path fingerprint.
+///
+/// Nonzero only when **both** ends answered: a half-answered ladder cannot
+/// distinguish "path changed" from "limiter ate the probe", so it must not
+/// produce a comparable identity. The `+1` keeps `0.0.0.0` responders from
+/// colliding with the sentinel.
+pub fn fingerprint(near: Option<Ipv4>, far: Option<Ipv4>) -> u64 {
+    match (near, far) {
+        (Some(n), Some(f)) => {
+            let h = mix(&[n.0 as u64 + 1, f.0 as u64 + 1]);
+            if h == FP_UNKNOWN {
+                1
+            } else {
+                h
+            }
+        }
+        _ => FP_UNKNOWN,
+    }
+}
+
+/// Count path transitions over a fingerprint series: the number of adjacent
+/// *nonzero* pairs that differ. Unknown rounds (sentinel `0`) are skipped,
+/// so an answered–dark–answered sequence on the same path counts zero.
+pub fn transitions(fps: &[u64]) -> usize {
+    let mut last = FP_UNKNOWN;
+    let mut n = 0;
+    for &fp in fps {
+        if fp == FP_UNKNOWN {
+            continue;
+        }
+        if last != FP_UNKNOWN && fp != last {
+            n += 1;
+        }
+        last = fp;
+    }
+    n
+}
+
+/// Periodic record-route symmetry spot check (§5.2), the second
+/// fingerprinting signal: `n` votes spread over `span` from `t0`.
+/// Returns the majority verdict, `Unknown` when no vote resolves.
+///
+/// Run this on a context of its own (`net.probe_ctx(distinct_stream)`):
+/// the votes draw probe ids and rate-limiter tokens, and must not perturb
+/// the campaign's TSLP series.
+#[allow(clippy::too_many_arguments)]
+pub fn spot_check_symmetry(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    from: NodeId,
+    far_addr: Ipv4,
+    resolve: impl Fn(Ipv4) -> Option<u64> + Copy,
+    t0: SimTime,
+    span: SimDuration,
+    n: usize,
+) -> Symmetry {
+    let (sym, asym, _unknown) = symmetry_votes(net, ctx, from, far_addr, resolve, t0, span, n);
+    if sym == 0 && asym == 0 {
+        Symmetry::Unknown
+    } else if asym > sym {
+        Symmetry::Asymmetric
+    } else {
+        Symmetry::Symmetric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::line_topology;
+
+    #[test]
+    fn fingerprint_requires_both_ends() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 1, 2);
+        assert_eq!(fingerprint(None, None), FP_UNKNOWN);
+        assert_eq!(fingerprint(Some(a), None), FP_UNKNOWN);
+        assert_eq!(fingerprint(None, Some(b)), FP_UNKNOWN);
+        assert_ne!(fingerprint(Some(a), Some(b)), FP_UNKNOWN);
+    }
+
+    #[test]
+    fn fingerprint_separates_paths_and_is_stable() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 1, 2);
+        let c = Ipv4::new(10, 0, 2, 2);
+        assert_eq!(fingerprint(Some(a), Some(b)), fingerprint(Some(a), Some(b)));
+        assert_ne!(fingerprint(Some(a), Some(b)), fingerprint(Some(a), Some(c)));
+        assert_ne!(fingerprint(Some(a), Some(b)), fingerprint(Some(b), Some(a)));
+    }
+
+    #[test]
+    fn transitions_skip_unknown_rounds() {
+        let x = fingerprint(Some(Ipv4::new(1, 1, 1, 1)), Some(Ipv4::new(2, 2, 2, 2)));
+        let y = fingerprint(Some(Ipv4::new(1, 1, 1, 1)), Some(Ipv4::new(3, 3, 3, 3)));
+        assert_eq!(transitions(&[]), 0);
+        assert_eq!(transitions(&[x, x, x]), 0);
+        // Dark rounds between identical fingerprints: still no change.
+        assert_eq!(transitions(&[x, 0, 0, x]), 0);
+        // One genuine change, counted once despite the dark gap.
+        assert_eq!(transitions(&[x, 0, y]), 1);
+        assert_eq!(transitions(&[x, y, x]), 2);
+        assert_eq!(transitions(&[0, x, 0]), 0);
+    }
+
+    #[test]
+    fn spot_check_majority_on_clean_line() {
+        let (net, vp, _) = line_topology(40);
+        let mut ctx = net.probe_ctx(0x55);
+        let resolve = |addr: Ipv4| {
+            net.owner_of(addr).and_then(|(node, iface)| {
+                net.node(node).ifaces[iface.0 as usize].link.map(|(lid, _)| lid.0 as u64)
+            })
+        };
+        let v = spot_check_symmetry(
+            &net,
+            &mut ctx,
+            vp,
+            Ipv4::new(10, 0, 1, 2),
+            resolve,
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+            5,
+        );
+        assert_eq!(v, Symmetry::Symmetric);
+    }
+
+    #[test]
+    fn spot_check_unknown_when_dark() {
+        let (mut net, vp, _) = line_topology(41);
+        net.node_mut(NodeId(2)).icmp.responsive = false;
+        let mut ctx = net.probe_ctx(0x56);
+        let v = spot_check_symmetry(
+            &net,
+            &mut ctx,
+            vp,
+            Ipv4::new(10, 0, 1, 2),
+            |_| Some(1),
+            SimTime::ZERO,
+            SimDuration::from_hours(1),
+            3,
+        );
+        assert_eq!(v, Symmetry::Unknown);
+    }
+}

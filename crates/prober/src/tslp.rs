@@ -44,6 +44,12 @@ pub struct TslpSample {
     /// Did the far response come from the expected address? A `false` here
     /// is how the pipeline notices path changes under the measurement.
     pub far_addr_ok: bool,
+    /// Hop-set hash of the round's (near, far) responder addresses — the
+    /// TTL-ladder path fingerprint ([`crate::fingerprint::fingerprint`]).
+    /// `0` means unknown (at least one end went unanswered); a *different
+    /// nonzero* value from the previous round marks a path change under the
+    /// measurement.
+    pub path_fp: u64,
 }
 
 /// Per-round probing policy.
@@ -168,6 +174,7 @@ pub fn tslp_probe_rec<R: Recorder>(
         far: far.map(|(rtt, _)| rtt),
         near_addr_ok: near.map(|(_, a)| a == target.near_addr).unwrap_or(false),
         far_addr_ok: far.map(|(_, a)| a == target.far_addr).unwrap_or(false),
+        path_fp: crate::fingerprint::fingerprint(near.map(|(_, a)| a), far.map(|(_, a)| a)),
     }
 }
 

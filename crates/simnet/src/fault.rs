@@ -13,9 +13,10 @@
 //! with [`FaultPlan::random_link_flaps`] and friends and assert the
 //! pipeline refuses to call any of it congestion.
 
+use crate::ip::Prefix;
 use crate::link::LinkId;
 use crate::net::Network;
-use crate::node::{NodeId, RespondFrom};
+use crate::node::{FwdState, IfaceId, NodeId, RespondFrom};
 use crate::rng::HashNoise;
 use crate::time::{SimDuration, SimTime};
 
@@ -62,6 +63,85 @@ pub enum Fault {
         /// When silence begins.
         from: SimTime,
     },
+    /// A BGP session reset at `node`: the route for `prefix` is torn down at
+    /// `at` and re-installed (back to the converged static path) once the
+    /// session re-establishes, `downtime` later. Probes in between draw
+    /// destination-unreachables / blackholes — the paper's GHANATEL
+    /// "latency probes to the far end were unsuccessful" signature.
+    SessionReset {
+        /// Router whose session resets.
+        node: NodeId,
+        /// Prefix carried by the session.
+        prefix: Prefix,
+        /// Reset instant.
+        at: SimTime,
+        /// Time until the session re-converges.
+        downtime: SimDuration,
+    },
+    /// `prefix` is withdrawn at `node` from `from`; if `until` is `Some`,
+    /// it is re-announced (static path restored) at that instant, otherwise
+    /// the withdrawal is permanent (the 06/08/2016 link-removal shape).
+    PrefixWithdraw {
+        /// Router losing the route.
+        node: NodeId,
+        /// Withdrawn prefix.
+        prefix: Prefix,
+        /// Withdrawal instant.
+        from: SimTime,
+        /// Optional re-announcement instant.
+        until: Option<SimTime>,
+    },
+    /// A policy flip: from `from`, `node` prefers a different egress for
+    /// `prefix` (`via`), e.g. after a local-pref change or a transit
+    /// shutdown forcing traffic onto a longer peer path. `None` until
+    /// means the flip is permanent.
+    RouteFlip {
+        /// Router whose best path changes.
+        node: NodeId,
+        /// Affected prefix.
+        prefix: Prefix,
+        /// New egress interface.
+        via: IfaceId,
+        /// Flip instant.
+        from: SimTime,
+        /// Optional instant at which the old best path returns.
+        until: Option<SimTime>,
+    },
+    /// A reconfiguration transient: at `at` the router briefly installs a
+    /// *wrong* path (`wrong_via`) for `prefix` — the transient forwarding
+    /// state BGP exploration produces — and settles back to the converged
+    /// route after `settle`.
+    ReconfigTransient {
+        /// Router undergoing reconfiguration.
+        node: NodeId,
+        /// Affected prefix.
+        prefix: Prefix,
+        /// The transient (wrong/longer) egress.
+        wrong_via: IfaceId,
+        /// Transient start.
+        at: SimTime,
+        /// Time until re-convergence.
+        settle: SimDuration,
+    },
+}
+
+impl Fault {
+    /// The instant this fault takes effect (permanent knob flips count as
+    /// the epoch). Used to apply plans in deterministic (time, insertion)
+    /// order regardless of how the plan was assembled.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Fault::LinkOutage { from, .. } => *from,
+            Fault::NodeMaintenance { from, .. } => *from,
+            Fault::IcmpRateLimit { .. } => SimTime::ZERO,
+            Fault::LoopbackSourced { .. } => SimTime::ZERO,
+            Fault::PermanentSilence { from, .. } => *from,
+            Fault::SessionReset { at, .. } => *at,
+            Fault::PrefixWithdraw { from, .. } => *from,
+            Fault::RouteFlip { from, .. } => *from,
+            Fault::ReconfigTransient { at, .. } => *at,
+        }
+    }
 }
 
 /// A collection of faults, applied in one shot.
@@ -127,8 +207,16 @@ impl FaultPlan {
     }
 
     /// Compile the plan onto a network. Returns the number of faults applied.
+    ///
+    /// Faults are applied in stable (effect time, insertion order): two
+    /// events landing on the same schedule at the same instant resolve
+    /// last-writer-wins, so the application order must be a deterministic
+    /// function of the plan itself — not of how a storm generator happened
+    /// to interleave them — or checkpoint/resume would diverge.
     pub fn apply(&self, net: &mut Network) -> usize {
-        for f in &self.faults {
+        let mut ordered: Vec<&Fault> = self.faults.iter().collect();
+        ordered.sort_by_key(|f| f.at()); // stable: ties keep insertion order
+        for f in ordered {
             match f {
                 Fault::LinkOutage { link, from, until } => {
                     // Respect the link's own schedule outside the outage:
@@ -152,6 +240,30 @@ impl FaultPlan {
                         .icmp
                         .silent_windows
                         .push((*from, SimTime(u64::MAX)));
+                }
+                Fault::SessionReset { node, prefix, at, downtime } => {
+                    let n = net.node_mut(*node);
+                    n.push_fwd_step(*prefix, *at, FwdState::Drop);
+                    n.push_fwd_step(*prefix, *at + *downtime, FwdState::Static);
+                }
+                Fault::PrefixWithdraw { node, prefix, from, until } => {
+                    let n = net.node_mut(*node);
+                    n.push_fwd_step(*prefix, *from, FwdState::Drop);
+                    if let Some(u) = until {
+                        n.push_fwd_step(*prefix, *u, FwdState::Static);
+                    }
+                }
+                Fault::RouteFlip { node, prefix, via, from, until } => {
+                    let n = net.node_mut(*node);
+                    n.push_fwd_step(*prefix, *from, FwdState::Via(*via));
+                    if let Some(u) = until {
+                        n.push_fwd_step(*prefix, *u, FwdState::Static);
+                    }
+                }
+                Fault::ReconfigTransient { node, prefix, wrong_via, at, settle } => {
+                    let n = net.node_mut(*node);
+                    n.push_fwd_step(*prefix, *at, FwdState::Via(*wrong_via));
+                    n.push_fwd_step(*prefix, *at + *settle, FwdState::Static);
                 }
             }
         }
@@ -225,6 +337,155 @@ mod tests {
             .apply(&mut net);
         assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(0)).is_ok());
         assert!(net.send_probe(vp, ProbeSpec::echo(tgt), SimTime(u64::MAX / 2)).is_err());
+    }
+
+    /// vp — r1 — r2, with 41.0.0.0/24 terminating on r2 (stub) and routed
+    /// from r1 via its r2-facing interface. Returns (net, vp, dst).
+    fn line3() -> (Network, NodeId, Ipv4) {
+        let mut net = Network::new(6);
+        let vp = net.add_node(NodeKind::Host, Asn(1), "vp");
+        let r1 = net.add_node(NodeKind::Router, Asn(2), "r1");
+        let r2 = net.add_node(NodeKind::Router, Asn(3), "r2");
+        net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), r1, Ipv4::new(10, 0, 0, 1), LinkConfig::default());
+        net.connect_idle(r1, Ipv4::new(10, 0, 1, 1), r2, Ipv4::new(10, 0, 1, 2), LinkConfig::default());
+        let p: Prefix = "41.0.0.0/24".parse().unwrap();
+        net.add_stub_iface(r2, Ipv4::new(41, 0, 0, 1));
+        let stub = net.node(NodeId(2)).iface_by_addr(Ipv4::new(41, 0, 0, 1)).unwrap();
+        net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
+        net.add_route(r1, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r1, p, IfaceId(1));
+        net.add_route(r2, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
+        net.add_route(r2, p, stub);
+        (net, vp, Ipv4::new(41, 0, 0, 1))
+    }
+
+    #[test]
+    fn session_reset_blackholes_then_reconverges() {
+        let (mut net, vp, dst) = line3();
+        FaultPlan::new()
+            .with(Fault::SessionReset {
+                node: NodeId(1),
+                prefix: "41.0.0.0/24".parse().unwrap(),
+                at: SimTime(10_000_000),
+                downtime: SimDuration::from_secs(10),
+            })
+            .apply(&mut net);
+        assert!(net.send_probe(vp, ProbeSpec::echo(dst), SimTime(0)).is_ok());
+        // During the reset, r1 has no route: destination unreachable from r1.
+        let r = net.send_probe(vp, ProbeSpec::echo(dst), SimTime(15_000_000)).unwrap();
+        assert_eq!(r.responder, Ipv4::new(10, 0, 0, 1));
+        assert_eq!(r.kind, crate::packet::PacketKind::DestUnreachable);
+        // Re-converged: the echo completes again.
+        let r = net.send_probe(vp, ProbeSpec::echo(dst), SimTime(25_000_000)).unwrap();
+        assert_eq!(r.responder, dst);
+    }
+
+    #[test]
+    fn permanent_withdrawal_never_recovers() {
+        let (mut net, vp, dst) = line3();
+        FaultPlan::new()
+            .with(Fault::PrefixWithdraw {
+                node: NodeId(1),
+                prefix: "41.0.0.0/24".parse().unwrap(),
+                from: SimTime(1_000_000),
+                until: None,
+            })
+            .apply(&mut net);
+        assert_eq!(net.send_probe(vp, ProbeSpec::echo(dst), SimTime(0)).unwrap().responder, dst);
+        let late = net.send_probe(vp, ProbeSpec::echo(dst), SimTime(u64::MAX / 2)).unwrap();
+        assert_eq!(late.kind, crate::packet::PacketKind::DestUnreachable);
+    }
+
+    #[test]
+    fn route_flip_moves_traffic_to_parallel_link() {
+        let (mut net, vp, _dst) = line3();
+        // Parallel r1–r2 link; flip 41/24 onto it for an hour.
+        net.connect_idle(NodeId(1), Ipv4::new(10, 0, 2, 1), NodeId(2), Ipv4::new(10, 0, 2, 2), LinkConfig::default());
+        let alt = net.node(NodeId(1)).iface_by_addr(Ipv4::new(10, 0, 2, 1)).unwrap();
+        FaultPlan::new()
+            .with(Fault::RouteFlip {
+                node: NodeId(1),
+                prefix: "41.0.0.0/24".parse().unwrap(),
+                via: alt,
+                from: SimTime(3_600_000_000),
+                until: Some(SimTime(7_200_000_000)),
+            })
+            .apply(&mut net);
+        // TTL 2 expires at r2; the Time Exceeded source names the link used.
+        let before = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(0)).unwrap();
+        assert_eq!(before.responder, Ipv4::new(10, 0, 1, 2));
+        let during = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(5_000_000_000)).unwrap();
+        assert_eq!(during.responder, Ipv4::new(10, 0, 2, 2));
+        let after = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(9_000_000_000)).unwrap();
+        assert_eq!(after.responder, Ipv4::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn reconfig_transient_settles_back() {
+        let (mut net, vp, _dst) = line3();
+        net.connect_idle(NodeId(1), Ipv4::new(10, 0, 2, 1), NodeId(2), Ipv4::new(10, 0, 2, 2), LinkConfig::default());
+        let wrong = net.node(NodeId(1)).iface_by_addr(Ipv4::new(10, 0, 2, 1)).unwrap();
+        FaultPlan::new()
+            .with(Fault::ReconfigTransient {
+                node: NodeId(1),
+                prefix: "41.0.0.0/24".parse().unwrap(),
+                wrong_via: wrong,
+                at: SimTime(10_000_000),
+                settle: SimDuration::from_secs(30),
+            })
+            .apply(&mut net);
+        let during = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(20_000_000)).unwrap();
+        assert_eq!(during.responder, Ipv4::new(10, 0, 2, 2));
+        let after = net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(60_000_000)).unwrap();
+        assert_eq!(after.responder, Ipv4::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn identical_timestamps_apply_in_insertion_order() {
+        // Two flips of the same prefix at the same instant: the later
+        // insertion must win, whichever order `apply` walks internally.
+        let build = |first_alt: bool| {
+            let (mut net, vp, dst) = line3();
+            net.connect_idle(NodeId(1), Ipv4::new(10, 0, 2, 1), NodeId(2), Ipv4::new(10, 0, 2, 2), LinkConfig::default());
+            let alt = net.node(NodeId(1)).iface_by_addr(Ipv4::new(10, 0, 2, 1)).unwrap();
+            let main = IfaceId(1);
+            let p: Prefix = "41.0.0.0/24".parse().unwrap();
+            let t = SimTime(10_000_000);
+            let (a, b) = if first_alt { (alt, main) } else { (main, alt) };
+            FaultPlan::new()
+                .with(Fault::RouteFlip { node: NodeId(1), prefix: p, via: a, from: t, until: None })
+                .with(Fault::RouteFlip { node: NodeId(1), prefix: p, via: b, from: t, until: None })
+                .apply(&mut net);
+            net.send_probe(vp, ProbeSpec::ttl_limited(Ipv4::new(41, 0, 0, 9), 2), SimTime(20_000_000)).unwrap().responder
+        };
+        assert_eq!(build(true), Ipv4::new(10, 0, 1, 2));
+        assert_eq!(build(false), Ipv4::new(10, 0, 2, 2));
+    }
+
+    #[test]
+    fn apply_order_is_time_sorted_but_stable() {
+        // A plan assembled "out of order" (late event first) applies
+        // identically to its time-sorted permutation.
+        let p: Prefix = "41.0.0.0/24".parse().unwrap();
+        let early = Fault::SessionReset {
+            node: NodeId(1),
+            prefix: p,
+            at: SimTime(5_000_000),
+            downtime: SimDuration::from_secs(2),
+        };
+        let late = Fault::PrefixWithdraw { node: NodeId(1), prefix: p, from: SimTime(50_000_000), until: None };
+        let probe_at = |plan: FaultPlan, t: u64| {
+            let (mut net, vp, dst) = line3();
+            plan.apply(&mut net);
+            net.send_probe(vp, ProbeSpec::echo(dst), SimTime(t)).unwrap().kind
+        };
+        for t in [0u64, 6_000_000, 20_000_000, 60_000_000] {
+            assert_eq!(
+                probe_at(FaultPlan::new().with(late.clone()).with(early.clone()), t),
+                probe_at(FaultPlan::new().with(early.clone()).with(late.clone()), t),
+                "divergence at t={t}"
+            );
+        }
     }
 
     #[test]

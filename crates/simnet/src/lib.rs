@@ -73,7 +73,9 @@ pub mod prelude {
         ConstantLoad, Dir, DropReason, Link, LinkConfig, LinkId, LinkQueueState, NoLoad, OfferedLoad, Schedule,
     };
     pub use crate::net::{Network, ProbeCtx, ProbeError, ProbeReply, ProbeResult, ProbeSpec};
-    pub use crate::node::{Asn, IcmpConfig, IfaceId, Node, NodeId, NodeKind, NodeScratch, RespondFrom, SlowPath};
+    pub use crate::node::{
+        Asn, FwdState, IcmpConfig, IfaceId, Node, NodeId, NodeKind, NodeScratch, RespondFrom, SlowPath,
+    };
     pub use crate::packet::{Packet, PacketKind, ProbeId};
     pub use crate::rng::HashNoise;
     pub use crate::time::{Date, SimDuration, SimTime, Weekday};

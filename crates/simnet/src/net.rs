@@ -422,15 +422,23 @@ impl Network {
     }
 
     /// Ground-truth node path from `from` toward `dst` (following forwarding
-    /// tables, ignoring delays/drops). For validation and tests.
+    /// tables, ignoring delays/drops). For validation and tests. Evaluates
+    /// routing as of `SimTime::ZERO`; use [`Network::truth_path_at`] to see
+    /// the path after mid-campaign routing events.
     pub fn truth_path(&self, from: NodeId, dst: Ipv4) -> Option<Vec<NodeId>> {
+        self.truth_path_at(from, dst, SimTime::ZERO)
+    }
+
+    /// Ground-truth node path from `from` toward `dst` under the forwarding
+    /// state in effect at `t` (static tables plus any routing-event overlays).
+    pub fn truth_path_at(&self, from: NodeId, dst: Ipv4, t: SimTime) -> Option<Vec<NodeId>> {
         let mut path = vec![from];
         let mut cur = from;
         for _ in 0..MAX_HOPS {
             if self.nodes[cur.0 as usize].owns_addr(dst) {
                 return Some(path);
             }
-            let iface = self.nodes[cur.0 as usize].next_hop(dst)?;
+            let iface = self.nodes[cur.0 as usize].next_hop_at(dst, t)?;
             let (lid, dir) = self.nodes[cur.0 as usize].ifaces[iface.0 as usize].link?;
             let link = &self.links[lid.0 as usize];
             let next_addr = match dir {
@@ -505,14 +513,20 @@ impl Network {
         // Route memoization: resolved hop choices are pure functions of the
         // forwarding tables, which cannot change while a ProbeCtx is in use
         // (any `node_mut`/`add_route` bumps the topology epoch and clears
-        // this memo at the next sync).
-        let route = match ctx.routes.get(&(cur.0, pkt.dst)) {
-            Some(&e) => e,
-            None => {
-                let e = node.next_hop(pkt.dst);
-                ctx.routes.insert((cur.0, pkt.dst), e);
-                e
+        // this memo at the next sync). Nodes carrying dynamic forwarding
+        // overlays (routing events) bypass the memo: their next hop is a
+        // function of time, not just of (node, dst).
+        let route = if node.fwd_dyn.is_empty() {
+            match ctx.routes.get(&(cur.0, pkt.dst)) {
+                Some(&e) => e,
+                None => {
+                    let e = node.next_hop(pkt.dst);
+                    ctx.routes.insert((cur.0, pkt.dst), e);
+                    e
+                }
             }
+        } else {
+            node.next_hop_at(pkt.dst, now)
         };
         let Some(egress) = route else {
             if cur == origin {
@@ -944,6 +958,33 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dynamic_overlay_swaps_path_mid_campaign() {
+        use crate::node::FwdState;
+        // Parallel r1 -> r2 link; at t=1h a routing event flips r1's default
+        // route onto it. The far responder address changes with the path.
+        let (mut net, vp, _, far_a, tgt_addr) = line_topology();
+        let r1 = NodeId(1);
+        let r2 = NodeId(2);
+        net.connect_idle(r1, Ipv4::new(10, 0, 4, 1), r2, Ipv4::new(10, 0, 4, 2), LinkConfig::default());
+        let alt = net.node(r1).iface_by_addr(Ipv4::new(10, 0, 4, 1)).unwrap();
+        let flip = SimTime(crate::time::MICROS_PER_HOUR);
+        net.node_mut(r1).push_fwd_step(Prefix::DEFAULT, flip, FwdState::Via(alt));
+        let before = net.send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2), SimTime::ZERO).unwrap();
+        assert_eq!(before.responder, far_a);
+        let after = net
+            .send_probe(vp, ProbeSpec::ttl_limited(tgt_addr, 2), flip + SimDuration::from_secs(1))
+            .unwrap();
+        assert_eq!(after.responder, Ipv4::new(10, 0, 4, 2), "{after:?}");
+        // truth_path_at sees the same swap; truth_path stays on the t=0 view.
+        let p0 = net.truth_path(vp, tgt_addr).unwrap();
+        let p1 = net.truth_path_at(vp, tgt_addr, flip + SimDuration::from_secs(1)).unwrap();
+        assert_eq!(p0, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(p1, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        // Same node path here, but via a different link: compare responders.
+        assert_ne!(before.responder, after.responder);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!    by Ally-style alias resolution in bdrmap.
 
 use crate::ip::{Ipv4, Prefix, PrefixTable};
-use crate::link::{Dir, LinkId};
+use crate::link::{Dir, LinkId, Schedule};
 use crate::rng::{streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -159,6 +159,24 @@ impl TokenBucket {
     }
 }
 
+/// Time-varying forwarding state for one prefix: what a routing event left
+/// behind once it reached this router's FIB.
+///
+/// Routing events (session resets, withdrawals, policy flips, reconfiguration
+/// transients) compile into a [`Schedule`] of these per affected prefix; at
+/// probe time [`Node::next_hop_at`] consults the schedule before falling back
+/// to the static table, so forwarding swaps mid-campaign without touching the
+/// static routes the rest of the substrate was built on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FwdState {
+    /// Defer to the static forwarding table (the converged route).
+    Static,
+    /// Override: forward via this interface (a flipped/transient path).
+    Via(IfaceId),
+    /// Blackhole: no route for the prefix (withdrawal, session down).
+    Drop,
+}
+
 /// Why a node did not answer a probe.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum NoResponse {
@@ -210,6 +228,11 @@ pub struct Node {
     pub ifaces: Vec<Iface>,
     /// Forwarding table: destination prefix → egress interface.
     pub fwd: PrefixTable<IfaceId>,
+    /// Dynamic forwarding overlays: per-prefix schedules of [`FwdState`]
+    /// installed by routing events. Empty for the (overwhelmingly common)
+    /// routers no routing event ever touches — the forwarding fast path
+    /// checks `is_empty()` and keeps its static memoized lookup.
+    pub fwd_dyn: Vec<(Prefix, Schedule<FwdState>)>,
     /// ICMP behaviour.
     pub icmp: IcmpConfig,
     scratch: NodeScratch,
@@ -229,6 +252,7 @@ impl Node {
             name: name.into(),
             ifaces: Vec::new(),
             fwd: PrefixTable::new(),
+            fwd_dyn: Vec::new(),
             icmp: IcmpConfig::default(),
             scratch: Self::scratch_for(id, asn),
         }
@@ -282,6 +306,57 @@ impl Node {
     /// Egress interface for `dst`, by longest-prefix match.
     pub fn next_hop(&self, dst: Ipv4) -> Option<IfaceId> {
         self.fwd.lookup(dst).map(|(_, v)| *v)
+    }
+
+    /// Schedule a forwarding-state step for `prefix` at `at` (routing-event
+    /// compilation). Creates the prefix's overlay schedule on first use.
+    pub fn push_fwd_step(&mut self, prefix: Prefix, at: SimTime, state: FwdState) {
+        match self.fwd_dyn.iter_mut().find(|(p, _)| *p == prefix) {
+            Some((_, sched)) => {
+                sched.step(at, state);
+            }
+            None => {
+                let mut sched = Schedule::constant(FwdState::Static);
+                sched.step(at, state);
+                self.fwd_dyn.push((prefix, sched));
+            }
+        }
+    }
+
+    /// Egress interface for `dst` at time `t`: longest-prefix match across
+    /// both the static table and any dynamic overlays. A more-specific static
+    /// route (e.g. a /32 LAN host route) still beats a broader overlay; at
+    /// equal length the overlay wins — it *is* the current state of that
+    /// route. `FwdState::Drop` (and an overlay with no static fallback in
+    /// `Static` state) yields `None`: no route.
+    pub fn next_hop_at(&self, dst: Ipv4, t: SimTime) -> Option<IfaceId> {
+        let mut best: Option<(u8, &FwdState)> = None;
+        for (p, sched) in &self.fwd_dyn {
+            if p.contains(dst) && best.is_none_or(|(len, _)| p.len() > len) {
+                best = Some((p.len(), sched.at(t)));
+            }
+        }
+        let stat = self.fwd.lookup(dst);
+        match best {
+            None => stat.map(|(_, v)| *v),
+            Some((dlen, state)) => {
+                if let Some((sp, v)) = stat {
+                    if sp.len() > dlen {
+                        return Some(*v);
+                    }
+                    match state {
+                        FwdState::Static => Some(*v),
+                        FwdState::Via(i) => Some(*i),
+                        FwdState::Drop => None,
+                    }
+                } else {
+                    match state {
+                        FwdState::Via(i) => Some(*i),
+                        _ => None,
+                    }
+                }
+            }
+        }
     }
 
     /// Allocate the next IP-ID from the embedded per-router counter.
@@ -384,6 +459,50 @@ mod tests {
         assert_eq!(n.next_hop(Ipv4::new(8, 8, 8, 8)), Some(IfaceId(0)));
         assert!(n.remove_route("41.0.0.0/8".parse().unwrap()));
         assert_eq!(n.next_hop(Ipv4::new(41, 1, 1, 1)), Some(IfaceId(0)));
+    }
+
+    #[test]
+    fn dynamic_overlay_swaps_forwarding_over_time() {
+        let mut n = router();
+        n.add_route("0.0.0.0/0".parse().unwrap(), IfaceId(0));
+        n.add_route("41.0.0.0/8".parse().unwrap(), IfaceId(1));
+        let p: Prefix = "41.0.0.0/8".parse().unwrap();
+        let dst = Ipv4::new(41, 1, 1, 1);
+        // Before any overlay: static answer at every time.
+        assert_eq!(n.next_hop_at(dst, SimTime(5)), Some(IfaceId(1)));
+        // Withdraw at t=10, flip to iface 0 at t=20, re-converge at t=30.
+        n.push_fwd_step(p, SimTime(10), FwdState::Drop);
+        n.push_fwd_step(p, SimTime(20), FwdState::Via(IfaceId(0)));
+        n.push_fwd_step(p, SimTime(30), FwdState::Static);
+        assert_eq!(n.next_hop_at(dst, SimTime(5)), Some(IfaceId(1)));
+        assert_eq!(n.next_hop_at(dst, SimTime(15)), None);
+        assert_eq!(n.next_hop_at(dst, SimTime(25)), Some(IfaceId(0)));
+        assert_eq!(n.next_hop_at(dst, SimTime(35)), Some(IfaceId(1)));
+        // The static lookup is untouched by overlays.
+        assert_eq!(n.next_hop(dst), Some(IfaceId(1)));
+    }
+
+    #[test]
+    fn more_specific_static_route_beats_overlay() {
+        let mut n = router();
+        n.add_route("41.0.0.0/8".parse().unwrap(), IfaceId(1));
+        n.add_route("41.1.1.1/32".parse().unwrap(), IfaceId(0));
+        n.push_fwd_step("41.0.0.0/8".parse().unwrap(), SimTime(0), FwdState::Drop);
+        // The /32 host route survives the /8 withdrawal; the rest blackholes.
+        assert_eq!(n.next_hop_at(Ipv4::new(41, 1, 1, 1), SimTime(1)), Some(IfaceId(0)));
+        assert_eq!(n.next_hop_at(Ipv4::new(41, 2, 2, 2), SimTime(1)), None);
+    }
+
+    #[test]
+    fn overlay_without_static_route_only_forwards_when_via() {
+        let mut n = router();
+        let p: Prefix = "197.0.0.0/24".parse().unwrap();
+        n.push_fwd_step(p, SimTime(10), FwdState::Via(IfaceId(1)));
+        n.push_fwd_step(p, SimTime(20), FwdState::Static);
+        let dst = Ipv4::new(197, 0, 0, 9);
+        assert_eq!(n.next_hop_at(dst, SimTime(5)), None);
+        assert_eq!(n.next_hop_at(dst, SimTime(15)), Some(IfaceId(1)));
+        assert_eq!(n.next_hop_at(dst, SimTime(25)), None);
     }
 
     #[test]

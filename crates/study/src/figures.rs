@@ -272,6 +272,7 @@ mod tests {
                 far: Some(SimDuration::from_secs_f64(far)),
                 near_addr_ok: true,
                 far_addr_ok: true,
+                path_fp: 0xFEED,
             });
         }
         s

@@ -112,8 +112,8 @@ impl StudyReport {
         for (vp, i) in &self.integrity {
             let _ = writeln!(
                 out,
-                "  {vp}: clean={} gappy={} rate-limited={} addr-unstable={} silent={} | artifact events={} quarantined={}",
-                i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                "  {vp}: clean={} gappy={} rate-limited={} path-change={} addr-unstable={} silent={} | artifact events={} quarantined={}",
+                i.clean, i.gappy, i.rate_limited, i.path_change, i.addr_unstable, i.silent,
                 i.artifact_events, i.quarantined
             );
         }
@@ -194,13 +194,13 @@ Paper's All-VPs row: 339 (6) / 301 (6) / 290 (3) / 262 (3).
         let _ = writeln!(out, "
 ### Measurement integrity per VP
 ");
-        let _ = writeln!(out, "| VP | clean | gappy | rate-limited | addr-unstable | silent | artifact events | quarantined |");
-        let _ = writeln!(out, "|----|-------|-------|--------------|---------------|--------|-----------------|-------------|");
+        let _ = writeln!(out, "| VP | clean | gappy | rate-limited | path-change | addr-unstable | silent | artifact events | quarantined |");
+        let _ = writeln!(out, "|----|-------|-------|--------------|-------------|---------------|--------|-----------------|-------------|");
         for (vp, i) in &self.integrity {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} |",
-                vp, i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                vp, i.clean, i.gappy, i.rate_limited, i.path_change, i.addr_unstable, i.silent,
                 i.artifact_events, i.quarantined
             );
         }

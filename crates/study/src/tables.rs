@@ -214,14 +214,15 @@ impl IntegrityTable {
         let _ = writeln!(out, "Measurement integrity: links per health class");
         let _ = writeln!(
             out,
-            "{:<8} {:>6} {:>6} {:>13} {:>14} {:>7} {:>16} {:>12}",
-            "VP", "clean", "gappy", "rate-limited", "addr-unstable", "silent", "artifact events", "quarantined"
+            "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>16} {:>12}",
+            "VP", "clean", "gappy", "rate-limited", "path-change", "addr-unstable", "silent",
+            "artifact events", "quarantined"
         );
         for (vp, i) in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<8} {:>6} {:>6} {:>13} {:>14} {:>7} {:>16} {:>12}",
-                vp, i.clean, i.gappy, i.rate_limited, i.addr_unstable, i.silent,
+                "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>16} {:>12}",
+                vp, i.clean, i.gappy, i.rate_limited, i.path_change, i.addr_unstable, i.silent,
                 i.artifact_events, i.quarantined
             );
         }
@@ -281,7 +282,7 @@ mod tests {
         assert_eq!(it.rows.len(), 1);
         let i = it.rows[0].1;
         assert_eq!(
-            i.clean + i.gappy + i.rate_limited + i.addr_unstable + i.silent,
+            i.clean + i.gappy + i.rate_limited + i.path_change + i.addr_unstable + i.silent,
             studies[0].outcomes.len(),
             "every link gets exactly one health class"
         );

@@ -215,6 +215,7 @@ impl VpStudy {
                 LinkHealth::Clean => s.clean += 1,
                 LinkHealth::Gappy => s.gappy += 1,
                 LinkHealth::RateLimited => s.rate_limited += 1,
+                LinkHealth::PathChange => s.path_change += 1,
                 LinkHealth::AddrUnstable => s.addr_unstable += 1,
                 LinkHealth::Silent => s.silent += 1,
             }
@@ -234,6 +235,9 @@ pub struct IntegritySummary {
     pub gappy: usize,
     /// Links shaped by an ICMP rate limiter.
     pub rate_limited: usize,
+    /// Links whose TTL-ladder fingerprint changed mid-campaign (routing
+    /// events under the measurement).
+    pub path_change: usize,
     /// Links answering from unexpected addresses.
     pub addr_unstable: usize,
     /// Links with (almost) no far answers.

@@ -1,0 +1,515 @@
+//! The convergence-storm gauntlet: sweep deterministic *routing-event*
+//! [`FaultPlan`]s — BGP session resets, prefix withdrawals, policy flips,
+//! and reconfiguration transients, alone and in overlapping bursts —
+//! through the full vpstudy pipeline and assert the path-change masking
+//! layer holds the line:
+//!
+//! - zero false congestion labels on links that only suffered routing
+//!   events (§5.2: re-convergence artifacts must never read as queueing);
+//! - the seeded QCELL–NETPAGE congestion is still recovered under every
+//!   storm — including storms aimed at the NETPAGE link itself (masking
+//!   must not eat true positives);
+//! - routing-hit links surface in the integrity report (PathChange or a
+//!   higher class), never as Clean;
+//! - an inert plan (events outside the window) is bit-identical to no
+//!   plan at all, and a checkpoint/kill/resume run through a routing
+//!   event is bit-identical to an uninterrupted one at any thread count.
+//!
+//! Every plan is hand-placed or seed-derived, so a failure reproduces
+//! exactly.
+
+use ixp_simnet::fault::{Fault, FaultPlan};
+use ixp_simnet::prelude::{
+    IfaceId, Ipv4, Network, NodeId, Prefix, SimDuration, SimTime,
+};
+use ixp_study::groundtruth::truth_expects_congested;
+use ixp_study::{run_vp_study, VpStudy, VpStudyConfig};
+use ixp_topology::{build_vp, paper_vps, TruthKind, VpSpec};
+use tslp_core::health::LinkHealth;
+
+/// The default study seed (keep in sync with `VpStudyConfig::default`).
+const SEED: u64 = 0xAF12_2017;
+
+/// VP4 (SIXP) over the same 13-week window the chaos gauntlet uses: long
+/// enough to catch the NETPAGE congestion and its 28/04 mitigation.
+fn window() -> (SimTime, SimTime) {
+    (SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 5, 20))
+}
+
+fn vp4() -> &'static VpSpec {
+    // paper_vps() allocates; leak one copy for the test process.
+    Box::leak(Box::new(paper_vps()[3].clone()))
+}
+
+/// Find the node owning an interface address.
+fn node_of(net: &Network, addr: Ipv4) -> Option<NodeId> {
+    net.node_ids().find(|&n| net.node(n).ifaces.iter().any(|i| i.addr == addr))
+}
+
+/// One routable target for control-plane faults: the near (attach) router
+/// carrying the route for a truth link's prefix, plus a linked interface
+/// that is *not* the converged egress (the "wrong path" of a transient).
+#[derive(Clone, Copy)]
+struct RouteTarget {
+    node: NodeId,
+    prefix: Prefix,
+    wrong_via: IfaceId,
+    far: Ipv4,
+}
+
+fn route_target(net: &Network, near: Ipv4, prefix: Prefix, dst: Ipv4, far: Ipv4) -> Option<RouteTarget> {
+    let node = node_of(net, near)?;
+    let good = net.node(node).next_hop(dst)?;
+    let wrong_via = net
+        .node(node)
+        .ifaces
+        .iter()
+        .enumerate()
+        .find(|(i, f)| IfaceId(*i as u16) != good && f.link.is_some())
+        .map(|(i, _)| IfaceId(i as u16))?;
+    Some(RouteTarget { node, prefix, wrong_via, far })
+}
+
+/// Routing-fault targets: the *healthy responsive* truth links of the VP4
+/// substrate — links where any congestion verdict is by definition false.
+fn storm_targets() -> Vec<RouteTarget> {
+    let substrate = build_vp(vp4(), SEED);
+    let mut out = Vec::new();
+    for t in &substrate.links {
+        if t.responsive && matches!(t.kind, TruthKind::Healthy) {
+            if let Some(rt) = route_target(&substrate.net, t.near, t.prefix, t.dst, t.far) {
+                out.push(rt);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "VP4 substrate must carry routable healthy links");
+    out
+}
+
+/// The NETPAGE case-study link's route binding (for storms aimed at a link
+/// with genuine congestion underneath).
+fn netpage_target() -> RouteTarget {
+    let substrate = build_vp(vp4(), SEED);
+    let t = substrate
+        .links
+        .iter()
+        .find(|t| matches!(t.kind, TruthKind::CaseStudy { scenario: "QCELL-NETPAGE" }))
+        .expect("VP4 must carry the NETPAGE case study");
+    route_target(&substrate.net, t.near, t.prefix, t.dst, t.far)
+        .expect("NETPAGE near router must be routable")
+}
+
+fn run_with(faults: FaultPlan) -> VpStudy {
+    let cfg = VpStudyConfig {
+        window: Some(window()),
+        with_loss: false,
+        keep_series: false,
+        faults,
+        ..Default::default()
+    };
+    run_vp_study(vp4(), &cfg)
+}
+
+/// The gauntlet's core invariant: every congested verdict must point at a
+/// link the scenario *actually* congests. Routing-event-only links never
+/// qualify.
+fn assert_no_false_congestion(s: &VpStudy, label: &str) {
+    for o in &s.outcomes {
+        if o.congested() {
+            assert!(
+                o.truth.as_ref().is_some_and(truth_expects_congested),
+                "{label}: routing-event-only link to {} ({:?} -> {:?}, health {:?}, truth {:?}) \
+                 labelled congested",
+                o.far_name, o.near, o.far, o.health, o.truth
+            );
+        }
+    }
+}
+
+/// Pinned recall: QCELL–NETPAGE stays congested and diurnal under every
+/// storm.
+fn assert_netpage_recovered(s: &VpStudy, label: &str) {
+    let np = s
+        .outcomes
+        .iter()
+        .find(|o| o.far_name == "NETPAGE")
+        .unwrap_or_else(|| panic!("{label}: NETPAGE link must still be discovered"));
+    assert!(np.congested(), "{label}: seeded NETPAGE congestion must survive the storm");
+    assert!(np.assessment.diurnal, "{label}: NETPAGE must still read diurnal");
+}
+
+/// Outcomes for the routing-hit far addresses.
+fn hit_outcomes<'a>(s: &'a VpStudy, targets: &[RouteTarget]) -> Vec<&'a ixp_study::LinkOutcome> {
+    let fars: Vec<Ipv4> = targets.iter().map(|t| t.far).collect();
+    s.outcomes.iter().filter(|o| fars.contains(&o.far)).collect()
+}
+
+/// Day `d` of the campaign window. Discovery snapshots run through day 25
+/// (2016-03-18); events land after it so they hit measurement, not
+/// discovery.
+fn day(d: u64) -> SimTime {
+    window().0 + SimDuration::from_days(d)
+}
+
+// ---------------------------------------------------------------------------
+// Plans 1–3: BGP session-reset storms (re-convergence blackholes).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_reset_storms_never_fake_congestion() {
+    let targets = storm_targets();
+    for seed in 1..=3u64 {
+        let mut plan = FaultPlan::new();
+        for (k, t) in targets.iter().enumerate() {
+            // Three resets per link, staggered per router and per seed;
+            // downtimes 10–45 min (2–9 blackholed rounds each).
+            for r in 0..3u64 {
+                let at = day(27 + seed + r * 17) + SimDuration::from_hours((k as u64 * 5 + r) % 24);
+                plan = plan.with(Fault::SessionReset {
+                    node: t.node,
+                    prefix: t.prefix,
+                    at,
+                    downtime: SimDuration::from_mins(10 + 5 * ((seed + r + k as u64) % 8)),
+                });
+            }
+        }
+        let s = run_with(plan);
+        let label = format!("session resets seed {seed}");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 4–6: prefix-withdrawal storms (withdrawn, later re-announced).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn withdrawal_storms_never_fake_congestion() {
+    let targets = storm_targets();
+    for (pi, &hours) in [2u64, 12, 48].iter().enumerate() {
+        let mut plan = FaultPlan::new();
+        for (k, t) in targets.iter().enumerate() {
+            let from = day(30 + 3 * pi as u64) + SimDuration::from_hours(k as u64 % 11);
+            plan = plan.with(Fault::PrefixWithdraw {
+                node: t.node,
+                prefix: t.prefix,
+                from,
+                until: Some(from + SimDuration::from_hours(hours)),
+            });
+        }
+        let s = run_with(plan);
+        let label = format!("withdrawals plan {pi} ({hours}h)");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+        // The withdrawal gap must surface in the integrity report.
+        let hit = hit_outcomes(&s, &targets);
+        assert!(!hit.is_empty(), "{label}: routing-hit links vanished from the study");
+        for o in &hit {
+            assert_ne!(o.health, LinkHealth::Clean, "{label}: {:?} measured clean", o.far);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 7–9: reconfiguration transients (wrong path until re-convergence).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reconfig_transient_storms_surface_path_changes() {
+    let targets = storm_targets();
+    for (pi, &settle_mins) in [30u64, 120, 360].iter().enumerate() {
+        let mut plan = FaultPlan::new();
+        for (k, t) in targets.iter().enumerate() {
+            // Two transients per link: probes briefly ride a wrong path and
+            // the TTL ladder fingerprints the detour.
+            for r in 0..2u64 {
+                let at = day(28 + 13 * r + pi as u64) + SimDuration::from_hours((k as u64 * 7 + r) % 24);
+                plan = plan.with(Fault::ReconfigTransient {
+                    node: t.node,
+                    prefix: t.prefix,
+                    wrong_via: t.wrong_via,
+                    at,
+                    settle: SimDuration::from_mins(settle_mins),
+                });
+            }
+        }
+        let s = run_with(plan);
+        let label = format!("reconfig transients plan {pi} ({settle_mins} min)");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+        let hit = hit_outcomes(&s, &targets);
+        assert!(!hit.is_empty(), "{label}: routing-hit links vanished from the study");
+        for o in &hit {
+            assert_ne!(o.health, LinkHealth::Clean, "{label}: {:?} measured clean", o.far);
+        }
+        // The detour must be *attributed*: at least one hit link classifies
+        // PathChange (a sterner class like AddrUnstable may outrank it when
+        // the detour responder answers from a foreign address).
+        assert!(
+            hit.iter().any(|o| o.health == LinkHealth::PathChange),
+            "{label}: no routing-hit link surfaced as PathChange: {:?}",
+            hit.iter().map(|o| (o.far, o.health)).collect::<Vec<_>>()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans 10–11: policy flips (longer path until reverted / permanent).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn route_flip_storms_never_fake_congestion() {
+    let targets = storm_targets();
+
+    // Plan 10: flips reverted after 1–3 days.
+    let mut plan = FaultPlan::new();
+    for (k, t) in targets.iter().enumerate() {
+        let from = day(29) + SimDuration::from_hours(k as u64 % 13);
+        plan = plan.with(Fault::RouteFlip {
+            node: t.node,
+            prefix: t.prefix,
+            via: t.wrong_via,
+            from,
+            until: Some(from + SimDuration::from_days(1 + k as u64 % 3)),
+        });
+    }
+    let s = run_with(plan);
+    assert_no_false_congestion(&s, "reverted flips");
+    assert_netpage_recovered(&s, "reverted flips");
+    let hit = hit_outcomes(&s, &targets);
+    for o in &hit {
+        assert_ne!(o.health, LinkHealth::Clean, "reverted flips: {:?} measured clean", o.far);
+    }
+
+    // Plan 11: permanent flips from day 45 — the path never comes back.
+    let mut plan = FaultPlan::new();
+    for t in &targets {
+        plan = plan.with(Fault::RouteFlip {
+            node: t.node,
+            prefix: t.prefix,
+            via: t.wrong_via,
+            from: day(45),
+            until: None,
+        });
+    }
+    let s = run_with(plan);
+    assert_no_false_congestion(&s, "permanent flips");
+    assert_netpage_recovered(&s, "permanent flips");
+}
+
+// ---------------------------------------------------------------------------
+// Plans 12–13: overlapping convergence bursts (every event kind at once,
+// including same-instant events exercising the (time, insertion) order).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn convergence_bursts_never_fake_congestion() {
+    let targets = storm_targets();
+    for (pi, &burst_day) in [30u64, 50].iter().enumerate() {
+        let burst = day(burst_day);
+        let mut plan = FaultPlan::new();
+        for (k, t) in targets.iter().enumerate() {
+            let off = SimDuration::from_hours(k as u64 % 6);
+            match k % 4 {
+                0 => {
+                    plan = plan.with(Fault::SessionReset {
+                        node: t.node,
+                        prefix: t.prefix,
+                        at: burst + off,
+                        downtime: SimDuration::from_mins(25),
+                    });
+                }
+                1 => {
+                    plan = plan.with(Fault::PrefixWithdraw {
+                        node: t.node,
+                        prefix: t.prefix,
+                        from: burst + off,
+                        until: Some(burst + off + SimDuration::from_hours(8)),
+                    });
+                }
+                2 => {
+                    // Two events at the *same instant* on the same prefix:
+                    // the later insertion (the transient) must win, per the
+                    // FaultPlan (time, insertion-order) contract.
+                    plan = plan
+                        .with(Fault::RouteFlip {
+                            node: t.node,
+                            prefix: t.prefix,
+                            via: t.wrong_via,
+                            from: burst + off,
+                            until: Some(burst + off + SimDuration::from_hours(2)),
+                        })
+                        .with(Fault::ReconfigTransient {
+                            node: t.node,
+                            prefix: t.prefix,
+                            wrong_via: t.wrong_via,
+                            at: burst + off,
+                            settle: SimDuration::from_hours(1),
+                        });
+                }
+                _ => {
+                    plan = plan.with(Fault::ReconfigTransient {
+                        node: t.node,
+                        prefix: t.prefix,
+                        wrong_via: t.wrong_via,
+                        at: burst + off,
+                        settle: SimDuration::from_mins(45),
+                    });
+                }
+            }
+        }
+        let s = run_with(plan);
+        let label = format!("convergence burst {pi} (day {burst_day})");
+        assert_no_false_congestion(&s, &label);
+        assert_netpage_recovered(&s, &label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan 14: a storm aimed at the NETPAGE link itself — genuine congestion
+// underneath; masking must not eat the true positive.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn storm_on_congested_link_keeps_recall() {
+    let np = netpage_target();
+    let plan = FaultPlan::new()
+        .with(Fault::ReconfigTransient {
+            node: np.node,
+            prefix: np.prefix,
+            wrong_via: np.wrong_via,
+            at: day(30) + SimDuration::from_hours(9),
+            settle: SimDuration::from_hours(2),
+        })
+        .with(Fault::SessionReset {
+            node: np.node,
+            prefix: np.prefix,
+            at: day(40) + SimDuration::from_hours(13),
+            downtime: SimDuration::from_mins(20),
+        });
+    let s = run_with(plan);
+    assert_no_false_congestion(&s, "storm on NETPAGE");
+    // The point of the plan: the congestion verdict survives path-change
+    // masking because the diurnal shifts recur far from the two events.
+    assert_netpage_recovered(&s, "storm on NETPAGE");
+}
+
+// ---------------------------------------------------------------------------
+// Plan 15: an inert storm (events after the window) is bit-identical to no
+// plan at all — fingerprinting must not perturb untouched campaigns.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inert_storm_is_bit_identical_to_no_storm() {
+    let targets = storm_targets();
+    let (_, until) = window();
+    let late = until + SimDuration::from_days(30);
+    let mut plan = FaultPlan::new();
+    for t in &targets {
+        plan = plan.with(Fault::SessionReset {
+            node: t.node,
+            prefix: t.prefix,
+            at: late,
+            downtime: SimDuration::from_mins(30),
+        });
+    }
+    let stormed = run_with(plan);
+    let baseline = run_with(FaultPlan::new());
+    assert_eq!(baseline.outcomes.len(), stormed.outcomes.len());
+    assert_eq!(baseline.screened, stormed.screened);
+    assert_eq!(baseline.probe_rounds, stormed.probe_rounds);
+    for (x, y) in baseline.outcomes.iter().zip(&stormed.outcomes) {
+        assert_eq!((x.near, x.far), (y.near, y.far));
+        assert_eq!(x.health, y.health, "health diverged on {:?}", x.far);
+        assert_eq!(x.artifact_events, y.artifact_events, "artifacts diverged on {:?}", x.far);
+        assert_eq!(x.sweep, y.sweep, "sweep diverged on {:?}", x.far);
+        assert_eq!(
+            serde_json::to_string(&x.assessment).unwrap(),
+            serde_json::to_string(&y.assessment).unwrap(),
+            "assessment diverged on {:?}",
+            x.far
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan 16 (acceptance): checkpoint / kill / resume *through a routing
+// event* is bit-identical at any thread count — path fingerprints survive
+// the checkpoint round-trip.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resume_through_routing_event_bit_identical_at_any_thread_count() {
+    let spec = vp4();
+    let targets = storm_targets();
+    let (from, _) = window();
+    let until = SimTime::from_date(2016, 3, 21);
+    // Routing events on the last pre-resume days: a reset and a transient
+    // (the transient writes nonzero changed fingerprints that must replay
+    // from the checkpoint, not be re-fabricated).
+    let faults = || {
+        let mut plan = FaultPlan::new();
+        for (k, t) in targets.iter().enumerate() {
+            plan = plan
+                .with(Fault::SessionReset {
+                    node: t.node,
+                    prefix: t.prefix,
+                    at: from + SimDuration::from_days(26) + SimDuration::from_hours(k as u64 % 9),
+                    downtime: SimDuration::from_mins(30),
+                })
+                .with(Fault::ReconfigTransient {
+                    node: t.node,
+                    prefix: t.prefix,
+                    wrong_via: t.wrong_via,
+                    at: from + SimDuration::from_days(26) + SimDuration::from_hours(12),
+                    settle: SimDuration::from_hours(3),
+                });
+        }
+        plan
+    };
+    let cfg = |max_links: Option<usize>, dir: Option<std::path::PathBuf>, threads: usize| VpStudyConfig {
+        window: Some((from, until)),
+        with_loss: false,
+        keep_series: false,
+        max_links,
+        threads,
+        checkpoint_dir: dir,
+        faults: faults(),
+        ..Default::default()
+    };
+    for &threads in &[1usize, 3] {
+        let dir = std::env::temp_dir()
+            .join(format!("ixp-storm-ckpt-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The reference: one uninterrupted run, no checkpointing.
+        let uninterrupted = run_vp_study(spec, &cfg(Some(12), None, threads));
+
+        // The "killed" run: checkpoints only the first 6 links, then dies.
+        let _partial = run_vp_study(spec, &cfg(Some(6), Some(dir.clone()), threads));
+
+        // The resumed run: replays the 6 checkpointed links (fingerprints
+        // included) from disk and measures the rest live.
+        let resumed = run_vp_study(spec, &cfg(Some(12), Some(dir.clone()), threads));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(uninterrupted.outcomes.len(), resumed.outcomes.len());
+        assert_eq!(uninterrupted.screened, resumed.screened, "threads {threads}");
+        assert_eq!(uninterrupted.probe_rounds, resumed.probe_rounds, "threads {threads}");
+        for (x, y) in uninterrupted.outcomes.iter().zip(&resumed.outcomes) {
+            assert_eq!((x.near, x.far), (y.near, y.far));
+            assert_eq!(x.sweep, y.sweep, "threads {threads}: sweep diverged on {:?}", x.far);
+            assert_eq!(x.health, y.health, "threads {threads}: health diverged on {:?}", x.far);
+            assert_eq!(x.artifact_events, y.artifact_events);
+            assert_eq!(x.screened_out, y.screened_out);
+            assert_eq!(x.quarantined, y.quarantined);
+            assert_eq!(
+                serde_json::to_string(&x.assessment).unwrap(),
+                serde_json::to_string(&y.assessment).unwrap(),
+                "threads {threads}: assessment diverged on {:?}",
+                x.far
+            );
+        }
+    }
+}

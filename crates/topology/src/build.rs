@@ -641,7 +641,8 @@ pub fn build_vp(spec: &VpSpec, seed: u64) -> VpSubstrate {
                     AsKind::Access,
                     1,
                     true,
-                    Lifetime { join: start, leave: Some(scenarios::dates::ghanatel_link_down()) },
+                    // Leave date comes from the scripted link-removal event.
+                    Lifetime { join: start, leave: s.withdrawn_at() },
                     None,
                     Some(&s),
                     TruthKind::CaseStudy { scenario: "GIXA-GHANATEL" },
@@ -658,7 +659,8 @@ pub fn build_vp(spec: &VpSpec, seed: u64) -> VpSubstrate {
                     AsKind::Content,
                     1,
                     true,
-                    Lifetime { join: scenarios::dates::knet_link_up(), leave: None },
+                    // Join date comes from the scripted provisioning event.
+                    Lifetime { join: s.provisioned_at().unwrap_or(start), leave: None },
                     None,
                     Some(&s),
                     TruthKind::CaseStudy { scenario: "GIXA-KNET" },
@@ -780,6 +782,7 @@ fn generic_congested_scenario(from: SimTime, until: SimTime, magnitude_ms: u32, 
         load_forward: Arc::new(fwd),
         load_reverse: Arc::new(DiurnalLoad::flat(0.2 * cap, noise.child(1, 3))),
         far_slow_path: None,
+        routing_events: Vec::new(),
         truth: truth_phase,
     }
 }

@@ -20,6 +20,9 @@ pub mod ixps;
 pub mod spec;
 
 pub use build::{build_vp, TruthKind, TruthLink, VpSubstrate};
-pub use evolution::{alive_count, windows_from_schedule, Lifetime};
+pub use evolution::{
+    alive_count, compile_delta, windows_from_schedule, AsEvent, AsGraph, AsRoute, Lifetime, Rel, RouteKind,
+    RouteTable,
+};
 pub use ixps::{build_directory, ixp_lans, paper_directory};
 pub use spec::{paper_vps, CountAt, NoisySpec, SpecialLink, VpSetting, VpSpec};

@@ -25,8 +25,10 @@
 use crate::phased::PhasedLoad;
 use crate::profile::{DiurnalLoad, Shape};
 use crate::slowpath::{DiurnalSlowPath, RandomShifts, WindowedSlowPath};
+use ixp_simnet::fault::Fault;
+use ixp_simnet::ip::Prefix;
 use ixp_simnet::link::{LinkConfig, OfferedLoad, Schedule};
-use ixp_simnet::node::SlowPath;
+use ixp_simnet::node::{NodeId, SlowPath};
 use ixp_simnet::rng::HashNoise;
 use ixp_simnet::time::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -137,6 +139,111 @@ impl GroundTruth {
     }
 }
 
+/// What a documented routing event does to a scenario link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RoutingEventKind {
+    /// The link is provisioned and first announced: forwarding over it
+    /// begins (bdrmap's first sighting of the interconnect).
+    LinkProvisioned,
+    /// A reconfiguration: the link stays up, but the BGP session bounces
+    /// and the far prefix rides a blackhole until it re-converges.
+    Reconfiguration {
+        /// Time until the session re-establishes.
+        downtime: SimDuration,
+    },
+    /// The prefix over this link is withdrawn for good; the link goes down
+    /// and far probes go dark.
+    LinkWithdrawn,
+}
+
+/// A documented routing event on a scenario link — a §6 case-study
+/// timeline entry, named so topology builders and gauntlets can script it
+/// instead of hand-rolling `Schedule::step` calls at magic dates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutingEvent {
+    /// Human-readable name ("GHANATEL transit shutdown").
+    pub name: &'static str,
+    /// When the event takes effect.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: RoutingEventKind,
+}
+
+impl RoutingEvent {
+    /// Fold this event into the link's up/down schedule: provisioning
+    /// raises the link, withdrawal lowers it. Reconfigurations leave the
+    /// data plane up — their effect is control-plane only, expressed by
+    /// [`RoutingEvent::compile`].
+    pub fn apply_to_up(&self, up: &mut Schedule<bool>) {
+        match self.kind {
+            RoutingEventKind::LinkProvisioned => {
+                up.step(self.at, true);
+            }
+            RoutingEventKind::LinkWithdrawn => {
+                up.step(self.at, false);
+            }
+            RoutingEventKind::Reconfiguration { .. } => {}
+        }
+    }
+
+    /// Compile to a control-plane fault against a concrete route binding
+    /// (`node` carries `prefix` over this link). Provisioning compiles to
+    /// nothing — the up-schedule step already models it.
+    pub fn compile(&self, node: NodeId, prefix: Prefix) -> Option<Fault> {
+        match self.kind {
+            RoutingEventKind::LinkProvisioned => None,
+            RoutingEventKind::Reconfiguration { downtime } => {
+                Some(Fault::SessionReset { node, prefix, at: self.at, downtime })
+            }
+            RoutingEventKind::LinkWithdrawn => {
+                Some(Fault::PrefixWithdraw { node, prefix, from: self.at, until: None })
+            }
+        }
+    }
+}
+
+/// Build a link's up/down schedule from its routing events.
+pub fn up_schedule(initially_up: bool, events: &[RoutingEvent]) -> Schedule<bool> {
+    let mut up = Schedule::constant(initially_up);
+    for e in events {
+        e.apply_to_up(&mut up);
+    }
+    up
+}
+
+/// GHANATEL shuts off transit and repurposes the link for peering
+/// (15/06/2016, §6.2.1). The session bounce briefly blackholes the far
+/// prefix — the "latency probes to the far end were unsuccessful" blip at
+/// the phase boundary.
+pub fn ghanatel_transit_shutdown() -> RoutingEvent {
+    RoutingEvent {
+        name: "GHANATEL transit shutdown",
+        at: dates::ghanatel_phase2_start(),
+        kind: RoutingEventKind::Reconfiguration { downtime: SimDuration::from_mins(10) },
+    }
+}
+
+/// The GIXA–GHANATEL link is removed (06/08/2016, §6.2.1): the prefix is
+/// withdrawn for good and far probes go unanswered for the rest of the
+/// campaign.
+pub fn ghanatel_link_removal() -> RoutingEvent {
+    RoutingEvent {
+        name: "GIXA-GHANATEL link removal",
+        at: dates::ghanatel_link_down(),
+        kind: RoutingEventKind::LinkWithdrawn,
+    }
+}
+
+/// The GIXA–KNET link is provisioned (29/06/2016): bdrmap first sees the
+/// interconnect and probing begins.
+pub fn knet_link_provisioned() -> RoutingEvent {
+    RoutingEvent {
+        name: "GIXA-KNET link provisioned",
+        at: dates::knet_link_up(),
+        kind: RoutingEventKind::LinkProvisioned,
+    }
+}
+
 /// Everything needed to instantiate one scenario link in the simulator.
 pub struct LinkScenario {
     /// Scenario name ("GIXA-GHANATEL", …).
@@ -149,8 +256,32 @@ pub struct LinkScenario {
     pub load_reverse: Arc<dyn OfferedLoad>,
     /// Optional ICMP slow-path model to install on the far router.
     pub far_slow_path: Option<Arc<dyn SlowPath>>,
+    /// Documented routing events on this link, in time order. They drive
+    /// the `cfg.up` schedule (via [`up_schedule`]) and compile into
+    /// control-plane faults (via [`RoutingEvent::compile`]).
+    pub routing_events: Vec<RoutingEvent>,
     /// Ground truth for validation.
     pub truth: GroundTruth,
+}
+
+impl LinkScenario {
+    /// Instant the link is provisioned mid-campaign, if a
+    /// [`RoutingEventKind::LinkProvisioned`] event is scripted.
+    pub fn provisioned_at(&self) -> Option<SimTime> {
+        self.routing_events
+            .iter()
+            .find(|e| e.kind == RoutingEventKind::LinkProvisioned)
+            .map(|e| e.at)
+    }
+
+    /// Instant the link is withdrawn for good, if a
+    /// [`RoutingEventKind::LinkWithdrawn`] event is scripted.
+    pub fn withdrawn_at(&self) -> Option<SimTime> {
+        self.routing_events
+            .iter()
+            .find(|e| e.kind == RoutingEventKind::LinkWithdrawn)
+            .map(|e| e.at)
+    }
 }
 
 const MBPS: f64 = 1e6;
@@ -239,8 +370,11 @@ pub fn gixa_ghanatel(noise: HashNoise) -> LinkScenario {
     let mut buffer = Schedule::constant(350_000.0); // 28 ms at 100 Mbps
     buffer.step(dates::ghanatel_phase2_start(), 125_000.0); // 10 ms amplitude
 
-    let mut up = Schedule::constant(true);
-    up.step(dates::ghanatel_link_down(), false);
+    // The two documented routing events: the 15/06 transit shutdown (a
+    // control-plane bounce; the link itself stays up) and the 06/08 link
+    // removal (the link goes down for good).
+    let routing_events = vec![ghanatel_transit_shutdown(), ghanatel_link_removal()];
+    let up = up_schedule(true, &routing_events);
 
     LinkScenario {
         name: "GIXA-GHANATEL",
@@ -255,6 +389,7 @@ pub fn gixa_ghanatel(noise: HashNoise) -> LinkScenario {
         load_forward: Arc::new(fwd),
         load_reverse: Arc::new(rev),
         far_slow_path: None,
+        routing_events,
         truth: GroundTruth {
             cause: Cause::LinkQueueing,
             sustained: true,
@@ -290,8 +425,10 @@ pub fn gixa_knet(noise: HashNoise) -> LinkScenario {
     let fwd = DiurnalLoad::flat(120.0 * MBPS, noise.child(2, 1));
     let rev = DiurnalLoad::flat(150.0 * MBPS, noise.child(2, 2));
 
-    let mut up = Schedule::constant(false);
-    up.step(dates::knet_link_up(), true);
+    // One documented routing event: the link joins the substrate mid-
+    // campaign (bdrmap first sees it on 29/06/2016).
+    let routing_events = vec![knet_link_provisioned()];
+    let up = up_schedule(false, &routing_events);
 
     let slow = WindowedSlowPath {
         from: dates::knet_congestion_start(),
@@ -312,6 +449,7 @@ pub fn gixa_knet(noise: HashNoise) -> LinkScenario {
         load_forward: Arc::new(fwd),
         load_reverse: Arc::new(rev),
         far_slow_path: Some(Arc::new(slow)),
+        routing_events,
         truth: GroundTruth {
             cause: Cause::SlowIcmpGeneration,
             sustained: true,
@@ -365,6 +503,7 @@ pub fn qcell_netpage(noise: HashNoise) -> LinkScenario {
         load_forward: Arc::new(fwd),
         load_reverse: Arc::new(rev),
         far_slow_path: None,
+        routing_events: Vec::new(),
         truth: GroundTruth {
             cause: Cause::LinkQueueing,
             sustained: false, // mitigated by the upgrade: transient
@@ -420,6 +559,7 @@ pub fn healthy_link(capacity_bps: f64, mean_util: f64, noise: HashNoise) -> Link
         load_forward: Arc::new(fwd),
         load_reverse: Arc::new(rev),
         far_slow_path: None,
+        routing_events: Vec::new(),
         truth: GroundTruth::healthy(),
     }
 }
@@ -519,6 +659,48 @@ mod tests {
         let wed = SimTime::from_datetime(2016, 3, 9, 13, 0, 0);
         let sun = SimTime::from_datetime(2016, 3, 13, 13, 0, 0);
         assert!(s.load_forward.bps(wed) > s.load_forward.bps(sun));
+    }
+
+    #[test]
+    fn documented_routing_events_pin_paper_dates() {
+        let g = gixa_ghanatel(noise());
+        assert_eq!(
+            g.routing_events.iter().map(|e| e.at).collect::<Vec<_>>(),
+            vec![SimTime::from_date(2016, 6, 15), SimTime::from_date(2016, 8, 6)],
+        );
+        let k = gixa_knet(noise());
+        assert_eq!(k.routing_events, vec![knet_link_provisioned()]);
+        assert!(qcell_netpage(noise()).routing_events.is_empty());
+    }
+
+    #[test]
+    fn routing_events_compile_to_control_plane_faults() {
+        let prefix: Prefix = "41.0.0.0/24".parse().unwrap();
+        // Provisioning is data-plane only: no fault.
+        assert!(knet_link_provisioned().compile(NodeId(1), prefix).is_none());
+        match ghanatel_transit_shutdown().compile(NodeId(1), prefix) {
+            Some(Fault::SessionReset { at, downtime, .. }) => {
+                assert_eq!(at, dates::ghanatel_phase2_start());
+                assert!(downtime > SimDuration::ZERO);
+            }
+            other => panic!("expected a session reset, got {other:?}"),
+        }
+        match ghanatel_link_removal().compile(NodeId(1), prefix) {
+            Some(Fault::PrefixWithdraw { from, until, .. }) => {
+                assert_eq!(from, dates::ghanatel_link_down());
+                assert_eq!(until, None);
+            }
+            other => panic!("expected a permanent withdrawal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn up_schedule_from_events_matches_hand_rolled_timing() {
+        let up = up_schedule(true, &[ghanatel_transit_shutdown(), ghanatel_link_removal()]);
+        assert!(*up.at(SimTime::from_date(2016, 8, 5)));
+        assert!(!*up.at(SimTime::from_date(2016, 8, 6)));
+        // The reconfiguration leaves the data plane up at the phase boundary.
+        assert!(*up.at(SimTime::from_date(2016, 6, 16)));
     }
 
     #[test]

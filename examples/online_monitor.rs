@@ -7,7 +7,11 @@
 //! probes the far end of a congested IXP port every 5 simulated minutes,
 //! feeds each RTT to an [`OnlineDetector`], and prints upshift/downshift
 //! alarms with the simulated timestamps at which an operator's pager would
-//! have fired. A deterministic fast-path replay (same seed, same RTTs)
+//! have fired. The per-day one-liner also tracks the link's *health class*
+//! (clean / gappy / path-change / silent) and announces transitions — a
+//! scripted routing transient on day 3 briefly detours probes over a
+//! backup path, and the monitor reports it as `path-change`, not
+//! congestion. A deterministic fast-path replay (same seed, same RTTs)
 //! cross-checks the kernel run.
 //!
 //! ```sh
@@ -16,18 +20,22 @@
 
 use african_ixp_congestion::chgpt::online::{OnlineConfig, OnlineDetector, OnlineVerdict};
 use african_ixp_congestion::obs::{MetricsRegistry, Recorder};
+use african_ixp_congestion::simnet::fault::{Fault, FaultPlan};
 use african_ixp_congestion::simnet::kernel::{Agent, AgentCtx, Kernel, ProbeEvent};
 use african_ixp_congestion::simnet::prelude::*;
 use african_ixp_congestion::traffic::{DiurnalLoad, Shape};
+use african_ixp_congestion::tslp::health::LinkHealth;
 use std::sync::Arc;
 
 /// The quickstart topology: one 100 Mbps IXP port, hot on weekday business
-/// hours. Deterministic in `seed`.
-fn build_port_topology(seed: u64) -> (Network, NodeId, Prefix) {
+/// hours, plus an idle backup path for the routing transient. Deterministic
+/// in `seed`.
+fn build_port_topology(seed: u64) -> (Network, NodeId, NodeId, Prefix) {
     let mut net = Network::new(seed);
     let vp = net.add_node(NodeKind::Host, Asn(65_001), "vp");
     let border = net.add_node(NodeKind::Router, Asn(65_001), "border");
     let peer = net.add_node(NodeKind::Router, Asn(65_002), "peer");
+    let backup = net.add_node(NodeKind::Router, Asn(65_003), "backup-peer");
     net.connect_idle(vp, Ipv4::new(10, 0, 0, 2), border, Ipv4::new(10, 0, 0, 1), LinkConfig::default());
     let port = LinkConfig {
         capacity_bps: Schedule::constant(100e6),
@@ -44,13 +52,31 @@ fn build_port_topology(seed: u64) -> (Network, NodeId, Prefix) {
         noise: net.noise().child(1, 1),
     };
     net.connect(border, Ipv4::new(10, 0, 1, 1), peer, Ipv4::new(196, 49, 14, 10), port, Arc::new(busy), Arc::new(NoLoad));
+    // The backup path: idle, never congested, answering from a different
+    // address — exactly what a BGP exploration detour looks like.
+    net.connect_idle(border, Ipv4::new(10, 0, 2, 1), backup, Ipv4::new(196, 49, 14, 20), LinkConfig::default());
     let prefix: Prefix = "41.7.0.0/24".parse().unwrap();
     net.add_route(vp, Prefix::DEFAULT, IfaceId(0));
     net.add_route(border, "10.0.0.0/24".parse().unwrap(), IfaceId(0));
     net.add_route(border, prefix, IfaceId(1));
     net.add_route(peer, Prefix::DEFAULT, IfaceId(0));
     net.add_route(peer, prefix, IfaceId(0));
-    (net, vp, prefix)
+    net.add_route(backup, Prefix::DEFAULT, IfaceId(0));
+    (net, vp, border, prefix)
+}
+
+/// The scripted routing event: on day 3 at 03:00 the border briefly
+/// installs the backup egress for the monitored prefix (a reconfiguration
+/// transient), settling back after two hours. `IfaceId(2)` is the border's
+/// backup-link interface.
+fn routing_transient(border: NodeId, prefix: Prefix) -> FaultPlan {
+    FaultPlan::new().with(Fault::ReconfigTransient {
+        node: border,
+        prefix,
+        wrong_via: IfaceId(2),
+        at: SimTime::from_datetime(2016, 1, 4, 3, 0, 0),
+        settle: SimDuration::from_hours(2),
+    })
 }
 
 struct Monitor {
@@ -63,16 +89,48 @@ struct Monitor {
     /// return, so an operator (or the kernel owner) can snapshot mid-run.
     metrics: Arc<MetricsRegistry>,
     next_report: SimTime,
+    // -- Per-day health tracking (the integrity layer, miniaturized).
+    day_answered: u32,
+    day_missed: u32,
+    day_path_changed: bool,
+    last_responder: Option<Ipv4>,
+    health: LinkHealth,
 }
 
 impl Monitor {
-    /// Print the one-line live summary once per simulated day.
+    /// Health class of the day so far: the same ladder the offline
+    /// classifier uses, on one day of live counters.
+    fn day_health(&self) -> LinkHealth {
+        if self.day_answered == 0 {
+            LinkHealth::Silent
+        } else if self.day_missed * 5 > self.day_answered {
+            LinkHealth::Gappy
+        } else if self.day_path_changed {
+            LinkHealth::PathChange
+        } else {
+            LinkHealth::Clean
+        }
+    }
+
+    /// Print the one-line live summary once per simulated day, announcing
+    /// health-class transitions as they happen.
     fn report(&mut self, now: SimTime) {
         if now < self.next_report {
             return;
         }
         self.next_report = now + SimDuration::from_days(1);
-        println!("  [{now}] {}", self.metrics.snapshot().one_line());
+        let h = self.day_health();
+        let health_note = if h != self.health {
+            self.metrics.add("health_transitions", 1);
+            format!("health {} -> {}", self.health.token(), h.token())
+        } else {
+            format!("health {}", h.token())
+        };
+        println!("  [{now}] {} | {health_note}", self.metrics.snapshot().one_line());
+        self.health = h;
+        self.day_answered = 0;
+        self.day_missed = 0;
+        self.day_path_changed = false;
     }
 }
 
@@ -84,9 +142,18 @@ impl Agent for Monitor {
 
     fn on_probe_event(&mut self, ev: ProbeEvent, ctx: &mut AgentCtx) {
         match ev {
-            ProbeEvent::Response { rtt, .. } => {
+            ProbeEvent::Response { rtt, from, .. } => {
                 self.metrics.add("probes_answered", 1);
                 self.metrics.observe("monitor_rtt_ms", rtt.as_millis_f64());
+                self.day_answered += 1;
+                // Path fingerprint, miniaturized: a responder change is a
+                // path change (the offline pipeline hashes the whole TTL
+                // ladder).
+                if self.last_responder.is_some_and(|p| p != from) {
+                    self.day_path_changed = true;
+                    self.metrics.add("path_changes_seen", 1);
+                }
+                self.last_responder = Some(from);
                 if self.detector.push(rtt.as_millis_f64()) == OnlineVerdict::UpshiftAlarm {
                     self.alarm_count += 1;
                     self.metrics.add("upshift_alarms", 1);
@@ -94,6 +161,7 @@ impl Agent for Monitor {
             }
             ProbeEvent::Failed { .. } => {
                 self.misses += 1;
+                self.day_missed += 1;
                 self.metrics.add("probes_timed_out", 1);
             }
         }
@@ -122,7 +190,8 @@ fn main() {
     let deadline = SimTime::from_date(2016, 1, 8); // one week from the epoch
 
     // ---- Event-kernel run: the agent probes, detects, and stops itself.
-    let (net, vp, prefix) = build_port_topology(4242);
+    let (mut net, vp, border, prefix) = build_port_topology(4242);
+    routing_transient(border, prefix).apply(&mut net);
     let mut kernel = Kernel::new(net);
     let metrics = Arc::new(MetricsRegistry::new());
     kernel.add_agent(
@@ -135,6 +204,11 @@ fn main() {
             misses: 0,
             metrics: Arc::clone(&metrics),
             next_report: SimTime::ZERO + SimDuration::from_days(1),
+            day_answered: 0,
+            day_missed: 0,
+            day_path_changed: false,
+            last_responder: None,
+            health: LinkHealth::Clean,
         }),
     );
     println!("monitoring one IXP port for a simulated week (5-minute rounds, streaming Page's CUSUM)...");
@@ -148,17 +222,33 @@ fn main() {
         final_sheet.counter("probes_sent"),
         "every probe accounted for"
     );
+    assert!(
+        final_sheet.counter("path_changes_seen") >= 2,
+        "the scripted transient must be fingerprinted (detour and settle-back)"
+    );
+    assert!(
+        final_sheet.counter("health_transitions") >= 2,
+        "the path-change day must enter and leave the health report"
+    );
     println!();
 
     // ---- Deterministic fast-path replay: same seed ⇒ same RTTs ⇒ the
     // pager log can be printed outside the agent.
     println!("pager log (fast-path replay):");
-    let (mut net2, vp2, prefix2) = build_port_topology(4242);
+    let (mut net2, vp2, border2, prefix2) = build_port_topology(4242);
+    routing_transient(border2, prefix2).apply(&mut net2);
     let mut det = OnlineDetector::new(OnlineConfig::default());
     let mut alarms = 0;
+    let mut path_changes = 0;
+    let mut last_responder: Option<Ipv4> = None;
     let mut t = SimTime::ZERO;
     while t < deadline {
         if let Ok(r) = net2.send_probe(vp2, ProbeSpec::ttl_limited(prefix2.addr(9), 2), t) {
+            if last_responder.is_some_and(|p| p != r.responder) {
+                path_changes += 1;
+                println!("  {t}  ~ PATH CHANGE — responder now {} (routing, not congestion)", r.responder);
+            }
+            last_responder = Some(r.responder);
             match det.push(r.rtt.as_millis_f64()) {
                 OnlineVerdict::UpshiftAlarm => {
                     alarms += 1;
@@ -175,4 +265,5 @@ fn main() {
     println!();
     println!("{alarms} congestion onsets alarmed in the week (expected: one per business day = 5)");
     assert!((4..=6).contains(&alarms), "unexpected alarm count {alarms}");
+    assert_eq!(path_changes, 2, "the transient detours and settles back exactly once");
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Re-run the measurement-integrity overhead bench and gate it twice:
 #
-#  1. Absolute gate: health classification + fault masking must cost <5%
+#  1. Absolute gate: health classification + fault masking — including the
+#     path-fingerprint scan and path-change attribution — must cost <5%
 #     over the plain unmasked assessment (the robustness layer runs on
-#     every link of every campaign).
+#     every link of every campaign; the bench corpus carries mid-campaign
+#     routing events on a quarter of its links).
 #  2. Regression gate: like bench_detect.sh, refuse to let a >10%
 #     links/sec regression silently replace the recorded baseline; pass
 #     --force to accept the new number anyway.

@@ -23,6 +23,9 @@ cargo test -q
 echo "==> chaos gauntlet (fault sweep + checkpoint/resume)"
 cargo test -p ixp-study --test chaos
 
+echo "==> convergence-storm gauntlet (routing events + path-change masking)"
+cargo test -p ixp-study --test storm
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
