@@ -1,16 +1,27 @@
-//! Campaign fan-out throughput (DESIGN.md §5): links measured per second by
-//! [`measure_vp_links`] as the worker pool grows. The multi-VP workload is a
-//! hub substrate with sixteen interdomain branches, half carrying a diurnal
-//! overload so both screening outcomes (short-circuit and full fidelity)
-//! appear in every run. Writes the measured baseline to
-//! `BENCH_campaign.json` at the repo root.
+//! Campaign throughput (DESIGN.md §5, §5.16): the links-scaling curve and
+//! the worker-pool thread sweep, written to `BENCH_campaign.json`.
+//!
+//! The headline is the scaling curve: a continent-scale substrate
+//! (`ixp_topology::continent`) at 1k / 10k / 100k member links, each point
+//! measured through the streaming campaign ([`stream_vp_links`]) so every
+//! `LinkSeries` drops the moment its verdict is out. Per point we record
+//! `links_per_sec` and `peak_rss_mb` (VmHWM, reset between points) — the
+//! curve documents that throughput holds roughly flat while peak memory
+//! grows with the substrate, not with links × windows. The 1k point leads
+//! the file so `scripts/bench_campaign.sh` can regression-gate it.
+//!
+//! The second section keeps the original sixteen-branch hub workload and
+//! sweeps the worker pool, half the branches carrying a diurnal overload so
+//! both screening outcomes appear in every run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ixp_prober::tslp::TslpTarget;
 use ixp_simnet::prelude::*;
+use ixp_topology::{build_continent, ContinentSpec};
 use ixp_traffic::{DiurnalLoad, Shape};
 use std::sync::Arc;
-use tslp_core::campaign::{measure_vp_links, CampaignConfig};
+use std::time::Instant;
+use tslp_core::campaign::{measure_vp_links, stream_vp_links, CampaignConfig};
 
 /// Hub-and-branches substrate: `branches` interdomain links behind one hub,
 /// odd branches congested with a weekday plateau.
@@ -58,7 +69,43 @@ fn fanout_net(branches: u8) -> (Network, NodeId, Vec<TslpTarget>) {
     (net, vp, targets)
 }
 
+/// One scaling point: build a continent sized for `links`, stream a 3-day
+/// exact campaign through it `iters` times, and report the best pass.
+fn scaling_point(links: u32, iters: usize, cfg: &CampaignConfig) -> (usize, f64, f64, f64) {
+    let spec = ContinentSpec::with_total_links(links);
+    let cont = build_continent(&spec, 0xAF_5CA1E5);
+    let targets: Vec<TslpTarget> = cont
+        .links
+        .iter()
+        .map(|l| TslpTarget {
+            dst: l.dst,
+            near_ttl: l.near_ttl,
+            far_ttl: l.far_ttl,
+            near_addr: l.near,
+            far_addr: l.far,
+        })
+        .collect();
+    // Reset VmHWM *after* the build so the recorded peak is what the
+    // campaign itself adds on top of the resident substrate.
+    ixp_obs::reset_peak_rss();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = stream_vp_links(&cont.net, cont.vp, &targets, cfg, None, || 0usize, |acc, _, _, series, _| {
+            // Touch the series, then drop it — the streaming contract.
+            *acc += series.len();
+            series.len()
+        });
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(out.iter().all(|r| r.is_ok()), "scaling pass quarantined a link");
+        best = best.min(dt);
+    }
+    let rss = ixp_obs::peak_rss_mb().unwrap_or(f64::NAN);
+    (targets.len(), best, targets.len() as f64 / best, rss)
+}
+
 fn campaign_throughput(c: &mut Criterion) {
+    // ---- Section 1: thread sweep on the 16-branch hub (criterion). ----
     let (net, vp, targets) = fanout_net(16);
     let base = CampaignConfig::exact(SimTime::from_date(2016, 3, 1), SimTime::from_date(2016, 3, 4));
     let thread_counts = [1usize, 2, 4, 8];
@@ -81,27 +128,46 @@ fn campaign_throughput(c: &mut Criterion) {
 
     let seq_ns = measured[0].1;
     let links = targets.len() as f64;
-    let mut rows = Vec::new();
+    let mut sweep_rows = Vec::new();
     for &(threads, ns) in &measured {
         let links_per_sec = if ns > 0.0 { links * 1e9 / ns } else { 0.0 };
         let speedup = if ns > 0.0 { seq_ns / ns } else { 0.0 };
         eprintln!(
             "[campaign] threads={threads:<2} {links_per_sec:>8.1} links/s  speedup {speedup:.2}x"
         );
-        rows.push(format!(
+        sweep_rows.push(format!(
             "    {{\"threads\": {threads}, \"mean_ns\": {ns:.0}, \"links_per_sec\": {links_per_sec:.1}, \"speedup\": {speedup:.3}}}"
         ));
     }
+
+    // ---- Section 2: links-scaling curve on the continent substrate. ----
+    // Same 3-day exact window as the sweep, so per-link cost is comparable;
+    // threads auto-sized to the host. Small points get extra passes to damp
+    // timer noise; the 100k point is a single ~2-minute pass.
+    let scale_cfg = base; // threads: 0 (auto)
+    let mut scale_rows = Vec::new();
+    for &(nominal, iters) in &[(1_000u32, 3usize), (10_000, 1), (100_000, 1)] {
+        let (actual, wall_s, lps, rss) = scaling_point(nominal, iters, &scale_cfg);
+        eprintln!(
+            "[campaign] scale {nominal:>6} links ({actual} actual): {lps:>8.1} links/s, peak RSS {rss:.1} MiB"
+        );
+        scale_rows.push(format!(
+            "    {{\"links\": {actual}, \"wall_s\": {wall_s:.3}, \"links_per_sec\": {lps:.1}, \"peak_rss_mb\": {rss:.1}}}"
+        ));
+    }
+
     // Speedup is bounded by the host: on a single-core container every
     // thread count collapses to ~1.0x, so record the parallelism the
     // numbers were taken under.
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!("[campaign] host parallelism: {host} (speedup is capped at this)");
     let rounds = (base.end.0 - base.start.0) / base.interval.as_micros();
+    // The scaling section leads: the gate script reads the first
+    // `links_per_sec` in the file, which must be the 1k-link point.
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"host_parallelism\": {host},\n  \"links\": {},\n  \"rounds_per_link\": {rounds},\n  \"results\": [\n{}\n  ]\n}}\n",
-        targets.len(),
-        rows.join(",\n")
+        "{{\n  \"bench\": \"campaign_scaling\",\n  \"host_parallelism\": {host},\n  \"rounds_per_link\": {rounds},\n  \"scaling\": [\n{}\n  ],\n  \"thread_sweep_16_links\": [\n{}\n  ]\n}}\n",
+        scale_rows.join(",\n"),
+        sweep_rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     if let Err(e) = std::fs::write(out, &json) {

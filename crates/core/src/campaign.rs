@@ -183,26 +183,32 @@ pub fn far_excursions(series: &LinkSeries, gate_ms: f64) -> usize {
 /// (coarse + full) for the telemetry ledger.
 fn measure_link_impl<P: Recorder>(
     net: &Network,
+    ctx: &mut ProbeCtx,
     vp: NodeId,
     target: &TslpTarget,
     cfg: &CampaignConfig,
     prec: &P,
 ) -> (LinkSeries, bool, u64) {
     let tslp: TslpConfig = cfg.tslp.into();
-    // A fresh ctx per target, seeded from the target identity: the series is
-    // a pure function of (net, vp, target, cfg), independent of which worker
-    // thread runs it or in what order — the ordering guarantee measure_vp
-    // relies on.
-    let mut ctx = net.probe_ctx(mix(&[
-        vp.0 as u64,
-        target.dst.0 as u64,
-        target.near_ttl as u64,
-        target.far_ttl as u64,
-    ]));
+    // Rebase the caller's ctx onto this target's identity: the series is a
+    // pure function of (net, vp, target, cfg), independent of which worker
+    // thread runs it, in what order, or what the ctx measured before — the
+    // ordering guarantee measure_vp relies on. Rebasing is O(1); a worker
+    // reuses one ctx across every link it claims instead of rebuilding
+    // O(links + nodes) of state per link.
+    ctx.rebase(
+        net,
+        mix(&[
+            vp.0 as u64,
+            target.dst.0 as u64,
+            target.near_ttl as u64,
+            target.far_ttl as u64,
+        ]),
+    );
     let mut rounds = 0u64;
     if let Some(sc) = cfg.screening {
         let coarse_grid = SeriesConfig { start: cfg.start, interval: sc.interval };
-        let coarse = run_grid(net, &mut ctx, vp, target, &tslp, (coarse_grid, cfg.end), prec);
+        let coarse = run_grid(net, ctx, vp, target, &tslp, (coarse_grid, cfg.end), prec);
         rounds += coarse.len() as u64;
         // A link stays screened out only when the coarse pass saw fewer
         // than a handful of samples elevated past the smallest threshold —
@@ -215,7 +221,7 @@ fn measure_link_impl<P: Recorder>(
         ctx.reset_queue_state(net);
     }
     let grid = SeriesConfig { start: cfg.start, interval: cfg.interval };
-    let full = run_grid(net, &mut ctx, vp, target, &tslp, (grid, cfg.end), prec);
+    let full = run_grid(net, ctx, vp, target, &tslp, (grid, cfg.end), prec);
     rounds += full.len() as u64;
     (full, false, rounds)
 }
@@ -229,7 +235,22 @@ pub fn measure_link(
     target: &TslpTarget,
     cfg: &CampaignConfig,
 ) -> (LinkSeries, bool) {
-    let (series, screened, _) = measure_link_impl(net, vp, target, cfg, &NoopRecorder);
+    measure_link_in(net, &mut ProbeCtx::default(), vp, target, cfg)
+}
+
+/// [`measure_link`] reusing a caller-owned [`ProbeCtx`]. The context is
+/// rebased onto the target's probe-id stream first, so the series is
+/// bit-identical to a fresh-context measurement; what's saved is the
+/// O(links + nodes) per-link context rebuild — the per-worker reuse pattern
+/// every campaign pool runs.
+pub fn measure_link_in(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+) -> (LinkSeries, bool) {
+    let (series, screened, _) = measure_link_impl(net, ctx, vp, target, cfg, &NoopRecorder);
     (series, screened)
 }
 
@@ -247,11 +268,24 @@ pub fn measure_link_rec<R: Recorder>(
     cfg: &CampaignConfig,
     rec: &R,
 ) -> (LinkSeries, bool) {
+    measure_link_rec_in(net, &mut ProbeCtx::default(), vp, target, cfg, rec)
+}
+
+/// [`measure_link_rec`] reusing a caller-owned [`ProbeCtx`] (see
+/// [`measure_link_in`]).
+pub fn measure_link_rec_in<R: Recorder>(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+    rec: &R,
+) -> (LinkSeries, bool) {
     if !rec.enabled() {
-        return measure_link(net, vp, target, cfg);
+        return measure_link_in(net, ctx, vp, target, cfg);
     }
     let lr = LinkRecorder::new();
-    let (series, screened, rounds) = measure_link_impl(net, vp, target, cfg, &lr);
+    let (series, screened, rounds) = measure_link_impl(net, ctx, vp, target, cfg, &lr);
     lr.add_rounds(rounds);
     if screened {
         lr.screened_out();
@@ -317,13 +351,27 @@ pub fn measure_link_checkpointed_rec<R: Recorder>(
     store: &CheckpointStore,
     rec: &R,
 ) -> (LinkSeries, bool) {
+    measure_link_checkpointed_rec_in(net, &mut ProbeCtx::default(), vp, target, cfg, store, rec)
+}
+
+/// [`measure_link_checkpointed_rec`] reusing a caller-owned [`ProbeCtx`]
+/// (see [`measure_link_in`]); a checkpoint hit never touches the context.
+pub fn measure_link_checkpointed_rec_in<R: Recorder>(
+    net: &Network,
+    ctx: &mut ProbeCtx,
+    vp: NodeId,
+    target: &TslpTarget,
+    cfg: &CampaignConfig,
+    store: &CheckpointStore,
+    rec: &R,
+) -> (LinkSeries, bool) {
     let key = CheckpointStore::key_for(vp, target);
     if let Some(hit) = store.load(key) {
         rec.add("checkpoint_hits", 1);
         rec.link_event(link_key(target), LinkEvent::CheckpointHit);
         return hit;
     }
-    let (series, screened) = measure_link_rec(net, vp, target, cfg, rec);
+    let (series, screened) = measure_link_rec_in(net, ctx, vp, target, cfg, rec);
     if store.store(key, &series, screened).is_ok() {
         rec.add("checkpoint_writes", 1);
         rec.link_event(link_key(target), LinkEvent::CheckpointWrite);
@@ -383,8 +431,8 @@ pub fn measure_vp_links_checkpointed_rec<R: Recorder + Sync>(
         // Off path: no worker sheets, no per-link recorders — the pool runs
         // exactly as it did before telemetry existed.
         return match store {
-            Some(st) => pool_map_with(cfg.threads, targets, || (), |_, _, t| {
-                measure_link_checkpointed(net, vp, t, cfg, st)
+            Some(st) => pool_map_with(cfg.threads, targets, ProbeCtx::default, |ctx, _, t| {
+                measure_link_checkpointed_rec_in(net, ctx, vp, t, cfg, st, &NoopRecorder)
             }),
             None => measure_vp_links(net, vp, targets, cfg),
         };
@@ -393,14 +441,114 @@ pub fn measure_vp_links_checkpointed_rec<R: Recorder + Sync>(
         Some(st) => pool_map_rec(
             cfg.threads,
             targets,
-            || DrainSheet::new(rec),
-            |ds, _, t| measure_link_checkpointed_rec(net, vp, t, cfg, st, &ds.local),
+            || (ProbeCtx::default(), DrainSheet::new(rec)),
+            |(ctx, ds), _, t| measure_link_checkpointed_rec_in(net, ctx, vp, t, cfg, st, &ds.local),
             rec,
             "campaign",
             |_, t| link_key(t).label(),
         ),
         None => measure_vp_links_rec(net, vp, targets, cfg, rec),
     }
+}
+
+/// The streaming campaign: measure each link and *consume* its series in
+/// the same worker pass.
+///
+/// [`measure_vp_links_checkpointed_rec`] materializes every [`LinkSeries`]
+/// before anything downstream runs, so a continent-scale campaign (100k+
+/// links × a year of five-minute rounds) peaks at O(links × series length)
+/// resident memory. Here each worker measures a link (replaying its
+/// checkpoint shard when one exists), hands the series to `consume` — the
+/// detection/assessment stage — and drops it the moment the verdict is out:
+/// peak series memory is O(active windows), one series per live worker.
+///
+/// `consume` runs under the same purity contract as the pool itself: a pure
+/// function of `(state, index, target, series, screened)` — so results come
+/// back in target order, bit-identical at any thread count, and a panic
+/// quarantines the link as a [`WorkerFailure`] (the caller can re-obtain
+/// the dropped series via [`measure_link_checkpointed`]: the measurement is
+/// a pure function, and with a store it replays from the shard the worker
+/// already wrote).
+///
+/// On the telemetry path two gauges observe the streaming promise:
+/// `campaign_active_windows` (high-water mark of series alive at once) and
+/// `campaign_peak_rss_mb` (process peak RSS after the pass, where procfs
+/// exposes it). Gauges are observation-side and excluded from the
+/// deterministic manifest form.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_vp_links_rec<T, S, R>(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+    rec: &R,
+    init: impl Fn() -> S + Sync,
+    consume: impl Fn(&mut S, usize, &TslpTarget, LinkSeries, bool) -> T + Sync,
+) -> Vec<Result<T, WorkerFailure>>
+where
+    T: Send,
+    R: Recorder + Sync,
+{
+    if !rec.enabled() {
+        return pool_try_map_rec(
+            cfg.threads,
+            targets,
+            || (init(), ProbeCtx::default()),
+            |(s, ctx), i, t| {
+                let (series, screened) = match store {
+                    Some(st) => {
+                        measure_link_checkpointed_rec_in(net, ctx, vp, t, cfg, st, &NoopRecorder)
+                    }
+                    None => measure_link_in(net, ctx, vp, t, cfg),
+                };
+                consume(s, i, t, series, screened)
+            },
+            &NoopRecorder,
+            "campaign",
+            |_, t| link_key(t).label(),
+        );
+    }
+    let active = AtomicUsize::new(0);
+    let out = pool_try_map_rec(
+        cfg.threads,
+        targets,
+        || (init(), ProbeCtx::default(), DrainSheet::new(rec)),
+        |(s, ctx, ds), i, t| {
+            let (series, screened) = match store {
+                Some(st) => measure_link_checkpointed_rec_in(net, ctx, vp, t, cfg, st, &ds.local),
+                None => measure_link_rec_in(net, ctx, vp, t, cfg, &ds.local),
+            };
+            let alive = active.fetch_add(1, Ordering::Relaxed) + 1;
+            ds.local.gauge("campaign_active_windows", alive as f64);
+            let r = consume(s, i, t, series, screened);
+            active.fetch_sub(1, Ordering::Relaxed);
+            r
+        },
+        rec,
+        "campaign",
+        |_, t| link_key(t).label(),
+    );
+    if let Some(mb) = ixp_obs::peak_rss_mb() {
+        rec.gauge("campaign_peak_rss_mb", mb);
+    }
+    out
+}
+
+/// [`stream_vp_links_rec`] without telemetry.
+pub fn stream_vp_links<T, S>(
+    net: &Network,
+    vp: NodeId,
+    targets: &[TslpTarget],
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+    init: impl Fn() -> S + Sync,
+    consume: impl Fn(&mut S, usize, &TslpTarget, LinkSeries, bool) -> T + Sync,
+) -> Vec<Result<T, WorkerFailure>>
+where
+    T: Send,
+{
+    stream_vp_links_rec(net, vp, targets, cfg, store, &NoopRecorder, init, consume)
 }
 
 /// Resolve a `threads` knob: 0 = one worker per available core.
@@ -615,7 +763,9 @@ pub fn measure_vp_links(
     targets: &[TslpTarget],
     cfg: &CampaignConfig,
 ) -> Vec<(LinkSeries, bool)> {
-    pool_map_with(cfg.threads, targets, || (), |_, _, t| measure_link(net, vp, t, cfg))
+    pool_map_with(cfg.threads, targets, ProbeCtx::default, |ctx, _, t| {
+        measure_link_in(net, ctx, vp, t, cfg)
+    })
 }
 
 /// [`measure_vp_links`] with telemetry: every worker accumulates per-link
@@ -636,8 +786,8 @@ pub fn measure_vp_links_rec<R: Recorder + Sync>(
     pool_map_rec(
         cfg.threads,
         targets,
-        || DrainSheet::new(rec),
-        |ds, _, t| measure_link_rec(net, vp, t, cfg, &ds.local),
+        || (ProbeCtx::default(), DrainSheet::new(rec)),
+        |(ctx, ds), _, t| measure_link_rec_in(net, ctx, vp, t, cfg, &ds.local),
         rec,
         "campaign",
         |_, t| link_key(t).label(),
@@ -870,6 +1020,69 @@ mod tests {
         // And the recorded run returns exactly what the plain run returns.
         let plain = measure_vp_links(&net, vp, &targets, &cfg1);
         assert_eq!(bits(&out1), bits(&plain), "telemetry only observes");
+    }
+
+    #[test]
+    fn streaming_matches_two_pass_at_any_thread_count() {
+        let (net, vp, _) = line_topology(56);
+        let targets = vec![target(); 5];
+        let base = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 5));
+        let bits = |s: &LinkSeries| {
+            s.far_ms.iter().chain(&s.near_ms).map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let two_pass: Vec<_> = measure_vp_links(&net, vp, &targets, &base)
+            .iter()
+            .map(|(s, sc)| (bits(s), *sc))
+            .collect();
+        for threads in [1usize, 3] {
+            let cfg = CampaignConfig { threads, ..base };
+            // Consume inside the pool pass: the series is dropped right here.
+            let streamed = stream_vp_links(&net, vp, &targets, &cfg, None, || (), |_, _, _, s, sc| {
+                (bits(&s), sc)
+            });
+            let streamed: Vec<_> = streamed.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(streamed, two_pass, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_quarantine_reobtains_series_from_checkpoint() {
+        let dir = std::env::temp_dir()
+            .join(format!("tslp-stream-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (net, vp, _) = line_topology(57);
+        let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 5));
+        let targets = vec![target(); 3];
+        let store = CheckpointStore::new(&dir, campaign_fingerprint(&cfg)).unwrap();
+        let out = stream_vp_links(&net, vp, &targets, &cfg, Some(&store), || (), |_, i, _, s, _| {
+            assert!(i != 1, "poisoned consumer");
+            s.len()
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let failure = out[1].as_ref().expect_err("item 1 quarantined");
+        assert!(failure.message.contains("poisoned consumer"));
+        // The dropped series replays from the shard the worker wrote before
+        // its consumer panicked — same length as its successful twin.
+        let (replayed, _) = measure_link_checkpointed(&net, vp, &targets[1], &cfg, &store);
+        assert_eq!(replayed.len(), *out[0].as_ref().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_records_memory_gauges() {
+        use ixp_obs::MetricsRegistry;
+        let (net, vp, _) = line_topology(58);
+        let cfg = CampaignConfig::paper(SimTime::ZERO, SimTime::from_date(2016, 1, 5));
+        let targets = vec![target(); 4];
+        let reg = MetricsRegistry::new();
+        let out = stream_vp_links_rec(&net, vp, &targets, &cfg, None, &reg, || (), |_, _, _, s, _| s.len());
+        assert!(out.iter().all(|r| r.is_ok()));
+        let sheet = reg.snapshot();
+        let active = sheet.gauges.get("campaign_active_windows").copied().unwrap_or(0.0);
+        assert!(active >= 1.0, "active-window high-water mark {active}");
+        if ixp_obs::peak_rss_mb().is_some() {
+            assert!(sheet.gauges["campaign_peak_rss_mb"] > 0.0);
+        }
     }
 
     #[test]

@@ -29,9 +29,9 @@ pub mod lossanalysis;
 pub mod series;
 
 pub use campaign::{
-    far_excursions, far_spread_ms, link_key, measure_link, measure_link_rec, measure_vp,
-    measure_vp_links, measure_vp_links_rec, resolve_threads, CampaignConfig, Screening,
-    TslpProbing, WorkerFailure,
+    far_excursions, far_spread_ms, link_key, measure_link, measure_link_in, measure_link_rec,
+    measure_link_rec_in, measure_vp, measure_vp_links, measure_vp_links_rec, resolve_threads,
+    stream_vp_links, stream_vp_links_rec, CampaignConfig, Screening, TslpProbing, WorkerFailure,
 };
 pub use checkpoint::CheckpointStore;
 pub use detect::{

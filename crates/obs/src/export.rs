@@ -64,6 +64,10 @@ impl RunManifest {
         let mut m = self.clone();
         m.wall_secs = 0.0;
         m.sheet.workers.clear();
+        // Gauges observe the run, not the result: peak RSS and the active-
+        // window high-water mark depend on the host and on scheduling, the
+        // same class of volatility as the per-worker table.
+        m.sheet.gauges.clear();
         for t in m.sheet.stages.values_mut() {
             t.wall_ns = 0;
         }

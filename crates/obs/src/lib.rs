@@ -34,11 +34,13 @@
 pub mod export;
 pub mod ledger;
 pub mod metrics;
+pub mod rss;
 pub mod span;
 
 pub use export::{prometheus_text, stage_profile, RunManifest, MANIFEST_VERSION};
 pub use ledger::{End, LinkEvent, LinkKey, LinkRecorder, ProbeEvent, ProbeLedger, QuarantineNote};
 pub use metrics::{Histogram, MetricSheet, MetricsRegistry, SheetRecorder, StageTiming, WorkerStat};
+pub use rss::{peak_rss_mb, reset_peak_rss};
 pub use span::StageSpan;
 
 /// The instrumentation gateway: everything the pipeline reports goes through

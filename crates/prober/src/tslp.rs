@@ -116,7 +116,9 @@ fn probe_end<R: Recorder>(
         if attempt > 0 && cfg.retry_backoff > SimDuration::ZERO {
             *t += retry_wait(cfg, dst, ttl, *t, attempt);
         }
-        let r = net.send_probe_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), *t);
+        // The lite path skips truth-path collection — TSLP only reads the
+        // reply's kind/rtt/responder, so this leg allocates nothing.
+        let r = net.send_probe_lite_in(ctx, from, ProbeSpec::ttl_limited(dst, ttl), *t);
         *t += cfg.pacing;
         match r {
             Ok(rep)

@@ -1,0 +1,173 @@
+//! Arena-side compact storage: interned node names and the sorted address
+//! index.
+//!
+//! Both exist so the substrate scales to continent-size topologies without
+//! per-node heap churn:
+//!
+//! - [`NameTable`] interns every node name into one shared string buffer;
+//!   a [`Node`](crate::node::Node) carries a 4-byte [`NameId`] instead of an
+//!   owned `String`, and resolution (`Network::node_name`) is a span slice.
+//! - [`AddrIndex`] replaces the `HashMap<Ipv4, (NodeId, IfaceId)>` address
+//!   lookup with a sorted slice plus a small unsorted insert tail that is
+//!   merged amortized-O(n); reads binary-search the sorted body and scan the
+//!   tail, so a fully built network answers `owner_of` from one cache-friendly
+//!   array with no hashing.
+
+use crate::ip::Ipv4;
+use crate::node::{IfaceId, NodeId};
+
+/// Index of an interned name in the network's [`NameTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// The empty name (always interned at index 0).
+    pub const EMPTY: NameId = NameId(0);
+}
+
+/// An append-only string interner: one shared buffer, one `(start, end)`
+/// span per name.
+#[derive(Clone, Debug)]
+pub struct NameTable {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl Default for NameTable {
+    fn default() -> Self {
+        // Span 0 is the empty name, so NameId::EMPTY always resolves.
+        NameTable { buf: String::new(), spans: vec![(0, 0)] }
+    }
+}
+
+impl NameTable {
+    /// A table holding only the empty name.
+    pub fn new() -> NameTable {
+        NameTable::default()
+    }
+
+    /// Intern `name`, returning its id. Names are not deduplicated — callers
+    /// hand each node its own label — except for the empty string.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if name.is_empty() {
+            return NameId::EMPTY;
+        }
+        let start = self.buf.len() as u32;
+        self.buf.push_str(name);
+        let id = NameId(self.spans.len() as u32);
+        self.spans.push((start, self.buf.len() as u32));
+        id
+    }
+
+    /// Resolve a name id to its string.
+    pub fn resolve(&self, id: NameId) -> &str {
+        let (s, e) = self.spans[id.0 as usize];
+        &self.buf[s as usize..e as usize]
+    }
+
+    /// Number of interned names (including the empty name).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Only the empty name is present.
+    pub fn is_empty(&self) -> bool {
+        self.spans.len() == 1
+    }
+}
+
+/// Sorted `address → (node, iface)` index with an amortized insert tail.
+#[derive(Clone, Debug, Default)]
+pub struct AddrIndex {
+    /// Sorted by address.
+    sorted: Vec<(Ipv4, NodeId, IfaceId)>,
+    /// Recent inserts, unsorted; merged into `sorted` when it grows past
+    /// `max(64, sorted.len() / 8)`.
+    tail: Vec<(Ipv4, NodeId, IfaceId)>,
+}
+
+impl AddrIndex {
+    /// An empty index.
+    pub fn new() -> AddrIndex {
+        AddrIndex::default()
+    }
+
+    /// Number of indexed addresses.
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.tail.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty() && self.tail.is_empty()
+    }
+
+    /// Who owns `addr`?
+    pub fn get(&self, addr: Ipv4) -> Option<(NodeId, IfaceId)> {
+        if let Ok(i) = self.sorted.binary_search_by_key(&addr, |&(a, _, _)| a) {
+            let (_, n, f) = self.sorted[i];
+            return Some((n, f));
+        }
+        self.tail.iter().find(|&&(a, _, _)| a == addr).map(|&(_, n, f)| (n, f))
+    }
+
+    /// Is `addr` already indexed?
+    pub fn contains(&self, addr: Ipv4) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Index `addr → (node, iface)`. The caller guarantees uniqueness (the
+    /// network asserts it before inserting).
+    pub fn insert(&mut self, addr: Ipv4, node: NodeId, iface: IfaceId) {
+        self.tail.push((addr, node, iface));
+        if self.tail.len() >= 64.max(self.sorted.len() / 8) {
+            self.flush();
+        }
+    }
+
+    /// Merge the tail into the sorted body.
+    fn flush(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.sorted.append(&mut self.tail);
+        self.sorted.sort_unstable_by_key(|&(a, _, _)| a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_round_trips() {
+        let mut t = NameTable::new();
+        let a = t.intern("gixa-rtr1");
+        let b = t.intern("vp");
+        let e = t.intern("");
+        assert_eq!(t.resolve(a), "gixa-rtr1");
+        assert_eq!(t.resolve(b), "vp");
+        assert_eq!(e, NameId::EMPTY);
+        assert_eq!(t.resolve(NameId::EMPTY), "");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn addr_index_get_across_tail_and_sorted() {
+        let mut idx = AddrIndex::new();
+        // Stay below the merge threshold, then force interleaved lookups.
+        for i in 0..200u32 {
+            let addr = Ipv4(0x0a00_0000 + i * 7);
+            idx.insert(addr, NodeId(i), IfaceId((i % 4) as u16));
+            assert_eq!(idx.get(addr), Some((NodeId(i), IfaceId((i % 4) as u16))), "just-inserted {i}");
+        }
+        assert_eq!(idx.len(), 200);
+        for i in 0..200u32 {
+            let addr = Ipv4(0x0a00_0000 + i * 7);
+            assert_eq!(idx.get(addr), Some((NodeId(i), IfaceId((i % 4) as u16))));
+        }
+        assert_eq!(idx.get(Ipv4(1)), None);
+        assert!(idx.contains(Ipv4(0x0a00_0000)));
+        assert!(!idx.contains(Ipv4(2)));
+    }
+}

@@ -445,7 +445,7 @@ mod tests {
         // Two flips of the same prefix at the same instant: the later
         // insertion must win, whichever order `apply` walks internally.
         let build = |first_alt: bool| {
-            let (mut net, vp, dst) = line3();
+            let (mut net, vp, _dst) = line3();
             net.connect_idle(NodeId(1), Ipv4::new(10, 0, 2, 1), NodeId(2), Ipv4::new(10, 0, 2, 2), LinkConfig::default());
             let alt = net.node(NodeId(1)).iface_by_addr(Ipv4::new(10, 0, 2, 1)).unwrap();
             let main = IfaceId(1);

@@ -1,0 +1,279 @@
+//! Compact prefix-indexed forwarding tables.
+//!
+//! [`FwdTable`] is the per-node FIB of the compact substrate representation:
+//! routes live in one flat `(masked base, egress)` array, grouped by prefix
+//! length (longest first) with each group sorted by base address. A lookup is
+//! a descending sweep over the (few) present lengths, one binary search per
+//! length — no per-node trie allocations, no hashing, and the whole table for
+//! a typical member router (one or two routes) fits in a cache line.
+//!
+//! Semantically it is a drop-in replacement for the binary trie
+//! ([`crate::ip::PrefixTable`]) the forwarding path used before: longest
+//! prefix wins, prefixes are unique keys, and `lookup` reports the matched
+//! prefix so the dynamic-overlay tie-break in [`crate::node::Node::next_hop_at`]
+//! keeps its exact semantics. A property test pins the two implementations
+//! against each other.
+
+use crate::ip::{Ipv4, Prefix};
+use crate::node::IfaceId;
+
+/// A prefix-indexed forwarding table: flat, sorted, binary-searched.
+#[derive(Clone, Debug, Default)]
+pub struct FwdTable {
+    /// `(masked base, egress)` entries, grouped by descending prefix length;
+    /// within a group, sorted by base address.
+    entries: Vec<(u32, IfaceId)>,
+    /// `(prefix length, start index into entries)` per non-empty group, in
+    /// descending length order. A group ends where the next begins.
+    groups: Vec<(u8, u32)>,
+}
+
+impl FwdTable {
+    /// An empty table.
+    pub fn new() -> FwdTable {
+        FwdTable::default()
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `[start, end)` bounds of the group holding `/len` routes, if present,
+    /// together with its index in `groups`.
+    fn group_bounds(&self, len: u8) -> Result<(usize, usize, usize), usize> {
+        // groups is sorted by descending length.
+        match self.groups.binary_search_by(|&(l, _)| len.cmp(&l)) {
+            Ok(gi) => {
+                let start = self.groups[gi].1 as usize;
+                let end = self.groups.get(gi + 1).map(|&(_, s)| s as usize).unwrap_or(self.entries.len());
+                Ok((gi, start, end))
+            }
+            Err(gi) => Err(gi),
+        }
+    }
+
+    /// Install `prefix → via`, replacing any existing route for the same
+    /// prefix. Returns the previous egress if one was replaced.
+    pub fn insert(&mut self, prefix: Prefix, via: IfaceId) -> Option<IfaceId> {
+        let base = prefix.base().0;
+        match self.group_bounds(prefix.len()) {
+            Ok((gi, start, end)) => {
+                match self.entries[start..end].binary_search_by_key(&base, |&(b, _)| b) {
+                    Ok(i) => {
+                        let old = self.entries[start + i].1;
+                        self.entries[start + i].1 = via;
+                        Some(old)
+                    }
+                    Err(i) => {
+                        self.entries.insert(start + i, (base, via));
+                        // Every group after this one starts at or past the
+                        // insertion point and shifts right by one.
+                        for g in &mut self.groups[gi + 1..] {
+                            g.1 += 1;
+                        }
+                        None
+                    }
+                }
+            }
+            Err(gi) => {
+                let start = self.groups.get(gi).map(|&(_, s)| s as usize).unwrap_or(self.entries.len());
+                self.entries.insert(start, (base, via));
+                for g in &mut self.groups[gi..] {
+                    g.1 += 1;
+                }
+                self.groups.insert(gi, (prefix.len(), start as u32));
+                None
+            }
+        }
+    }
+
+    /// Remove the route for exactly `prefix`. Returns its egress if present.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<IfaceId> {
+        let base = prefix.base().0;
+        let (gi, start, end) = self.group_bounds(prefix.len()).ok()?;
+        let i = self.entries[start..end].binary_search_by_key(&base, |&(b, _)| b).ok()?;
+        let (_, via) = self.entries.remove(start + i);
+        for g in &mut self.groups[gi + 1..] {
+            g.1 -= 1;
+        }
+        if end - start == 1 {
+            self.groups.remove(gi);
+        }
+        Some(via)
+    }
+
+    /// Exact-match lookup of the route installed for `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<IfaceId> {
+        let base = prefix.base().0;
+        let (_, start, end) = self.group_bounds(prefix.len()).ok()?;
+        let i = self.entries[start..end].binary_search_by_key(&base, |&(b, _)| b).ok()?;
+        Some(self.entries[start + i].1)
+    }
+
+    /// Longest-prefix match: the most specific route covering `addr`, with
+    /// the prefix it matched under.
+    pub fn lookup(&self, addr: Ipv4) -> Option<(Prefix, IfaceId)> {
+        let mut gi = 0;
+        while gi < self.groups.len() {
+            let (len, start) = self.groups[gi];
+            let start = start as usize;
+            let end = self.groups.get(gi + 1).map(|&(_, s)| s as usize).unwrap_or(self.entries.len());
+            let masked = mask_addr(addr.0, len);
+            if let Ok(i) = self.entries[start..end].binary_search_by_key(&masked, |&(b, _)| b) {
+                return Some((Prefix::new(Ipv4(masked), len), self.entries[start + i].1));
+            }
+            gi += 1;
+        }
+        None
+    }
+
+    /// Iterate all routes, most specific group first.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, IfaceId)> + '_ {
+        self.groups.iter().enumerate().flat_map(move |(gi, &(len, start))| {
+            let end = self.groups.get(gi + 1).map(|&(_, s)| s as usize).unwrap_or(self.entries.len());
+            self.entries[start as usize..end].iter().map(move |&(b, v)| (Prefix::new(Ipv4(b), len), v))
+        })
+    }
+
+    /// Bulk-install routes in one sort instead of n shifted inserts — the
+    /// continent-scale generator's path. Later duplicates of the same prefix
+    /// win, matching repeated [`FwdTable::insert`] calls.
+    pub fn extend_routes(&mut self, routes: impl IntoIterator<Item = (Prefix, IfaceId)>) {
+        let mut all: Vec<(u8, u32, IfaceId)> =
+            self.iter().map(|(p, v)| (p.len(), p.base().0, v)).collect();
+        all.extend(routes.into_iter().map(|(p, v)| (p.len(), p.base().0, v)));
+        // Stable sort by (desc len, base): equal keys keep insertion order,
+        // so the *last* occurrence of a duplicate prefix is the survivor.
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.entries.clear();
+        self.groups.clear();
+        let mut i = 0;
+        while i < all.len() {
+            let (len, base, _) = all[i];
+            // Skip to the final duplicate of this (len, base) key.
+            let mut j = i;
+            while j + 1 < all.len() && all[j + 1].0 == len && all[j + 1].1 == base {
+                j += 1;
+            }
+            match self.groups.last() {
+                Some(&(l, _)) if l == len => {}
+                _ => self.groups.push((len, self.entries.len() as u32)),
+            }
+            self.entries.push((base, all[j].2));
+            i = j + 1;
+        }
+    }
+}
+
+fn mask_addr(addr: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        addr & (u32::MAX << (32 - len as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::PrefixTable;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = FwdTable::new();
+        assert!(t.is_empty());
+        t.insert(p("0.0.0.0/0"), IfaceId(0));
+        t.insert(p("41.0.0.0/8"), IfaceId(1));
+        t.insert(p("41.1.0.0/16"), IfaceId(2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(Ipv4::new(41, 1, 2, 3)).unwrap().1, IfaceId(2));
+        assert_eq!(t.lookup(Ipv4::new(41, 9, 2, 3)).unwrap().1, IfaceId(1));
+        assert_eq!(t.lookup(Ipv4::new(8, 8, 8, 8)).unwrap().1, IfaceId(0));
+        assert_eq!(t.lookup(Ipv4::new(41, 9, 0, 0)).unwrap().0, p("41.0.0.0/8"));
+        assert_eq!(t.remove(p("41.0.0.0/8")), Some(IfaceId(1)));
+        assert_eq!(t.lookup(Ipv4::new(41, 9, 2, 3)).unwrap().1, IfaceId(0));
+        assert_eq!(t.remove(p("41.0.0.0/8")), None);
+        assert_eq!(t.get(p("41.1.0.0/16")), Some(IfaceId(2)));
+        assert_eq!(t.get(p("41.1.0.0/24")), None);
+    }
+
+    #[test]
+    fn insert_replaces_existing_prefix() {
+        let mut t = FwdTable::new();
+        assert_eq!(t.insert(p("10.0.0.0/24"), IfaceId(1)), None);
+        assert_eq!(t.insert(p("10.0.0.0/24"), IfaceId(2)), Some(IfaceId(1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Ipv4::new(10, 0, 0, 7)).unwrap().1, IfaceId(2));
+    }
+
+    #[test]
+    fn bulk_install_matches_incremental() {
+        let routes = [
+            (p("0.0.0.0/0"), IfaceId(0)),
+            (p("10.0.0.0/8"), IfaceId(1)),
+            (p("10.1.0.0/16"), IfaceId(2)),
+            (p("10.1.0.0/16"), IfaceId(5)), // duplicate: later wins
+            (p("196.49.14.0/24"), IfaceId(3)),
+            (p("196.49.0.0/16"), IfaceId(4)),
+        ];
+        let mut bulk = FwdTable::new();
+        bulk.extend_routes(routes.iter().copied());
+        let mut inc = FwdTable::new();
+        for &(pf, v) in &routes {
+            inc.insert(pf, v);
+        }
+        let b: Vec<_> = bulk.iter().collect();
+        let i: Vec<_> = inc.iter().collect();
+        assert_eq!(b, i);
+        assert_eq!(bulk.lookup(Ipv4::new(10, 1, 9, 9)).unwrap().1, IfaceId(5));
+    }
+
+    #[test]
+    fn matches_prefix_trie_on_random_tables() {
+        // Deterministic pseudo-random route sets, checked address-by-address
+        // against the binary trie the forwarding path used before.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..50 {
+            let mut fwd = FwdTable::new();
+            let mut trie: PrefixTable<IfaceId> = PrefixTable::new();
+            for _ in 0..40 {
+                let len = (rng() % 33) as u8;
+                let base = Ipv4((rng() & 0xffff_ffff) as u32);
+                let via = IfaceId((rng() % 8) as u16);
+                let pf = Prefix::new(base, len);
+                fwd.insert(pf, via);
+                trie.insert(pf, via);
+            }
+            for _ in 0..200 {
+                let addr = Ipv4((rng() & 0xffff_ffff) as u32);
+                let a = fwd.lookup(addr);
+                let b = trie.lookup(addr).map(|(pf, &v)| (pf, v));
+                assert_eq!(a, b, "lookup({addr}) diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn default_route_only() {
+        let mut t = FwdTable::new();
+        t.insert(Prefix::DEFAULT, IfaceId(3));
+        assert_eq!(t.lookup(Ipv4::new(255, 255, 255, 255)).unwrap(), (Prefix::DEFAULT, IfaceId(3)));
+        assert_eq!(t.lookup(Ipv4::new(0, 0, 0, 0)).unwrap().1, IfaceId(3));
+    }
+}

@@ -54,7 +54,9 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod fault;
+pub mod fwd;
 pub mod ip;
 pub mod kernel;
 pub mod link;
@@ -67,12 +69,16 @@ pub mod trace;
 
 /// The names most users want in scope.
 pub mod prelude {
+    pub use crate::arena::{AddrIndex, NameId, NameTable};
     pub use crate::fault::{Fault, FaultPlan};
+    pub use crate::fwd::FwdTable;
     pub use crate::ip::{Ipv4, Prefix, PrefixTable};
     pub use crate::link::{
         ConstantLoad, Dir, DropReason, Link, LinkConfig, LinkId, LinkQueueState, NoLoad, OfferedLoad, Schedule,
     };
-    pub use crate::net::{Network, ProbeCtx, ProbeError, ProbeReply, ProbeResult, ProbeSpec};
+    pub use crate::net::{
+        Network, ProbeCtx, ProbeError, ProbeReply, ProbeReplyLite, ProbeResult, ProbeResultLite, ProbeSpec,
+    };
     pub use crate::node::{
         Asn, FwdState, IcmpConfig, IfaceId, Node, NodeId, NodeKind, NodeScratch, RespondFrom, SlowPath,
     };

@@ -25,6 +25,7 @@
 //! short-circuit to the closed-form "empty queue" answer.
 
 use crate::ip::Ipv4;
+use crate::node::{IfaceId, NodeId};
 use crate::rng::{streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -233,6 +234,11 @@ pub struct Link {
     pub addr_a: Ipv4,
     /// B-side interface address.
     pub addr_b: Ipv4,
+    /// `(node, iface)` at the A and B endpoints, set by `Network::connect`.
+    /// Lets the hot forwarding path resolve "who is across this link" as an
+    /// array read instead of an address-index lookup. Sentinel
+    /// (`u32::MAX`/`u16::MAX`) until the link is wired into a network.
+    ends: [(NodeId, IfaceId); 2],
     cfg: LinkConfig,
     loads: [Arc<dyn OfferedLoad>; 2],
     states: [LinkQueueState; 2],
@@ -264,6 +270,7 @@ impl Link {
             id,
             addr_a,
             addr_b,
+            ends: [(NodeId(u32::MAX), IfaceId(u16::MAX)); 2],
             cfg,
             loads: [load_ab, load_ba],
             states,
@@ -275,6 +282,28 @@ impl Link {
     /// The link's static configuration.
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
+    }
+
+    /// Record the endpoint `(node, iface)` pairs (called once by
+    /// `Network::connect` after creating the interfaces).
+    pub(crate) fn set_ends(&mut self, a: (NodeId, IfaceId), b: (NodeId, IfaceId)) {
+        self.ends = [a, b];
+    }
+
+    /// The `(node, iface)` a packet travelling in `dir` arrives at.
+    pub fn arrival_end(&self, dir: Dir) -> (NodeId, IfaceId) {
+        match dir {
+            Dir::AtoB => self.ends[1],
+            Dir::BtoA => self.ends[0],
+        }
+    }
+
+    /// The interface address a packet travelling in `dir` arrives at.
+    pub fn arrival_addr(&self, dir: Dir) -> Ipv4 {
+        match dir {
+            Dir::AtoB => self.addr_b,
+            Dir::BtoA => self.addr_a,
+        }
     }
 
     /// Replace the offered load of one direction (scenario phase changes).

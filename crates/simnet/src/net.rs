@@ -28,13 +28,13 @@
 //! of a symmetric path shows forward and reverse hops), while ICMP errors
 //! merely quote the frozen forward-path option.
 
+use crate::arena::{AddrIndex, NameTable};
 use crate::ip::{Ipv4, Prefix};
 use crate::link::{Dir, DropReason, Link, LinkConfig, LinkId, LinkQueueState, NoLoad, OfferedLoad};
 use crate::node::{Asn, IfaceId, Node, NodeId, NodeKind, NodeScratch, NoResponse};
 use crate::packet::{Packet, PacketKind, ProbeId, PROBE_SIZE_BYTES};
 use crate::rng::{mix, splitmix64, streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Maximum hops walked before declaring a forwarding loop.
@@ -118,8 +118,30 @@ pub struct ProbeReply {
     pub truth_return_path: Vec<Ipv4>,
 }
 
+/// A successful probe, without the per-probe heap baggage: no ground-truth
+/// path vectors, no record-route. This is everything the bulk TSLP campaign
+/// reads, so [`Network::send_probe_lite_in`] walks millions of rounds with
+/// zero allocations per probe. Timing, responder choice, and RNG draws are
+/// bit-identical to [`Network::send_probe_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeReplyLite {
+    /// Source address of the response packet.
+    pub responder: Ipv4,
+    /// Node that generated the response.
+    pub responder_node: NodeId,
+    /// Response kind (TimeExceeded / EchoReply / DestUnreachable).
+    pub kind: PacketKind,
+    /// Round-trip time as the prober measures it.
+    pub rtt: SimDuration,
+    /// IP-ID stamped by the responder (alias-resolution signal).
+    pub ip_id: u16,
+}
+
 /// Result of sending one probe.
 pub type ProbeResult = Result<ProbeReply, ProbeError>;
+
+/// Result of sending one allocation-free probe.
+pub type ProbeResultLite = Result<ProbeReplyLite, ProbeError>;
 
 /// Result of advancing a packet by one forwarding decision.
 #[derive(Clone, Debug)]
@@ -170,20 +192,65 @@ pub enum ForwardStep {
 ///   two contexts agree wherever their queries overlap,
 /// - one [`NodeScratch`] per node (IP-ID counters, ICMP rate-limiter
 ///   buckets) — one context models one measurement session's view,
-/// - a route memo caching resolved `(node, dst) → egress` lookups.
+/// - a per-node route memo caching resolved `dst → egress` lookups.
+///
+/// The memo is a dense array indexed by node id, two direct-mapped slots per
+/// node — a probe walk resolves at most two destinations per node (the
+/// probe's target on the forward leg, the prober's address on the return
+/// leg), so two slots give the same hit rate the old `HashMap<(node, dst), …>`
+/// memo had, with no hashing and O(nodes) memory. Replacement policy cannot
+/// affect results: longest-prefix match is a pure function of `(node, dst)`,
+/// so every fill writes the same value a hit would have read.
 ///
 /// A context is glued to the network's mutation epochs: topology or scenario
 /// changes on the `Network` invalidate the route memo or rewind the queue
 /// states, respectively, at the context's next use ([`ProbeCtx::sync`]).
+///
+/// Invalidation is generation-stamped, never eager: each per-link and
+/// per-node entry carries the generation it was initialized under, and an
+/// entry whose stamp trails the context's current generation is rebuilt on
+/// first touch. That makes [`ProbeCtx::rebase`] — reusing one context for a
+/// new measurement stream, the per-worker pattern the campaign pool uses —
+/// O(1) instead of O(links + nodes), which is the difference between a
+/// campaign that scales linearly in links and one that scales quadratically
+/// (every per-link context rebuild walking every link in a 100k-link
+/// substrate).
 #[derive(Clone, Debug)]
 pub struct ProbeCtx {
     base: u64,
     next: u64,
     topo_epoch: u64,
     scenario_epoch: u64,
-    queues: Vec<[LinkQueueState; 2]>,
-    scratch: Vec<NodeScratch>,
-    routes: HashMap<(u32, Ipv4), Option<IfaceId>>,
+    /// Current generation per state family; entries stamped below these are
+    /// stale and lazily refreshed on access.
+    queue_gen: u32,
+    scratch_gen: u32,
+    route_gen: u32,
+    queues: Vec<(u32, [LinkQueueState; 2])>,
+    scratch: Vec<(u32, NodeScratch)>,
+    routes: Vec<(u32, [(Ipv4, u32); 2])>,
+}
+
+/// Route-memo slot holding nothing yet.
+const MEMO_EMPTY: u32 = u32::MAX;
+/// Route-memo slot recording "no route" for its destination.
+const MEMO_NONE: u32 = u32::MAX - 1;
+
+#[inline]
+fn memo_encode(route: Option<IfaceId>) -> u32 {
+    match route {
+        Some(i) => i.0 as u32,
+        None => MEMO_NONE,
+    }
+}
+
+#[inline]
+fn memo_decode(v: u32) -> Option<IfaceId> {
+    if v == MEMO_NONE {
+        None
+    } else {
+        Some(IfaceId(v as u16))
+    }
 }
 
 impl Default for ProbeCtx {
@@ -195,9 +262,12 @@ impl Default for ProbeCtx {
             next: 1,
             topo_epoch: 0,
             scenario_epoch: 0,
+            queue_gen: 1,
+            scratch_gen: 1,
+            route_gen: 1,
             queues: Vec::new(),
             scratch: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
         }
     }
 }
@@ -217,18 +287,28 @@ impl ProbeCtx {
     pub fn sync(&mut self, net: &Network) {
         if self.topo_epoch != net.topo_epoch {
             self.topo_epoch = net.topo_epoch;
-            self.routes.clear();
+            self.route_gen += 1;
         }
         if self.scenario_epoch != net.scenario_epoch {
             self.scenario_epoch = net.scenario_epoch;
-            self.queues.clear();
+            self.queue_gen += 1;
         }
+        // Growth initializes entries as current (stamp = generation): a
+        // brand-new context pays the eager fill exactly once; every later
+        // invalidation is a generation bump with lazy per-entry refresh.
         while self.queues.len() < net.links.len() {
             let l = &net.links[self.queues.len()];
-            self.queues.push([l.fresh_queue_state(Dir::AtoB), l.fresh_queue_state(Dir::BtoA)]);
+            self.queues.push((
+                self.queue_gen,
+                [l.fresh_queue_state(Dir::AtoB), l.fresh_queue_state(Dir::BtoA)],
+            ));
         }
         while self.scratch.len() < net.nodes.len() {
-            self.scratch.push(net.nodes[self.scratch.len()].fresh_scratch());
+            let n = &net.nodes[self.scratch.len()];
+            self.scratch.push((self.scratch_gen, n.fresh_scratch()));
+        }
+        if self.routes.len() < net.nodes.len() {
+            self.routes.resize(net.nodes.len(), (self.route_gen, [(Ipv4(0), MEMO_EMPTY); 2]));
         }
     }
 
@@ -237,7 +317,24 @@ impl ProbeCtx {
     /// a time range an earlier pass advanced through (full-fidelity probing
     /// after screening) must rewind first or it reads stale queue state.
     pub fn reset_queue_state(&mut self, net: &Network) {
-        self.queues.clear();
+        self.queue_gen += 1;
+        self.sync(net);
+    }
+
+    /// Reuse this context as if freshly built by [`Network::probe_ctx`] for
+    /// `stream` — same probe-id space, same fresh queue/scratch/memo state,
+    /// bit-identical probing — in O(1): every entry family is invalidated by
+    /// a generation bump and refreshed lazily on first touch. A pool worker
+    /// measuring thousands of links rebases one context per link instead of
+    /// rebuilding O(links + nodes) state each time.
+    pub fn rebase(&mut self, net: &Network, stream: u64) {
+        self.base = if stream == 0 { 0 } else { splitmix64(stream) };
+        self.next = 1;
+        self.queue_gen += 1;
+        self.scratch_gen += 1;
+        self.route_gen += 1;
+        self.topo_epoch = net.topo_epoch;
+        self.scenario_epoch = net.scenario_epoch;
         self.sync(net);
     }
 }
@@ -251,7 +348,8 @@ impl ProbeCtx {
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    by_addr: HashMap<Ipv4, (NodeId, IfaceId)>,
+    by_addr: AddrIndex,
+    names: NameTable,
     noise: HashNoise,
     /// Bumped on any topology-affecting mutation (nodes, links, routes,
     /// node config): outstanding route memos are stale.
@@ -270,7 +368,8 @@ impl Network {
         Network {
             nodes: Vec::new(),
             links: Vec::new(),
-            by_addr: HashMap::new(),
+            by_addr: AddrIndex::new(),
+            names: NameTable::new(),
             noise: HashNoise::new(seed),
             topo_epoch: 0,
             scenario_epoch: 0,
@@ -306,12 +405,19 @@ impl Network {
         self.default_ctx.alloc_probe_id()
     }
 
-    /// Add a node; returns its id.
-    pub fn add_node(&mut self, kind: NodeKind, asn: Asn, name: impl Into<String>) -> NodeId {
+    /// Add a node; returns its id. The name is interned into the network's
+    /// shared symbol table — resolve it back via [`Network::node_name`].
+    pub fn add_node(&mut self, kind: NodeKind, asn: Asn, name: impl AsRef<str>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let name = self.names.intern(name.as_ref());
         self.nodes.push(Node::new(id, kind, asn, name));
         self.topo_epoch += 1;
         id
+    }
+
+    /// Resolve a node's interned name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.names.resolve(self.nodes[id.0 as usize].name)
     }
 
     /// Immutable node access.
@@ -353,7 +459,7 @@ impl Network {
 
     /// Which node/interface owns `addr`?
     pub fn owner_of(&self, addr: Ipv4) -> Option<(NodeId, IfaceId)> {
-        self.by_addr.get(&addr).copied()
+        self.by_addr.get(addr)
     }
 
     /// Connect two nodes with a new link; creates one interface on each side.
@@ -370,15 +476,16 @@ impl Network {
         load_ba: Arc<dyn OfferedLoad>,
     ) -> LinkId {
         assert!(a != b, "self-links are not supported");
-        assert!(!self.by_addr.contains_key(&addr_a), "address {addr_a} already in use");
-        assert!(!self.by_addr.contains_key(&addr_b), "address {addr_b} already in use");
+        assert!(!self.by_addr.contains(addr_a), "address {addr_a} already in use");
+        assert!(!self.by_addr.contains(addr_b), "address {addr_b} already in use");
         let id = LinkId(self.links.len() as u32);
         let link_noise = self.noise.child(streams::LOAD_NOISE, id.0 as u64);
         self.links.push(Link::new(id, addr_a, addr_b, cfg, load_ab, load_ba, link_noise));
         let ia = self.nodes[a.0 as usize].add_iface(addr_a, Some((id, Dir::AtoB)));
         let ib = self.nodes[b.0 as usize].add_iface(addr_b, Some((id, Dir::BtoA)));
-        self.by_addr.insert(addr_a, (a, ia));
-        self.by_addr.insert(addr_b, (b, ib));
+        self.links[id.0 as usize].set_ends((a, ia), (b, ib));
+        self.by_addr.insert(addr_a, a, ia);
+        self.by_addr.insert(addr_b, b, ib);
         self.topo_epoch += 1;
         id
     }
@@ -390,9 +497,9 @@ impl Network {
 
     /// Add a stub (loopback-style) interface not attached to any link.
     pub fn add_stub_iface(&mut self, node: NodeId, addr: Ipv4) -> IfaceId {
-        assert!(!self.by_addr.contains_key(&addr), "address {addr} already in use");
+        assert!(!self.by_addr.contains(addr), "address {addr} already in use");
         let id = self.nodes[node.0 as usize].add_iface(addr, None);
-        self.by_addr.insert(addr, (node, id));
+        self.by_addr.insert(addr, node, id);
         self.topo_epoch += 1;
         id
     }
@@ -400,6 +507,14 @@ impl Network {
     /// Install `prefix → iface` on `node`.
     pub fn add_route(&mut self, node: NodeId, prefix: Prefix, via: IfaceId) {
         self.nodes[node.0 as usize].add_route(prefix, via);
+        self.topo_epoch += 1;
+    }
+
+    /// Bulk-install routes on `node` — one sorted rebuild of its forwarding
+    /// table and one epoch bump instead of n shifted inserts. The
+    /// continent-scale generator's install path.
+    pub fn add_routes(&mut self, node: NodeId, routes: impl IntoIterator<Item = (Prefix, IfaceId)>) {
+        self.nodes[node.0 as usize].add_routes(routes);
         self.topo_epoch += 1;
     }
 
@@ -440,12 +555,7 @@ impl Network {
             }
             let iface = self.nodes[cur.0 as usize].next_hop_at(dst, t)?;
             let (lid, dir) = self.nodes[cur.0 as usize].ifaces[iface.0 as usize].link?;
-            let link = &self.links[lid.0 as usize];
-            let next_addr = match dir {
-                Dir::AtoB => link.addr_b,
-                Dir::BtoA => link.addr_a,
-            };
-            let (next, _) = self.by_addr.get(&next_addr).copied()?;
+            let (next, _) = self.links[lid.0 as usize].arrival_end(dir);
             cur = next;
             path.push(cur);
         }
@@ -513,17 +623,26 @@ impl Network {
         // Route memoization: resolved hop choices are pure functions of the
         // forwarding tables, which cannot change while a ProbeCtx is in use
         // (any `node_mut`/`add_route` bumps the topology epoch and clears
-        // this memo at the next sync). Nodes carrying dynamic forwarding
-        // overlays (routing events) bypass the memo: their next hop is a
-        // function of time, not just of (node, dst).
+        // this memo at the next sync). Two direct-mapped slots per node cover
+        // a probe walk's two destinations (target out, prober back); the LPM
+        // is pure, so the replacement policy cannot change any answer. Nodes
+        // carrying dynamic forwarding overlays (routing events) bypass the
+        // memo: their next hop is a function of time, not just of (node, dst).
         let route = if node.fwd_dyn.is_empty() {
-            match ctx.routes.get(&(cur.0, pkt.dst)) {
-                Some(&e) => e,
-                None => {
-                    let e = node.next_hop(pkt.dst);
-                    ctx.routes.insert((cur.0, pkt.dst), e);
-                    e
-                }
+            let entry = &mut ctx.routes[cur.0 as usize];
+            if entry.0 != ctx.route_gen {
+                *entry = (ctx.route_gen, [(Ipv4(0), MEMO_EMPTY); 2]);
+            }
+            let memo = &mut entry.1;
+            if memo[0].1 != MEMO_EMPTY && memo[0].0 == pkt.dst {
+                memo_decode(memo[0].1)
+            } else if memo[1].1 != MEMO_EMPTY && memo[1].0 == pkt.dst {
+                memo_decode(memo[1].1)
+            } else {
+                let e = node.next_hop(pkt.dst);
+                memo[1] = memo[0];
+                memo[0] = (pkt.dst, memo_encode(e));
+                e
             }
         } else {
             node.next_hop_at(pkt.dst, now)
@@ -573,14 +692,17 @@ impl Network {
         let leg = if is_response { 0xf0f0 } else { 0x0f0f };
         let hop_key = mix(&[pkt.probe.0, hop_idx as u64 + 1, leg]);
         let link = &self.links[lid.0 as usize];
-        let qstate = &mut ctx.queues[lid.0 as usize][dir.index()];
+        let qentry = &mut ctx.queues[lid.0 as usize];
+        if qentry.0 != ctx.queue_gen {
+            *qentry = (
+                ctx.queue_gen,
+                [link.fresh_queue_state(Dir::AtoB), link.fresh_queue_state(Dir::BtoA)],
+            );
+        }
+        let qstate = &mut qentry.1[dir.index()];
         match link.transit_in(dir, qstate, now, pkt.size, hop_key) {
             Ok(d) => {
-                let arrive_addr = match dir {
-                    Dir::AtoB => link.addr_b,
-                    Dir::BtoA => link.addr_a,
-                };
-                let (next, inc) = self.by_addr[&arrive_addr];
+                let (next, inc) = link.arrival_end(dir);
                 ForwardStep::Hop { next, incoming: inc, arrive: now + d, egress_addr }
             }
             Err(r) => ForwardStep::Fail(if is_response {
@@ -622,7 +744,11 @@ impl Network {
         ctx.sync(self);
         let gen_key = mix(&[pkt.probe.0, 0xabcd]);
         let responder = &self.nodes[node.0 as usize];
-        let scratch = &mut ctx.scratch[node.0 as usize];
+        let sentry = &mut ctx.scratch[node.0 as usize];
+        if sentry.0 != ctx.scratch_gen {
+            *sentry = (ctx.scratch_gen, responder.fresh_scratch());
+        }
+        let scratch = &mut sentry.1;
         let gen_delay = responder
             .icmp_response_delay_in(scratch, now, &self.noise, gen_key)
             .map_err(ProbeError::Silent)?;
@@ -645,11 +771,18 @@ impl Network {
         r
     }
 
-    /// Send a probe from host `from` at time `t` and walk it to completion,
-    /// drawing all mutable state from `ctx`. This is the shared-substrate
-    /// fast path: `&self` means any number of contexts can walk probes over
-    /// the same network concurrently.
-    pub fn send_probe_in(&self, ctx: &mut ProbeCtx, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
+    /// The shared probe walk behind [`Network::send_probe_in`] and
+    /// [`Network::send_probe_lite_in`]. When `truth` is `Some`, ground-truth
+    /// egress addresses are collected into it; either way, hop indices, RNG
+    /// draws, and timing are identical — the collector only observes.
+    fn send_probe_core(
+        &self,
+        ctx: &mut ProbeCtx,
+        from: NodeId,
+        spec: ProbeSpec,
+        t: SimTime,
+        mut truth: Option<&mut (Vec<Ipv4>, Vec<Ipv4>)>,
+    ) -> Result<(ProbeReplyLite, Option<Vec<Ipv4>>), ProbeError> {
         ctx.sync(self);
         let probe_id = ctx.alloc_probe_id();
         let src_addr = self.primary_addr(from);
@@ -664,11 +797,14 @@ impl Network {
         let mut now = t;
         let mut cur = from;
         let mut incoming: Option<IfaceId> = None;
-        let mut truth_forward: Vec<Ipv4> = Vec::new();
+        let mut hops = 0usize;
         let (rnode, rkind, rsrc) = loop {
-            match self.forward_step_in(ctx, from, cur, incoming, &mut pkt, now, truth_forward.len()) {
+            match self.forward_step_in(ctx, from, cur, incoming, &mut pkt, now, hops) {
                 ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
-                    truth_forward.push(egress_addr);
+                    hops += 1;
+                    if let Some(tr) = truth.as_deref_mut() {
+                        tr.0.push(egress_addr);
+                    }
                     cur = next;
                     incoming = Some(inc);
                     now = arrive;
@@ -687,11 +823,14 @@ impl Network {
         // ---- Return leg ----
         let mut cur = rnode;
         let mut incoming: Option<IfaceId> = None;
-        let mut truth_return: Vec<Ipv4> = Vec::new();
+        let mut hops = 0usize;
         let arrived = loop {
-            match self.forward_step_in(ctx, rnode, cur, incoming, &mut response, now, truth_return.len()) {
+            match self.forward_step_in(ctx, rnode, cur, incoming, &mut response, now, hops) {
                 ForwardStep::Hop { next, incoming: inc, arrive, egress_addr } => {
-                    truth_return.push(egress_addr);
+                    hops += 1;
+                    if let Some(tr) = truth.as_deref_mut() {
+                        tr.1.push(egress_addr);
+                    }
                     cur = next;
                     incoming = Some(inc);
                     now = arrive;
@@ -710,16 +849,37 @@ impl Network {
         let j = self.noise.range_f64(streams::RTT_JITTER, probe_id.0, 0.0, self.rtt_jitter.as_secs_f64());
         let done = arrived + SimDuration::from_secs_f64(j);
 
+        Ok((
+            ProbeReplyLite { responder: rsrc, responder_node: rnode, kind: rkind, rtt: done.since(t), ip_id },
+            response.record_route.map(|rr| rr.hops),
+        ))
+    }
+
+    /// Send a probe from host `from` at time `t` and walk it to completion,
+    /// drawing all mutable state from `ctx`. This is the shared-substrate
+    /// fast path: `&self` means any number of contexts can walk probes over
+    /// the same network concurrently.
+    pub fn send_probe_in(&self, ctx: &mut ProbeCtx, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResult {
+        let mut truth = (Vec::new(), Vec::new());
+        let (lite, record_route) = self.send_probe_core(ctx, from, spec, t, Some(&mut truth))?;
         Ok(ProbeReply {
-            responder: rsrc,
-            responder_node: rnode,
-            kind: rkind,
-            rtt: done.since(t),
-            ip_id,
-            record_route: response.record_route.map(|rr| rr.hops),
-            truth_forward_path: truth_forward,
-            truth_return_path: truth_return,
+            responder: lite.responder,
+            responder_node: lite.responder_node,
+            kind: lite.kind,
+            rtt: lite.rtt,
+            ip_id: lite.ip_id,
+            record_route,
+            truth_forward_path: truth.0,
+            truth_return_path: truth.1,
         })
+    }
+
+    /// [`Network::send_probe_in`] without the per-probe heap traffic: no
+    /// ground-truth path vectors are collected (record-route, if requested,
+    /// is still walked but discarded). Bit-identical timing and responder
+    /// selection — the bulk TSLP campaign's probe path.
+    pub fn send_probe_lite_in(&self, ctx: &mut ProbeCtx, from: NodeId, spec: ProbeSpec, t: SimTime) -> ProbeResultLite {
+        self.send_probe_core(ctx, from, spec, t, None).map(|(lite, _)| lite)
     }
 
     /// [`Network::send_probe_in`] against the embedded default context.

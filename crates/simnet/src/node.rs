@@ -15,7 +15,9 @@
 //! 3. **IP-ID stamping** from a shared per-router counter, the signal used
 //!    by Ally-style alias resolution in bdrmap.
 
-use crate::ip::{Ipv4, Prefix, PrefixTable};
+use crate::arena::NameId;
+use crate::fwd::FwdTable;
+use crate::ip::{Ipv4, Prefix};
 use crate::link::{Dir, LinkId, Schedule};
 use crate::rng::{streams, HashNoise};
 use crate::time::{SimDuration, SimTime};
@@ -222,12 +224,13 @@ pub struct Node {
     pub kind: NodeKind,
     /// Owning AS.
     pub asn: Asn,
-    /// Human-readable name (AS name / router name), used in traces and rDNS.
-    pub name: String,
+    /// Interned human-readable name (AS name / router name); resolve through
+    /// [`crate::net::Network::node_name`].
+    pub name: NameId,
     /// Interfaces, indexed by [`IfaceId`].
     pub ifaces: Vec<Iface>,
     /// Forwarding table: destination prefix → egress interface.
-    pub fwd: PrefixTable<IfaceId>,
+    pub fwd: FwdTable,
     /// Dynamic forwarding overlays: per-prefix schedules of [`FwdState`]
     /// installed by routing events. Empty for the (overwhelmingly common)
     /// routers no routing event ever touches — the forwarding fast path
@@ -244,14 +247,14 @@ impl Node {
     /// The IP-ID counter starts at a node-specific pseudo-random value, as
     /// real router counters do — otherwise every freshly booted router would
     /// falsely pass the Ally alias test against every other.
-    pub fn new(id: NodeId, kind: NodeKind, asn: Asn, name: impl Into<String>) -> Node {
+    pub fn new(id: NodeId, kind: NodeKind, asn: Asn, name: NameId) -> Node {
         Node {
             id,
             kind,
             asn,
-            name: name.into(),
+            name,
             ifaces: Vec::new(),
-            fwd: PrefixTable::new(),
+            fwd: FwdTable::new(),
             fwd_dyn: Vec::new(),
             icmp: IcmpConfig::default(),
             scratch: Self::scratch_for(id, asn),
@@ -305,7 +308,12 @@ impl Node {
 
     /// Egress interface for `dst`, by longest-prefix match.
     pub fn next_hop(&self, dst: Ipv4) -> Option<IfaceId> {
-        self.fwd.lookup(dst).map(|(_, v)| *v)
+        self.fwd.lookup(dst).map(|(_, v)| v)
+    }
+
+    /// Bulk-install routes (one sort instead of n shifted inserts).
+    pub fn add_routes(&mut self, routes: impl IntoIterator<Item = (Prefix, IfaceId)>) {
+        self.fwd.extend_routes(routes);
     }
 
     /// Schedule a forwarding-state step for `prefix` at `at` (routing-event
@@ -338,14 +346,14 @@ impl Node {
         }
         let stat = self.fwd.lookup(dst);
         match best {
-            None => stat.map(|(_, v)| *v),
+            None => stat.map(|(_, v)| v),
             Some((dlen, state)) => {
                 if let Some((sp, v)) = stat {
                     if sp.len() > dlen {
-                        return Some(*v);
+                        return Some(v);
                     }
                     match state {
-                        FwdState::Static => Some(*v),
+                        FwdState::Static => Some(v),
                         FwdState::Via(i) => Some(*i),
                         FwdState::Drop => None,
                     }
@@ -435,7 +443,7 @@ mod tests {
     use super::*;
 
     fn router() -> Node {
-        let mut n = Node::new(NodeId(0), NodeKind::Router, Asn(30997), "gixa-rtr1");
+        let mut n = Node::new(NodeId(0), NodeKind::Router, Asn(30997), NameId::EMPTY);
         n.add_iface(Ipv4::new(196, 49, 14, 1), Some((LinkId(0), Dir::AtoB)));
         n.add_iface(Ipv4::new(196, 49, 14, 129), Some((LinkId(1), Dir::AtoB)));
         n

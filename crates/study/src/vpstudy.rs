@@ -20,7 +20,8 @@ use ixp_simnet::fault::FaultPlan;
 use ixp_topology::{build_vp, paper_directory, TruthKind, VpSpec};
 use serde::{Deserialize, Serialize};
 use tslp_core::campaign::{
-    campaign_fingerprint, measure_vp_links_checkpointed_rec, pool_try_map_rec, CampaignConfig,
+    campaign_fingerprint, measure_link, measure_link_checkpointed, stream_vp_links_rec,
+    CampaignConfig,
 };
 use tslp_core::checkpoint::CheckpointStore;
 use tslp_core::detect::{assess_at_thresholds_masked_with, record_assessment, AssessConfig, Assessment};
@@ -259,8 +260,9 @@ pub fn run_vp_study(spec: &VpSpec, cfg: &VpStudyConfig) -> VpStudy {
 }
 
 /// [`run_vp_study`] with telemetry: every pipeline stage times itself into
-/// the recorder's stage profile (`vp/<name>/build`, `.../bdrmap`,
-/// `.../campaign`, `.../assess`), the campaign fans its per-link probe
+/// the recorder's stage profile (`vp/<name>/build`, `.../bdrmap`, and
+/// `.../campaign`, which covers the fused measure-and-assess streaming
+/// pass), the campaign fans its per-link probe
 /// ledgers through worker-local sheets, and assessment verdicts, health
 /// classes, RR checks, loss campaigns, and quarantines all land in counters
 /// and per-link ledger fields. With a disabled recorder (the default
@@ -380,39 +382,27 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
         let fp = mix(&[campaign_fingerprint(&campaign), cfg.seed, spec.host_asn.0 as u64, faults_fp]);
         CheckpointStore::new(d, fp).expect("checkpoint directory must be creatable")
     });
-    let measured = {
+    // The streaming campaign: each worker measures a link, then classifies
+    // and assesses it (detector + RR + loss) in the same pass, dropping the
+    // series the moment its verdict is out — peak series memory is one
+    // window per live worker, not one per link. Workers reuse one
+    // DetectorScratch across every link they claim, and every probe context
+    // inside is seeded from link identity, so outcomes are identical at any
+    // thread count (tested below).
+    let streamed = {
         let mut span = StageSpan::enter(rec, stage("campaign"));
         span.add_sim_us(end.since(start).as_micros());
-        measure_vp_links_checkpointed_rec(
+        stream_vp_links_rec(
             &substrate.net,
             substrate.vp,
             &targets,
             &campaign,
             store.as_ref(),
             rec,
-        )
-    };
-
-    let screened = measured.iter().filter(|(_, sc)| *sc).count();
-    let probe_rounds: u64 = measured.iter().map(|(s, _)| s.len() as u64 * 2).sum();
-
-    let assess_span = StageSpan::enter(rec, stage("assess"));
-
-    // Fan the per-link assessment (detector + RR + loss) over the same
-    // work-stealing pool, each worker reusing one DetectorScratch across
-    // every link it claims — the detection fast path stays allocation-free
-    // per window. Every probe context inside is seeded from link identity,
-    // so outcomes are identical at any thread count (tested below).
-    let work: Vec<(&InferredLink, &LinkSeries, bool)> = discovered
-        .iter()
-        .zip(&measured)
-        .map(|(l, (series, screened_out))| (l, series, *screened_out))
-        .collect();
-    let assessed = pool_try_map_rec(
-        cfg.threads,
-        &work,
-        DetectorScratch::new,
-        |scratch, _, &(l, series, screened_out)| {
+            DetectorScratch::new,
+            |scratch, i, _target, series: LinkSeries, screened_out| {
+                let l = &discovered[i];
+                let series = &series;
         let key = LinkKey::new(l.near.0, l.far.0);
         // Measurement-integrity mask: classify the series once, thread the
         // gap/outage intervals through every threshold's assessment.
@@ -486,7 +476,8 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
         );
 
         let keep = cfg.keep_series && (assessment.congested || matches!(truth_of(l.near, l.far), Some(TruthKind::CaseStudy { .. })));
-        LinkOutcome {
+        let rounds = series.len() as u64 * 2;
+        let outcome = LinkOutcome {
             near: l.near,
             far: l.far,
             far_asn: l.far_asn,
@@ -503,20 +494,41 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
             truth: truth_of(l.near, l.far),
             series: if keep { Some(series.clone()) } else { None },
             screened_out,
-        }
-        },
-        rec,
-        "assess",
-        |_, (l, _, _)| LinkKey::new(l.near.0, l.far.0).label(),
-    );
-    // Quarantine: a panicked assessment becomes an inert outcome carrying
-    // the panic message instead of killing the whole study.
-    let outcomes: Vec<LinkOutcome> = assessed
+        };
+        // The series drops here — the streaming contract: nothing past this
+        // point holds a window that already has its verdict.
+        (outcome, rounds, screened_out)
+            },
+        )
+    };
+
+    // Quarantine fold: a panicked worker becomes an inert outcome carrying
+    // the panic message instead of killing the whole study. The worker
+    // dropped its series with the panic; measurement is a pure function, so
+    // re-obtaining it (a checkpoint replay when a store exists — the shard
+    // was written before the consumer ran) restores the health class, the
+    // screening flag, and the round count bit-identically.
+    let mut screened = 0usize;
+    let mut probe_rounds = 0u64;
+    let outcomes: Vec<LinkOutcome> = streamed
         .into_iter()
         .enumerate()
-        .map(|(i, r)| {
-            r.unwrap_or_else(|failure| {
-                let (l, series, screened_out) = work[i];
+        .map(|(i, r)| match r {
+            Ok((outcome, rounds, screened_out)) => {
+                probe_rounds += rounds;
+                screened += usize::from(screened_out);
+                outcome
+            }
+            Err(failure) => {
+                let l = &discovered[i];
+                let (series, screened_out) = match store.as_ref() {
+                    Some(st) => {
+                        measure_link_checkpointed(&substrate.net, substrate.vp, &targets[i], &campaign, st)
+                    }
+                    None => measure_link(&substrate.net, substrate.vp, &targets[i], &campaign),
+                };
+                probe_rounds += series.len() as u64 * 2;
+                screened += usize::from(screened_out);
                 rec.add("links_quarantined", 1);
                 rec.link_event(
                     LinkKey::new(l.near.0, l.far.0),
@@ -532,7 +544,7 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
                     far_name: substrate.asdb.name_of(l.far_asn),
                     at_ixp: l.at_ixp,
                     sweep: Vec::new(),
-                    health: classify_link(series, &cfg.assess.health).overall,
+                    health: classify_link(&series, &cfg.assess.health).overall,
                     artifact_events: 0,
                     quarantined: Some(failure.message),
                     assessment: Assessment::empty(series.far_validity(), f64::NAN),
@@ -543,10 +555,9 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
                     series: None,
                     screened_out,
                 }
-            })
+            }
         })
         .collect();
-    drop(assess_span);
 
     // Fill per-snapshot congested counts: a congested peering link counts at
     // a snapshot when it has an event within ±20 days of the date.

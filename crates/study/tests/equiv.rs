@@ -1,0 +1,306 @@
+//! Representation-equivalence goldens.
+//!
+//! These hashes were pinned on the seed representation — per-thread route
+//! memo `HashMap<(NodeId, Ipv4), Option<IfaceId>>`, address lookup
+//! `HashMap<Ipv4, (NodeId, IfaceId)>`, heap `String` node names — **before**
+//! the compact FwdTable/AddrIndex/arena representation landed. They pin,
+//! bit for bit:
+//!
+//! - paper-topology truth paths (static routing and through PR 6's
+//!   routing-event overlays: session resets, withdrawals, policy flips,
+//!   reconfiguration transients);
+//! - TSLP series bits — RTTs, NaN holes, per-round path fingerprints,
+//!   address-mismatch counts, screening decisions;
+//! - full study verdicts on VP4 (SIXP): sweep flags, waveform stats,
+//!   health classes, congestion labels — with and without a routing storm.
+//!
+//! If any of these change, the representation swap is NOT equivalent to the
+//! seed routing. Fix the representation, never the goldens.
+
+use ixp_simnet::fault::{Fault, FaultPlan};
+use ixp_simnet::prelude::*;
+use ixp_study::{run_vp_study, VpStudyConfig};
+use ixp_topology::{build_vp, paper_vps, VpSpec, VpSubstrate};
+use tslp_core::campaign::{measure_link, CampaignConfig};
+
+/// The default study seed (keep in sync with `VpStudyConfig::default`).
+const SEED: u64 = 0xAF12_2017;
+
+/// FNV-1a over little-endian u64 words.
+fn fold(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fold_f64(h: u64, v: f64) -> u64 {
+    fold(h, v.to_bits())
+}
+
+fn vp4() -> &'static VpSpec {
+    Box::leak(Box::new(paper_vps()[3].clone()))
+}
+
+fn substrate() -> VpSubstrate {
+    build_vp(vp4(), SEED)
+}
+
+/// A small deterministic routing-event storm touching the first few healthy
+/// truth links: one of each PR 6 control-plane fault kind.
+fn overlay_plan(s: &VpSubstrate) -> FaultPlan {
+    let net = &s.net;
+    let node_of = |addr: Ipv4| {
+        net.node_ids()
+            .find(|&n| net.node(n).ifaces.iter().any(|i| i.addr == addr))
+            .expect("truth link near router")
+    };
+    let day = |d: u64| SimTime::from_date(2016, 2, 22) + SimDuration::from_days(d);
+    let mut plan = FaultPlan::new();
+    let mut picked = 0usize;
+    for t in &s.links {
+        if !t.responsive {
+            continue;
+        }
+        let node = node_of(t.near);
+        let Some(good) = net.node(node).next_hop(t.dst) else { continue };
+        let wrong = net
+            .node(node)
+            .ifaces
+            .iter()
+            .enumerate()
+            .find(|(i, f)| IfaceId(*i as u16) != good && f.link.is_some())
+            .map(|(i, _)| IfaceId(i as u16));
+        let Some(wrong_via) = wrong else { continue };
+        match picked {
+            0 => {
+                plan = plan.with(Fault::SessionReset {
+                    node,
+                    prefix: t.prefix,
+                    at: day(3) + SimDuration::from_hours(2),
+                    downtime: SimDuration::from_mins(35),
+                });
+            }
+            1 => {
+                plan = plan.with(Fault::PrefixWithdraw {
+                    node,
+                    prefix: t.prefix,
+                    from: day(4),
+                    until: Some(day(4) + SimDuration::from_hours(6)),
+                });
+            }
+            2 => {
+                plan = plan.with(Fault::RouteFlip {
+                    node,
+                    prefix: t.prefix,
+                    via: wrong_via,
+                    from: day(5),
+                    until: Some(day(7)),
+                });
+            }
+            3 => {
+                plan = plan.with(Fault::ReconfigTransient {
+                    node,
+                    prefix: t.prefix,
+                    wrong_via,
+                    at: day(6) + SimDuration::from_hours(12),
+                    settle: SimDuration::from_mins(90),
+                });
+            }
+            _ => break,
+        }
+        picked += 1;
+    }
+    assert_eq!(picked, 4, "VP4 substrate must offer four routable storm targets");
+    plan
+}
+
+/// Hash every truth link's forward path at a set of sample times.
+fn hash_truth_paths(s: &VpSubstrate, times: &[SimTime]) -> u64 {
+    let mut h = FNV_SEED;
+    for t in &s.links {
+        for &at in times {
+            match s.net.truth_path_at(s.vp, t.dst, at) {
+                Some(path) => {
+                    h = fold(h, path.len() as u64);
+                    for n in path {
+                        h = fold(h, n.0 as u64);
+                    }
+                }
+                None => h = fold(h, u64::MAX),
+            }
+        }
+    }
+    h
+}
+
+/// Hash the first `n` responsive truth links' measured series over a short
+/// window: every RTT bit, fingerprint, mismatch count, screening verdict.
+fn hash_series(s: &VpSubstrate, n: usize) -> u64 {
+    let cfg = CampaignConfig::paper(
+        SimTime::from_date(2016, 2, 22),
+        SimTime::from_date(2016, 3, 7),
+    );
+    let mut h = FNV_SEED;
+    let mut measured = 0usize;
+    for t in &s.links {
+        if !t.responsive {
+            continue;
+        }
+        let target = ixp_prober::tslp::TslpTarget {
+            dst: t.dst,
+            near_ttl: t.near_ttl,
+            far_ttl: t.far_ttl,
+            near_addr: t.near,
+            far_addr: t.far,
+        };
+        let (series, screened) = measure_link(&s.net, s.vp, &target, &cfg);
+        h = fold(h, screened as u64);
+        h = fold(h, series.near_ms.len() as u64);
+        for &v in &series.near_ms {
+            h = fold_f64(h, v);
+        }
+        for &v in &series.far_ms {
+            h = fold_f64(h, v);
+        }
+        for &fp in &series.path_fp {
+            h = fold(h, fp);
+        }
+        h = fold(h, series.far_addr_mismatches as u64);
+        measured += 1;
+        if measured == n {
+            break;
+        }
+    }
+    assert_eq!(measured, n, "VP4 substrate must carry {n} responsive truth links");
+    h
+}
+
+/// Hash a full study's verdict surface: per link, the Table 1 sweep, the
+/// 10 ms assessment (events, waveform, guards), health class, screening.
+fn hash_verdicts(faults: FaultPlan) -> u64 {
+    let cfg = VpStudyConfig {
+        window: Some((SimTime::from_date(2016, 2, 22), SimTime::from_date(2016, 5, 20))),
+        with_loss: false,
+        keep_series: false,
+        faults,
+        ..Default::default()
+    };
+    let s = run_vp_study(vp4(), &cfg);
+    let mut h = FNV_SEED;
+    h = fold(h, s.outcomes.len() as u64);
+    h = fold(h, s.screened as u64);
+    h = fold(h, s.probe_rounds);
+    for o in &s.outcomes {
+        h = fold(h, o.near.0 as u64);
+        h = fold(h, o.far.0 as u64);
+        h = fold(h, o.at_ixp as u64);
+        h = fold(h, o.screened_out as u64);
+        for &(thr, flagged, diurnal) in &o.sweep {
+            h = fold_f64(h, thr);
+            h = fold(h, flagged as u64);
+            h = fold(h, diurnal as u64);
+        }
+        let a = &o.assessment;
+        h = fold(h, a.flagged as u64);
+        h = fold(h, a.diurnal as u64);
+        h = fold(h, a.congested as u64);
+        h = fold(h, a.events.len() as u64);
+        for e in &a.events {
+            h = fold(h, e.start.0);
+            h = fold(h, e.end.0);
+            h = fold_f64(h, e.magnitude_ms);
+        }
+        h = fold(h, a.stats.count as u64);
+        h = fold_f64(h, a.stats.a_w_ms);
+        h = fold(h, a.stats.dt_ud.0);
+        h = fold_f64(h, a.stats.duty_cycle);
+        h = fold(h, match a.sustained {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        h = fold_f64(h, a.far_validity);
+        h = fold_f64(h, a.baseline_ms);
+        for b in format!("{:?}", o.health).bytes() {
+            h = fold(h, b as u64);
+        }
+        h = fold(h, o.artifact_events as u64);
+    }
+    h
+}
+
+fn times_static() -> Vec<SimTime> {
+    let start = SimTime::from_date(2016, 2, 22);
+    vec![start, start + SimDuration::from_days(40)]
+}
+
+fn times_overlay() -> Vec<SimTime> {
+    let day = |d: u64| SimTime::from_date(2016, 2, 22) + SimDuration::from_days(d);
+    vec![
+        day(2),                                  // before any event
+        day(3) + SimDuration::from_mins(10 * 60 / 5), // inside the session reset
+        day(4) + SimDuration::from_hours(3),     // inside the withdrawal
+        day(6),                                  // inside the route flip
+        day(6) + SimDuration::from_hours(13),    // inside the reconfig transient
+        day(10),                                 // after re-convergence
+    ]
+}
+
+#[test]
+fn truth_paths_match_seed_representation() {
+    let s = substrate();
+    let h = hash_truth_paths(&s, &times_static());
+    assert_eq!(h, GOLDEN_TRUTH_PATHS, "static truth paths diverged from the seed routing (got {h:#018x})");
+}
+
+#[test]
+fn truth_paths_match_seed_representation_through_routing_overlays() {
+    let mut s = substrate();
+    let plan = overlay_plan(&s);
+    let n = plan.apply(&mut s.net);
+    assert!(n > 0, "overlay plan applied no faults");
+    let h = hash_truth_paths(&s, &times_overlay());
+    assert_eq!(h, GOLDEN_TRUTH_PATHS_OVERLAY, "overlay truth paths diverged from the seed routing (got {h:#018x})");
+}
+
+#[test]
+fn tslp_series_match_seed_representation() {
+    let s = substrate();
+    let h = hash_series(&s, 8);
+    assert_eq!(h, GOLDEN_SERIES, "TSLP series bits diverged from the seed routing (got {h:#018x})");
+}
+
+#[test]
+fn tslp_series_match_seed_representation_through_routing_overlays() {
+    let mut s = substrate();
+    let plan = overlay_plan(&s);
+    plan.apply(&mut s.net);
+    let h = hash_series(&s, 8);
+    assert_eq!(h, GOLDEN_SERIES_OVERLAY, "overlay TSLP series diverged from the seed routing (got {h:#018x})");
+}
+
+#[test]
+fn study_verdicts_match_seed_representation() {
+    let h = hash_verdicts(FaultPlan::new());
+    assert_eq!(h, GOLDEN_VERDICTS, "study verdicts diverged from the seed routing (got {h:#018x})");
+}
+
+#[test]
+fn study_verdicts_match_seed_representation_through_routing_storm() {
+    let s = substrate();
+    let h = hash_verdicts(overlay_plan(&s));
+    assert_eq!(h, GOLDEN_VERDICTS_STORM, "storm study verdicts diverged from the seed routing (got {h:#018x})");
+}
+
+// Pinned on the seed HashMap representation (commit before the compact
+// refactor). Regenerate ONLY if probing semantics intentionally change.
+const GOLDEN_TRUTH_PATHS: u64 = 0x2590af3457808025;
+const GOLDEN_TRUTH_PATHS_OVERLAY: u64 = 0x02b99a68d9993a25;
+const GOLDEN_SERIES: u64 = 0x0c7e50c5042d1d3e;
+const GOLDEN_SERIES_OVERLAY: u64 = 0x2c9109a85b61f8cd;
+const GOLDEN_VERDICTS: u64 = 0x985d214b3b72435b;
+const GOLDEN_VERDICTS_STORM: u64 = 0xc51e4d775b3459c3;

@@ -823,7 +823,7 @@ mod tests {
 
     #[test]
     fn probes_walk_the_substrate() {
-        let mut s = vp1();
+        let s = vp1();
         let t = SimTime::from_date(2016, 3, 17);
         // Probe a healthy peer link end to end.
         let link = s
@@ -848,7 +848,7 @@ mod tests {
 
     #[test]
     fn dead_links_do_not_answer() {
-        let mut s = vp1();
+        let s = vp1();
         let late = SimTime::from_date(2017, 1, 15);
         let dead = s
             .links
@@ -881,7 +881,7 @@ mod tests {
 
     #[test]
     fn ghanatel_far_rtt_elevated_in_phase1_weekday() {
-        let mut s = vp1();
+        let s = vp1();
         let gh = s.links.iter().find(|l| l.far_name == "GHANATEL").unwrap().clone();
         let tgt = TslpTarget {
             dst: gh.dst,

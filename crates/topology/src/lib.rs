@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod continent;
 pub mod evolution;
 pub mod ixps;
 pub mod spec;
 
 pub use build::{build_vp, TruthKind, TruthLink, VpSubstrate};
+pub use continent::{build_continent, Continent, ContinentSpec, MemberLink};
 pub use evolution::{
     alive_count, compile_delta, windows_from_schedule, AsEvent, AsGraph, AsRoute, Lifetime, Rel, RouteKind,
     RouteTable,

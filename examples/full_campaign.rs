@@ -104,6 +104,15 @@ fn main() {
         std::fs::write(&prom_path, prometheus_text(&sheet)).expect("write Prometheus exposition");
         println!("stage profile:");
         print!("{}", stage_profile(&sheet));
+        // The streaming campaign's memory envelope: the high-water mark of
+        // in-flight series windows and the process peak RSS (VmHWM) over
+        // the campaign, both folded into the registry as gauges.
+        if let Some(w) = sheet.gauges.get("campaign_active_windows") {
+            println!("peak in-flight series windows: {w:.0}");
+        }
+        if let Some(mb) = sheet.gauges.get("campaign_peak_rss_mb") {
+            println!("campaign peak RSS: {mb:.1} MiB");
+        }
         println!("wrote {path} and {prom_path}\n");
     }
 

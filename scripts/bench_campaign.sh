@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Re-run the campaign scaling bench and regression-gate the baseline.
+#
+# The bench itself writes BENCH_campaign.json (the 1k/10k/100k links-scaling
+# curve first, then the 16-link thread sweep). This wrapper keeps the
+# previous baseline and refuses to let a >10% regression of the headline
+# rate — the 1k-link streaming point, the first links_per_sec in the file —
+# silently replace it; pass --force to accept the new number anyway (e.g.
+# after an intended trade-off or on a different host).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+if [[ "${1:-}" == "--force" ]]; then
+  FORCE=1
+fi
+
+BASELINE=BENCH_campaign.json
+BACKUP=
+if [[ -f "$BASELINE" ]]; then
+  BACKUP=$(mktemp)
+  cp "$BASELINE" "$BACKUP"
+fi
+
+cargo bench -p ixp-bench --bench campaign
+
+if [[ -n "$BACKUP" ]]; then
+  # First links_per_sec in the file is the headline (1k-link) rate.
+  old=$(awk -F': ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BACKUP")
+  new=$(awk -F': ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BASELINE")
+  echo "[bench_campaign] links/sec (1k-link point): previous $old, new $new"
+  if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n < 0.9 * o) }'; then
+    if [[ "$FORCE" == "1" ]]; then
+      echo "[bench_campaign] >10% regression accepted (--force)"
+    else
+      cp "$BACKUP" "$BASELINE"
+      rm -f "$BACKUP"
+      echo "[bench_campaign] ERROR: new rate is >10% below the recorded baseline." >&2
+      echo "[bench_campaign] Baseline restored; re-run with --force to accept." >&2
+      exit 1
+    fi
+  fi
+  rm -f "$BACKUP"
+fi
+
+echo "[bench_campaign] baseline $BASELINE updated"

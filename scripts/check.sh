@@ -26,6 +26,9 @@ cargo test -p ixp-study --test chaos
 echo "==> convergence-storm gauntlet (routing events + path-change masking)"
 cargo test -p ixp-study --test storm
 
+echo "==> continent scaling smoke (1k links through the streaming campaign)"
+cargo test -p ixp-study --test scale
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -39,6 +42,8 @@ if [[ "$BENCH_GATES" == "1" ]]; then
   scripts/bench_detect.sh "$@"
   echo "==> bench gate: obs (<3% overhead, >10% regression)"
   scripts/bench_obs.sh "$@"
+  echo "==> bench gate: campaign (1k/10k/100k scaling, >10% regression)"
+  scripts/bench_campaign.sh "$@"
 fi
 
 echo "==> all checks passed"
