@@ -44,7 +44,7 @@ pub use events::{
     baseline_level, baseline_level_with, event_stats, extract_events, sanitize_events, EventStats,
     ShiftEvent,
 };
-pub use online::{online_events, OnlineConfig, OnlineDetector, OnlineVerdict};
+pub use online::{online_events, OnlineConfig, OnlineDetector, OnlineSnapshot, OnlineVerdict};
 pub use rank::{rank_transform, rank_transform_with};
 pub use scratch::DetectorScratch;
 pub use segment::{detect_change_points, level_segments, segments, DetectorConfig, Segment};
@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::events::{
         baseline_level, event_stats, extract_events, sanitize_events, EventStats, ShiftEvent,
     };
-    pub use crate::online::{online_events, OnlineConfig, OnlineDetector, OnlineVerdict};
+    pub use crate::online::{online_events, OnlineConfig, OnlineDetector, OnlineSnapshot, OnlineVerdict};
     pub use crate::rank::rank_transform;
     pub use crate::scratch::DetectorScratch;
     pub use crate::segment::{detect_change_points, level_segments, segments, DetectorConfig, Segment};

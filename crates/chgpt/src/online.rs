@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the online detector.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OnlineConfig {
     /// Slack per sample, same units as the series (half the target shift
     /// magnitude is the classic choice: 5 for the paper's 10 ms threshold).
@@ -55,6 +55,40 @@ pub enum OnlineVerdict {
     DownshiftAlarm,
     /// Inside an elevated period (after an upshift, before the downshift).
     Elevated,
+    /// The sample was non-finite (lost probe): counted as a gap, detector
+    /// state untouched. A resident monitor sees these routinely.
+    Gap,
+}
+
+/// Frozen copy of an [`OnlineDetector`]'s full state, for checkpoint/resume.
+///
+/// Restoring a snapshot and continuing the sample stream is bit-identical to
+/// never having stopped. All fields are public so callers (the monitor
+/// service) can serialize them through their own fixed-layout encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSnapshot {
+    /// Detector configuration.
+    pub cfg: OnlineConfig,
+    /// Running baseline estimate.
+    pub baseline: f64,
+    /// Warm-up samples consumed so far.
+    pub warmup_seen: usize,
+    /// Sum of warm-up samples.
+    pub warmup_sum: f64,
+    /// Upshift cumulative statistic.
+    pub s_up: f64,
+    /// Downshift cumulative statistic.
+    pub s_down: f64,
+    /// Inside an elevated period?
+    pub elevated: bool,
+    /// Baseline captured at the last upshift.
+    pub level_before: f64,
+    /// Sum of samples while elevated.
+    pub elevated_sum: f64,
+    /// Count of samples while elevated.
+    pub elevated_n: usize,
+    /// Non-finite samples seen (state untouched for each).
+    pub gaps: u64,
 }
 
 /// Streaming level-shift detector (one per monitored link end).
@@ -72,6 +106,8 @@ pub struct OnlineDetector {
     /// Running mean of samples while elevated.
     elevated_sum: f64,
     elevated_n: usize,
+    /// Non-finite samples seen (each counted, state otherwise untouched).
+    gaps: u64,
 }
 
 impl OnlineDetector {
@@ -88,6 +124,47 @@ impl OnlineDetector {
             level_before: 0.0,
             elevated_sum: 0.0,
             elevated_n: 0,
+            gaps: 0,
+        }
+    }
+
+    /// Non-finite samples seen so far.
+    pub fn gap_count(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Freeze the full detector state.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        OnlineSnapshot {
+            cfg: self.cfg,
+            baseline: self.baseline,
+            warmup_seen: self.warmup_seen,
+            warmup_sum: self.warmup_sum,
+            s_up: self.s_up,
+            s_down: self.s_down,
+            elevated: self.elevated,
+            level_before: self.level_before,
+            elevated_sum: self.elevated_sum,
+            elevated_n: self.elevated_n,
+            gaps: self.gaps,
+        }
+    }
+
+    /// Rebuild a detector from a snapshot; continuing the stream from here
+    /// is bit-identical to never having stopped.
+    pub fn restore(snap: &OnlineSnapshot) -> OnlineDetector {
+        OnlineDetector {
+            cfg: snap.cfg,
+            baseline: snap.baseline,
+            warmup_seen: snap.warmup_seen,
+            warmup_sum: snap.warmup_sum,
+            s_up: snap.s_up,
+            s_down: snap.s_down,
+            elevated: snap.elevated,
+            level_before: snap.level_before,
+            elevated_sum: snap.elevated_sum,
+            elevated_n: snap.elevated_n,
+            gaps: snap.gaps,
         }
     }
 
@@ -110,10 +187,14 @@ impl OnlineDetector {
         }
     }
 
-    /// Feed one sample (ignore missing samples upstream; this takes finite
-    /// values only — feeding NaN panics).
+    /// Feed one sample. Non-finite samples (lost probes) are gaps: counted,
+    /// detector state untouched, [`OnlineVerdict::Gap`] returned — a
+    /// resident service must not die on a dropped response.
     pub fn push(&mut self, x: f64) -> OnlineVerdict {
-        assert!(x.is_finite(), "feed only finite samples");
+        if !x.is_finite() {
+            self.gaps += 1;
+            return OnlineVerdict::Gap;
+        }
         if self.warmup_seen < self.cfg.warmup {
             self.warmup_seen += 1;
             self.warmup_sum += x;
@@ -167,9 +248,6 @@ pub fn online_events(series: &[f64], cfg: OnlineConfig) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut open: Option<usize> = None;
     for (i, &x) in series.iter().enumerate() {
-        if !x.is_finite() {
-            continue;
-        }
         match det.push(x) {
             OnlineVerdict::UpshiftAlarm => open = Some(i),
             OnlineVerdict::DownshiftAlarm => {
@@ -271,9 +349,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn nan_rejected() {
-        OnlineDetector::new(OnlineConfig::default()).push(f64::NAN);
+    fn non_finite_is_a_gap_not_a_panic() {
+        let mut det = OnlineDetector::new(OnlineConfig::default());
+        for _ in 0..50 {
+            det.push(2.0);
+        }
+        let before = det.snapshot();
+        assert_eq!(det.push(f64::NAN), OnlineVerdict::Gap);
+        assert_eq!(det.push(f64::INFINITY), OnlineVerdict::Gap);
+        assert_eq!(det.push(f64::NEG_INFINITY), OnlineVerdict::Gap);
+        let after = det.snapshot();
+        assert_eq!(after.gaps, before.gaps + 3);
+        assert_eq!(OnlineSnapshot { gaps: before.gaps, ..after }, before, "gaps must not move state");
+    }
+
+    #[test]
+    fn gaps_do_not_change_events() {
+        let clean = step_series(&[(200, 2.0), (60, 25.0), (200, 2.0)], 1.0);
+        let mut gappy = clean.clone();
+        for i in (0..gappy.len()).step_by(17) {
+            gappy.insert(i, f64::NAN);
+        }
+        let ev_clean = online_events(&clean, OnlineConfig::default());
+        let ev_gappy = online_events(&gappy, OnlineConfig::default());
+        // Same number of events, same finite-sample ordering.
+        assert_eq!(ev_clean.len(), ev_gappy.len());
+    }
+
+    #[test]
+    fn snapshot_restore_bit_identical() {
+        let s = step_series(&[(150, 2.0), (60, 25.0), (150, 2.0)], 1.0);
+        let cut = 170;
+        let mut straight = OnlineDetector::new(OnlineConfig::default());
+        let mut first = OnlineDetector::new(OnlineConfig::default());
+        for &x in &s[..cut] {
+            straight.push(x);
+            first.push(x);
+        }
+        let mut resumed = OnlineDetector::restore(&first.snapshot());
+        for &x in &s[cut..] {
+            let a = straight.push(x);
+            let b = resumed.push(x);
+            assert_eq!(a, b);
+        }
+        assert_eq!(straight.snapshot(), resumed.snapshot());
+        assert_eq!(straight.baseline().to_bits(), resumed.baseline().to_bits());
     }
 }
 

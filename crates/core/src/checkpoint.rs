@@ -48,6 +48,9 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 8] = b"TSLPCKPT";
 const VERSION: u32 = 2;
 
+const BLOB_MAGIC: &[u8; 8] = b"TSLPBLOB";
+const BLOB_VERSION: u32 = 1;
+
 /// A directory of per-link series checkpoints for one campaign.
 #[derive(Clone, Debug)]
 pub struct CheckpointStore {
@@ -101,6 +104,61 @@ impl CheckpointStore {
             f.sync_all()?;
         }
         fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Persist an opaque named blob atomically (temp file + rename), bound
+    /// to this store's fingerprint. The monitor service uses this for its
+    /// per-shard detector/health state; the payload layout is the caller's.
+    ///
+    /// `name` must be filesystem-safe (`[A-Za-z0-9._-]`); anything else is
+    /// rejected so a caller cannot escape the checkpoint directory.
+    pub fn store_blob(&self, name: &str, payload: &[u8]) -> io::Result<()> {
+        let final_path = self.blob_path(name)?;
+        let mut bytes = Vec::with_capacity(8 + 4 + 8 + 8 + payload.len());
+        bytes.extend_from_slice(BLOB_MAGIC);
+        bytes.extend_from_slice(&BLOB_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&self.fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Load a named blob's payload, or `None` when the blob is missing,
+    /// corrupt, truncated, or from a different fingerprint — the caller
+    /// simply rebuilds the state from scratch.
+    pub fn load_blob(&self, name: &str) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.blob_path(name).ok()?).ok()?;
+        let mut c = Cursor { buf: &bytes, pos: 0 };
+        if &c.take::<8>()? != BLOB_MAGIC
+            || c.u32()? != BLOB_VERSION
+            || c.u64()? != self.fingerprint
+        {
+            return None;
+        }
+        let n = c.u64()? as usize;
+        if bytes.len() - c.pos != n {
+            return None;
+        }
+        Some(bytes[c.pos..].to_vec())
+    }
+
+    fn blob_path(&self, name: &str) -> io::Result<PathBuf> {
+        let ok = !name.is_empty()
+            && name.len() <= 128
+            && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+        if !ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("blob name {name:?} is not filesystem-safe"),
+            ));
+        }
+        Ok(self.dir.join(format!("blob-{name}.blob")))
     }
 
     /// Number of checkpoints currently on disk (any fingerprint).
@@ -313,6 +371,30 @@ mod tests {
         }
         fs::write(&path, b"garbage that is long enough to cover the header area").unwrap();
         assert!(store.load(key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blob_roundtrip_and_miss_modes() {
+        let dir = tmpdir("blob");
+        let store = CheckpointStore::new(&dir, 0x1234).unwrap();
+        assert!(store.load_blob("monitor-shard-000").is_none(), "no blob yet");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        store.store_blob("monitor-shard-000", &payload).unwrap();
+        assert_eq!(store.load_blob("monitor-shard-000").as_deref(), Some(&payload[..]));
+        // Foreign fingerprint misses; the original still loads.
+        let other = CheckpointStore::new(&dir, 0x9999).unwrap();
+        assert!(other.load_blob("monitor-shard-000").is_none());
+        // Truncation misses rather than panicking.
+        let path = dir.join("blob-monitor-shard-000.blob");
+        let full = fs::read(&path).unwrap();
+        for cut in [0usize, 7, 12, 27, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(store.load_blob("monitor-shard-000").is_none(), "cut {cut}");
+        }
+        // Unsafe names are rejected outright.
+        assert!(store.store_blob("../escape", b"x").is_err());
+        assert!(store.store_blob("", b"x").is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

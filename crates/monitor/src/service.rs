@@ -1,0 +1,536 @@
+//! The resident monitor service: shard layout, batched ingestion, live
+//! gauges, and checkpoint/resume.
+//!
+//! ## Shard layout and memory model
+//!
+//! Link states live in `shards` mutex-guarded slabs (link `id` → shard
+//! `id % shards`, slot `id / shards`, the same striding as the verdict
+//! index). A batch of samples is partitioned per shard in arrival order,
+//! then each shard is processed independently — sequentially or by a
+//! work-claiming thread pool — and its verdicts published to the index
+//! under one write lock per shard per batch. Because the partition is
+//! stable and shards share nothing, per-link sample order is preserved at
+//! any thread count, and the resulting states are **bit-identical** whether
+//! one thread or eight did the work.
+//!
+//! Steady-state memory is O(links × window): each link holds ~200 bytes of
+//! detector + health-window state, and nothing retains an RTT series.
+//!
+//! ## Checkpoint/resume
+//!
+//! [`MonitorService::checkpoint`] writes one fingerprint-bound blob per
+//! shard through [`CheckpointStore::store_blob`]; [`MonitorService::resume`]
+//! rebuilds every link state and republishes verdicts. The fingerprint
+//! mixes the full monitor configuration and link count, so a layout or
+//! config change makes old blobs a miss (rebuild from scratch), never a
+//! corrupt resume. Continuing the stream after resume is bit-identical to
+//! never having stopped — tested at 1 and 3 ingest threads.
+
+use crate::index::{LinkVerdict, VerdictIndex};
+use crate::state::{LinkState, LinkUpdate, MonitorSample};
+use ixp_chgpt::OnlineConfig;
+use ixp_obs::{RateMeter, Recorder};
+use ixp_simnet::rng::mix;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use tslp_core::CheckpointStore;
+
+/// Full configuration of the resident monitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorConfig {
+    /// Online detector configuration (shared by every link).
+    pub online: OnlineConfig,
+    /// Number of state/index shards.
+    pub shards: usize,
+    /// Ingest worker threads (0 = all cores, 1 = sequential).
+    pub threads: usize,
+    /// A path change at round `c` masks upshifts in `[c, c + mask_slack]`.
+    pub mask_slack: u64,
+    /// Tumbling health-window length in rounds (288 = one day at 5 min).
+    pub window_rounds: u64,
+    /// Loss runs at least this long count as gap evidence (not scattered
+    /// loss). 6 rounds = the paper's 30-minute minimum on the 5-min grid.
+    pub min_gap_rounds: u64,
+    /// Scattered loss above this fraction reads as rate limiting.
+    pub max_scattered_loss: f64,
+    /// Address consistency below this reads as AddrUnstable.
+    pub min_addr_consistency: f64,
+    /// Window validity below this reads as Silent.
+    pub silent_validity: f64,
+    /// An open loss run covering this fraction of a window reads as Silent.
+    pub silent_tail_fraction: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            online: OnlineConfig::default(),
+            shards: 16,
+            threads: 1,
+            mask_slack: 6,
+            window_rounds: 288,
+            min_gap_rounds: 6,
+            max_scattered_loss: 0.25,
+            min_addr_consistency: 0.90,
+            silent_validity: 0.05,
+            silent_tail_fraction: 0.35,
+        }
+    }
+}
+
+/// Static description of one monitored link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDesc {
+    /// IXP the link belongs to (dense id; drives per-IXP aggregates).
+    pub ixp: u32,
+}
+
+/// Fingerprint binding checkpoints to one monitor deployment: configuration
+/// (detector, shard layout, health thresholds) and link count. Thread count
+/// is deliberately excluded — results do not depend on it.
+pub fn monitor_fingerprint(cfg: &MonitorConfig, n_links: usize) -> u64 {
+    mix(&[
+        0x004D_4F4E_4954_4F52, // "MONITOR"
+        cfg.online.kappa.to_bits(),
+        cfg.online.h.to_bits(),
+        cfg.online.warmup as u64,
+        cfg.online.baseline_gain.to_bits(),
+        cfg.shards as u64,
+        cfg.mask_slack,
+        cfg.window_rounds,
+        cfg.min_gap_rounds,
+        cfg.max_scattered_loss.to_bits(),
+        cfg.min_addr_consistency.to_bits(),
+        cfg.silent_validity.to_bits(),
+        cfg.silent_tail_fraction.to_bits(),
+        n_links as u64,
+    ])
+}
+
+/// The resident monitoring service. See the module docs for the layout.
+pub struct MonitorService {
+    cfg: MonitorConfig,
+    /// Per-link IXP ids (index = link id).
+    ixp_of: Vec<u32>,
+    n_ixps: usize,
+    shards: Vec<Mutex<Vec<LinkState>>>,
+    index: VerdictIndex,
+    ingest_meter: RateMeter,
+    ingested: AtomicU64,
+    /// Largest per-shard batch observed since the last gauge publication —
+    /// the "how uneven is shard pressure" signal.
+    shard_backlog_max: AtomicU64,
+}
+
+impl MonitorService {
+    /// A fresh service monitoring `links`.
+    pub fn new(cfg: MonitorConfig, links: &[LinkDesc]) -> MonitorService {
+        let shards = cfg.shards.max(1);
+        let n = links.len();
+        let ixp_of: Vec<u32> = links.iter().map(|l| l.ixp).collect();
+        let n_ixps = ixp_of.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let mut slabs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let slots = n / shards + usize::from(s < n % shards);
+            slabs.push(Mutex::new((0..slots).map(|_| LinkState::with_config(&cfg)).collect()));
+        }
+        MonitorService {
+            cfg,
+            ixp_of,
+            n_ixps,
+            shards: slabs,
+            index: VerdictIndex::new(n, shards, n_ixps),
+            ingest_meter: RateMeter::new(),
+            ingested: AtomicU64::new(0),
+            shard_backlog_max: AtomicU64::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Number of monitored links.
+    pub fn len(&self) -> usize {
+        self.ixp_of.len()
+    }
+
+    /// True when no links are monitored.
+    pub fn is_empty(&self) -> bool {
+        self.ixp_of.is_empty()
+    }
+
+    /// The concurrent verdict index (share with reader threads).
+    pub fn index(&self) -> &VerdictIndex {
+        &self.index
+    }
+
+    /// Current verdict for one link (convenience passthrough).
+    pub fn verdict(&self, id: u32) -> LinkVerdict {
+        self.index.verdict(id)
+    }
+
+    /// Total samples ingested.
+    pub fn samples_ingested(&self) -> u64 {
+        self.ingested.load(Ordering::Relaxed)
+    }
+
+    /// Ingest a batch of `(link id, sample)` pairs. Per-link sample order
+    /// within the batch is preserved; the resulting state is bit-identical
+    /// at any [`MonitorConfig::threads`] setting. Returns the per-sample
+    /// updates in batch order (callers that only want the index ignore it).
+    pub fn ingest(&self, batch: &[(u32, MonitorSample)]) -> Vec<LinkUpdate> {
+        let n_shards = self.shards.len();
+        // Stable partition by shard: arrival order preserved per shard,
+        // therefore per link.
+        let mut per_shard: Vec<Vec<(usize, u32, MonitorSample)>> = vec![Vec::new(); n_shards];
+        for (pos, &(id, s)) in batch.iter().enumerate() {
+            assert!((id as usize) < self.ixp_of.len(), "unknown link id {id}");
+            per_shard[id as usize % n_shards].push((pos, id, s));
+        }
+        let backlog = per_shard.iter().map(|v| v.len() as u64).max().unwrap_or(0);
+        self.shard_backlog_max.fetch_max(backlog, Ordering::Relaxed);
+
+        let mut updates = vec![
+            LinkUpdate { round: 0, verdict: ixp_chgpt::OnlineVerdict::Quiet, masked: false };
+            batch.len()
+        ];
+        let threads = tslp_core::resolve_threads(self.cfg.threads).min(n_shards.max(1));
+        if threads <= 1 {
+            for (shard, items) in per_shard.iter().enumerate() {
+                self.ingest_shard(shard, items, &mut updates);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slices = SliceWriter::new(&mut updates);
+            std::thread::scope(|sc| {
+                for _ in 0..threads {
+                    sc.spawn(|| loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= n_shards {
+                            break;
+                        }
+                        // SAFETY (by construction): each batch position
+                        // appears in exactly one shard's item list, so no
+                        // two workers write the same updates slot.
+                        self.ingest_shard(shard, &per_shard[shard], unsafe { slices.get() });
+                    });
+                }
+            });
+        }
+        self.ingest_meter.mark(batch.len() as u64);
+        self.ingested.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        updates
+    }
+
+    fn ingest_shard(
+        &self,
+        shard: usize,
+        items: &[(usize, u32, MonitorSample)],
+        updates: &mut [LinkUpdate],
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        let n_shards = self.shards.len();
+        let mut verdicts = Vec::with_capacity(items.len());
+        {
+            let mut states = self.shards[shard].lock();
+            for &(pos, id, ref s) in items {
+                let slot = id as usize / n_shards;
+                let up = states[slot].push(s, &self.cfg);
+                updates[pos] = up;
+                verdicts.push((id, verdict_of(&states[slot], &self.cfg)));
+            }
+        }
+        // Publish outside the state lock: readers contend only with the
+        // index write, never with detector math.
+        self.index.publish(shard, &verdicts, &self.ixp_of);
+    }
+
+    /// Publish live gauges: ingest rate, elevated counts (total and per
+    /// IXP), shard pressure, and index read QPS. Rates are wall-clock and
+    /// volatile; counts are deterministic.
+    pub fn publish_gauges<R: Recorder>(&self, rec: &R) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.gauge("monitor_links", self.len() as f64);
+        rec.gauge("monitor_samples_ingested", self.samples_ingested() as f64);
+        rec.gauge("monitor_ingest_samples_per_sec", self.ingest_meter.take_rate());
+        rec.gauge("monitor_elevated_links", self.index.elevated_links() as f64);
+        rec.gauge("monitor_index_read_qps", self.index.take_read_qps());
+        rec.gauge("monitor_index_reads", self.index.reads_total() as f64);
+        rec.gauge(
+            "monitor_shard_backlog_max",
+            self.shard_backlog_max.swap(0, Ordering::Relaxed) as f64,
+        );
+        for ixp in 0..self.n_ixps {
+            let n = self.index.elevated_at_ixp(ixp);
+            if n > 0 {
+                rec.gauge(&format!("monitor_elevated_ixp{ixp}"), n as f64);
+            }
+        }
+    }
+
+    /// Write the full shard state through `store` (one blob per shard).
+    /// Open the store with [`monitor_fingerprint`] so layout changes
+    /// invalidate old blobs.
+    pub fn checkpoint(&self, store: &CheckpointStore) -> io::Result<()> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let states = shard.lock();
+            let mut payload = Vec::with_capacity(8 + states.len() * LinkState::ENCODED_LEN);
+            payload.extend_from_slice(&(states.len() as u64).to_le_bytes());
+            for st in states.iter() {
+                st.encode_into(&mut payload);
+            }
+            store.store_blob(&format!("monitor-shard-{i:03}"), &payload)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a service from checkpointed shard blobs. Returns `None` when
+    /// any shard is missing, truncated, or from a different configuration —
+    /// start fresh in that case. The restored index republishes every
+    /// link's verdict, so readers see the pre-kill state immediately.
+    pub fn resume(
+        cfg: MonitorConfig,
+        links: &[LinkDesc],
+        store: &CheckpointStore,
+    ) -> Option<MonitorService> {
+        let svc = MonitorService::new(cfg, links);
+        let n_shards = svc.shards.len();
+        for shard in 0..n_shards {
+            let payload = store.load_blob(&format!("monitor-shard-{shard:03}"))?;
+            if payload.len() < 8 {
+                return None;
+            }
+            let count = u64::from_le_bytes(payload[..8].try_into().ok()?) as usize;
+            let body = &payload[8..];
+            let mut states = svc.shards[shard].lock();
+            if count != states.len() || body.len() != count * LinkState::ENCODED_LEN {
+                return None;
+            }
+            let mut verdicts = Vec::with_capacity(count);
+            for (slot, st) in states.iter_mut().enumerate() {
+                let at = slot * LinkState::ENCODED_LEN;
+                *st = LinkState::decode(&body[at..at + LinkState::ENCODED_LEN], &cfg)?;
+                let id = (slot * n_shards + shard) as u32;
+                verdicts.push((id, verdict_of(st, &cfg)));
+            }
+            drop(states);
+            svc.index.publish(shard, &verdicts, &svc.ixp_of);
+        }
+        svc.index.rebuild_aggregates(&svc.ixp_of);
+        let total: u64 = {
+            let mut t = 0;
+            for shard in &svc.shards {
+                t += shard.lock().iter().map(|s| s.rounds()).sum::<u64>();
+            }
+            t
+        };
+        svc.ingested.store(total, Ordering::Relaxed);
+        Some(svc)
+    }
+}
+
+fn verdict_of(st: &LinkState, cfg: &MonitorConfig) -> LinkVerdict {
+    let det = st.detector();
+    LinkVerdict {
+        round: st.rounds(),
+        elevated: det.is_elevated(),
+        baseline_ms: det.baseline(),
+        elevation_ms: det.elevation_estimate(),
+        health: st.health(cfg),
+        alarms: st.alarms(),
+        masked_alarms: st.masked_alarms(),
+        gaps: det.gap_count(),
+    }
+}
+
+/// Shared mutable-slice handle for the shard workers. Safe use rests on the
+/// partition invariant: each batch position is written by exactly one
+/// worker (the one that claimed its shard).
+struct SliceWriter<'a> {
+    ptr: *mut LinkUpdate,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [LinkUpdate]>,
+}
+
+unsafe impl Send for SliceWriter<'_> {}
+unsafe impl Sync for SliceWriter<'_> {}
+
+impl<'a> SliceWriter<'a> {
+    fn new(slice: &'a mut [LinkUpdate]) -> SliceWriter<'a> {
+        SliceWriter { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+    }
+    /// # Safety
+    /// Callers must never write the same index from two threads.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut [LinkUpdate] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn links(n: usize, ixps: u32) -> Vec<LinkDesc> {
+        (0..n).map(|i| LinkDesc { ixp: i as u32 % ixps }).collect()
+    }
+
+    /// A deterministic per-link sample stream: most links quiet, every 10th
+    /// link steps up partway through, every 13th round of link 7 lost.
+    fn sample(link: u32, round: u64) -> MonitorSample {
+        let h = (link as u64 ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xD134_2543_DE82_EF95);
+        let noise = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+        let level = if link.is_multiple_of(10) && round >= 120 { 22.0 } else { 2.0 };
+        let lost = link % 13 == 7 && round.is_multiple_of(13);
+        MonitorSample {
+            far_ms: if lost { f64::NAN } else { level + noise },
+            path_fp: if lost { 0 } else { 0xFACE },
+            far_addr_ok: true,
+        }
+    }
+
+    fn drive(svc: &MonitorService, n: usize, rounds: std::ops::Range<u64>) {
+        for r in rounds {
+            let batch: Vec<(u32, MonitorSample)> =
+                (0..n as u32).map(|id| (id, sample(id, r))).collect();
+            svc.ingest(&batch);
+        }
+    }
+
+    fn state_digest(svc: &MonitorService) -> Vec<u8> {
+        let mut out = Vec::new();
+        for shard in &svc.shards {
+            for st in shard.lock().iter() {
+                st.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn thread_count_does_not_change_state() {
+        let n = 120;
+        let a = MonitorService::new(MonitorConfig { threads: 1, ..MonitorConfig::default() }, &links(n, 4));
+        let b = MonitorService::new(MonitorConfig { threads: 4, ..MonitorConfig::default() }, &links(n, 4));
+        drive(&a, n, 0..200);
+        drive(&b, n, 0..200);
+        assert_eq!(state_digest(&a), state_digest(&b));
+        assert_eq!(a.index.elevated_links(), b.index.elevated_links());
+        for id in 0..n as u32 {
+            assert_eq!(a.verdict(id), b.verdict(id));
+        }
+        // Every 10th link stepped up and must be elevated.
+        assert_eq!(a.index.elevated_links(), (n as u64).div_ceil(10));
+    }
+
+    #[test]
+    fn updates_come_back_in_batch_order() {
+        let n = 50;
+        let svc = MonitorService::new(MonitorConfig { threads: 3, shards: 5, ..MonitorConfig::default() }, &links(n, 2));
+        let batch: Vec<(u32, MonitorSample)> =
+            (0..n as u32).map(|id| (id, sample(id, 0))).collect();
+        let ups = svc.ingest(&batch);
+        assert_eq!(ups.len(), n);
+        assert!(ups.iter().all(|u| u.round == 0));
+        let ups2 = svc.ingest(&batch);
+        assert!(ups2.iter().all(|u| u.round == 1));
+    }
+
+    #[test]
+    fn kill_resume_is_bit_identical() {
+        let n = 90;
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("monitor-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for threads in [1usize, 3] {
+            let cfg = MonitorConfig { threads, shards: 7, ..MonitorConfig::default() };
+            let store =
+                CheckpointStore::new(&dir, monitor_fingerprint(&cfg, n)).unwrap();
+            // Straight-through run.
+            let straight = MonitorService::new(cfg, &links(n, 3));
+            drive(&straight, n, 0..300);
+            // Killed at round 137, resumed, finished.
+            let first = MonitorService::new(cfg, &links(n, 3));
+            drive(&first, n, 0..137);
+            first.checkpoint(&store).unwrap();
+            drop(first);
+            let resumed = MonitorService::resume(cfg, &links(n, 3), &store)
+                .expect("checkpoint must resume");
+            assert_eq!(resumed.samples_ingested(), 137 * n as u64);
+            drive(&resumed, n, 137..300);
+            assert_eq!(state_digest(&straight), state_digest(&resumed), "threads={threads}");
+            for id in 0..n as u32 {
+                assert_eq!(straight.verdict(id), resumed.verdict(id), "threads={threads}");
+            }
+            assert_eq!(straight.index.elevated_links(), resumed.index.elevated_links());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn foreign_fingerprint_or_missing_shard_does_not_resume() {
+        let n = 20;
+        let cfg = MonitorConfig { shards: 3, ..MonitorConfig::default() };
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("monitor-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, monitor_fingerprint(&cfg, n)).unwrap();
+        assert!(MonitorService::resume(cfg, &links(n, 2), &store).is_none(), "empty dir");
+        let svc = MonitorService::new(cfg, &links(n, 2));
+        drive(&svc, n, 0..10);
+        svc.checkpoint(&store).unwrap();
+        // Different config → different fingerprint → miss.
+        let other = MonitorConfig { mask_slack: 9, ..cfg };
+        let store2 = CheckpointStore::new(&dir, monitor_fingerprint(&other, n)).unwrap();
+        assert!(MonitorService::resume(other, &links(n, 2), &store2).is_none());
+        // Delete one shard blob → miss.
+        std::fs::remove_file(dir.join("blob-monitor-shard-001.blob")).unwrap();
+        assert!(MonitorService::resume(cfg, &links(n, 2), &store).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queries_and_gauges_during_ingest() {
+        use std::sync::atomic::AtomicBool;
+        let n = 200;
+        let svc = std::sync::Arc::new(MonitorService::new(
+            MonitorConfig { threads: 2, ..MonitorConfig::default() },
+            &links(n, 4),
+        ));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let reader_svc = std::sync::Arc::clone(&svc);
+            let stop_ref = &stop;
+            let reader = sc.spawn(move || {
+                let mut reads = 0u64;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    for id in (0..n as u32).step_by(7) {
+                        let _ = reader_svc.verdict(id);
+                        reads += 1;
+                    }
+                }
+                reads
+            });
+            drive(&svc, n, 0..150);
+            stop.store(true, Ordering::Relaxed);
+            let reads = reader.join().unwrap();
+            assert!(reads > 0, "reader must have made progress during ingest");
+        });
+        let reg = ixp_obs::MetricsRegistry::new();
+        svc.publish_gauges(&reg);
+        let sheet = reg.snapshot();
+        assert_eq!(sheet.gauges["monitor_links"], n as f64);
+        assert_eq!(sheet.gauges["monitor_samples_ingested"], (150 * n) as f64);
+        assert!(sheet.gauges["monitor_elevated_links"] >= 1.0);
+        assert!(sheet.gauges.contains_key("monitor_index_read_qps"));
+        assert!(sheet.gauges["monitor_shard_backlog_max"] >= 1.0);
+    }
+}

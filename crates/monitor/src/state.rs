@@ -1,0 +1,584 @@
+//! Per-link streaming state: online detection, causal path-change masking,
+//! and an incremental measurement-health ladder.
+//!
+//! The contract that everything else leans on: feeding a link's raw far
+//! series through [`LinkState::push`] one sample at a time produces exactly
+//! the alarm rounds that [`ixp_chgpt::online_events`] reports over the full
+//! series. Non-finite samples reach the detector (which counts them as gaps
+//! and leaves its state untouched), so round indices line up with series
+//! positions with no skip bookkeeping.
+//!
+//! Masking follows the batch rule from `assess_link_masked`, made causal: a
+//! path change at round `c` taints upshifts in `[c, c + slack]`. The batch
+//! assessor can also mask an upshift *before* the change (it sees the whole
+//! series); a resident monitor cannot know the future, so the backward half
+//! of the window is deliberately absent — the equivalence suite pins the
+//! causal rule on both the streaming and batch sides.
+//!
+//! Health mirrors [`tslp_core::health::classify_link`]'s evidence precedence
+//! (Silent > AddrUnstable > PathChange > RateLimited > Gappy > Clean) over a
+//! tumbling window — the same shape as the batch classifier's per-window
+//! labels — using O(1) counters instead of a retained series. It is the
+//! documented streaming approximation: loss runs count toward gap evidence
+//! once they close (or while still open, at their current length), whereas
+//! the batch classifier sees every run's final extent.
+
+use crate::service::MonitorConfig;
+use ixp_chgpt::{OnlineDetector, OnlineSnapshot, OnlineVerdict};
+use tslp_core::LinkHealth;
+
+/// One ingested measurement round for one link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorSample {
+    /// Far-side RTT in milliseconds; non-finite = the round went unanswered.
+    pub far_ms: f64,
+    /// TSLP path fingerprint for the round (0 = unknown, never a change).
+    pub path_fp: u64,
+    /// Did the far answer come from the expected address? (Ignored for
+    /// unanswered rounds.)
+    pub far_addr_ok: bool,
+}
+
+impl MonitorSample {
+    /// An unanswered round.
+    pub fn lost() -> MonitorSample {
+        MonitorSample { far_ms: f64::NAN, path_fp: 0, far_addr_ok: true }
+    }
+
+    /// A clean answered round.
+    pub fn answered(far_ms: f64, path_fp: u64) -> MonitorSample {
+        MonitorSample { far_ms, path_fp, far_addr_ok: true }
+    }
+}
+
+/// What one sample did to a link's monitor state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkUpdate {
+    /// The round index this sample landed on (0-based, counts every sample).
+    pub round: u64,
+    /// The detector's verdict for the sample.
+    pub verdict: OnlineVerdict,
+    /// True when the verdict is an upshift alarm attributed to a recent
+    /// path change rather than congestion.
+    pub masked: bool,
+}
+
+/// One congestion event from the batch reference view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonitorEvent {
+    /// Upshift sample index.
+    pub up: usize,
+    /// Downshift sample index (series length when the event never closed).
+    pub down: usize,
+    /// True when the upshift was masked as a path-change artifact.
+    pub masked: bool,
+}
+
+/// Full streaming state for one monitored link. ~200 bytes, O(1) per sample.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    det: OnlineDetector,
+    /// Last nonzero path fingerprint seen (0 = none yet).
+    last_fp: u64,
+    /// Round of the most recent fingerprint change (`u64::MAX` = never).
+    last_change_round: u64,
+    /// Samples pushed (answered or not).
+    rounds: u64,
+    /// Total fingerprint changes.
+    path_changes: u64,
+    /// Upshift alarms (masked ones included).
+    alarms: u64,
+    /// Upshift alarms attributed to path changes.
+    masked_alarms: u64,
+    // Tumbling health window counters.
+    w_rounds: u64,
+    w_answered: u64,
+    w_addr_bad: u64,
+    /// Rounds inside closed loss runs that qualified as gaps.
+    w_gap_rounds: u64,
+    w_path_changes: u64,
+    /// Length of the loss run currently open (may span window boundaries).
+    cur_loss_run: u64,
+    /// Label of the last completed window (`Clean` until one completes).
+    prev_health: LinkHealth,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState::new()
+    }
+}
+
+impl LinkState {
+    /// Fresh state. The detector configuration comes in per-push via
+    /// [`MonitorConfig`]? No — the detector owns its config from birth:
+    /// build through [`LinkState::with_config`] in real use.
+    pub fn new() -> LinkState {
+        LinkState::with_config(&MonitorConfig::default())
+    }
+
+    /// Fresh state for a service configuration.
+    pub fn with_config(cfg: &MonitorConfig) -> LinkState {
+        LinkState {
+            det: OnlineDetector::new(cfg.online),
+            last_fp: 0,
+            last_change_round: u64::MAX,
+            rounds: 0,
+            path_changes: 0,
+            alarms: 0,
+            masked_alarms: 0,
+            w_rounds: 0,
+            w_answered: 0,
+            w_addr_bad: 0,
+            w_gap_rounds: 0,
+            w_path_changes: 0,
+            cur_loss_run: 0,
+            prev_health: LinkHealth::Clean,
+        }
+    }
+
+    /// Rounds ingested so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total upshift alarms (masked included).
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Upshift alarms masked as path-change artifacts.
+    pub fn masked_alarms(&self) -> u64 {
+        self.masked_alarms
+    }
+
+    /// Total path-fingerprint changes observed.
+    pub fn path_changes(&self) -> u64 {
+        self.path_changes
+    }
+
+    /// The underlying detector (read access for verdict assembly).
+    pub fn detector(&self) -> &OnlineDetector {
+        &self.det
+    }
+
+    /// Ingest one round. `cfg` must be the same configuration every call
+    /// (the service guarantees this; mixing configs is a logic error).
+    pub fn push(&mut self, s: &MonitorSample, cfg: &MonitorConfig) -> LinkUpdate {
+        let round = self.rounds;
+        self.rounds += 1;
+
+        // Path-change detection first — mirrors
+        // `LinkSeries::path_change_rounds`: a change happens at the round
+        // whose nonzero fingerprint differs from the last nonzero one;
+        // fingerprint 0 (unanswered / rate-limited rounds) never changes
+        // anything. Detected before the detector sees the sample so a shift
+        // landing on the change round itself is maskable.
+        if s.path_fp != 0 {
+            if self.last_fp != 0 && s.path_fp != self.last_fp {
+                self.path_changes += 1;
+                self.w_path_changes += 1;
+                self.last_change_round = round;
+            }
+            self.last_fp = s.path_fp;
+        }
+
+        // Window bookkeeping.
+        let answered = s.far_ms.is_finite();
+        if answered {
+            self.w_answered += 1;
+            if !s.far_addr_ok {
+                self.w_addr_bad += 1;
+            }
+            if self.cur_loss_run >= cfg.min_gap_rounds {
+                self.w_gap_rounds += self.cur_loss_run.min(self.w_rounds);
+            }
+            self.cur_loss_run = 0;
+        } else {
+            self.cur_loss_run += 1;
+        }
+
+        let verdict = self.det.push(s.far_ms);
+        let mut masked = false;
+        if verdict == OnlineVerdict::UpshiftAlarm {
+            self.alarms += 1;
+            // Causal masking: the change at `c` taints `[c, c + slack]`.
+            if self.last_change_round != u64::MAX
+                && round - self.last_change_round <= cfg.mask_slack
+            {
+                masked = true;
+                self.masked_alarms += 1;
+            }
+        }
+
+        self.w_rounds += 1;
+        if self.w_rounds >= cfg.window_rounds {
+            self.prev_health = self.window_label(cfg);
+            self.w_rounds = 0;
+            self.w_answered = 0;
+            self.w_addr_bad = 0;
+            self.w_gap_rounds = 0;
+            self.w_path_changes = 0;
+            // cur_loss_run deliberately survives: an outage spanning the
+            // boundary keeps accumulating toward Silent evidence.
+        }
+
+        LinkUpdate { round, verdict, masked }
+    }
+
+    /// The health label over the current (in-progress) window, falling back
+    /// to the last completed window's label while the new window is still
+    /// too young to say anything (fewer than `min_gap_rounds` rounds).
+    pub fn health(&self, cfg: &MonitorConfig) -> LinkHealth {
+        if self.w_rounds < cfg.min_gap_rounds {
+            return self.prev_health;
+        }
+        self.window_label(cfg)
+    }
+
+    fn window_label(&self, cfg: &MonitorConfig) -> LinkHealth {
+        let rounds = self.w_rounds;
+        if rounds == 0 {
+            return self.prev_health;
+        }
+        // An open loss run contributes at its current length once it
+        // qualifies, clipped to this window.
+        let open_gap = if self.cur_loss_run >= cfg.min_gap_rounds {
+            self.cur_loss_run.min(rounds)
+        } else {
+            0
+        };
+        let gap_rounds = (self.w_gap_rounds + open_gap).min(rounds);
+        let validity = self.w_answered as f64 / rounds as f64;
+        let trailing = self.cur_loss_run as f64 / cfg.window_rounds as f64;
+        if validity < cfg.silent_validity || trailing >= cfg.silent_tail_fraction {
+            return LinkHealth::Silent;
+        }
+        let consistency = if self.w_answered == 0 {
+            1.0
+        } else {
+            (self.w_answered - self.w_addr_bad) as f64 / self.w_answered as f64
+        };
+        if consistency < cfg.min_addr_consistency {
+            return LinkHealth::AddrUnstable;
+        }
+        if self.w_path_changes > 0 {
+            return LinkHealth::PathChange;
+        }
+        let lost = rounds - self.w_answered;
+        let scattered = lost.saturating_sub(gap_rounds);
+        let outside = rounds - gap_rounds;
+        if outside > 0 && scattered as f64 / outside as f64 > cfg.max_scattered_loss {
+            return LinkHealth::RateLimited;
+        }
+        if gap_rounds > 0 {
+            return LinkHealth::Gappy;
+        }
+        LinkHealth::Clean
+    }
+
+    /// Fixed-layout encode for checkpointing: 23 u64 little-endian words.
+    /// The detector config is not serialized — it is rebuilt from the
+    /// service config, which the checkpoint fingerprint binds.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        let d = self.det.snapshot();
+        let words: [u64; 23] = [
+            d.baseline.to_bits(),
+            d.warmup_seen as u64,
+            d.warmup_sum.to_bits(),
+            d.s_up.to_bits(),
+            d.s_down.to_bits(),
+            d.elevated as u64,
+            d.level_before.to_bits(),
+            d.elevated_sum.to_bits(),
+            d.elevated_n as u64,
+            d.gaps,
+            self.last_fp,
+            self.last_change_round,
+            self.rounds,
+            self.path_changes,
+            self.alarms,
+            self.masked_alarms,
+            self.w_rounds,
+            self.w_answered,
+            self.w_addr_bad,
+            self.w_gap_rounds,
+            self.w_path_changes,
+            self.cur_loss_run,
+            health_token(self.prev_health),
+        ];
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Number of encoded bytes per link.
+    pub(crate) const ENCODED_LEN: usize = 23 * 8;
+
+    /// Decode a state previously written by [`LinkState::encode_into`].
+    pub(crate) fn decode(bytes: &[u8], cfg: &MonitorConfig) -> Option<LinkState> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let mut words = [0u64; 23];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().ok()?);
+        }
+        let snap = OnlineSnapshot {
+            cfg: cfg.online,
+            baseline: f64::from_bits(words[0]),
+            warmup_seen: words[1] as usize,
+            warmup_sum: f64::from_bits(words[2]),
+            s_up: f64::from_bits(words[3]),
+            s_down: f64::from_bits(words[4]),
+            elevated: words[5] != 0,
+            level_before: f64::from_bits(words[6]),
+            elevated_sum: f64::from_bits(words[7]),
+            elevated_n: words[8] as usize,
+            gaps: words[9],
+        };
+        Some(LinkState {
+            det: OnlineDetector::restore(&snap),
+            last_fp: words[10],
+            last_change_round: words[11],
+            rounds: words[12],
+            path_changes: words[13],
+            alarms: words[14],
+            masked_alarms: words[15],
+            w_rounds: words[16],
+            w_answered: words[17],
+            w_addr_bad: words[18],
+            w_gap_rounds: words[19],
+            w_path_changes: words[20],
+            cur_loss_run: words[21],
+            prev_health: health_from_token(words[22])?,
+        })
+    }
+}
+
+fn health_token(h: LinkHealth) -> u64 {
+    match h {
+        LinkHealth::Clean => 0,
+        LinkHealth::Gappy => 1,
+        LinkHealth::RateLimited => 2,
+        LinkHealth::PathChange => 3,
+        LinkHealth::AddrUnstable => 4,
+        LinkHealth::Silent => 5,
+    }
+}
+
+fn health_from_token(t: u64) -> Option<LinkHealth> {
+    Some(match t {
+        0 => LinkHealth::Clean,
+        1 => LinkHealth::Gappy,
+        2 => LinkHealth::RateLimited,
+        3 => LinkHealth::PathChange,
+        4 => LinkHealth::AddrUnstable,
+        5 => LinkHealth::Silent,
+        _ => return None,
+    })
+}
+
+/// The batch reference view of the streaming path: run a fresh [`LinkState`]
+/// over a whole `(far_ms, path_fp)` series and collect the congestion
+/// events with their masked flags. The `(up, down)` pairs are exactly
+/// [`ixp_chgpt::online_events`] on `far_ms` (the equivalence suite asserts
+/// this); the masked flag applies the same causal path-change rule the
+/// resident service applies sample-by-sample.
+pub fn masked_online_events(
+    far_ms: &[f64],
+    path_fp: &[u64],
+    cfg: &MonitorConfig,
+) -> Vec<MonitorEvent> {
+    let mut st = LinkState::with_config(cfg);
+    let mut out = Vec::new();
+    let mut open: Option<(usize, bool)> = None;
+    for (i, &x) in far_ms.iter().enumerate() {
+        let s = MonitorSample {
+            far_ms: x,
+            path_fp: path_fp.get(i).copied().unwrap_or(0),
+            far_addr_ok: true,
+        };
+        match st.push(&s, cfg) {
+            LinkUpdate { verdict: OnlineVerdict::UpshiftAlarm, masked, .. } => {
+                open = Some((i, masked));
+            }
+            LinkUpdate { verdict: OnlineVerdict::DownshiftAlarm, .. } => {
+                if let Some((up, masked)) = open.take() {
+                    out.push(MonitorEvent { up, down: i, masked });
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((up, masked)) = open {
+        out.push(MonitorEvent { up, down: far_ms.len(), masked });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_chgpt::online_events;
+
+    fn noisy_step(pattern: &[(usize, f64)], amp: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for &(n, level) in pattern {
+            for i in 0..n {
+                let h = (out.len() as u64 ^ (i as u64) << 9).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let u = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                out.push(level + amp * u);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_equals_online_events() {
+        let mut series = noisy_step(&[(300, 2.0), (80, 24.0), (300, 2.0), (80, 28.0), (100, 2.0)], 1.0);
+        // Punch some gaps in.
+        for i in (13..series.len()).step_by(41) {
+            series[i] = f64::NAN;
+        }
+        let cfg = MonitorConfig::default();
+        let batch = online_events(&series, cfg.online);
+        let streamed: Vec<(usize, usize)> = masked_online_events(&series, &vec![0; series.len()], &cfg)
+            .into_iter()
+            .map(|e| (e.up, e.down))
+            .collect();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn upshift_near_path_change_is_masked() {
+        let series = noisy_step(&[(300, 2.0), (100, 25.0)], 0.5);
+        let mut fp = vec![0xAAu64; series.len()];
+        // The path flips right where the level shifts: a routing artifact.
+        for f in fp[300..].iter_mut() {
+            *f = 0xBB;
+        }
+        let cfg = MonitorConfig::default();
+        let ev = masked_online_events(&series, &fp, &cfg);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].masked, "{ev:?}");
+
+        // Same shift on a stable path: genuine.
+        let stable = masked_online_events(&series, &vec![0xAAu64; series.len()], &cfg);
+        assert_eq!(stable.len(), 1);
+        assert!(!stable[0].masked);
+    }
+
+    #[test]
+    fn change_far_from_shift_does_not_mask() {
+        let series = noisy_step(&[(300, 2.0), (100, 25.0)], 0.5);
+        let mut fp = vec![0xAAu64; series.len()];
+        // Path changed 100 rounds before the shift: outside the slack.
+        for f in fp[200..].iter_mut() {
+            *f = 0xBB;
+        }
+        let ev = masked_online_events(&series, &fp, &MonitorConfig::default());
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].masked, "{ev:?}");
+    }
+
+    #[test]
+    fn zero_fingerprint_never_changes_path() {
+        let series = noisy_step(&[(300, 2.0), (100, 25.0)], 0.5);
+        // Rate-limiter shape: fingerprint known only every 3rd round, but
+        // always the same when known.
+        let fp: Vec<u64> = (0..series.len()).map(|i| if i % 3 == 0 { 0xAA } else { 0 }).collect();
+        let mut st = LinkState::with_config(&MonitorConfig::default());
+        let cfg = MonitorConfig::default();
+        for (i, &x) in series.iter().enumerate() {
+            st.push(&MonitorSample { far_ms: x, path_fp: fp[i], far_addr_ok: true }, &cfg);
+        }
+        assert_eq!(st.path_changes(), 0);
+    }
+
+    #[test]
+    fn health_ladder_matches_batch_precedence() {
+        let cfg = MonitorConfig::default();
+        // Clean link.
+        let mut st = LinkState::with_config(&cfg);
+        for _ in 0..600 {
+            st.push(&MonitorSample::answered(2.0, 0xAA), &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::Clean);
+
+        // Rate-limiter shape: every third round answered.
+        let mut st = LinkState::with_config(&cfg);
+        for i in 0..600u64 {
+            let s = if i % 3 == 0 {
+                MonitorSample::answered(2.0, 0xAA)
+            } else {
+                MonitorSample::lost()
+            };
+            st.push(&s, &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::RateLimited);
+
+        // One long bounded gap in an otherwise clean window.
+        let mut st = LinkState::with_config(&cfg);
+        for i in 0..280u64 {
+            let s = if (60..90).contains(&i) { MonitorSample::lost() } else { MonitorSample::answered(2.0, 0xAA) };
+            st.push(&s, &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::Gappy);
+
+        // Wrong source address on most answers.
+        let mut st = LinkState::with_config(&cfg);
+        for _ in 0..200 {
+            st.push(&MonitorSample { far_ms: 2.0, path_fp: 0xAA, far_addr_ok: false }, &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::AddrUnstable);
+
+        // Dead link: Silent beats everything.
+        let mut st = LinkState::with_config(&cfg);
+        st.push(&MonitorSample::answered(2.0, 0xAA), &cfg);
+        for _ in 0..(cfg.window_rounds / 2) {
+            st.push(&MonitorSample::lost(), &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::Silent);
+
+        // Path change outranks gap evidence.
+        let mut st = LinkState::with_config(&cfg);
+        for i in 0..280u64 {
+            let fp = if i < 100 { 0xAA } else { 0xBB };
+            let s = if (150..190).contains(&i) {
+                MonitorSample::lost()
+            } else {
+                MonitorSample::answered(2.0, fp)
+            };
+            st.push(&s, &cfg);
+        }
+        assert_eq!(st.health(&cfg), LinkHealth::PathChange);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact() {
+        let cfg = MonitorConfig::default();
+        let mut st = LinkState::with_config(&cfg);
+        let series = noisy_step(&[(300, 2.0), (50, 24.0)], 1.0);
+        for (i, &x) in series.iter().enumerate() {
+            let fp = if i < 200 { 0xAA } else { 0xBB };
+            st.push(&MonitorSample { far_ms: if i % 7 == 0 { f64::NAN } else { x }, path_fp: fp, far_addr_ok: i % 11 != 0 }, &cfg);
+        }
+        let mut buf = Vec::new();
+        st.encode_into(&mut buf);
+        assert_eq!(buf.len(), LinkState::ENCODED_LEN);
+        let back = LinkState::decode(&buf, &cfg).unwrap();
+        // Continuing both must stay in lockstep (state equality via re-encode).
+        let mut buf2 = Vec::new();
+        back.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
+        let mut a = st.clone();
+        let mut b = back;
+        for &x in &series[..100] {
+            let ua = a.push(&MonitorSample::answered(x, 0xBB), &cfg);
+            let ub = b.push(&MonitorSample::answered(x, 0xBB), &cfg);
+            assert_eq!(ua, ub);
+        }
+        assert!(LinkState::decode(&buf[..buf.len() - 1], &cfg).is_none());
+    }
+}

@@ -39,7 +39,9 @@ pub mod span;
 
 pub use export::{prometheus_text, stage_profile, RunManifest, MANIFEST_VERSION};
 pub use ledger::{End, LinkEvent, LinkKey, LinkRecorder, ProbeEvent, ProbeLedger, QuarantineNote};
-pub use metrics::{Histogram, MetricSheet, MetricsRegistry, SheetRecorder, StageTiming, WorkerStat};
+pub use metrics::{
+    Histogram, MetricSheet, MetricsRegistry, RateMeter, SheetRecorder, StageTiming, WorkerStat,
+};
 pub use rss::{peak_rss_mb, reset_peak_rss};
 pub use span::StageSpan;
 

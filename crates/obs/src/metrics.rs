@@ -392,6 +392,66 @@ impl Recorder for MetricsRegistry {
     }
 }
 
+/// A wall-clock event-rate meter for live gauges (ingest samples/s,
+/// verdict-index read QPS). `mark` is one relaxed atomic add — safe to call
+/// from any thread at full ingest rate; `take_rate` closes the current
+/// window and starts the next, so periodic gauge publication sees the rate
+/// over the interval since the last publication. Rates are wall-clock and
+/// therefore volatile run to run; they are for live dashboards, never for
+/// deterministic output.
+#[derive(Debug)]
+pub struct RateMeter {
+    total: std::sync::atomic::AtomicU64,
+    window: Mutex<(std::time::Instant, u64)>,
+}
+
+impl Default for RateMeter {
+    fn default() -> Self {
+        RateMeter::new()
+    }
+}
+
+impl RateMeter {
+    /// A meter whose first window starts now.
+    pub fn new() -> RateMeter {
+        RateMeter {
+            total: std::sync::atomic::AtomicU64::new(0),
+            window: Mutex::new((std::time::Instant::now(), 0)),
+        }
+    }
+
+    /// Count `n` events (relaxed; aggregate only).
+    #[inline]
+    pub fn mark(&self, n: u64) {
+        self.total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Events counted since construction.
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Events/second over the current window, without closing it.
+    pub fn rate(&self) -> f64 {
+        let (start, base) = *self.window.lock();
+        let dt = start.elapsed().as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (self.total().saturating_sub(base)) as f64 / dt
+    }
+
+    /// Events/second over the current window, then start a new window.
+    pub fn take_rate(&self) -> f64 {
+        let mut w = self.window.lock();
+        let dt = w.0.elapsed().as_secs_f64();
+        let now_total = self.total();
+        let r = if dt <= 0.0 { 0.0 } else { (now_total.saturating_sub(w.1)) as f64 / dt };
+        *w = (std::time::Instant::now(), now_total);
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +506,20 @@ mod tests {
         assert_eq!(ab.counter("probes"), 8);
         assert_eq!(ab.gauges["threads"], 4.0);
         assert_eq!(ab.histograms["rtt"].count, 2);
+    }
+
+    #[test]
+    fn rate_meter_counts_and_windows() {
+        let m = RateMeter::new();
+        assert_eq!(m.total(), 0);
+        m.mark(5);
+        m.mark(7);
+        assert_eq!(m.total(), 12);
+        assert!(m.rate() >= 0.0);
+        let _ = m.take_rate();
+        // New window: no events yet, rate near zero regardless of history.
+        m.mark(3);
+        assert_eq!(m.total(), 15);
     }
 
     #[test]

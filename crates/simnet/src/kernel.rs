@@ -41,6 +41,8 @@ pub enum ProbeEvent {
         record_route: Option<Vec<crate::ip::Ipv4>>,
         /// Round-trip time.
         rtt: SimDuration,
+        /// The caller's tag from [`AgentCtx::send_tagged`] (0 for `send`).
+        tag: u64,
     },
     /// The probe will never be answered.
     Failed {
@@ -48,13 +50,15 @@ pub enum ProbeEvent {
         probe: ProbeId,
         /// Why.
         error: ProbeError,
+        /// The caller's tag from [`AgentCtx::send_tagged`] (0 for `send`).
+        tag: u64,
     },
 }
 
 /// Commands an agent may issue from a callback.
 pub struct AgentCtx {
     now: SimTime,
-    sends: Vec<ProbeSpec>,
+    sends: Vec<(ProbeSpec, u64)>,
     wakeups: Vec<SimTime>,
     stopped: bool,
 }
@@ -66,7 +70,13 @@ impl AgentCtx {
     }
     /// Send a probe from this agent's host.
     pub fn send(&mut self, spec: ProbeSpec) {
-        self.sends.push(spec);
+        self.sends.push((spec, 0));
+    }
+    /// Send a probe carrying an opaque tag, echoed back on the matching
+    /// [`ProbeEvent`]. A fleet agent monitoring thousands of links tags each
+    /// probe with its link index instead of keeping a probe-id map.
+    pub fn send_tagged(&mut self, spec: ProbeSpec, tag: u64) {
+        self.sends.push((spec, tag));
     }
     /// Request a wake-up callback at `t`.
     pub fn wake_at(&mut self, t: SimTime) {
@@ -97,9 +107,9 @@ pub trait Agent {
 
 enum Event {
     /// Packet sits at `node` (arrived via `incoming`) and needs a forwarding step.
-    Step { origin: NodeId, node: NodeId, incoming: Option<IfaceId>, pkt: Packet, hops: usize, agent: AgentId },
+    Step { origin: NodeId, node: NodeId, incoming: Option<IfaceId>, pkt: Packet, hops: usize, agent: AgentId, tag: u64 },
     /// Deliver a generated response onto the wire.
-    Respond { node: NodeId, kind: PacketKind, src: crate::ip::Ipv4, pkt: Packet, agent: AgentId },
+    Respond { node: NodeId, kind: PacketKind, src: crate::ip::Ipv4, pkt: Packet, agent: AgentId, tag: u64 },
     /// Wake an agent.
     Wake(AgentId),
 }
@@ -151,7 +161,7 @@ impl Kernel {
         for t in ctx.wakeups {
             self.push(t.max(self.now), Event::Wake(agent));
         }
-        for spec in ctx.sends {
+        for (spec, tag) in ctx.sends {
             let probe_id = self.net.alloc_probe_id();
             let src = self.net.primary_addr(host);
             let mut pkt = Packet::probe(src, spec.dst, spec.kind, spec.ttl, probe_id, self.now);
@@ -159,7 +169,7 @@ impl Kernel {
             if spec.record_route {
                 pkt = pkt.with_record_route();
             }
-            self.push(self.now, Event::Step { origin: host, node: host, incoming: None, pkt, hops: 0, agent });
+            self.push(self.now, Event::Step { origin: host, node: host, incoming: None, pkt, hops: 0, agent, tag });
         }
     }
 
@@ -204,11 +214,11 @@ impl Kernel {
                         self.apply_ctx(agent, host, ctx);
                     }
                 }
-                Event::Step { origin, node, incoming, mut pkt, hops, agent } => {
+                Event::Step { origin, node, incoming, mut pkt, hops, agent, tag } => {
                     let step = self.net.forward_step(origin, node, incoming, &mut pkt, self.now, hops);
                     match step {
                         ForwardStep::Hop { next, incoming, arrive, .. } => {
-                            self.push(arrive, Event::Step { origin, node: next, incoming: Some(incoming), pkt, hops: hops + 1, agent });
+                            self.push(arrive, Event::Step { origin, node: next, incoming: Some(incoming), pkt, hops: hops + 1, agent, tag });
                         }
                         ForwardStep::Respond { node, kind, src } => {
                             if pkt.kind.is_response() {
@@ -216,10 +226,10 @@ impl Kernel {
                                 let probe = pkt.probe;
                                 self.dispatch_probe_event(
                                     agent,
-                                    ProbeEvent::Failed { probe, error: ProbeError::DroppedReturn(crate::link::DropReason::LinkDown) },
+                                    ProbeEvent::Failed { probe, error: ProbeError::DroppedReturn(crate::link::DropReason::LinkDown), tag },
                                 );
                             } else {
-                                self.push(self.now, Event::Respond { node, kind, src, pkt, agent });
+                                self.push(self.now, Event::Respond { node, kind, src, pkt, agent, tag });
                             }
                         }
                         ForwardStep::Consumed { at, .. } => {
@@ -242,22 +252,23 @@ impl Kernel {
                                     ip_id: pkt.ip_id,
                                     record_route: pkt.record_route.take().map(|rr| rr.hops),
                                     rtt,
+                                    tag,
                                 },
                             );
                         }
                         ForwardStep::Fail(error) => {
                             let probe = pkt.probe;
-                            self.dispatch_probe_event(agent, ProbeEvent::Failed { probe, error });
+                            self.dispatch_probe_event(agent, ProbeEvent::Failed { probe, error, tag });
                         }
                     }
                 }
-                Event::Respond { node, kind, src, pkt, agent } => match self.net.generate_response(node, kind, src, &pkt, self.now) {
+                Event::Respond { node, kind, src, pkt, agent, tag } => match self.net.generate_response(node, kind, src, &pkt, self.now) {
                     Ok((response, leave)) => {
-                        self.push(leave, Event::Step { origin: node, node, incoming: None, pkt: response, hops: 0, agent });
+                        self.push(leave, Event::Step { origin: node, node, incoming: None, pkt: response, hops: 0, agent, tag });
                     }
                     Err(error) => {
                         let probe = pkt.probe;
-                        self.dispatch_probe_event(agent, ProbeEvent::Failed { probe, error });
+                        self.dispatch_probe_event(agent, ProbeEvent::Failed { probe, error, tag });
                     }
                 },
             }
@@ -397,6 +408,40 @@ mod tests {
         k.run(Some(SimTime(2 * 300 * 1_000_000)));
         // Only the probes scheduled in the first two periods resolved.
         assert!(rtts.borrow().len() <= 3, "{}", rtts.borrow().len());
+    }
+
+    struct TaggedFleet {
+        dst: Ipv4,
+        seen: Rc<RefCell<Vec<(u64, bool)>>>,
+    }
+
+    impl Agent for TaggedFleet {
+        fn on_start(&mut self, ctx: &mut AgentCtx) {
+            // Two answered probes and one that dies in the middle (TTL 2 is
+            // unresponsive below), each with a distinct tag.
+            ctx.send_tagged(ProbeSpec::ttl_limited(self.dst, 1), 11);
+            ctx.send_tagged(ProbeSpec::ttl_limited(self.dst, 2), 22);
+            ctx.send(ProbeSpec::echo(self.dst));
+        }
+        fn on_probe_event(&mut self, ev: ProbeEvent, _ctx: &mut AgentCtx) {
+            match ev {
+                ProbeEvent::Response { tag, .. } => self.seen.borrow_mut().push((tag, true)),
+                ProbeEvent::Failed { tag, .. } => self.seen.borrow_mut().push((tag, false)),
+            }
+        }
+    }
+
+    #[test]
+    fn tags_echo_on_response_and_failure() {
+        let (mut net, vp, tgt) = line();
+        net.node_mut(NodeId(2)).icmp.responsive = false; // kills the ttl-2 probe
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(net);
+        k.add_agent(vp, Box::new(TaggedFleet { dst: tgt, seen: seen.clone() }));
+        k.run(None);
+        let mut got = seen.borrow().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, true), (11, true), (22, false)]);
     }
 
     #[test]

@@ -26,8 +26,10 @@ cargo bench -p ixp-bench --bench campaign
 
 if [[ -n "$BACKUP" ]]; then
   # First links_per_sec in the file is the headline (1k-link) rate.
-  old=$(awk -F': ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BACKUP")
-  new=$(awk -F': ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BASELINE")
+  # -F on the full key: a plain ': ' split would land on the line's first
+  # field (the link count) instead of the rate.
+  old=$(awk -F'"links_per_sec": ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BACKUP")
+  new=$(awk -F'"links_per_sec": ' '/"links_per_sec"/ {gsub(/[,}].*/, "", $2); print $2; exit}' "$BASELINE")
   echo "[bench_campaign] links/sec (1k-link point): previous $old, new $new"
   if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n < 0.9 * o) }'; then
     if [[ "$FORCE" == "1" ]]; then

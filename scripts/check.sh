@@ -29,6 +29,9 @@ cargo test -p ixp-study --test storm
 echo "==> continent scaling smoke (1k links through the streaming campaign)"
 cargo test -p ixp-study --test scale
 
+echo "==> resident monitor smoke (streaming/batch equivalence + 1k-link live ingest)"
+cargo test -p ixp-study --test monitor
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -44,6 +47,8 @@ if [[ "$BENCH_GATES" == "1" ]]; then
   scripts/bench_obs.sh "$@"
   echo "==> bench gate: campaign (1k/10k/100k scaling, >10% regression)"
   scripts/bench_campaign.sh "$@"
+  echo "==> bench gate: monitor (ingest throughput + resident RSS ceiling)"
+  scripts/bench_monitor.sh "$@"
 fi
 
 echo "==> all checks passed"

@@ -13,11 +13,13 @@
 //! - [`geo`] — geolocation + reverse-DNS hints
 //! - [`tslp`] — the TSLP congestion-inference pipeline (core contribution)
 //! - [`obs`] — campaign telemetry: metrics, stage spans, ledgers, exporters
+//! - [`monitor`] — the resident always-on monitoring service
 //! - [`study`] — year-long campaign orchestration and table/figure builders
 
 pub use ixp_bdrmap as bdrmap;
 pub use ixp_chgpt as chgpt;
 pub use ixp_geo as geo;
+pub use ixp_monitor as monitor;
 pub use ixp_obs as obs;
 pub use ixp_prober as prober;
 pub use ixp_registry as registry;
