@@ -187,11 +187,14 @@ impl OnlineDetector {
         }
     }
 
-    /// Feed one sample. Non-finite samples (lost probes) are gaps: counted,
-    /// detector state untouched, [`OnlineVerdict::Gap`] returned — a
-    /// resident service must not die on a dropped response.
+    /// Feed one sample. Non-finite samples (lost probes) and subnormals
+    /// (no real RTT is below ~10⁻³⁰⁸ ms — only a corrupted or fabricated
+    /// measurement carries one) are gaps: counted, detector state
+    /// untouched, [`OnlineVerdict::Gap`] returned — a resident service
+    /// must not die on a dropped response or let garbage bend its
+    /// baseline. Zero is a legitimate sample; it is not subnormal.
     pub fn push(&mut self, x: f64) -> OnlineVerdict {
-        if !x.is_finite() {
+        if !x.is_finite() || x.is_subnormal() {
             self.gaps += 1;
             return OnlineVerdict::Gap;
         }
@@ -424,6 +427,82 @@ mod proptests {
             prop_assert!(!ev.is_empty());
             let delay = ev[0].0 as i64 - at as i64;
             prop_assert!((0..=10).contains(&delay), "alarm delay {delay}");
+        }
+
+        /// Any interleaving of NaN / ±Inf / subnormal junk yields `Gap` for
+        /// every junk sample and leaves the event stream identical to the
+        /// gap-free projection of the same series (the stronger form of
+        /// `gaps_do_not_change_events`: positions are mapped back through
+        /// the interleaving, so boundaries must agree exactly, not merely
+        /// in count).
+        #[test]
+        fn junk_interleavings_are_inert(
+            clean in proptest::collection::vec(0.5f64..60.0, 30..400),
+            junk_at in proptest::collection::vec((0usize..400, 0usize..5), 0..60),
+        ) {
+            const JUNK: [f64; 5] =
+                [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e-310, -4.9e-324];
+            let cfg = OnlineConfig::default();
+
+            // Build the interleaved series: insert junk at (clamped) clean
+            // positions, keeping the clean subsequence order intact.
+            let mut inserts: Vec<(usize, f64)> = junk_at
+                .iter()
+                .map(|&(pos, kind)| (pos.min(clean.len()), JUNK[kind]))
+                .collect();
+            inserts.sort_by_key(|&(pos, _)| pos);
+            let mut mixed = Vec::with_capacity(clean.len() + inserts.len());
+            let mut is_junk = Vec::with_capacity(mixed.capacity());
+            let mut next = inserts.iter().peekable();
+            for (i, &x) in clean.iter().enumerate() {
+                while next.peek().is_some_and(|&&(pos, _)| pos == i) {
+                    mixed.push(next.next().unwrap().1);
+                    is_junk.push(true);
+                }
+                mixed.push(x);
+                is_junk.push(false);
+            }
+            for &(_, j) in next {
+                mixed.push(j);
+                is_junk.push(true);
+            }
+
+            // Every junk sample reads Gap; clean samples never do. The
+            // detector snapshots must agree except for the gap counter.
+            let mut det_clean = OnlineDetector::new(cfg);
+            for &x in &clean {
+                prop_assert_ne!(det_clean.push(x), OnlineVerdict::Gap);
+            }
+            let mut det_mixed = OnlineDetector::new(cfg);
+            // clean_before[i] = clean samples strictly before mixed[i];
+            // one extra entry so a trailing open event maps to clean.len().
+            let mut clean_before = Vec::with_capacity(mixed.len() + 1);
+            let mut seen = 0usize;
+            for (i, &x) in mixed.iter().enumerate() {
+                clean_before.push(seen);
+                let v = det_mixed.push(x);
+                if is_junk[i] {
+                    prop_assert_eq!(v, OnlineVerdict::Gap, "junk at {} must be a gap", i);
+                } else {
+                    prop_assert_ne!(v, OnlineVerdict::Gap);
+                    seen += 1;
+                }
+            }
+            clean_before.push(seen);
+            let a = det_clean.snapshot();
+            let b = det_mixed.snapshot();
+            prop_assert_eq!(b.gaps, is_junk.iter().filter(|&&j| j).count() as u64);
+            prop_assert_eq!(OnlineSnapshot { gaps: a.gaps, ..b }, a,
+                "junk moved detector state");
+
+            // The event stream, projected back to clean positions, is
+            // exactly the clean event stream.
+            let ev_clean = online_events(&clean, cfg);
+            let ev_mixed: Vec<(usize, usize)> = online_events(&mixed, cfg)
+                .into_iter()
+                .map(|(up, down)| (clean_before[up], clean_before[down]))
+                .collect();
+            prop_assert_eq!(ev_mixed, ev_clean);
         }
     }
 }

@@ -49,7 +49,61 @@ const MAGIC: &[u8; 8] = b"TSLPCKPT";
 const VERSION: u32 = 2;
 
 const BLOB_MAGIC: &[u8; 8] = b"TSLPBLOB";
-const BLOB_VERSION: u32 = 1;
+/// Current blob frame version. v2 adds a trailing CRC-32 over the whole
+/// frame (header + payload), so torn writes and bit flips are *detected*
+/// ([`BlobStatus::Corrupt`]) rather than conflated with an honest miss.
+/// v1 frames (no CRC) decode as [`BlobStatus::Stale`] — a miss, never a
+/// panic, never trusted payload.
+const BLOB_VERSION: u32 = 2;
+const BLOB_VERSION_V1: u32 = 1;
+/// Fixed frame bytes around a v2 payload: magic(8) + version(4) +
+/// fingerprint(8) + length(8) before it, CRC-32(4) after it.
+const BLOB_V2_OVERHEAD: usize = 8 + 4 + 8 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Vendored in
+/// ~15 lines because the offline dependency set has no checksum crate; the
+/// polynomial choice matters less than having *any* end-to-end integrity
+/// check on the blob frame.
+fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Outcome of a checked blob load: the caller decides how loudly to react.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlobStatus {
+    /// Frame intact, fingerprint matches: here is the payload.
+    Ok(Vec<u8>),
+    /// No blob file under this name.
+    Missing,
+    /// A structurally valid frame that must not be replayed: wrong
+    /// fingerprint (another deployment's state) or an old/unknown frame
+    /// version. Rebuild from scratch; do not quarantine — the file is not
+    /// damaged, merely not ours.
+    Stale,
+    /// The frame is damaged: bad magic, torn length, or CRC mismatch.
+    /// Quarantine it (see [`CheckpointStore::quarantine_blob`]) so the
+    /// evidence survives and the name is free for a fresh checkpoint.
+    Corrupt,
+}
 
 /// A directory of per-link series checkpoints for one campaign.
 #[derive(Clone, Debug)]
@@ -109,17 +163,22 @@ impl CheckpointStore {
     /// Persist an opaque named blob atomically (temp file + rename), bound
     /// to this store's fingerprint. The monitor service uses this for its
     /// per-shard detector/health state; the payload layout is the caller's.
+    /// The v2 frame carries the payload length and a trailing CRC-32 over
+    /// the whole frame, so torn or bit-flipped blobs are *detected* on
+    /// load, never decoded.
     ///
     /// `name` must be filesystem-safe (`[A-Za-z0-9._-]`); anything else is
     /// rejected so a caller cannot escape the checkpoint directory.
     pub fn store_blob(&self, name: &str, payload: &[u8]) -> io::Result<()> {
         let final_path = self.blob_path(name)?;
-        let mut bytes = Vec::with_capacity(8 + 4 + 8 + 8 + payload.len());
+        let mut bytes = Vec::with_capacity(BLOB_V2_OVERHEAD + payload.len());
         bytes.extend_from_slice(BLOB_MAGIC);
         bytes.extend_from_slice(&BLOB_VERSION.to_le_bytes());
         bytes.extend_from_slice(&self.fingerprint.to_le_bytes());
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(payload);
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
         let tmp_path = final_path.with_extension("tmp");
         {
             let mut f = fs::File::create(&tmp_path)?;
@@ -131,21 +190,81 @@ impl CheckpointStore {
 
     /// Load a named blob's payload, or `None` when the blob is missing,
     /// corrupt, truncated, or from a different fingerprint — the caller
-    /// simply rebuilds the state from scratch.
+    /// simply rebuilds the state from scratch. Callers that need to tell
+    /// *damage* apart from an honest miss use [`Self::load_blob_checked`].
     pub fn load_blob(&self, name: &str) -> Option<Vec<u8>> {
-        let bytes = fs::read(self.blob_path(name).ok()?).ok()?;
+        match self.load_blob_checked(name) {
+            BlobStatus::Ok(payload) => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Load a named blob, distinguishing every miss mode: a damaged frame
+    /// ([`BlobStatus::Corrupt`]) warrants quarantining the file; a missing
+    /// or foreign one is a plain rebuild-from-scratch. Never panics on any
+    /// byte sequence — truncated, flipped, garbage-prefixed, or v1 frames
+    /// all decode to a non-`Ok` status.
+    pub fn load_blob_checked(&self, name: &str) -> BlobStatus {
+        let Ok(path) = self.blob_path(name) else { return BlobStatus::Missing };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return BlobStatus::Missing,
+            Err(_) => return BlobStatus::Corrupt,
+        };
         let mut c = Cursor { buf: &bytes, pos: 0 };
-        if &c.take::<8>()? != BLOB_MAGIC
-            || c.u32()? != BLOB_VERSION
-            || c.u64()? != self.fingerprint
-        {
-            return None;
+        let Some(magic) = c.take::<8>() else { return BlobStatus::Corrupt };
+        if &magic != BLOB_MAGIC {
+            return BlobStatus::Corrupt;
         }
-        let n = c.u64()? as usize;
-        if bytes.len() - c.pos != n {
-            return None;
+        let Some(version) = c.u32() else { return BlobStatus::Corrupt };
+        if version == BLOB_VERSION_V1 {
+            // v1 had no CRC: a structurally plausible frame is merely
+            // stale (decode as a miss), a torn one is corrupt.
+            return match (c.u64(), c.u64()) {
+                (Some(_fp), Some(n)) if bytes.len() - c.pos == n as usize => BlobStatus::Stale,
+                _ => BlobStatus::Corrupt,
+            };
         }
-        Some(bytes[c.pos..].to_vec())
+        if version != BLOB_VERSION {
+            // An unknown (future) version: not ours to judge — a miss.
+            return BlobStatus::Stale;
+        }
+        let (Some(fp), Some(n)) = (c.u64(), c.u64()) else { return BlobStatus::Corrupt };
+        let n = n as usize;
+        // Exact length frame: header + payload + 4-byte CRC, nothing else.
+        if bytes.len() != BLOB_V2_OVERHEAD + n {
+            return BlobStatus::Corrupt;
+        }
+        let body_end = bytes.len() - 4;
+        let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+        if crc32(&bytes[..body_end]) != stored_crc {
+            return BlobStatus::Corrupt;
+        }
+        if fp != self.fingerprint {
+            return BlobStatus::Stale;
+        }
+        BlobStatus::Ok(bytes[c.pos..body_end].to_vec())
+    }
+
+    /// Move a damaged blob aside to a `<file>.corrupt` sidecar, freeing the
+    /// name for a fresh checkpoint while keeping the evidence on disk.
+    /// Returns the sidecar path, or `None` when there was nothing to move.
+    pub fn quarantine_blob(&self, name: &str) -> io::Result<Option<PathBuf>> {
+        let path = self.blob_path(name)?;
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut sidecar = path.clone().into_os_string();
+        sidecar.push(".corrupt");
+        let sidecar = PathBuf::from(sidecar);
+        fs::rename(&path, &sidecar)?;
+        Ok(Some(sidecar))
+    }
+
+    /// The on-disk path a named blob lives at (whether or not it exists):
+    /// error messages should name the file, not just the shard.
+    pub fn blob_file(&self, name: &str) -> io::Result<PathBuf> {
+        self.blob_path(name)
     }
 
     fn blob_path(&self, name: &str) -> io::Result<PathBuf> {
@@ -398,6 +517,88 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// Hand-roll a v1 blob frame (magic, version=1, fingerprint, length,
+    /// payload — no CRC), byte-compatible with what PR 8's store wrote.
+    fn v1_frame(fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(BLOB_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn blob_crc_separates_corrupt_from_stale() {
+        let dir = tmpdir("blob-crc");
+        let store = CheckpointStore::new(&dir, 0xFEED).unwrap();
+        assert_eq!(store.load_blob_checked("shard-0"), BlobStatus::Missing);
+        let payload: Vec<u8> = (0..200u8).collect();
+        store.store_blob("shard-0", &payload).unwrap();
+        assert_eq!(store.load_blob_checked("shard-0"), BlobStatus::Ok(payload.clone()));
+
+        // A valid frame under a foreign fingerprint is stale, not corrupt.
+        let other = CheckpointStore::new(&dir, 0xBEEF).unwrap();
+        assert_eq!(other.load_blob_checked("shard-0"), BlobStatus::Stale);
+
+        // Any single bit flip anywhere in the frame reads corrupt (or, for
+        // flips landing in the version word, stale) — never Ok, no panic.
+        let path = store.blob_file("shard-0").unwrap();
+        let good = fs::read(&path).unwrap();
+        for bit in [0usize, 7, 8 * 8, 8 * 12, 8 * 40, good.len() * 8 - 3] {
+            let mut bad = good.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            fs::write(&path, &bad).unwrap();
+            let got = store.load_blob_checked("shard-0");
+            assert!(
+                matches!(got, BlobStatus::Corrupt | BlobStatus::Stale),
+                "bit {bit}: {got:?}"
+            );
+        }
+        // Truncation at every header boundary is corrupt.
+        for cut in [0usize, 5, 11, 19, 27, good.len() - 1] {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert_eq!(store.load_blob_checked("shard-0"), BlobStatus::Corrupt, "cut {cut}");
+        }
+        // Garbage-prefixed: bad magic, corrupt.
+        let mut prefixed = b"JUNKJUNK".to_vec();
+        prefixed.extend_from_slice(&good);
+        fs::write(&path, &prefixed).unwrap();
+        assert_eq!(store.load_blob_checked("shard-0"), BlobStatus::Corrupt);
+
+        // Quarantine moves the damaged file to a .corrupt sidecar and
+        // frees the name.
+        let sidecar = store.quarantine_blob("shard-0").unwrap().expect("file existed");
+        assert!(sidecar.to_string_lossy().ends_with(".corrupt"), "{sidecar:?}");
+        assert!(sidecar.exists());
+        assert_eq!(store.load_blob_checked("shard-0"), BlobStatus::Missing);
+        assert!(store.quarantine_blob("shard-0").unwrap().is_none(), "nothing left to move");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_blob_decodes_as_stale_never_panics() {
+        let dir = tmpdir("blob-v1");
+        let store = CheckpointStore::new(&dir, 0x1111).unwrap();
+        let path = store.blob_file("old").unwrap();
+        // A well-formed v1 frame — even with the right fingerprint — is a
+        // miss: there is no CRC to trust it by.
+        fs::write(&path, v1_frame(0x1111, b"payload-from-pr8")).unwrap();
+        assert_eq!(store.load_blob_checked("old"), BlobStatus::Stale);
+        assert_eq!(store.load_blob("old"), None);
+        // A torn v1 frame is corrupt.
+        let full = v1_frame(0x1111, b"payload-from-pr8");
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(store.load_blob_checked("old"), BlobStatus::Corrupt);
+        // An unknown future version is stale (not ours to judge).
+        let mut future = full.clone();
+        future[8..12].copy_from_slice(&9u32.to_le_bytes());
+        fs::write(&path, &future).unwrap();
+        assert_eq!(store.load_blob_checked("old"), BlobStatus::Stale);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn keys_distinguish_targets() {
         let a = CheckpointStore::key_for(NodeId(1), &target());
@@ -407,5 +608,122 @@ mod tests {
         let c = CheckpointStore::key_for(NodeId(1), &t);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+}
+
+/// Fuzz-style decode corpus: whatever bytes land in a blob file — truncated
+/// frames, bit flips, garbage prefixes, raw garbage, v1 relics — the
+/// checked loader must return a non-`Ok` status (or, for an untouched
+/// frame, the exact payload) and must never panic. One store per process
+/// (shared temp dir, per-case file names) keeps the suite fast.
+#[cfg(test)]
+mod blob_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scratch_store() -> CheckpointStore {
+        let dir = std::env::temp_dir()
+            .join(format!("tslp-blob-props-{}", std::process::id()));
+        CheckpointStore::new(dir, 0xC0FF_EE00).unwrap()
+    }
+
+    proptest! {
+        /// Truncating a stored v2 frame anywhere short of full length is
+        /// Corrupt; full length is the exact payload.
+        #[test]
+        fn truncation_is_detected(
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let store = scratch_store();
+            store.store_blob("trunc", &payload).unwrap();
+            let path = store.blob_file("trunc").unwrap();
+            let full = fs::read(&path).unwrap();
+            let cut = ((full.len() as f64) * cut_frac) as usize;
+            fs::write(&path, &full[..cut.min(full.len() - 1)]).unwrap();
+            prop_assert_eq!(store.load_blob_checked("trunc"), BlobStatus::Corrupt);
+            fs::write(&path, &full).unwrap();
+            prop_assert_eq!(store.load_blob_checked("trunc"), BlobStatus::Ok(payload));
+        }
+
+        /// Any single bit flip is caught: never Ok, never a panic. Flips in
+        /// the version word may read Stale (an unknown version is a miss);
+        /// everything else must fail the CRC and read Corrupt.
+        #[test]
+        fn bitflips_are_detected(
+            payload in proptest::collection::vec(any::<u8>(), 1..200),
+            bit_frac in 0.0f64..1.0,
+        ) {
+            let store = scratch_store();
+            store.store_blob("flip", &payload).unwrap();
+            let path = store.blob_file("flip").unwrap();
+            let mut bytes = fs::read(&path).unwrap();
+            let bit = ((bytes.len() * 8 - 1) as f64 * bit_frac) as usize;
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            fs::write(&path, &bytes).unwrap();
+            let got = store.load_blob_checked("flip");
+            let in_version_word = (8..12).contains(&(bit / 8));
+            if in_version_word {
+                prop_assert!(
+                    matches!(got, BlobStatus::Corrupt | BlobStatus::Stale),
+                    "version-word flip: {:?}", got
+                );
+            } else {
+                prop_assert_eq!(got, BlobStatus::Corrupt);
+            }
+        }
+
+        /// Arbitrary garbage — including garbage that starts with the real
+        /// magic, or prefixes a real frame — never decodes Ok, never panics.
+        #[test]
+        fn garbage_never_decodes(
+            garbage in proptest::collection::vec(any::<u8>(), 0..300),
+            prepend in any::<bool>(),
+            with_magic in any::<bool>(),
+        ) {
+            let store = scratch_store();
+            store.store_blob("junk", b"real payload").unwrap();
+            let path = store.blob_file("junk").unwrap();
+            let real = fs::read(&path).unwrap();
+            let mut bytes = Vec::new();
+            if with_magic {
+                bytes.extend_from_slice(BLOB_MAGIC);
+            }
+            bytes.extend_from_slice(&garbage);
+            if prepend {
+                bytes.extend_from_slice(&real);
+            }
+            fs::write(&path, &bytes).unwrap();
+            let got = store.load_blob_checked("junk");
+            prop_assert!(!matches!(got, BlobStatus::Ok(_)), "{:?}", got);
+        }
+
+        /// v1 frames — intact, truncated, or flipped — are a miss or
+        /// corrupt, never Ok, never a panic, with or without the right
+        /// fingerprint.
+        #[test]
+        fn v1_frames_never_decode(
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            ours in any::<bool>(),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let store = scratch_store();
+            let fp: u64 = if ours { 0xC0FF_EE00 } else { 0x0BAD_F00D };
+            let cut_frac = if ours { 1.0 } else { cut_frac }; // intact frames covered too
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(BLOB_MAGIC);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&fp.to_le_bytes());
+            bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let path = store.blob_file("v1").unwrap();
+            fs::write(&path, &bytes[..cut.min(bytes.len())]).unwrap();
+            let got = store.load_blob_checked("v1");
+            prop_assert!(
+                matches!(got, BlobStatus::Stale | BlobStatus::Corrupt),
+                "{:?}", got
+            );
+        }
     }
 }

@@ -33,7 +33,7 @@ pub use campaign::{
     measure_link_rec_in, measure_vp, measure_vp_links, measure_vp_links_rec, resolve_threads,
     stream_vp_links, stream_vp_links_rec, CampaignConfig, Screening, TslpProbing, WorkerFailure,
 };
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{BlobStatus, CheckpointStore};
 pub use detect::{
     assess_at_thresholds, assess_link, assess_link_masked, assess_link_masked_rec,
     record_assessment, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
@@ -47,7 +47,7 @@ pub use series::{LinkSeries, SeriesConfig};
 /// Common imports.
 pub mod prelude {
     pub use crate::campaign::{measure_link, measure_vp, measure_vp_links, CampaignConfig, Screening};
-    pub use crate::checkpoint::CheckpointStore;
+    pub use crate::checkpoint::{BlobStatus, CheckpointStore};
     pub use crate::detect::{
         assess_at_thresholds, assess_link, assess_link_masked, AssessConfig, Assessment, NearGuard,
         TimedEvent, WaveformStats,

@@ -105,13 +105,14 @@ impl VerdictIndex {
         self.shards.len()
     }
 
-    /// Current verdict for link `id`. Panics on an out-of-range id (ids are
-    /// dense indices handed out by the service).
+    /// Current verdict for link `id`; [`LinkVerdict::empty`] for an unknown
+    /// id. Total (never panics): a dashboard poller with a stale link list
+    /// gets an empty verdict, not a crash inside the read lock.
     pub fn verdict(&self, id: u32) -> LinkVerdict {
         self.reads.mark(1);
         let shard = id as usize % self.shards.len();
         let slot = id as usize / self.shards.len();
-        self.shards[shard].read()[slot]
+        self.shards[shard].read().get(slot).copied().unwrap_or_else(LinkVerdict::empty)
     }
 
     /// Links currently elevated (lock-free).
@@ -138,15 +139,25 @@ impl VerdictIndex {
     /// to shard `shard` (`id % shards == shard`); the write lock is taken
     /// once for the whole batch. `ixp_of` maps link id → IXP id for the
     /// aggregate maintenance.
+    ///
+    /// Never panics: out-of-range ids are skipped (debug-asserted), so a
+    /// buggy or recovering producer cannot poison the write path. The locks
+    /// are `parking_lot`, which does not poison on panic either way — a
+    /// worker that dies mid-publish releases the lock on unwind and readers
+    /// see the verdicts written so far, each one whole.
     pub fn publish(&self, shard: usize, updates: &[(u32, LinkVerdict)], ixp_of: &[u32]) {
-        if updates.is_empty() {
+        if updates.is_empty() || shard >= self.shards.len() {
+            debug_assert!(updates.is_empty() || shard < self.shards.len());
             return;
         }
         let mut slab = self.shards[shard].write();
         for &(id, v) in updates {
             debug_assert_eq!(id as usize % self.shards.len(), shard);
             let slot = id as usize / self.shards.len();
-            let old = &mut slab[slot];
+            let Some(old) = slab.get_mut(slot) else {
+                debug_assert!(false, "verdict publish for unknown link {id}");
+                continue;
+            };
             if old.elevated != v.elevated {
                 let ixp = ixp_of.get(id as usize).copied().unwrap_or(0) as usize;
                 if v.elevated {
@@ -226,6 +237,14 @@ mod tests {
         idx.rebuild_aggregates(&ixp_of);
         assert_eq!(idx.elevated_links(), 2);
         assert_eq!(idx.elevated_at_ixp(0), 1);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_empty_not_fatal() {
+        let idx = VerdictIndex::new(10, 3, 1);
+        // id 10 maps to shard 1 slot 3, one past the slab end.
+        assert_eq!(idx.verdict(10), LinkVerdict::empty());
+        assert_eq!(idx.verdict(u32::MAX), LinkVerdict::empty());
     }
 
     #[test]

@@ -32,12 +32,24 @@ pub mod service;
 pub mod state;
 
 pub use index::{LinkVerdict, VerdictIndex};
-pub use service::{monitor_fingerprint, LinkDesc, MonitorConfig, MonitorService};
-pub use state::{masked_online_events, LinkState, LinkUpdate, MonitorEvent, MonitorSample};
+pub use service::{
+    monitor_fingerprint, IngestReport, LinkDesc, MonitorConfig, MonitorService, ResumeReport,
+    SeqStats, ServiceMode, ShardRecovery,
+};
+pub use state::{
+    masked_online_events, AdmitDelta, LinkState, LinkUpdate, MonitorEvent, MonitorSample, SeqGate,
+    REORDER_CAP,
+};
 
 /// Common imports.
 pub mod prelude {
     pub use crate::index::{LinkVerdict, VerdictIndex};
-    pub use crate::service::{monitor_fingerprint, LinkDesc, MonitorConfig, MonitorService};
-    pub use crate::state::{masked_online_events, LinkState, LinkUpdate, MonitorEvent, MonitorSample};
+    pub use crate::service::{
+        monitor_fingerprint, IngestReport, LinkDesc, MonitorConfig, MonitorService, ResumeReport,
+        SeqStats, ServiceMode, ShardRecovery,
+    };
+    pub use crate::state::{
+        masked_online_events, AdmitDelta, LinkState, LinkUpdate, MonitorEvent, MonitorSample,
+        SeqGate, REORDER_CAP,
+    };
 }

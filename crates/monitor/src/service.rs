@@ -1,5 +1,22 @@
-//! The resident monitor service: shard layout, batched ingestion, live
-//! gauges, and checkpoint/resume.
+//! The resident monitor service: shard layout, batched ingestion with
+//! admission control, supervised recovery, live gauges, and
+//! checkpoint/resume.
+//!
+//! ## Admission control and supervision
+//!
+//! [`MonitorService::ingest_sequenced`] is the untrusted-collector path:
+//! unknown ids and reserved sequences are rejected, per-shard demand beyond
+//! [`MonitorConfig::max_shard_batch`] is shed by a seeded hash at
+//! single-threaded partition time (so shed decisions are bit-identical at
+//! any thread count), and each link's [`SeqGate`] heals small reorders,
+//! counts duplicates/stale replays, and abandons sequences the window slid
+//! past — nothing disordered ever reaches the CUSUM state. Worker panics
+//! are caught per shard: the shard restores from its last good checkpoint
+//! (through the store attached via [`MonitorService::set_store`]) and its
+//! items replay; a second panic quarantines the shard until the next
+//! successful pass. [`MonitorService::mode`] reports
+//! [`ServiceMode::Degraded`] while any of this is recent — the other
+//! shards' verdicts keep flowing throughout.
 //!
 //! ## Shard layout and memory model
 //!
@@ -27,14 +44,15 @@
 //! never having stopped — tested at 1 and 3 ingest threads.
 
 use crate::index::{LinkVerdict, VerdictIndex};
-use crate::state::{LinkState, LinkUpdate, MonitorSample};
+use crate::state::{LinkState, LinkUpdate, MonitorSample, SeqGate};
 use ixp_chgpt::OnlineConfig;
 use ixp_obs::{RateMeter, Recorder};
 use ixp_simnet::rng::mix;
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use tslp_core::CheckpointStore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use tslp_core::{BlobStatus, CheckpointStore};
 
 /// Full configuration of the resident monitor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -60,6 +78,19 @@ pub struct MonitorConfig {
     pub silent_validity: f64,
     /// An open loss run covering this fraction of a window reads as Silent.
     pub silent_tail_fraction: f64,
+    /// Sequence reorder window for [`MonitorService::ingest_sequenced`]:
+    /// samples up to this many sequence numbers ahead are buffered and
+    /// healed into order (clamped to [`crate::state::REORDER_CAP`]).
+    pub reorder_window: u64,
+    /// Per-shard, per-batch admission bound (0 = unbounded): demand beyond
+    /// it is shed deterministically before workers start.
+    pub max_shard_batch: usize,
+    /// Seed for the deterministic load-shedding hash — shed decisions are a
+    /// pure function of (seed, link, seq, batch), never of thread timing.
+    pub shed_seed: u64,
+    /// How many batches a shed/restart event keeps the service reporting
+    /// [`ServiceMode::Degraded`] after the pressure clears.
+    pub degraded_hold: u64,
 }
 
 impl Default for MonitorConfig {
@@ -75,7 +106,101 @@ impl Default for MonitorConfig {
             min_addr_consistency: 0.90,
             silent_validity: 0.05,
             silent_tail_fraction: 0.35,
+            reorder_window: 4,
+            max_shard_batch: 0,
+            shed_seed: 0x5EED,
+            degraded_hold: 3,
         }
+    }
+}
+
+/// Coarse service health, driven by shard pressure and supervision events.
+///
+/// `Degraded` means at least one shard recently shed load, was restarted
+/// after a panic, or is quarantined — the rest of the fleet keeps getting
+/// fresh verdicts; only the affected shard's links may lag. The mode clears
+/// itself [`MonitorConfig::degraded_hold`] batches after the last event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// Every shard admitted its full demand and no supervision fired.
+    Healthy,
+    /// Some shard shed load, restarted, or sits quarantined.
+    Degraded,
+}
+
+/// What one [`MonitorService::ingest_sequenced`] batch did — the admission
+/// and supervision accounting a collector uses to see its own data quality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Samples handed to shard workers (batch − rejected − shed).
+    pub accepted: u64,
+    /// Samples released into detectors (in-order + healed reorders).
+    pub delivered: u64,
+    /// Samples refused at the door: unknown link id or reserved sequence.
+    pub rejected: u64,
+    /// Samples shed by per-shard admission control before workers started.
+    pub shed: u64,
+    /// Duplicate sequence numbers detected by the per-link gates.
+    pub duplicates: u64,
+    /// Ancient sequence replays detected by the per-link gates.
+    pub stale: u64,
+    /// Samples delivered out of arrival order via the reorder buffers.
+    pub reordered: u64,
+    /// Sequence numbers given up on (window slid past them).
+    pub dropped: u64,
+    /// Shard restarts the supervisor performed during this batch.
+    pub restarts: u64,
+    /// Service mode after the batch.
+    pub mode: ServiceMode,
+}
+
+/// Per-link sequence-gate counters, for dashboards and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Next sequence number the link's gate will deliver.
+    pub next_seq: u64,
+    /// Duplicate sequence numbers seen.
+    pub duplicates: u64,
+    /// Ancient sequence replays seen.
+    pub stale: u64,
+    /// Samples healed into order via the reorder buffer.
+    pub reordered: u64,
+    /// Sequence numbers given up on.
+    pub dropped: u64,
+    /// Samples currently parked in the reorder buffer.
+    pub buffered: usize,
+}
+
+/// How one shard came back in [`MonitorService::resume_resilient`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardRecovery {
+    /// Checkpoint blob decoded cleanly; the shard resumed bit-identically.
+    Restored,
+    /// No blob on disk; the shard rebuilt from scratch.
+    RebuiltMissing,
+    /// Blob was intact but from a foreign deployment; rebuilt from scratch.
+    RebuiltStale,
+    /// Blob was damaged (bad CRC, torn frame); quarantined to a `.corrupt`
+    /// sidecar and the shard rebuilt from scratch.
+    RebuiltCorrupt,
+}
+
+/// Per-shard outcome of a resilient resume.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl ResumeReport {
+    /// True when every shard resumed from its checkpoint.
+    pub fn all_restored(&self) -> bool {
+        self.shards.iter().all(|s| *s == ShardRecovery::Restored)
+    }
+
+    /// Number of shards that had to rebuild from scratch.
+    pub fn rebuilt(&self) -> usize {
+        self.shards.iter().filter(|s| **s != ShardRecovery::Restored).count()
     }
 }
 
@@ -87,11 +212,17 @@ pub struct LinkDesc {
 }
 
 /// Fingerprint binding checkpoints to one monitor deployment: configuration
-/// (detector, shard layout, health thresholds) and link count. Thread count
-/// is deliberately excluded — results do not depend on it.
+/// (detector, shard layout, health thresholds, admission control) and link
+/// count. Thread count and `degraded_hold` are deliberately excluded — the
+/// link state does not depend on them. The magic word is versioned with the
+/// checkpoint payload layout: v2 blobs carry a [`SeqGate`] per link, so v1
+/// deployments read as a miss, never a mis-decode.
 pub fn monitor_fingerprint(cfg: &MonitorConfig, n_links: usize) -> u64 {
     mix(&[
-        0x004D_4F4E_4954_4F52, // "MONITOR"
+        0x4D4F_4E49_544F_5232, // "MONITOR2"
+        cfg.reorder_window,
+        cfg.max_shard_batch as u64,
+        cfg.shed_seed,
         cfg.online.kappa.to_bits(),
         cfg.online.h.to_bits(),
         cfg.online.warmup as u64,
@@ -108,19 +239,97 @@ pub fn monitor_fingerprint(cfg: &MonitorConfig, n_links: usize) -> u64 {
     ])
 }
 
+/// One shard's mutable state: link detectors plus their admission gates,
+/// indexed by slot (`id / shards`). Kept together so one lock guards both.
+struct ShardSlab {
+    links: Vec<LinkState>,
+    gates: Vec<SeqGate>,
+}
+
+/// Per-shard supervision bookkeeping (all lock-free).
+struct ShardMeta {
+    /// Batch index of the last shed event (`u64::MAX` = never).
+    last_shed_batch: AtomicU64,
+    /// Batch index of the last supervised restart (`u64::MAX` = never).
+    last_restart_batch: AtomicU64,
+    /// Total supervised restarts of this shard.
+    restarts: AtomicU64,
+    /// True while the shard is quarantined: its last restart panicked
+    /// again on replay. Cleared by the next successful pass.
+    quarantined: AtomicBool,
+}
+
+impl ShardMeta {
+    fn new() -> ShardMeta {
+        ShardMeta {
+            last_shed_batch: AtomicU64::new(u64::MAX),
+            last_restart_batch: AtomicU64::new(u64::MAX),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A chaos-hook instruction: panic inside `shard`'s worker during batch
+/// `batch`, after `after_items` items have been processed.
+struct ArmedPanic {
+    shard: usize,
+    batch: u64,
+    after_items: usize,
+}
+
+/// Per-batch gate accounting folded by the shard workers (atomic because
+/// workers run concurrently; sums are order-independent, so the totals are
+/// deterministic).
+#[derive(Default)]
+struct BatchAcc {
+    delivered: AtomicU64,
+    duplicates: AtomicU64,
+    stale: AtomicU64,
+    reordered: AtomicU64,
+    dropped: AtomicU64,
+    restarts: AtomicU64,
+}
+
+/// Plain (non-atomic) gate totals returned by one shard's sequenced pass.
+#[derive(Default, Clone, Copy)]
+struct GateTotals {
+    delivered: u64,
+    duplicates: u64,
+    stale: u64,
+    reordered: u64,
+    dropped: u64,
+}
+
 /// The resident monitoring service. See the module docs for the layout.
 pub struct MonitorService {
     cfg: MonitorConfig,
     /// Per-link IXP ids (index = link id).
     ixp_of: Vec<u32>,
     n_ixps: usize,
-    shards: Vec<Mutex<Vec<LinkState>>>,
+    shards: Vec<Mutex<ShardSlab>>,
+    metas: Vec<ShardMeta>,
     index: VerdictIndex,
     ingest_meter: RateMeter,
     ingested: AtomicU64,
-    /// Largest per-shard batch observed since the last gauge publication —
-    /// the "how uneven is shard pressure" signal.
+    /// High-water per-shard demand (pre-shedding) since the last gauge
+    /// publication — overload is visible *before* shedding starts.
     shard_backlog_max: AtomicU64,
+    /// Batches ingested (raw or sequenced) — the supervision clock.
+    batches: AtomicU64,
+    /// Attached checkpoint store, used by the supervisor to restore a
+    /// panicked shard from its last good blob. `None` = rebuild fresh.
+    store: Mutex<Option<CheckpointStore>>,
+    /// Armed chaos panics (test/fire-drill hook).
+    chaos: Mutex<Vec<ArmedPanic>>,
+    /// Fast path: skip the chaos lock entirely when nothing is armed.
+    chaos_armed: AtomicBool,
+    shed_total: AtomicU64,
+    rejected_total: AtomicU64,
+    seq_duplicates: AtomicU64,
+    seq_stale: AtomicU64,
+    seq_reordered: AtomicU64,
+    seq_dropped: AtomicU64,
 }
 
 impl MonitorService {
@@ -133,18 +342,70 @@ impl MonitorService {
         let mut slabs = Vec::with_capacity(shards);
         for s in 0..shards {
             let slots = n / shards + usize::from(s < n % shards);
-            slabs.push(Mutex::new((0..slots).map(|_| LinkState::with_config(&cfg)).collect()));
+            slabs.push(Mutex::new(ShardSlab {
+                links: (0..slots).map(|_| LinkState::with_config(&cfg)).collect(),
+                gates: (0..slots).map(|_| SeqGate::new()).collect(),
+            }));
         }
         MonitorService {
             cfg,
             ixp_of,
             n_ixps,
             shards: slabs,
+            metas: (0..shards).map(|_| ShardMeta::new()).collect(),
             index: VerdictIndex::new(n, shards, n_ixps),
             ingest_meter: RateMeter::new(),
             ingested: AtomicU64::new(0),
             shard_backlog_max: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            store: Mutex::new(None),
+            chaos: Mutex::new(Vec::new()),
+            chaos_armed: AtomicBool::new(false),
+            shed_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            seq_duplicates: AtomicU64::new(0),
+            seq_stale: AtomicU64::new(0),
+            seq_reordered: AtomicU64::new(0),
+            seq_dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a checkpoint store for the supervisor: a panicked shard is
+    /// restored from its last good blob here (and a corrupt blob is
+    /// quarantined). Without a store, a panicked shard rebuilds fresh.
+    pub fn set_store(&self, store: CheckpointStore) {
+        *self.store.lock() = Some(store);
+    }
+
+    /// Batches ingested so far (raw and sequenced) — the clock chaos hooks
+    /// and the Degraded-mode hold are expressed in.
+    pub fn batches_ingested(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Arm a chaos panic: the worker processing `shard` during batch
+    /// `batch` (absolute index, see [`MonitorService::batches_ingested`])
+    /// panics after `after_items` items. The supervisor must recover; this
+    /// is the fire-drill hook the resilience gauntlet leans on.
+    pub fn arm_panic(&self, shard: usize, batch: u64, after_items: usize) {
+        self.chaos.lock().push(ArmedPanic { shard, batch, after_items });
+        self.chaos_armed.store(true, Ordering::Release);
+    }
+
+    /// Consume the armed panic for `(shard, batch)`, if any. Removal
+    /// happens *before* the panic fires so the supervisor's replay of the
+    /// same items runs clean.
+    fn take_armed(&self, shard: usize, batch: u64) -> Option<usize> {
+        if !self.chaos_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut chaos = self.chaos.lock();
+        let at = chaos.iter().position(|a| a.shard == shard && a.batch == batch)?;
+        let armed = chaos.swap_remove(at);
+        if chaos.is_empty() {
+            self.chaos_armed.store(false, Ordering::Release);
+        }
+        Some(armed.after_items)
     }
 
     /// The service configuration.
@@ -177,12 +438,16 @@ impl MonitorService {
         self.ingested.load(Ordering::Relaxed)
     }
 
-    /// Ingest a batch of `(link id, sample)` pairs. Per-link sample order
-    /// within the batch is preserved; the resulting state is bit-identical
-    /// at any [`MonitorConfig::threads`] setting. Returns the per-sample
-    /// updates in batch order (callers that only want the index ignore it).
+    /// Ingest a batch of `(link id, sample)` pairs — the trusted-producer
+    /// path (a kernel agent feeding in-order samples). Per-link sample
+    /// order within the batch is preserved; the resulting state is
+    /// bit-identical at any [`MonitorConfig::threads`] setting. Returns the
+    /// per-sample updates in batch order. A worker panic is supervised:
+    /// the shard restores from its last good checkpoint (or fresh) and the
+    /// shard's items replay.
     pub fn ingest(&self, batch: &[(u32, MonitorSample)]) -> Vec<LinkUpdate> {
         let n_shards = self.shards.len();
+        let batch_idx = self.batches.fetch_add(1, Ordering::Relaxed);
         // Stable partition by shard: arrival order preserved per shard,
         // therefore per link.
         let mut per_shard: Vec<Vec<(usize, u32, MonitorSample)>> = vec![Vec::new(); n_shards];
@@ -200,7 +465,7 @@ impl MonitorService {
         let threads = tslp_core::resolve_threads(self.cfg.threads).min(n_shards.max(1));
         if threads <= 1 {
             for (shard, items) in per_shard.iter().enumerate() {
-                self.ingest_shard(shard, items, &mut updates);
+                self.raw_shard_supervised(shard, items, &mut updates, batch_idx);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -215,7 +480,12 @@ impl MonitorService {
                         // SAFETY (by construction): each batch position
                         // appears in exactly one shard's item list, so no
                         // two workers write the same updates slot.
-                        self.ingest_shard(shard, &per_shard[shard], unsafe { slices.get() });
+                        self.raw_shard_supervised(
+                            shard,
+                            &per_shard[shard],
+                            unsafe { slices.get() },
+                            batch_idx,
+                        );
                     });
                 }
             });
@@ -225,29 +495,335 @@ impl MonitorService {
         updates
     }
 
-    fn ingest_shard(
+    /// Ingest a batch of `(link id, sequence, sample)` triples — the
+    /// untrusted-collector path. Admission control runs first, single
+    /// threaded and deterministic: unknown ids and the reserved sequence
+    /// `u64::MAX` are rejected; when a shard's demand exceeds
+    /// [`MonitorConfig::max_shard_batch`], the excess is shed by seeded
+    /// hash (reproducible at any thread count). Surviving samples then pass
+    /// their link's [`SeqGate`]: in-order and healed-reorder samples reach
+    /// the detector, duplicates/stale/abandoned sequences are counted.
+    /// Worker panics are supervised exactly as in [`MonitorService::ingest`].
+    pub fn ingest_sequenced(&self, batch: &[(u32, u64, MonitorSample)]) -> IngestReport {
+        let n_shards = self.shards.len();
+        let batch_idx = self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut rejected = 0u64;
+        let mut per_shard: Vec<Vec<(u64, u32, MonitorSample)>> = vec![Vec::new(); n_shards];
+        for &(id, seq, s) in batch {
+            if (id as usize) >= self.ixp_of.len() || seq == u64::MAX {
+                rejected += 1;
+                continue;
+            }
+            per_shard[id as usize % n_shards].push((seq, id, s));
+        }
+        // High-water *demand*, recorded before shedding (overload must be
+        // visible even when admission control hides it from the workers).
+        let demand = per_shard.iter().map(|v| v.len() as u64).max().unwrap_or(0);
+        self.shard_backlog_max.fetch_max(demand, Ordering::Relaxed);
+
+        let mut shed = 0u64;
+        let cap = self.cfg.max_shard_batch;
+        if cap > 0 {
+            for (shard, items) in per_shard.iter_mut().enumerate() {
+                if items.len() <= cap {
+                    continue;
+                }
+                shed += (items.len() - cap) as u64;
+                self.metas[shard].last_shed_batch.store(batch_idx, Ordering::Relaxed);
+                // Keep the `cap` items with the smallest seeded priority;
+                // the (priority, position) pair is unique, so the selection
+                // is total regardless of hash collisions.
+                let mut keyed: Vec<(u64, usize)> = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(seq, id, _))| {
+                        (mix(&[self.cfg.shed_seed, id as u64, seq, batch_idx]), i)
+                    })
+                    .collect();
+                keyed.select_nth_unstable(cap - 1);
+                let mut keep: Vec<usize> = keyed[..cap].iter().map(|&(_, i)| i).collect();
+                keep.sort_unstable(); // back to arrival order
+                let kept: Vec<(u64, u32, MonitorSample)> =
+                    keep.into_iter().map(|i| items[i]).collect();
+                *items = kept;
+            }
+        }
+        let accepted: u64 = per_shard.iter().map(|v| v.len() as u64).sum();
+
+        let acc = BatchAcc::default();
+        let threads = tslp_core::resolve_threads(self.cfg.threads).min(n_shards.max(1));
+        if threads <= 1 {
+            for (shard, items) in per_shard.iter().enumerate() {
+                self.seq_shard_supervised(shard, items, batch_idx, &acc);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|sc| {
+                for _ in 0..threads {
+                    sc.spawn(|| loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= n_shards {
+                            break;
+                        }
+                        self.seq_shard_supervised(shard, &per_shard[shard], batch_idx, &acc);
+                    });
+                }
+            });
+        }
+
+        let delivered = acc.delivered.load(Ordering::Relaxed);
+        self.ingest_meter.mark(accepted);
+        self.ingested.fetch_add(delivered, Ordering::Relaxed);
+        self.shed_total.fetch_add(shed, Ordering::Relaxed);
+        self.rejected_total.fetch_add(rejected, Ordering::Relaxed);
+        let duplicates = acc.duplicates.load(Ordering::Relaxed);
+        let stale = acc.stale.load(Ordering::Relaxed);
+        let reordered = acc.reordered.load(Ordering::Relaxed);
+        let dropped = acc.dropped.load(Ordering::Relaxed);
+        self.seq_duplicates.fetch_add(duplicates, Ordering::Relaxed);
+        self.seq_stale.fetch_add(stale, Ordering::Relaxed);
+        self.seq_reordered.fetch_add(reordered, Ordering::Relaxed);
+        self.seq_dropped.fetch_add(dropped, Ordering::Relaxed);
+        IngestReport {
+            accepted,
+            delivered,
+            rejected,
+            shed,
+            duplicates,
+            stale,
+            reordered,
+            dropped,
+            restarts: acc.restarts.load(Ordering::Relaxed),
+            mode: self.mode(),
+        }
+    }
+
+    /// Run one shard's raw pass under the supervisor.
+    fn raw_shard_supervised(
         &self,
         shard: usize,
         items: &[(usize, u32, MonitorSample)],
         updates: &mut [LinkUpdate],
+        batch: u64,
     ) {
         if items.is_empty() {
             return;
         }
+        let _ = self.supervised(shard, batch, None, || {
+            self.run_shard_raw(shard, items, updates, batch)
+        });
+    }
+
+    /// Run one shard's sequenced pass under the supervisor, folding its
+    /// gate totals into the batch accumulator.
+    fn seq_shard_supervised(
+        &self,
+        shard: usize,
+        items: &[(u64, u32, MonitorSample)],
+        batch: u64,
+        acc: &BatchAcc,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        let totals = self.supervised(shard, batch, Some(acc), || {
+            self.run_shard_seq(shard, items, batch)
+        });
+        if let Some(t) = totals {
+            acc.delivered.fetch_add(t.delivered, Ordering::Relaxed);
+            acc.duplicates.fetch_add(t.duplicates, Ordering::Relaxed);
+            acc.stale.fetch_add(t.stale, Ordering::Relaxed);
+            acc.reordered.fetch_add(t.reordered, Ordering::Relaxed);
+            acc.dropped.fetch_add(t.dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// The supervision tree for one shard pass: catch a panic, restore the
+    /// shard from its last good checkpoint (or fresh), replay the items.
+    /// A second panic during replay quarantines the shard (restored once
+    /// more so readers see the last good state, not a torn one); the next
+    /// successful pass clears the quarantine. parking_lot locks release on
+    /// unwind (they do not poison), so a panicked worker never wedges
+    /// readers or the other shards.
+    fn supervised<T>(
+        &self,
+        shard: usize,
+        batch: u64,
+        acc: Option<&BatchAcc>,
+        mut run: impl FnMut() -> T,
+    ) -> Option<T> {
+        if let Ok(v) = catch_unwind(AssertUnwindSafe(&mut run)) {
+            self.metas[shard].quarantined.store(false, Ordering::Relaxed);
+            return Some(v);
+        }
+        let meta = &self.metas[shard];
+        meta.restarts.fetch_add(1, Ordering::Relaxed);
+        meta.last_restart_batch.store(batch, Ordering::Relaxed);
+        if let Some(acc) = acc {
+            acc.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.restore_shard(shard);
+        match catch_unwind(AssertUnwindSafe(&mut run)) {
+            Ok(v) => {
+                meta.quarantined.store(false, Ordering::Relaxed);
+                Some(v)
+            }
+            Err(_) => {
+                self.restore_shard(shard);
+                meta.quarantined.store(true, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn run_shard_raw(
+        &self,
+        shard: usize,
+        items: &[(usize, u32, MonitorSample)],
+        updates: &mut [LinkUpdate],
+        batch: u64,
+    ) {
+        let boom = self.take_armed(shard, batch);
         let n_shards = self.shards.len();
         let mut verdicts = Vec::with_capacity(items.len());
         {
-            let mut states = self.shards[shard].lock();
-            for &(pos, id, ref s) in items {
+            let mut slab = self.shards[shard].lock();
+            for (done, &(pos, id, ref s)) in items.iter().enumerate() {
+                if boom == Some(done) {
+                    panic!("armed chaos panic (shard {shard}, batch {batch})");
+                }
                 let slot = id as usize / n_shards;
-                let up = states[slot].push(s, &self.cfg);
+                let up = slab.links[slot].push(s, &self.cfg);
                 updates[pos] = up;
-                verdicts.push((id, verdict_of(&states[slot], &self.cfg)));
+                verdicts.push((id, verdict_of(&slab.links[slot], &self.cfg)));
             }
         }
         // Publish outside the state lock: readers contend only with the
         // index write, never with detector math.
         self.index.publish(shard, &verdicts, &self.ixp_of);
+    }
+
+    fn run_shard_seq(
+        &self,
+        shard: usize,
+        items: &[(u64, u32, MonitorSample)],
+        batch: u64,
+    ) -> GateTotals {
+        let boom = self.take_armed(shard, batch);
+        let n_shards = self.shards.len();
+        let mut totals = GateTotals::default();
+        let mut verdicts = Vec::with_capacity(items.len());
+        {
+            let mut slab = self.shards[shard].lock();
+            let ShardSlab { links, gates } = &mut *slab;
+            for (done, &(seq, id, s)) in items.iter().enumerate() {
+                if boom == Some(done) {
+                    panic!("armed chaos panic (shard {shard}, batch {batch})");
+                }
+                let slot = id as usize / n_shards;
+                let cfg = &self.cfg;
+                let d = gates[slot].admit(seq, s, cfg.reorder_window, &mut |smp| {
+                    links[slot].push(&smp, cfg);
+                });
+                totals.delivered += u64::from(d.delivered);
+                totals.duplicates += u64::from(d.duplicates);
+                totals.stale += u64::from(d.stale);
+                totals.reordered += u64::from(d.reordered);
+                totals.dropped += d.dropped;
+                verdicts.push((id, verdict_of(&links[slot], &self.cfg)));
+            }
+        }
+        self.index.publish(shard, &verdicts, &self.ixp_of);
+        totals
+    }
+
+    /// Restore one shard to its last good checkpoint through the attached
+    /// store (quarantining a corrupt blob), or to fresh state without one,
+    /// and republish its verdicts so readers see the recovered state.
+    fn restore_shard(&self, shard: usize) {
+        let store = self.store.lock();
+        let mut slab = self.shards[shard].lock();
+        let slots = slab.links.len();
+        let restored = store.as_ref().and_then(|st| {
+            let name = shard_blob_name(shard);
+            match st.load_blob_checked(&name) {
+                BlobStatus::Ok(payload) => decode_shard_payload(&payload, slots, &self.cfg),
+                BlobStatus::Corrupt => {
+                    let _ = st.quarantine_blob(&name);
+                    None
+                }
+                BlobStatus::Missing | BlobStatus::Stale => None,
+            }
+        });
+        match restored {
+            Some((links, gates)) => {
+                slab.links = links;
+                slab.gates = gates;
+            }
+            None => {
+                slab.links = (0..slots).map(|_| LinkState::with_config(&self.cfg)).collect();
+                slab.gates = (0..slots).map(|_| SeqGate::new()).collect();
+            }
+        }
+        let n_shards = self.shards.len();
+        let verdicts: Vec<(u32, LinkVerdict)> = slab
+            .links
+            .iter()
+            .enumerate()
+            .map(|(slot, st)| ((slot * n_shards + shard) as u32, verdict_of(st, &self.cfg)))
+            .collect();
+        drop(slab);
+        drop(store);
+        // publish() maintains the elevated aggregates on transitions, so
+        // overwriting the shard's verdicts keeps the counters exact — no
+        // full rebuild (which would race concurrent publishes) needed.
+        self.index.publish(shard, &verdicts, &self.ixp_of);
+    }
+
+    /// Current service mode. Degraded while any shard is quarantined or
+    /// shed/restarted within the last [`MonitorConfig::degraded_hold`]
+    /// batches; Healthy otherwise.
+    pub fn mode(&self) -> ServiceMode {
+        let now = self.batches.load(Ordering::Relaxed);
+        for meta in &self.metas {
+            if meta.quarantined.load(Ordering::Relaxed) {
+                return ServiceMode::Degraded;
+            }
+            for stamp in [&meta.last_shed_batch, &meta.last_restart_batch] {
+                let at = stamp.load(Ordering::Relaxed);
+                if at != u64::MAX && now.saturating_sub(at) <= self.cfg.degraded_hold {
+                    return ServiceMode::Degraded;
+                }
+            }
+        }
+        ServiceMode::Healthy
+    }
+
+    /// Sequence-gate counters for one link.
+    pub fn seq_stats(&self, id: u32) -> SeqStats {
+        let n_shards = self.shards.len();
+        let shard = id as usize % n_shards;
+        let slot = id as usize / n_shards;
+        let slab = self.shards[shard].lock();
+        let g = &slab.gates[slot];
+        SeqStats {
+            next_seq: g.next_seq(),
+            duplicates: g.duplicates(),
+            stale: g.stale(),
+            reordered: g.reordered(),
+            dropped: g.dropped(),
+            buffered: g.buffered(),
+        }
+    }
+
+    /// Total supervised shard restarts.
+    pub fn shard_restarts(&self) -> u64 {
+        self.metas.iter().map(|m| m.restarts.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Shards currently quarantined (restart panicked again on replay).
+    pub fn quarantined_shards(&self) -> usize {
+        self.metas.iter().filter(|m| m.quarantined.load(Ordering::Relaxed)).count()
     }
 
     /// Publish live gauges: ingest rate, elevated counts (total and per
@@ -267,6 +843,27 @@ impl MonitorService {
             "monitor_shard_backlog_max",
             self.shard_backlog_max.swap(0, Ordering::Relaxed) as f64,
         );
+        rec.gauge(
+            "monitor_mode_degraded",
+            f64::from(self.mode() == ServiceMode::Degraded),
+        );
+        rec.gauge("monitor_shed_samples", self.shed_total.load(Ordering::Relaxed) as f64);
+        rec.gauge(
+            "monitor_rejected_samples",
+            self.rejected_total.load(Ordering::Relaxed) as f64,
+        );
+        rec.gauge(
+            "monitor_seq_duplicates",
+            self.seq_duplicates.load(Ordering::Relaxed) as f64,
+        );
+        rec.gauge("monitor_seq_stale", self.seq_stale.load(Ordering::Relaxed) as f64);
+        rec.gauge(
+            "monitor_seq_reordered",
+            self.seq_reordered.load(Ordering::Relaxed) as f64,
+        );
+        rec.gauge("monitor_seq_dropped", self.seq_dropped.load(Ordering::Relaxed) as f64);
+        rec.gauge("monitor_shard_restarts", self.shard_restarts() as f64);
+        rec.gauge("monitor_quarantined_shards", self.quarantined_shards() as f64);
         for ixp in 0..self.n_ixps {
             let n = self.index.elevated_at_ixp(ixp);
             if n > 0 {
@@ -275,26 +872,61 @@ impl MonitorService {
         }
     }
 
-    /// Write the full shard state through `store` (one blob per shard).
-    /// Open the store with [`monitor_fingerprint`] so layout changes
-    /// invalidate old blobs.
+    /// Write the full shard state (link detectors + sequence gates) through
+    /// `store`, one blob per shard. Open the store with
+    /// [`monitor_fingerprint`] so layout changes invalidate old blobs. A
+    /// failed write names the shard and the blob file instead of panicking
+    /// opaquely.
     pub fn checkpoint(&self, store: &CheckpointStore) -> io::Result<()> {
         for (i, shard) in self.shards.iter().enumerate() {
-            let states = shard.lock();
-            let mut payload = Vec::with_capacity(8 + states.len() * LinkState::ENCODED_LEN);
-            payload.extend_from_slice(&(states.len() as u64).to_le_bytes());
-            for st in states.iter() {
-                st.encode_into(&mut payload);
-            }
-            store.store_blob(&format!("monitor-shard-{i:03}"), &payload)?;
+            let payload = {
+                let slab = shard.lock();
+                let mut payload =
+                    Vec::with_capacity(8 + slab.links.len() * SHARD_SLOT_LEN);
+                payload.extend_from_slice(&(slab.links.len() as u64).to_le_bytes());
+                for (st, gate) in slab.links.iter().zip(&slab.gates) {
+                    st.encode_into(&mut payload);
+                    gate.encode_into(&mut payload);
+                }
+                payload
+            };
+            let name = shard_blob_name(i);
+            store.store_blob(&name, &payload).map_err(|e| {
+                let file = store
+                    .blob_file(&name)
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|_| name.clone());
+                io::Error::new(
+                    e.kind(),
+                    format!("monitor checkpoint failed for shard {i} ({file}): {e}"),
+                )
+            })?;
         }
         Ok(())
     }
 
-    /// Rebuild a service from checkpointed shard blobs. Returns `None` when
-    /// any shard is missing, truncated, or from a different configuration —
-    /// start fresh in that case. The restored index republishes every
-    /// link's verdict, so readers see the pre-kill state immediately.
+    /// Checkpoint through the attached store (see
+    /// [`MonitorService::set_store`]). Returns `Ok(false)` when no store is
+    /// attached.
+    pub fn checkpoint_attached(&self) -> io::Result<bool> {
+        let store = self.store.lock();
+        match store.as_ref() {
+            None => Ok(false),
+            Some(st) => {
+                // Same store→shard lock order as restore_shard, so a
+                // concurrent supervised recovery cannot deadlock with us.
+                self.checkpoint(st)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Rebuild a service from checkpointed shard blobs, strictly: returns
+    /// `None` when any shard is missing, truncated, or from a different
+    /// configuration — start fresh in that case. The restored index
+    /// republishes every link's verdict, so readers see the pre-kill state
+    /// immediately. For partial recovery (rebuild only the damaged shards)
+    /// use [`MonitorService::resume_resilient`].
     pub fn resume(
         cfg: MonitorConfig,
         links: &[LinkDesc],
@@ -303,37 +935,129 @@ impl MonitorService {
         let svc = MonitorService::new(cfg, links);
         let n_shards = svc.shards.len();
         for shard in 0..n_shards {
-            let payload = store.load_blob(&format!("monitor-shard-{shard:03}"))?;
-            if payload.len() < 8 {
-                return None;
-            }
-            let count = u64::from_le_bytes(payload[..8].try_into().ok()?) as usize;
-            let body = &payload[8..];
-            let mut states = svc.shards[shard].lock();
-            if count != states.len() || body.len() != count * LinkState::ENCODED_LEN {
-                return None;
-            }
-            let mut verdicts = Vec::with_capacity(count);
-            for (slot, st) in states.iter_mut().enumerate() {
-                let at = slot * LinkState::ENCODED_LEN;
-                *st = LinkState::decode(&body[at..at + LinkState::ENCODED_LEN], &cfg)?;
-                let id = (slot * n_shards + shard) as u32;
-                verdicts.push((id, verdict_of(st, &cfg)));
-            }
-            drop(states);
+            let payload = store.load_blob(&shard_blob_name(shard))?;
+            let mut slab = svc.shards[shard].lock();
+            let (new_links, gates) = decode_shard_payload(&payload, slab.links.len(), &cfg)?;
+            slab.links = new_links;
+            slab.gates = gates;
+            let verdicts: Vec<(u32, LinkVerdict)> = slab
+                .links
+                .iter()
+                .enumerate()
+                .map(|(slot, st)| ((slot * n_shards + shard) as u32, verdict_of(st, &cfg)))
+                .collect();
+            drop(slab);
             svc.index.publish(shard, &verdicts, &svc.ixp_of);
         }
         svc.index.rebuild_aggregates(&svc.ixp_of);
-        let total: u64 = {
-            let mut t = 0;
-            for shard in &svc.shards {
-                t += shard.lock().iter().map(|s| s.rounds()).sum::<u64>();
-            }
-            t
-        };
-        svc.ingested.store(total, Ordering::Relaxed);
+        svc.sync_ingested_from_state();
         Some(svc)
     }
+
+    /// Rebuild a service from checkpointed shard blobs, resiliently: a
+    /// damaged blob is quarantined to a `.corrupt` sidecar and its shard
+    /// alone rebuilds from scratch; missing or foreign blobs rebuild
+    /// without quarantine; intact shards resume **bit-identically**. The
+    /// store stays attached for supervised recovery and
+    /// [`MonitorService::checkpoint_attached`]. Never fails, never panics —
+    /// the report says what happened per shard.
+    pub fn resume_resilient(
+        cfg: MonitorConfig,
+        links: &[LinkDesc],
+        store: CheckpointStore,
+    ) -> (MonitorService, ResumeReport) {
+        let svc = MonitorService::new(cfg, links);
+        let n_shards = svc.shards.len();
+        let mut report = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let name = shard_blob_name(shard);
+            let (decoded, outcome) = match store.load_blob_checked(&name) {
+                BlobStatus::Ok(payload) => {
+                    let slots = svc.shards[shard].lock().links.len();
+                    match decode_shard_payload(&payload, slots, &cfg) {
+                        Some(pair) => (Some(pair), ShardRecovery::Restored),
+                        // A fingerprint-valid blob that does not decode is
+                        // damage the CRC missed (or a layout bug): treat it
+                        // exactly like corruption.
+                        None => {
+                            let _ = store.quarantine_blob(&name);
+                            (None, ShardRecovery::RebuiltCorrupt)
+                        }
+                    }
+                }
+                BlobStatus::Missing => (None, ShardRecovery::RebuiltMissing),
+                BlobStatus::Stale => (None, ShardRecovery::RebuiltStale),
+                BlobStatus::Corrupt => {
+                    let _ = store.quarantine_blob(&name);
+                    (None, ShardRecovery::RebuiltCorrupt)
+                }
+            };
+            report.push(outcome);
+            let Some((new_links, gates)) = decoded else {
+                continue; // fresh state is already in place
+            };
+            let mut slab = svc.shards[shard].lock();
+            slab.links = new_links;
+            slab.gates = gates;
+            let verdicts: Vec<(u32, LinkVerdict)> = slab
+                .links
+                .iter()
+                .enumerate()
+                .map(|(slot, st)| ((slot * n_shards + shard) as u32, verdict_of(st, &cfg)))
+                .collect();
+            drop(slab);
+            svc.index.publish(shard, &verdicts, &svc.ixp_of);
+        }
+        svc.index.rebuild_aggregates(&svc.ixp_of);
+        svc.sync_ingested_from_state();
+        svc.set_store(store);
+        (svc, ResumeReport { shards: report })
+    }
+
+    /// Recompute the ingested-samples counter from restored link states.
+    fn sync_ingested_from_state(&self) {
+        let total: u64 = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().links.iter().map(|s| s.rounds()).sum::<u64>())
+            .sum();
+        self.ingested.store(total, Ordering::Relaxed);
+    }
+}
+
+/// Blob name for one shard's checkpoint.
+fn shard_blob_name(shard: usize) -> String {
+    format!("monitor-shard-{shard:03}")
+}
+
+/// Bytes one slot (link state + sequence gate) occupies in a shard blob.
+const SHARD_SLOT_LEN: usize = LinkState::ENCODED_LEN + SeqGate::ENCODED_LEN;
+
+/// Decode one shard's checkpoint payload (count-prefixed slots of
+/// `LinkState` + `SeqGate`). `None` on any shape mismatch.
+fn decode_shard_payload(
+    payload: &[u8],
+    expected_slots: usize,
+    cfg: &MonitorConfig,
+) -> Option<(Vec<LinkState>, Vec<SeqGate>)> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let count = u64::from_le_bytes(payload[..8].try_into().ok()?) as usize;
+    let body = &payload[8..];
+    if count != expected_slots || body.len() != count * SHARD_SLOT_LEN {
+        return None;
+    }
+    let mut links = Vec::with_capacity(count);
+    let mut gates = Vec::with_capacity(count);
+    for slot in 0..count {
+        let at = slot * SHARD_SLOT_LEN;
+        links.push(LinkState::decode(&body[at..at + LinkState::ENCODED_LEN], cfg)?);
+        gates.push(SeqGate::decode(
+            &body[at + LinkState::ENCODED_LEN..at + SHARD_SLOT_LEN],
+        )?);
+    }
+    Some((links, gates))
 }
 
 fn verdict_of(st: &LinkState, cfg: &MonitorConfig) -> LinkVerdict {
@@ -353,23 +1077,23 @@ fn verdict_of(st: &LinkState, cfg: &MonitorConfig) -> LinkVerdict {
 /// Shared mutable-slice handle for the shard workers. Safe use rests on the
 /// partition invariant: each batch position is written by exactly one
 /// worker (the one that claimed its shard).
-struct SliceWriter<'a> {
-    ptr: *mut LinkUpdate,
+struct SliceWriter<'a, T> {
+    ptr: *mut T,
     len: usize,
-    _marker: std::marker::PhantomData<&'a mut [LinkUpdate]>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-unsafe impl Send for SliceWriter<'_> {}
-unsafe impl Sync for SliceWriter<'_> {}
+unsafe impl<T: Send> Send for SliceWriter<'_, T> {}
+unsafe impl<T: Send> Sync for SliceWriter<'_, T> {}
 
-impl<'a> SliceWriter<'a> {
-    fn new(slice: &'a mut [LinkUpdate]) -> SliceWriter<'a> {
+impl<'a, T> SliceWriter<'a, T> {
+    fn new(slice: &'a mut [T]) -> SliceWriter<'a, T> {
         SliceWriter { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
     }
     /// # Safety
     /// Callers must never write the same index from two threads.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self) -> &mut [LinkUpdate] {
+    unsafe fn get(&self) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.ptr, self.len)
     }
 }
@@ -408,8 +1132,10 @@ mod tests {
     fn state_digest(svc: &MonitorService) -> Vec<u8> {
         let mut out = Vec::new();
         for shard in &svc.shards {
-            for st in shard.lock().iter() {
+            let slab = shard.lock();
+            for (st, gate) in slab.links.iter().zip(&slab.gates) {
                 st.encode_into(&mut out);
+                gate.encode_into(&mut out);
             }
         }
         out
@@ -494,6 +1220,273 @@ mod tests {
         // Delete one shard blob → miss.
         std::fs::remove_file(dir.join("blob-monitor-shard-001.blob")).unwrap();
         assert!(MonitorService::resume(cfg, &links(n, 2), &store).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Digest of link states only (gate counters excluded), for comparing
+    /// the raw and sequenced paths, which drive gates differently.
+    fn links_digest(svc: &MonitorService) -> Vec<u8> {
+        let mut out = Vec::new();
+        for shard in &svc.shards {
+            for st in shard.lock().links.iter() {
+                st.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    fn drive_seq(svc: &MonitorService, n: usize, rounds: std::ops::Range<u64>) -> IngestReport {
+        let mut last = IngestReport {
+            accepted: 0,
+            delivered: 0,
+            rejected: 0,
+            shed: 0,
+            duplicates: 0,
+            stale: 0,
+            reordered: 0,
+            dropped: 0,
+            restarts: 0,
+            mode: ServiceMode::Healthy,
+        };
+        for r in rounds {
+            let batch: Vec<(u32, u64, MonitorSample)> =
+                (0..n as u32).map(|id| (id, r, sample(id, r))).collect();
+            last = svc.ingest_sequenced(&batch);
+        }
+        last
+    }
+
+    #[test]
+    fn sequenced_in_order_matches_raw_path() {
+        let n = 80;
+        let cfg = MonitorConfig::default();
+        let raw = MonitorService::new(cfg, &links(n, 3));
+        let seq = MonitorService::new(cfg, &links(n, 3));
+        drive(&raw, n, 0..200);
+        let report = drive_seq(&seq, n, 0..200);
+        assert_eq!(links_digest(&raw), links_digest(&seq));
+        for id in 0..n as u32 {
+            assert_eq!(raw.verdict(id), seq.verdict(id));
+        }
+        assert_eq!(report.delivered, n as u64);
+        assert_eq!(report.mode, ServiceMode::Healthy);
+        assert_eq!(seq.samples_ingested(), 200 * n as u64);
+    }
+
+    #[test]
+    fn sequenced_reorder_storm_heals_and_is_thread_invariant() {
+        let n = 60;
+        // Swap adjacent rounds pairwise per link: 1,0,3,2,... well within
+        // the window — every sample must be healed into order.
+        let scrambled = |svc: &MonitorService| {
+            for pair in 0..100u64 {
+                for r in [pair * 2 + 1, pair * 2] {
+                    let batch: Vec<(u32, u64, MonitorSample)> =
+                        (0..n as u32).map(|id| (id, r, sample(id, r))).collect();
+                    svc.ingest_sequenced(&batch);
+                }
+            }
+        };
+        let inorder = MonitorService::new(MonitorConfig::default(), &links(n, 3));
+        drive_seq(&inorder, n, 0..200);
+        for threads in [1usize, 3] {
+            let cfg = MonitorConfig { threads, ..MonitorConfig::default() };
+            let svc = MonitorService::new(cfg, &links(n, 3));
+            scrambled(&svc);
+            assert_eq!(links_digest(&inorder), links_digest(&svc), "threads={threads}");
+            let st = svc.seq_stats(0);
+            assert_eq!(st.next_seq, 200);
+            assert!(st.reordered > 0);
+            assert_eq!(st.dropped, 0);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_replays_never_reach_detectors() {
+        let n = 40;
+        let clean = MonitorService::new(MonitorConfig::default(), &links(n, 2));
+        drive_seq(&clean, n, 0..150);
+        let noisy = MonitorService::new(MonitorConfig::default(), &links(n, 2));
+        for r in 0..150u64 {
+            let mut batch: Vec<(u32, u64, MonitorSample)> =
+                (0..n as u32).map(|id| (id, r, sample(id, r))).collect();
+            // Re-send the previous round for every link (duplicate), plus
+            // an ancient replay every 10 rounds.
+            if r > 0 {
+                batch.extend(
+                    (0..n as u32).map(|id| (id, r - 1, sample(id, r - 1))),
+                );
+            }
+            if r.is_multiple_of(10) && r > 20 {
+                batch.push((0, 1, sample(0, 1)));
+            }
+            noisy.ingest_sequenced(&batch);
+        }
+        assert_eq!(links_digest(&clean), links_digest(&noisy));
+        let st = noisy.seq_stats(0);
+        assert!(st.duplicates + st.stale > 140, "{st:?}");
+    }
+
+    #[test]
+    fn shedding_is_deterministic_and_thread_invariant() {
+        let n = 96;
+        let mk = |threads| {
+            MonitorConfig {
+                threads,
+                shards: 4,
+                max_shard_batch: 10,
+                ..MonitorConfig::default()
+            }
+        };
+        let run = |threads| {
+            let svc = MonitorService::new(mk(threads), &links(n, 3));
+            let mut reports = Vec::new();
+            for r in 0..40u64 {
+                let batch: Vec<(u32, u64, MonitorSample)> =
+                    (0..n as u32).map(|id| (id, r, sample(id, r))).collect();
+                reports.push(svc.ingest_sequenced(&batch));
+            }
+            (links_digest(&svc), reports)
+        };
+        let (da, ra) = run(1);
+        let (db, rb) = run(4);
+        assert_eq!(da, db);
+        assert_eq!(ra, rb);
+        // 96 links over 4 shards = 24 demand per shard, capped at 10.
+        assert_eq!(ra[0].shed, 4 * 14);
+        assert_eq!(ra[0].accepted, 40);
+        assert_eq!(ra[0].mode, ServiceMode::Degraded);
+    }
+
+    #[test]
+    fn degraded_mode_clears_after_hold() {
+        let n = 16;
+        let cfg = MonitorConfig {
+            shards: 2,
+            max_shard_batch: 4,
+            degraded_hold: 3,
+            ..MonitorConfig::default()
+        };
+        let svc = MonitorService::new(cfg, &links(n, 2));
+        drive_seq(&svc, n, 0..1); // 8 per shard > 4: sheds
+        assert_eq!(svc.mode(), ServiceMode::Degraded);
+        // Small batches below the cap: pressure is gone, hold decays.
+        for r in 1..6u64 {
+            let batch: Vec<(u32, u64, MonitorSample)> =
+                (0..4u32).map(|id| (id, r, sample(id, r))).collect();
+            svc.ingest_sequenced(&batch);
+        }
+        assert_eq!(svc.mode(), ServiceMode::Healthy);
+    }
+
+    #[test]
+    fn rejected_inputs_are_counted_not_fatal() {
+        let n = 10;
+        let svc = MonitorService::new(MonitorConfig::default(), &links(n, 2));
+        let batch: Vec<(u32, u64, MonitorSample)> = vec![
+            (0, 0, sample(0, 0)),
+            (999, 0, sample(1, 0)),      // unknown link
+            (1, u64::MAX, sample(1, 0)), // reserved sequence
+        ];
+        let report = svc.ingest_sequenced(&batch);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.delivered, 1);
+    }
+
+    #[test]
+    fn armed_panic_recovers_from_checkpoint_and_replays() {
+        let n = 60;
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("monitor-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for threads in [1usize, 3] {
+            let cfg = MonitorConfig { threads, shards: 5, ..MonitorConfig::default() };
+            let straight = MonitorService::new(cfg, &links(n, 3));
+            drive_seq(&straight, n, 0..120);
+
+            let svc = MonitorService::new(cfg, &links(n, 3));
+            let store = CheckpointStore::new(&dir, monitor_fingerprint(&cfg, n)).unwrap();
+            svc.set_store(store);
+            drive_seq(&svc, n, 0..80);
+            // Checkpoint right before the faulty batch: the replay restores
+            // it and re-runs batch 80, so nothing diverges.
+            assert!(svc.checkpoint_attached().unwrap());
+            svc.arm_panic(2, svc.batches_ingested(), 3);
+            let report = drive_seq(&svc, n, 80..81);
+            assert_eq!(report.restarts, 1, "threads={threads}");
+            assert_eq!(report.mode, ServiceMode::Degraded);
+            assert_eq!(svc.quarantined_shards(), 0);
+            drive_seq(&svc, n, 81..120);
+            assert_eq!(state_digest(&straight), state_digest(&svc), "threads={threads}");
+            for id in 0..n as u32 {
+                assert_eq!(straight.verdict(id), svc.verdict(id), "threads={threads}");
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn double_panic_quarantines_until_next_good_pass() {
+        let n = 30;
+        let cfg = MonitorConfig { shards: 3, ..MonitorConfig::default() };
+        let svc = MonitorService::new(cfg, &links(n, 2));
+        drive_seq(&svc, n, 0..10);
+        // Two armed panics for the same (shard, batch): the replay hits the
+        // second one and the shard quarantines.
+        let b = svc.batches_ingested();
+        svc.arm_panic(1, b, 2);
+        svc.arm_panic(1, b, 4);
+        let report = drive_seq(&svc, n, 10..11);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(svc.quarantined_shards(), 1);
+        assert_eq!(svc.mode(), ServiceMode::Degraded);
+        // Unaffected shards kept publishing: their links saw round 10.
+        assert_eq!(svc.verdict(0).round, 11);
+        // Next clean pass clears the quarantine.
+        drive_seq(&svc, n, 11..12);
+        assert_eq!(svc.quarantined_shards(), 0);
+    }
+
+    #[test]
+    fn resume_resilient_quarantines_corrupt_shard_only() {
+        let n = 45;
+        let cfg = MonitorConfig { shards: 3, ..MonitorConfig::default() };
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("monitor-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, monitor_fingerprint(&cfg, n)).unwrap();
+        let first = MonitorService::new(cfg, &links(n, 3));
+        drive_seq(&first, n, 0..90);
+        first.checkpoint(&store).unwrap();
+        // Flip the CRC byte of shard 1's blob.
+        let blob = dir.join("blob-monitor-shard-001.blob");
+        let mut bytes = std::fs::read(&blob).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&blob, &bytes).unwrap();
+        // Strict resume refuses; resilient resume rebuilds shard 1 alone.
+        assert!(MonitorService::resume(cfg, &links(n, 3), &store).is_none());
+        let store2 = CheckpointStore::new(&dir, monitor_fingerprint(&cfg, n)).unwrap();
+        let (svc, report) = MonitorService::resume_resilient(cfg, &links(n, 3), store2);
+        assert_eq!(
+            report.shards,
+            vec![
+                ShardRecovery::Restored,
+                ShardRecovery::RebuiltCorrupt,
+                ShardRecovery::Restored
+            ]
+        );
+        assert_eq!(report.rebuilt(), 1);
+        assert!(dir.join("blob-monitor-shard-001.blob.corrupt").exists());
+        assert!(!blob.exists(), "corrupt blob must be moved aside");
+        for id in 0..n as u32 {
+            if id % 3 == 1 {
+                assert_eq!(svc.verdict(id).round, 0, "shard 1 rebuilt from scratch");
+            } else {
+                assert_eq!(svc.verdict(id), first.verdict(id), "unaffected link {id}");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -11,7 +11,10 @@
 //! ([`AgentCtx::send_tagged`]), and flushes each completed round into a
 //! shared [`MonitorService`] — sharded Page's-CUSUM detectors plus
 //! incremental health state, O(window) memory per link, no series
-//! retention. While the kernel ingests, dashboard reader threads on real
+//! retention. Rounds go through the *sequenced* ingest path: each sample
+//! carries a per-link sequence number, and every 20th round is replayed
+//! whole to show the admission gates absorbing at-least-once delivery
+//! without touching a detector. While the kernel ingests, dashboard reader threads on real
 //! OS threads poll the concurrent verdict index; ingestion never stalls
 //! behind them. At the end the service's live verdicts are checked against
 //! ground truth: every congested port elevated, zero false alarms, and
@@ -21,8 +24,9 @@
 //! cargo run --release --example online_monitor
 //! ```
 
-use african_ixp_congestion::chgpt::OnlineVerdict;
-use african_ixp_congestion::monitor::{LinkDesc, MonitorConfig, MonitorSample, MonitorService};
+use african_ixp_congestion::monitor::{
+    LinkDesc, MonitorConfig, MonitorSample, MonitorService, ServiceMode,
+};
 use african_ixp_congestion::obs::MetricsRegistry;
 use african_ixp_congestion::simnet::kernel::{Agent, AgentCtx, Kernel, ProbeEvent};
 use african_ixp_congestion::simnet::prelude::*;
@@ -46,6 +50,11 @@ struct FleetMonitor {
     pending: Vec<MonitorSample>,
     resolved: usize,
     alarms_printed: u32,
+    /// Live (unmasked) alarm count last seen per link, for alarm-edge
+    /// detection off the verdict index.
+    last_alarms: Vec<u64>,
+    /// Duplicate samples the sequence gates absorbed from replays.
+    dup_absorbed: u64,
     start: SimTime,
 }
 
@@ -59,27 +68,49 @@ impl FleetMonitor {
     }
 
     fn flush_round(&mut self, ctx: &mut AgentCtx) {
-        let batch: Vec<(u32, MonitorSample)> =
-            self.pending.iter().enumerate().map(|(i, s)| (i as u32, *s)).collect();
-        let updates = self.svc.ingest(&batch);
-        for (pos, u) in updates.iter().enumerate() {
-            if u.verdict == OnlineVerdict::UpshiftAlarm && !u.masked {
+        // Sequenced ingest: every sample carries its per-link sequence
+        // number (here simply the round), so the admission gates can
+        // detect duplicated, reordered, or stale telemetry.
+        let seq = self.round as u64;
+        let batch: Vec<(u32, u64, MonitorSample)> =
+            self.pending.iter().enumerate().map(|(i, s)| (i as u32, seq, *s)).collect();
+        let report = self.svc.ingest_sequenced(&batch);
+        assert_eq!(report.delivered, batch.len() as u64);
+        assert_eq!(report.mode, ServiceMode::Healthy, "healthy fleet stays Healthy");
+        // At-least-once delivery, live: every 20th round the collector
+        // replays the whole round it just sent. The gates absorb every
+        // copy as a duplicate — nothing reaches the detectors.
+        if self.round % 20 == 19 {
+            let replay = self.svc.ingest_sequenced(&batch);
+            assert_eq!(replay.delivered, 0, "replayed round must not re-enter detectors");
+            assert_eq!(replay.duplicates, batch.len() as u64);
+            self.dup_absorbed += replay.duplicates;
+        }
+        // Alarm edges off the verdict index: a link whose unmasked alarm
+        // count rose this round just upshifted.
+        for id in 0..self.links.len() as u32 {
+            let v = self.svc.verdict(id);
+            let live = v.alarms - v.masked_alarms;
+            if live > self.last_alarms[id as usize] {
                 self.alarms_printed += 1;
                 if self.alarms_printed <= 8 {
-                    println!("  [{}] ⚠ UPSHIFT on link {}", ctx.now(), batch[pos].0);
+                    println!("  [{}] ⚠ UPSHIFT on link {id}", ctx.now());
                 }
             }
+            self.last_alarms[id as usize] = live;
         }
         self.round += 1;
         if self.round < ROUNDS {
             ctx.wake_at(self.start + ROUND.mul(self.round as u64));
         } else {
             println!(
-                "fleet agent stopping at {}: {} rounds x {} links ingested, {} live upshifts",
+                "fleet agent stopping at {}: {} rounds x {} links ingested, {} live upshifts, \
+                 {} replayed duplicates absorbed",
                 ctx.now(),
                 self.round,
                 self.links.len(),
-                self.alarms_printed
+                self.alarms_printed,
+                self.dup_absorbed
             );
             ctx.stop();
         }
@@ -142,6 +173,8 @@ fn main() {
             pending: Vec::new(),
             resolved: 0,
             alarms_printed: 0,
+            last_alarms: vec![0; n],
+            dup_absorbed: 0,
             start: SimTime::ZERO + SimDuration::from_hours(7),
         }),
     );

@@ -32,6 +32,9 @@ cargo test -p ixp-study --test scale
 echo "==> resident monitor smoke (streaming/batch equivalence + 1k-link live ingest)"
 cargo test -p ixp-study --test monitor
 
+echo "==> resilience gauntlet (disordered telemetry, overload, panics, torn checkpoints)"
+cargo test -p ixp-study --test resilience
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -49,6 +52,8 @@ if [[ "$BENCH_GATES" == "1" ]]; then
   scripts/bench_campaign.sh "$@"
   echo "==> bench gate: monitor (ingest throughput + resident RSS ceiling)"
   scripts/bench_monitor.sh "$@"
+  echo "==> bench gate: resilience (<3% sequenced-ingest overhead)"
+  scripts/bench_resilience.sh "$@"
 fi
 
 echo "==> all checks passed"
