@@ -174,7 +174,7 @@ mod tests {
     use super::*;
 
     fn seg(start: usize, end: usize, level: f64) -> Segment {
-        Segment { start, end, level }
+        Segment { start, end, level, confidence: 1.0 }
     }
 
     #[test]
@@ -326,7 +326,7 @@ mod proptests {
             let mut segs = Vec::new();
             let mut start = 0usize;
             for (len, level) in pieces {
-                segs.push(Segment { start, end: start + len, level });
+                segs.push(Segment { start, end: start + len, level, confidence: 1.0 });
                 start += len;
             }
             segs

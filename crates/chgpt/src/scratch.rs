@@ -41,6 +41,9 @@ pub struct DetectorScratch {
     pub(crate) stack: Vec<(usize, usize)>,
     /// Change-point output buffer.
     pub(crate) cps: Vec<usize>,
+    /// Bootstrap confidences aligned with `cps` (empty for caller-supplied
+    /// change points).
+    pub(crate) confs: Vec<f64>,
     /// Level-segment output buffer.
     pub(crate) segs: Vec<Segment>,
     /// `(level, len)` pairs for the weighted baseline quantile.

@@ -61,7 +61,7 @@ impl Default for DetectorConfig {
 }
 
 /// A maximal run of samples between change points.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct Segment {
     /// First sample index (inclusive).
     pub start: usize,
@@ -69,6 +69,32 @@ pub struct Segment {
     pub end: usize,
     /// Median of the segment's samples.
     pub level: f64,
+    /// Bootstrap confidence of the change point at `start` (the segment's
+    /// left boundary). `1.0` for the first segment (the series start is not
+    /// a detected boundary) and for segments cut at caller-supplied change
+    /// points. With the default early-exit bootstrap this is a decision-side
+    /// bound — the permutation loop stops once accept/reject is settled —
+    /// so it is exact only under [`DetectorConfig::exact_confidence`]; the
+    /// corresponding p-value is `1.0 - confidence`.
+    pub confidence: f64,
+}
+
+// Hand-written: pre-provenance JSON payloads carry no `confidence` key, and
+// the vendored derive has no `#[serde(default)]` — a missing boundary
+// confidence reads as 1.0 ("accepted, bound unknown").
+impl serde::Deserialize for Segment {
+    fn from_value(v: &serde::Value) -> Result<Segment, serde::Error> {
+        let m = v.as_map().ok_or_else(|| serde::Error::msg("expected map for Segment"))?;
+        Ok(Segment {
+            start: serde::Deserialize::from_value(serde::field(m, "start")?)?,
+            end: serde::Deserialize::from_value(serde::field(m, "end")?)?,
+            level: serde::Deserialize::from_value(serde::field(m, "level")?)?,
+            confidence: match serde::field(m, "confidence") {
+                Ok(c) => serde::Deserialize::from_value(c)?,
+                Err(_) => 1.0,
+            },
+        })
+    }
 }
 
 impl Segment {
@@ -107,8 +133,9 @@ pub(crate) fn median_core(window: &[f64], buf: &mut Vec<f64>) -> f64 {
 /// Core segmentation loop over caller-provided scratch. Leaves the sorted
 /// change points in `scratch.cps`.
 pub(crate) fn detect_into(series: &[f64], cfg: &DetectorConfig, scratch: &mut DetectorScratch) {
-    let DetectorScratch { shuffle, ranks, sort_idx, select, stack, cps, .. } = scratch;
+    let DetectorScratch { shuffle, ranks, sort_idx, select, stack, cps, confs, .. } = scratch;
     cps.clear();
+    confs.clear();
     stack.clear();
     stack.push((0usize, series.len()));
     let decision = if cfg.exact_confidence { None } else { Some(cfg.confidence) };
@@ -147,28 +174,57 @@ pub(crate) fn detect_into(series: &[f64], cfg: &DetectorConfig, scratch: &mut De
         // minimum segment length.
         let split = (lo + r.split + 1).clamp(lo + cfg.min_segment, hi - cfg.min_segment);
         cps.push(split);
+        confs.push(r.confidence);
         assert!(cps.len() <= max_cps, "segmentation runaway");
         stack.push((lo, split));
         stack.push((split, hi));
     }
-    cps.sort_unstable();
+    // Insertion co-sort of (cps, confs) by change-point index: the list is
+    // short (≤ len/min_segment) and splits are unique, and sorting in place
+    // keeps the pass allocation-free.
+    for i in 1..cps.len() {
+        let (c, f) = (cps[i], confs[i]);
+        let mut j = i;
+        while j > 0 && cps[j - 1] > c {
+            cps[j] = cps[j - 1];
+            confs[j] = confs[j - 1];
+            j -= 1;
+        }
+        cps[j] = c;
+        confs[j] = f;
+    }
 }
 
 /// Cut `series` at the change points already in `scratch.cps`, leaving the
 /// segments in `scratch.segs`.
 pub(crate) fn segments_into(series: &[f64], scratch: &mut DetectorScratch) {
-    let DetectorScratch { select, cps, segs, .. } = scratch;
+    let DetectorScratch { select, cps, confs, segs, .. } = scratch;
     segs.clear();
     if series.is_empty() {
         return;
     }
     let mut start = 0usize;
-    for &cp in cps.iter() {
+    // Each segment carries the bootstrap confidence of its *left* boundary;
+    // the series start — and any caller-supplied change point without a
+    // recorded bootstrap (`confs` shorter than `cps`) — reads as 1.0.
+    let mut conf = 1.0f64;
+    for (k, &cp) in cps.iter().enumerate() {
         assert!(cp > start && cp < series.len(), "change point {cp} out of order/bounds");
-        segs.push(Segment { start, end: cp, level: median_core(&series[start..cp], select) });
+        segs.push(Segment {
+            start,
+            end: cp,
+            level: median_core(&series[start..cp], select),
+            confidence: conf,
+        });
         start = cp;
+        conf = confs.get(k).copied().unwrap_or(1.0);
     }
-    segs.push(Segment { start, end: series.len(), level: median_core(&series[start..], select) });
+    segs.push(Segment {
+        start,
+        end: series.len(),
+        level: median_core(&series[start..], select),
+        confidence: conf,
+    });
 }
 
 /// Detect all change points in `series`. Returns sorted indices; index `i`

@@ -32,7 +32,7 @@ use crate::series::LinkSeries;
 use ixp_chgpt::events::{event_stats, extract_events, sanitize_events, ShiftEvent};
 use ixp_chgpt::scratch::DetectorScratch;
 use ixp_chgpt::segment::{DetectorConfig, Segment};
-use ixp_obs::{LinkEvent, LinkKey, Recorder};
+use ixp_obs::{LinkEvent, LinkKey, Recorder, TraceEvent, TraceKind};
 use ixp_simnet::time::{SimDuration, SimTime, MICROS_PER_DAY};
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +143,64 @@ pub struct WaveformStats {
     pub duty_cycle: f64,
 }
 
+/// Provenance for one sanitized congestion event: the quantities the
+/// verdict rests on, kept so "why was this link flagged?" is answerable
+/// from the assessment alone, without re-running the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventEvidence {
+    /// Round index (into the raw series) where the event begins.
+    pub start_round: usize,
+    /// Round index one past the event's last round.
+    pub end_round: usize,
+    /// Baseline level the shift rose from, ms.
+    pub baseline_ms: f64,
+    /// Mean elevation above the baseline, ms.
+    pub magnitude_ms: f64,
+    /// Bootstrap confidence of the event's opening changepoint (1.0 when
+    /// the boundary was not bootstrap-tested; the p-value is
+    /// `1.0 - confidence`).
+    pub confidence: f64,
+    /// Measurement-health class at decision time.
+    pub health: LinkHealth,
+    /// Did the artifact masks (far gaps, path changes) run and reject this
+    /// event as an artifact — i.e. it survived the masking pass? `false`
+    /// when no mask ran or the mask had nothing to test against.
+    pub masks_rejected: bool,
+}
+
+/// Which mask diverted one event into [`Assessment::artifacts`]. First
+/// match wins, in the same precedence the partition tests: far gap at the
+/// event's start, far gap at its end, path change at its start, path change
+/// at its end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactCauseKind {
+    /// The event opens inside (or within slack of) a far gap/outage.
+    GapAtStart,
+    /// The event closes inside (or within slack of) a far gap/outage.
+    GapAtEnd,
+    /// The event opens at (or within slack of) a path-fingerprint change.
+    PathChangeAtStart,
+    /// The event closes at (or within slack of) a path-fingerprint change.
+    PathChangeAtEnd,
+}
+
+/// Why one event in [`Assessment::artifacts`] was masked, parallel to that
+/// vector entry for entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactCause {
+    /// The mask that fired.
+    pub kind: ArtifactCauseKind,
+    /// The round whose proximity to a gap/path change triggered it.
+    pub round: usize,
+}
+
+impl ArtifactCause {
+    /// True when the cause is a far gap (either boundary).
+    pub fn is_gap(&self) -> bool {
+        matches!(self.kind, ArtifactCauseKind::GapAtStart | ArtifactCauseKind::GapAtEnd)
+    }
+}
+
 /// Full per-link verdict.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Assessment {
@@ -174,6 +232,10 @@ pub struct Assessment {
     /// for reporting; excluded from [`Assessment::events`] and from every
     /// verdict.
     pub artifacts: Vec<TimedEvent>,
+    /// Per-event provenance, parallel to [`Assessment::events`].
+    pub evidence: Vec<EventEvidence>,
+    /// Why each artifact was masked, parallel to [`Assessment::artifacts`].
+    pub artifact_causes: Vec<ArtifactCause>,
 }
 
 /// Threshold-independent detector output, reusable across a threshold sweep.
@@ -307,9 +369,23 @@ pub fn record_assessment<R: Recorder>(rec: &R, key: LinkKey, a: &Assessment) {
     }
     rec.add("congestion_events", a.events.len() as u64);
     rec.add("artifact_events", a.artifacts.len() as u64);
+    let gap_artifacts = a.artifact_causes.iter().filter(|c| c.is_gap()).count() as u64;
+    rec.add("artifact_events_gap", gap_artifacts);
+    rec.add("artifact_events_path", a.artifact_causes.len() as u64 - gap_artifacts);
     rec.link_event(key, LinkEvent::Events(a.events.len() as u64));
     rec.link_event(key, LinkEvent::Artifacts(a.artifacts.len() as u64));
     rec.link_event(key, LinkEvent::Health(a.health.token()));
+    // Provenance for a tracing recorder: one changepoint record per
+    // accepted event, carrying the shift round and bootstrap confidence.
+    // Lane 0 — the batch pipeline has no worker identity at this layer, and
+    // the emission rate is once per event per link, not per sample.
+    for ev in &a.evidence {
+        rec.trace(
+            TraceEvent::new(TraceKind::BatchChangepoint, ev.start_round as u64, 0, key.far)
+                .a(ev.start_round as u64)
+                .v(ev.confidence),
+        );
+    }
     rec.observe("far_validity", a.far_validity);
     if a.baseline_ms.is_finite() {
         rec.observe("baseline_far_ms", a.baseline_ms);
@@ -339,18 +415,40 @@ fn assess_core(
     // the queue. Events on a stable, fully answered path are untouched.
     let slack = samples_for(cfg.mask_slack, series.cfg.interval);
     let mut artifact_raw: Vec<ShiftEvent> = Vec::new();
+    let mut artifact_causes: Vec<ArtifactCause> = Vec::new();
+    let mut masks_ran = false;
     if let Some(h) = mask {
         if !h.gaps.is_empty() || !h.path_changes.is_empty() {
-            let (kept, art) = events.into_iter().partition(|e: &ShiftEvent| {
+            masks_ran = true;
+            let mut kept = Vec::with_capacity(events.len());
+            for e in events {
                 let start_round = far_idx[e.start];
                 let end_round = far_idx[(e.end - 1).min(far_idx.len() - 1)];
-                !h.near_far_gap(start_round, slack)
-                    && !h.near_far_gap(end_round, slack)
-                    && !h.near_path_change(start_round, slack)
-                    && !h.near_path_change(end_round, slack)
-            });
+                // Same predicate as before, unrolled so the *first* firing
+                // mask is recorded as the artifact's cause.
+                let cause = if h.near_far_gap(start_round, slack) {
+                    Some(ArtifactCause { kind: ArtifactCauseKind::GapAtStart, round: start_round })
+                } else if h.near_far_gap(end_round, slack) {
+                    Some(ArtifactCause { kind: ArtifactCauseKind::GapAtEnd, round: end_round })
+                } else if h.near_path_change(start_round, slack) {
+                    Some(ArtifactCause {
+                        kind: ArtifactCauseKind::PathChangeAtStart,
+                        round: start_round,
+                    })
+                } else if h.near_path_change(end_round, slack) {
+                    Some(ArtifactCause { kind: ArtifactCauseKind::PathChangeAtEnd, round: end_round })
+                } else {
+                    None
+                };
+                match cause {
+                    Some(c) => {
+                        artifact_causes.push(c);
+                        artifact_raw.push(e);
+                    }
+                    None => kept.push(e),
+                }
+            }
             events = kept;
-            artifact_raw = art;
         }
     }
     let flagged = !events.is_empty();
@@ -420,6 +518,25 @@ fn assess_core(
         _ => true,
     };
 
+    // Per-event provenance: the opening changepoint's bootstrap confidence
+    // comes from the segment whose left boundary opened the event (1.0 when
+    // sanitization merged away the exact boundary).
+    let evidence: Vec<EventEvidence> = events
+        .iter()
+        .map(|e| EventEvidence {
+            start_round: far_idx[e.start],
+            end_round: far_idx[(e.end - 1).min(far_idx.len() - 1)] + 1,
+            baseline_ms: baseline,
+            magnitude_ms: e.magnitude,
+            confidence: segs
+                .iter()
+                .find(|g| g.start == e.start)
+                .map_or(1.0, |g| g.confidence),
+            health,
+            masks_rejected: masks_ran,
+        })
+        .collect();
+
     Assessment {
         flagged,
         diurnal,
@@ -432,6 +549,8 @@ fn assess_core(
         baseline_ms: baseline,
         health,
         artifacts,
+        evidence,
+        artifact_causes,
     }
 }
 
@@ -538,6 +657,8 @@ impl Assessment {
             baseline_ms,
             health: LinkHealth::Clean,
             artifacts: Vec::new(),
+            evidence: Vec::new(),
+            artifact_causes: Vec::new(),
         }
     }
 }

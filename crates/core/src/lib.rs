@@ -36,7 +36,8 @@ pub use campaign::{
 pub use checkpoint::{BlobStatus, CheckpointStore};
 pub use detect::{
     assess_at_thresholds, assess_link, assess_link_masked, assess_link_masked_rec,
-    record_assessment, AssessConfig, Assessment, NearGuard, TimedEvent, WaveformStats,
+    record_assessment, ArtifactCause, ArtifactCauseKind, AssessConfig, Assessment, EventEvidence,
+    NearGuard, TimedEvent, WaveformStats,
 };
 pub use health::{
     classify_link, classify_link_rec, GapInterval, GapKind, HealthConfig, HealthReport, LinkHealth,
@@ -49,8 +50,8 @@ pub mod prelude {
     pub use crate::campaign::{measure_link, measure_vp, measure_vp_links, CampaignConfig, Screening};
     pub use crate::checkpoint::{BlobStatus, CheckpointStore};
     pub use crate::detect::{
-        assess_at_thresholds, assess_link, assess_link_masked, AssessConfig, Assessment, NearGuard,
-        TimedEvent, WaveformStats,
+        assess_at_thresholds, assess_link, assess_link_masked, ArtifactCause, ArtifactCauseKind,
+        AssessConfig, Assessment, EventEvidence, NearGuard, TimedEvent, WaveformStats,
     };
     pub use crate::health::{classify_link, HealthConfig, HealthReport, LinkHealth};
     pub use crate::lossanalysis::{

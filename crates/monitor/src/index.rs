@@ -20,6 +20,62 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tslp_core::LinkHealth;
 
+/// What the causal path-change mask decided at the link's most recent
+/// upshift alarm — kept alongside the verdict so a "why is / isn't this
+/// elevated?" question can be answered without replaying the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskOutcome {
+    /// No alarm has fired yet, or no path change was on record when it did:
+    /// the mask never entered the decision.
+    NotConsidered,
+    /// The alarm was attributed to a path change `rounds_since_change`
+    /// rounds earlier and suppressed from the congestion tally.
+    Applied {
+        /// Rounds between the path change and the alarm (within the slack).
+        rounds_since_change: u64,
+    },
+    /// A path change was on record but fell outside the slack window, so
+    /// the alarm stood as genuine congestion.
+    Rejected {
+        /// Rounds between the path change and the alarm (beyond the slack).
+        rounds_since_change: u64,
+    },
+}
+
+/// Provenance for a published [`LinkVerdict`]: where the detector last
+/// shifted, what it shifted *from*, the path fingerprints straddling the
+/// most recent route change, and what the mask did about it. `u64::MAX`
+/// round fields mean "never"; fingerprint 0 means "unknown".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VerdictEvidence {
+    /// Round of the most recent upshift alarm (`u64::MAX` = never).
+    pub change_round: u64,
+    /// Detector level estimate just before that shift, milliseconds.
+    pub level_before_ms: f64,
+    /// Path fingerprint before the most recent route change (0 = none).
+    pub fp_before: u64,
+    /// Current path fingerprint (0 = unknown).
+    pub fp_after: u64,
+    /// Round of the most recent route change (`u64::MAX` = never).
+    pub path_change_round: u64,
+    /// The mask decision at the most recent alarm.
+    pub mask: MaskOutcome,
+}
+
+impl VerdictEvidence {
+    /// Evidence for a link with no history.
+    pub fn empty() -> VerdictEvidence {
+        VerdictEvidence {
+            change_round: u64::MAX,
+            level_before_ms: 0.0,
+            fp_before: 0,
+            fp_after: 0,
+            path_change_round: u64::MAX,
+            mask: MaskOutcome::NotConsidered,
+        }
+    }
+}
+
 /// The published verdict for one monitored link — everything a reader
 /// needs, no lock held while consuming it.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +96,8 @@ pub struct LinkVerdict {
     pub masked_alarms: u64,
     /// Unanswered rounds so far.
     pub gaps: u64,
+    /// Why the verdict says what it says.
+    pub evidence: VerdictEvidence,
 }
 
 impl LinkVerdict {
@@ -54,6 +112,7 @@ impl LinkVerdict {
             alarms: 0,
             masked_alarms: 0,
             gaps: 0,
+            evidence: VerdictEvidence::empty(),
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod index;
 pub mod service;
 pub mod state;
 
-pub use index::{LinkVerdict, VerdictIndex};
+pub use index::{LinkVerdict, MaskOutcome, VerdictEvidence, VerdictIndex};
 pub use service::{
     monitor_fingerprint, IngestReport, LinkDesc, MonitorConfig, MonitorService, ResumeReport,
     SeqStats, ServiceMode, ShardRecovery,
@@ -43,7 +43,7 @@ pub use state::{
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::index::{LinkVerdict, VerdictIndex};
+    pub use crate::index::{LinkVerdict, MaskOutcome, VerdictEvidence, VerdictIndex};
     pub use crate::service::{
         monitor_fingerprint, IngestReport, LinkDesc, MonitorConfig, MonitorService, ResumeReport,
         SeqStats, ServiceMode, ShardRecovery,

@@ -44,14 +44,15 @@
 //! never having stopped — tested at 1 and 3 ingest threads.
 
 use crate::index::{LinkVerdict, VerdictIndex};
-use crate::state::{LinkState, LinkUpdate, MonitorSample, SeqGate};
-use ixp_chgpt::OnlineConfig;
-use ixp_obs::{RateMeter, Recorder};
+use crate::state::{health_token, LinkState, LinkUpdate, MonitorSample, SeqGate};
+use ixp_chgpt::{OnlineConfig, OnlineVerdict};
+use ixp_obs::{FlightRecorder, RateMeter, Recorder, TraceEvent, TraceKind, NO_LINK};
 use ixp_simnet::rng::mix;
 use parking_lot::Mutex;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use tslp_core::{BlobStatus, CheckpointStore};
 
 /// Full configuration of the resident monitor.
@@ -215,11 +216,12 @@ pub struct LinkDesc {
 /// (detector, shard layout, health thresholds, admission control) and link
 /// count. Thread count and `degraded_hold` are deliberately excluded — the
 /// link state does not depend on them. The magic word is versioned with the
-/// checkpoint payload layout: v2 blobs carry a [`SeqGate`] per link, so v1
-/// deployments read as a miss, never a mis-decode.
+/// checkpoint payload layout: v3 blobs grow each [`LinkState`] by four
+/// provenance words (path fingerprint before the last change, last-alarm
+/// round/gap/mask), so v2 deployments read as a miss, never a mis-decode.
 pub fn monitor_fingerprint(cfg: &MonitorConfig, n_links: usize) -> u64 {
     mix(&[
-        0x4D4F_4E49_544F_5232, // "MONITOR2"
+        0x4D4F_4E49_544F_5233, // "MONITOR3"
         cfg.reorder_window,
         cfg.max_shard_batch as u64,
         cfg.shed_seed,
@@ -330,6 +332,20 @@ pub struct MonitorService {
     seq_stale: AtomicU64,
     seq_reordered: AtomicU64,
     seq_dropped: AtomicU64,
+    /// Attached flight recorder (`None` = tracing off; the hot path checks
+    /// `tracing` first so an untraced deployment pays one relaxed load per
+    /// shard pass, nothing per sample).
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
+    /// Fast flag mirroring `flight.is_some()`.
+    tracing: AtomicBool,
+    /// `(batch, mode)` transition log, recorded whether or not a flight
+    /// recorder is attached (feeds the run manifest's mode history).
+    mode_log: Mutex<Vec<(u64, ServiceMode)>>,
+    /// Mirror of the last observed mode (true = Degraded), so transition
+    /// detection costs one atomic compare per batch.
+    mode_degraded: AtomicBool,
+    /// Black-box bundles written so far (also names the next blob).
+    trace_dumps: AtomicU64,
 }
 
 impl MonitorService {
@@ -367,6 +383,94 @@ impl MonitorService {
             seq_stale: AtomicU64::new(0),
             seq_reordered: AtomicU64::new(0),
             seq_dropped: AtomicU64::new(0),
+            flight: Mutex::new(None),
+            tracing: AtomicBool::new(false),
+            mode_log: Mutex::new(Vec::new()),
+            mode_degraded: AtomicBool::new(false),
+            trace_dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach a flight recorder: every admission verdict, reorder heal,
+    /// health transition, mask decision, online changepoint, checkpoint
+    /// event, and supervision step is traced into its ring, and incidents
+    /// (worker panic, shard quarantine, Degraded entry) dump a black-box
+    /// bundle through the attached checkpoint store. Without one, the trace
+    /// paths cost one relaxed load per shard pass — detector state stays
+    /// bit-identical either way.
+    pub fn attach_flight_recorder(&self, fl: Arc<FlightRecorder>) {
+        *self.flight.lock() = Some(fl);
+        self.tracing.store(true, Ordering::Release);
+    }
+
+    /// Detach the flight recorder, returning it (with its rings intact, so
+    /// a final dump is still possible). Batches already in flight may still
+    /// trace; new batches run the uninstrumented path. Detector state is
+    /// unaffected — tracing never alters behavior, only records it.
+    pub fn detach_flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.tracing.store(false, Ordering::Release);
+        self.flight.lock().take()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.lock().clone()
+    }
+
+    /// Service-mode transitions observed so far, as `(batch, mode)` pairs
+    /// in batch order (empty until the first Healthy↔Degraded flip).
+    pub fn mode_history(&self) -> Vec<(u64, ServiceMode)> {
+        self.mode_log.lock().clone()
+    }
+
+    /// Black-box trace bundles dumped so far.
+    pub fn trace_dumps(&self) -> u64 {
+        self.trace_dumps.load(Ordering::Relaxed)
+    }
+
+    /// The flight recorder when tracing is live (one relaxed load on the
+    /// common path).
+    fn flight_if_live(&self) -> Option<Arc<FlightRecorder>> {
+        if !self.tracing.load(Ordering::Acquire) {
+            return None;
+        }
+        self.flight.lock().clone()
+    }
+
+    /// Write the flight recorder's current contents as a versioned black-box
+    /// bundle through the attached store. Quietly a no-op when either the
+    /// recorder or the store is missing — incident handling must never be
+    /// able to fail the ingest path.
+    fn dump_incident(&self, reason: &str) {
+        let Some(fl) = self.flight_if_live() else { return };
+        let store = self.store.lock();
+        let Some(st) = store.as_ref() else { return };
+        let n = self.trace_dumps.load(Ordering::Relaxed);
+        let payload = fl.dump_jsonl(reason);
+        if st.store_blob(&format!("trace-dump-{n:03}"), &payload).is_ok() {
+            self.trace_dumps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Detect and record a service-mode transition after batch `batch`.
+    /// Entering Degraded is an incident: the flight recorder (when present)
+    /// dumps its black box.
+    fn note_mode(&self, batch: u64) {
+        let degraded = self.mode() == ServiceMode::Degraded;
+        if self.mode_degraded.swap(degraded, Ordering::Relaxed) == degraded {
+            return;
+        }
+        let mode = if degraded { ServiceMode::Degraded } else { ServiceMode::Healthy };
+        self.mode_log.lock().push((batch, mode));
+        if let Some(fl) = self.flight_if_live() {
+            Recorder::trace(
+                fl.as_ref(),
+                TraceEvent::new(TraceKind::ModeChange, batch, 0, NO_LINK)
+                    .a(u64::from(degraded)),
+            );
+        }
+        if degraded {
+            self.dump_incident("degraded-entry");
         }
     }
 
@@ -459,17 +563,28 @@ impl MonitorService {
         self.shard_backlog_max.fetch_max(backlog, Ordering::Relaxed);
 
         let mut updates = vec![
-            LinkUpdate { round: 0, verdict: ixp_chgpt::OnlineVerdict::Quiet, masked: false };
+            LinkUpdate {
+                round: 0,
+                verdict: ixp_chgpt::OnlineVerdict::Quiet,
+                masked: false,
+                health_changed: false,
+                health_before: tslp_core::LinkHealth::Clean,
+                noteworthy: false,
+            };
             batch.len()
         ];
+        // Fetched once per batch and passed down by reference: the workers
+        // must not pay a lock plus refcount round-trip per shard pass.
+        let fl = self.flight_if_live();
         let threads = tslp_core::resolve_threads(self.cfg.threads).min(n_shards.max(1));
         if threads <= 1 {
             for (shard, items) in per_shard.iter().enumerate() {
-                self.raw_shard_supervised(shard, items, &mut updates, batch_idx);
+                self.raw_shard_supervised(shard, items, &mut updates, batch_idx, fl.as_deref());
             }
         } else {
             let next = AtomicUsize::new(0);
             let slices = SliceWriter::new(&mut updates);
+            let fl = fl.as_deref();
             std::thread::scope(|sc| {
                 for _ in 0..threads {
                     sc.spawn(|| loop {
@@ -485,6 +600,7 @@ impl MonitorService {
                             &per_shard[shard],
                             unsafe { slices.get() },
                             batch_idx,
+                            fl,
                         );
                     });
                 }
@@ -492,6 +608,7 @@ impl MonitorService {
         }
         self.ingest_meter.mark(batch.len() as u64);
         self.ingested.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.note_mode(batch_idx);
         updates
     }
 
@@ -507,11 +624,21 @@ impl MonitorService {
     pub fn ingest_sequenced(&self, batch: &[(u32, u64, MonitorSample)]) -> IngestReport {
         let n_shards = self.shards.len();
         let batch_idx = self.batches.fetch_add(1, Ordering::Relaxed);
+        let fl = self.flight_if_live();
         let mut rejected = 0u64;
         let mut per_shard: Vec<Vec<(u64, u32, MonitorSample)>> = vec![Vec::new(); n_shards];
         for &(id, seq, s) in batch {
             if (id as usize) >= self.ixp_of.len() || seq == u64::MAX {
                 rejected += 1;
+                if let Some(fl) = fl.as_deref() {
+                    // a = the offending sequence; b = the batch it arrived in.
+                    Recorder::trace(
+                        fl,
+                        TraceEvent::new(TraceKind::SampleRejected, seq, 0, id)
+                            .a(seq)
+                            .b(batch_idx),
+                    );
+                }
                 continue;
             }
             per_shard[id as usize % n_shards].push((seq, id, s));
@@ -543,6 +670,22 @@ impl MonitorService {
                 keyed.select_nth_unstable(cap - 1);
                 let mut keep: Vec<usize> = keyed[..cap].iter().map(|&(_, i)| i).collect();
                 keep.sort_unstable(); // back to arrival order
+                if let Some(fl) = fl.as_deref() {
+                    let mut kept_mask = vec![false; items.len()];
+                    for &i in &keep {
+                        kept_mask[i] = true;
+                    }
+                    for (i, &(seq, id, _)) in items.iter().enumerate() {
+                        if !kept_mask[i] {
+                            Recorder::trace(
+                                fl,
+                                TraceEvent::new(TraceKind::SampleShed, seq, shard as u32, id)
+                                    .a(seq)
+                                    .b(batch_idx),
+                            );
+                        }
+                    }
+                }
                 let kept: Vec<(u64, u32, MonitorSample)> =
                     keep.into_iter().map(|i| items[i]).collect();
                 *items = kept;
@@ -554,10 +697,11 @@ impl MonitorService {
         let threads = tslp_core::resolve_threads(self.cfg.threads).min(n_shards.max(1));
         if threads <= 1 {
             for (shard, items) in per_shard.iter().enumerate() {
-                self.seq_shard_supervised(shard, items, batch_idx, &acc);
+                self.seq_shard_supervised(shard, items, batch_idx, &acc, fl.as_deref());
             }
         } else {
             let next = AtomicUsize::new(0);
+            let flr = fl.as_deref();
             std::thread::scope(|sc| {
                 for _ in 0..threads {
                     sc.spawn(|| loop {
@@ -565,7 +709,7 @@ impl MonitorService {
                         if shard >= n_shards {
                             break;
                         }
-                        self.seq_shard_supervised(shard, &per_shard[shard], batch_idx, &acc);
+                        self.seq_shard_supervised(shard, &per_shard[shard], batch_idx, &acc, flr);
                     });
                 }
             });
@@ -584,6 +728,7 @@ impl MonitorService {
         self.seq_stale.fetch_add(stale, Ordering::Relaxed);
         self.seq_reordered.fetch_add(reordered, Ordering::Relaxed);
         self.seq_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.note_mode(batch_idx);
         IngestReport {
             accepted,
             delivered,
@@ -605,12 +750,13 @@ impl MonitorService {
         items: &[(usize, u32, MonitorSample)],
         updates: &mut [LinkUpdate],
         batch: u64,
+        fl: Option<&FlightRecorder>,
     ) {
         if items.is_empty() {
             return;
         }
-        let _ = self.supervised(shard, batch, None, || {
-            self.run_shard_raw(shard, items, updates, batch)
+        let _ = self.supervised(shard, batch, items.len(), None, || {
+            self.run_shard_raw(shard, items, updates, batch, fl)
         });
     }
 
@@ -622,12 +768,13 @@ impl MonitorService {
         items: &[(u64, u32, MonitorSample)],
         batch: u64,
         acc: &BatchAcc,
+        fl: Option<&FlightRecorder>,
     ) {
         if items.is_empty() {
             return;
         }
-        let totals = self.supervised(shard, batch, Some(acc), || {
-            self.run_shard_seq(shard, items, batch)
+        let totals = self.supervised(shard, batch, items.len(), Some(acc), || {
+            self.run_shard_seq(shard, items, batch, fl)
         });
         if let Some(t) = totals {
             acc.delivered.fetch_add(t.delivered, Ordering::Relaxed);
@@ -649,6 +796,7 @@ impl MonitorService {
         &self,
         shard: usize,
         batch: u64,
+        items: usize,
         acc: Option<&BatchAcc>,
         mut run: impl FnMut() -> T,
     ) -> Option<T> {
@@ -657,20 +805,43 @@ impl MonitorService {
             return Some(v);
         }
         let meta = &self.metas[shard];
-        meta.restarts.fetch_add(1, Ordering::Relaxed);
+        let restarts = meta.restarts.fetch_add(1, Ordering::Relaxed) + 1;
         meta.last_restart_batch.store(batch, Ordering::Relaxed);
         if let Some(acc) = acc {
             acc.restarts.fetch_add(1, Ordering::Relaxed);
         }
+        let fl = self.flight_if_live();
+        if let Some(fl) = fl.as_deref() {
+            Recorder::trace(
+                fl,
+                TraceEvent::new(TraceKind::WorkerPanic, batch, shard as u32, NO_LINK).a(restarts),
+            );
+        }
         self.restore_shard(shard);
+        if let Some(fl) = fl.as_deref() {
+            Recorder::trace(fl, TraceEvent::new(TraceKind::ShardRestore, batch, shard as u32, NO_LINK));
+            Recorder::trace(
+                fl,
+                TraceEvent::new(TraceKind::CheckpointReplay, batch, shard as u32, NO_LINK)
+                    .a(items as u64),
+            );
+        }
         match catch_unwind(AssertUnwindSafe(&mut run)) {
             Ok(v) => {
                 meta.quarantined.store(false, Ordering::Relaxed);
+                self.dump_incident("worker-panic-recovered");
                 Some(v)
             }
             Err(_) => {
                 self.restore_shard(shard);
                 meta.quarantined.store(true, Ordering::Relaxed);
+                if let Some(fl) = fl.as_deref() {
+                    Recorder::trace(
+                        fl,
+                        TraceEvent::new(TraceKind::ShardQuarantine, batch, shard as u32, NO_LINK),
+                    );
+                }
+                self.dump_incident("shard-quarantine");
                 None
             }
         }
@@ -682,6 +853,7 @@ impl MonitorService {
         items: &[(usize, u32, MonitorSample)],
         updates: &mut [LinkUpdate],
         batch: u64,
+        fl: Option<&FlightRecorder>,
     ) {
         let boom = self.take_armed(shard, batch);
         let n_shards = self.shards.len();
@@ -694,6 +866,11 @@ impl MonitorService {
                 }
                 let slot = id as usize / n_shards;
                 let up = slab.links[slot].push(s, &self.cfg);
+                if let Some(fl) = fl {
+                    if up.noteworthy {
+                        trace_update(fl, shard as u32, id, up, &slab.links[slot]);
+                    }
+                }
                 updates[pos] = up;
                 verdicts.push((id, verdict_of(&slab.links[slot], &self.cfg)));
             }
@@ -708,6 +885,7 @@ impl MonitorService {
         shard: usize,
         items: &[(u64, u32, MonitorSample)],
         batch: u64,
+        fl: Option<&FlightRecorder>,
     ) -> GateTotals {
         let boom = self.take_armed(shard, batch);
         let n_shards = self.shards.len();
@@ -716,21 +894,76 @@ impl MonitorService {
         {
             let mut slab = self.shards[shard].lock();
             let ShardSlab { links, gates } = &mut *slab;
-            for (done, &(seq, id, s)) in items.iter().enumerate() {
-                if boom == Some(done) {
-                    panic!("armed chaos panic (shard {shard}, batch {batch})");
+            // The item loop exists twice, selected once per shard batch:
+            // `admit` is generic over the delivery closure, so each arm
+            // monomorphizes with exactly the closure it needs. The untraced
+            // arm is the pristine hot path — no recorder checks anywhere in
+            // its loop body — which keeps an idle recorder slot free and
+            // the uninstrumented service bit-identical. The traced arm pays
+            // one register test per delivery (quiet samples on a stable
+            // link trace nothing; the out-of-line calls are reserved for
+            // alarms, health transitions, and non-clean admission deltas).
+            match fl {
+                None => {
+                    for (done, &(seq, id, s)) in items.iter().enumerate() {
+                        if boom == Some(done) {
+                            panic!("armed chaos panic (shard {shard}, batch {batch})");
+                        }
+                        let slot = id as usize / n_shards;
+                        let cfg = &self.cfg;
+                        let d = gates[slot].admit(seq, s, cfg.reorder_window, &mut |smp| {
+                            links[slot].push(&smp, cfg);
+                        });
+                        totals.delivered += u64::from(d.delivered);
+                        totals.duplicates += u64::from(d.duplicates);
+                        totals.stale += u64::from(d.stale);
+                        totals.reordered += u64::from(d.reordered);
+                        totals.dropped += d.dropped;
+                        verdicts.push((id, verdict_of(&links[slot], &self.cfg)));
+                    }
                 }
-                let slot = id as usize / n_shards;
-                let cfg = &self.cfg;
-                let d = gates[slot].admit(seq, s, cfg.reorder_window, &mut |smp| {
-                    links[slot].push(&smp, cfg);
-                });
-                totals.delivered += u64::from(d.delivered);
-                totals.duplicates += u64::from(d.duplicates);
-                totals.stale += u64::from(d.stale);
-                totals.reordered += u64::from(d.reordered);
-                totals.dropped += d.dropped;
-                verdicts.push((id, verdict_of(&links[slot], &self.cfg)));
+                Some(fl) => {
+                    for (done, &(seq, id, s)) in items.iter().enumerate() {
+                        if boom == Some(done) {
+                            panic!("armed chaos panic (shard {shard}, batch {batch})");
+                        }
+                        let slot = id as usize / n_shards;
+                        let cfg = &self.cfg;
+                        let mut deliver = |smp: MonitorSample| {
+                            let up = links[slot].push(&smp, cfg);
+                            // One predictable single-byte test per delivery,
+                            // untaken on quiet samples.
+                            if up.noteworthy {
+                                trace_update(fl, shard as u32, id, up, &links[slot]);
+                            }
+                        };
+                        if gates[slot].in_order(seq) {
+                            // Clean in-order arrival — the steady state.
+                            // `admit` re-checks the same two words right
+                            // here with no store in between, so the
+                            // optimizer folds the branch away and the
+                            // constant delta never materializes: no
+                            // per-item delta inspection on the fast path.
+                            let d =
+                                gates[slot].admit(seq, s, cfg.reorder_window, &mut deliver);
+                            debug_assert_eq!(d.delivered, 1);
+                            totals.delivered += 1;
+                        } else {
+                            let d =
+                                gates[slot].admit(seq, s, cfg.reorder_window, &mut deliver);
+                            if u64::from(d.duplicates | d.stale | d.reordered) | d.dropped != 0
+                            {
+                                trace_admit(fl, shard as u32, id, seq, d);
+                            }
+                            totals.delivered += u64::from(d.delivered);
+                            totals.duplicates += u64::from(d.duplicates);
+                            totals.stale += u64::from(d.stale);
+                            totals.reordered += u64::from(d.reordered);
+                            totals.dropped += d.dropped;
+                        }
+                        verdicts.push((id, verdict_of(&links[slot], &self.cfg)));
+                    }
+                }
             }
         }
         self.index.publish(shard, &verdicts, &self.ixp_of);
@@ -744,15 +977,33 @@ impl MonitorService {
         let store = self.store.lock();
         let mut slab = self.shards[shard].lock();
         let slots = slab.links.len();
+        // Recovery token for the trace (mirrors `ShardRecovery` order:
+        // 0 restored, 1 missing, 2 stale, 3 corrupt).
+        let mut recovery = 1u64;
         let restored = store.as_ref().and_then(|st| {
             let name = shard_blob_name(shard);
             match st.load_blob_checked(&name) {
-                BlobStatus::Ok(payload) => decode_shard_payload(&payload, slots, &self.cfg),
+                BlobStatus::Ok(payload) => match decode_shard_payload(&payload, slots, &self.cfg)
+                {
+                    Some(pair) => {
+                        recovery = 0;
+                        Some(pair)
+                    }
+                    None => {
+                        recovery = 3;
+                        None
+                    }
+                },
                 BlobStatus::Corrupt => {
                     let _ = st.quarantine_blob(&name);
+                    recovery = 3;
                     None
                 }
-                BlobStatus::Missing | BlobStatus::Stale => None,
+                BlobStatus::Missing => None,
+                BlobStatus::Stale => {
+                    recovery = 2;
+                    None
+                }
             }
         });
         match restored {
@@ -778,6 +1029,18 @@ impl MonitorService {
         // overwriting the shard's verdicts keeps the counters exact — no
         // full rebuild (which would race concurrent publishes) needed.
         self.index.publish(shard, &verdicts, &self.ixp_of);
+        if let Some(fl) = self.flight_if_live() {
+            Recorder::trace(
+                fl.as_ref(),
+                TraceEvent::new(
+                    TraceKind::CheckpointRestore,
+                    self.batches.load(Ordering::Relaxed),
+                    shard as u32,
+                    NO_LINK,
+                )
+                .a(recovery),
+            );
+        }
     }
 
     /// Current service mode. Degraded while any shard is quarantined or
@@ -864,6 +1127,10 @@ impl MonitorService {
         rec.gauge("monitor_seq_dropped", self.seq_dropped.load(Ordering::Relaxed) as f64);
         rec.gauge("monitor_shard_restarts", self.shard_restarts() as f64);
         rec.gauge("monitor_quarantined_shards", self.quarantined_shards() as f64);
+        rec.gauge("monitor_trace_dumps", self.trace_dumps() as f64);
+        if let Some(fl) = self.flight_if_live() {
+            rec.gauge("monitor_trace_events_dropped", fl.dropped() as f64);
+        }
         for ixp in 0..self.n_ixps {
             let n = self.index.elevated_at_ixp(ixp);
             if n > 0 {
@@ -878,8 +1145,9 @@ impl MonitorService {
     /// failed write names the shard and the blob file instead of panicking
     /// opaquely.
     pub fn checkpoint(&self, store: &CheckpointStore) -> io::Result<()> {
+        let fl = self.flight_if_live();
         for (i, shard) in self.shards.iter().enumerate() {
-            let payload = {
+            let (payload, slots) = {
                 let slab = shard.lock();
                 let mut payload =
                     Vec::with_capacity(8 + slab.links.len() * SHARD_SLOT_LEN);
@@ -888,7 +1156,7 @@ impl MonitorService {
                     st.encode_into(&mut payload);
                     gate.encode_into(&mut payload);
                 }
-                payload
+                (payload, slab.links.len())
             };
             let name = shard_blob_name(i);
             store.store_blob(&name, &payload).map_err(|e| {
@@ -901,6 +1169,18 @@ impl MonitorService {
                     format!("monitor checkpoint failed for shard {i} ({file}): {e}"),
                 )
             })?;
+            if let Some(fl) = fl.as_deref() {
+                Recorder::trace(
+                    fl,
+                    TraceEvent::new(
+                        TraceKind::CheckpointWrite,
+                        self.batches.load(Ordering::Relaxed),
+                        i as u32,
+                        NO_LINK,
+                    )
+                    .a(slots as u64),
+                );
+            }
         }
         Ok(())
     }
@@ -1071,6 +1351,85 @@ fn verdict_of(st: &LinkState, cfg: &MonitorConfig) -> LinkVerdict {
         alarms: st.alarms(),
         masked_alarms: st.masked_alarms(),
         gaps: det.gap_count(),
+        evidence: st.verdict_evidence(),
+    }
+}
+
+/// Trace the exceptional admission outcomes of one gate call. Steady-state
+/// in-order traffic leaves the whole delta zero, so a healthy stream costs
+/// four branch tests and writes nothing.
+#[cold]
+#[inline(never)]
+fn trace_admit(fl: &FlightRecorder, shard: u32, link: u32, seq: u64, d: crate::state::AdmitDelta) {
+    if d.duplicates > 0 {
+        Recorder::trace(
+            fl,
+            TraceEvent::new(TraceKind::SampleDuplicate, seq, shard, link)
+                .a(seq)
+                .b(u64::from(d.duplicates)),
+        );
+    }
+    if d.stale > 0 {
+        Recorder::trace(fl, TraceEvent::new(TraceKind::SampleStale, seq, shard, link).a(seq));
+    }
+    if d.reordered > 0 {
+        Recorder::trace(
+            fl,
+            TraceEvent::new(TraceKind::ReorderHealed, seq, shard, link)
+                .a(seq)
+                .b(u64::from(d.reordered)),
+        );
+    }
+    if d.dropped > 0 {
+        Recorder::trace(
+            fl,
+            TraceEvent::new(TraceKind::SampleDropped, seq, shard, link)
+                .a(seq)
+                .b(d.dropped),
+        );
+    }
+}
+
+/// Trace what one delivered sample did to its link: online changepoints
+/// (with the evidence the mask weighed), mask applications, and health-class
+/// transitions. Quiet samples on a stable link trace nothing.
+#[cold]
+#[inline(never)]
+fn trace_update(fl: &FlightRecorder, shard: u32, link: u32, up: LinkUpdate, st: &LinkState) {
+    match up.verdict {
+        OnlineVerdict::UpshiftAlarm => {
+            let ev = st.verdict_evidence();
+            Recorder::trace(
+                fl,
+                TraceEvent::new(TraceKind::OnlineUpshift, up.round, shard, link)
+                    .a(ev.path_change_round)
+                    .v(ev.level_before_ms),
+            );
+            if let crate::index::MaskOutcome::Applied { rounds_since_change } = ev.mask {
+                Recorder::trace(
+                    fl,
+                    TraceEvent::new(TraceKind::MaskApplied, up.round, shard, link)
+                        .a(ev.path_change_round)
+                        .b(rounds_since_change),
+                );
+            }
+        }
+        OnlineVerdict::DownshiftAlarm => {
+            Recorder::trace(
+                fl,
+                TraceEvent::new(TraceKind::OnlineDownshift, up.round, shard, link)
+                    .v(st.detector().baseline()),
+            );
+        }
+        _ => {}
+    }
+    if up.health_changed {
+        Recorder::trace(
+            fl,
+            TraceEvent::new(TraceKind::HealthChanged, up.round, shard, link)
+                .a(health_token(up.health_before))
+                .b(health_token(st.committed_health())),
+        );
     }
 }
 

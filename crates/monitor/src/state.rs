@@ -61,6 +61,18 @@ pub struct LinkUpdate {
     /// True when the verdict is an upshift alarm attributed to a recent
     /// path change rather than congestion.
     pub masked: bool,
+    /// True when this sample closed a health window and the committed
+    /// health class changed. Computed at the rollover itself, so tracing
+    /// callers never recompute (or even reread) the label on the hot path.
+    pub health_changed: bool,
+    /// The health class committed before this sample (only meaningful when
+    /// [`LinkUpdate::health_changed`] is set; equals the current class
+    /// otherwise).
+    pub health_before: LinkHealth,
+    /// True when this update is worth tracing: an upshift or downshift
+    /// alarm, or a committed health change. One precomputed byte so the
+    /// traced ingest path tests a single flag per delivery.
+    pub noteworthy: bool,
 }
 
 /// One congestion event from the batch reference view.
@@ -82,6 +94,16 @@ pub struct LinkState {
     last_fp: u64,
     /// Round of the most recent fingerprint change (`u64::MAX` = never).
     last_change_round: u64,
+    /// Fingerprint that was replaced by the most recent change (0 = no
+    /// change yet) — the "before" half of the path-change evidence.
+    fp_before: u64,
+    /// Round of the most recent upshift alarm (`u64::MAX` = never).
+    last_alarm_round: u64,
+    /// Rounds between the last path change and the last alarm
+    /// (`u64::MAX` = no change was on record when the alarm fired).
+    last_alarm_gap: u64,
+    /// Was the last alarm masked as a path-change artifact?
+    last_alarm_masked: bool,
     /// Samples pushed (answered or not).
     rounds: u64,
     /// Total fingerprint changes.
@@ -123,6 +145,10 @@ impl LinkState {
             det: OnlineDetector::new(cfg.online),
             last_fp: 0,
             last_change_round: u64::MAX,
+            fp_before: 0,
+            last_alarm_round: u64::MAX,
+            last_alarm_gap: u64::MAX,
+            last_alarm_masked: false,
             rounds: 0,
             path_changes: 0,
             alarms: 0,
@@ -162,8 +188,31 @@ impl LinkState {
         &self.det
     }
 
+    /// Provenance for the link's current verdict: where the last shift
+    /// happened, what the path looked like before and after the most recent
+    /// fingerprint change, and whether the path-change mask was applied,
+    /// rejected, or never in play at the last alarm.
+    pub fn verdict_evidence(&self) -> crate::index::VerdictEvidence {
+        use crate::index::MaskOutcome;
+        crate::index::VerdictEvidence {
+            change_round: self.last_alarm_round,
+            level_before_ms: self.det.snapshot().level_before,
+            fp_before: self.fp_before,
+            fp_after: self.last_fp,
+            path_change_round: self.last_change_round,
+            mask: if self.last_alarm_round == u64::MAX || self.last_alarm_gap == u64::MAX {
+                MaskOutcome::NotConsidered
+            } else if self.last_alarm_masked {
+                MaskOutcome::Applied { rounds_since_change: self.last_alarm_gap }
+            } else {
+                MaskOutcome::Rejected { rounds_since_change: self.last_alarm_gap }
+            },
+        }
+    }
+
     /// Ingest one round. `cfg` must be the same configuration every call
     /// (the service guarantees this; mixing configs is a logic error).
+    #[inline(always)]
     pub fn push(&mut self, s: &MonitorSample, cfg: &MonitorConfig) -> LinkUpdate {
         let round = self.rounds;
         self.rounds += 1;
@@ -179,6 +228,7 @@ impl LinkState {
                 self.path_changes += 1;
                 self.w_path_changes += 1;
                 self.last_change_round = round;
+                self.fp_before = self.last_fp;
             }
             self.last_fp = s.path_fp;
         }
@@ -202,6 +252,12 @@ impl LinkState {
         let mut masked = false;
         if verdict == OnlineVerdict::UpshiftAlarm {
             self.alarms += 1;
+            self.last_alarm_round = round;
+            self.last_alarm_gap = if self.last_change_round == u64::MAX {
+                u64::MAX
+            } else {
+                round - self.last_change_round
+            };
             // Causal masking: the change at `c` taints `[c, c + slack]`.
             if self.last_change_round != u64::MAX
                 && round - self.last_change_round <= cfg.mask_slack
@@ -209,9 +265,11 @@ impl LinkState {
                 masked = true;
                 self.masked_alarms += 1;
             }
+            self.last_alarm_masked = masked;
         }
 
         self.w_rounds += 1;
+        let health_before = self.prev_health;
         if self.w_rounds >= cfg.window_rounds {
             self.prev_health = self.window_label(cfg);
             self.w_rounds = 0;
@@ -223,7 +281,18 @@ impl LinkState {
             // boundary keeps accumulating toward Silent evidence.
         }
 
-        LinkUpdate { round, verdict, masked }
+        let health_changed = self.prev_health != health_before;
+        LinkUpdate {
+            round,
+            verdict,
+            masked,
+            health_changed,
+            health_before,
+            noteworthy: matches!(
+                verdict,
+                OnlineVerdict::UpshiftAlarm | OnlineVerdict::DownshiftAlarm
+            ) | health_changed,
+        }
     }
 
     /// The health label over the current (in-progress) window, falling back
@@ -234,6 +303,15 @@ impl LinkState {
             return self.prev_health;
         }
         self.window_label(cfg)
+    }
+
+    /// The health class committed at the last window boundary — an O(1)
+    /// field read, unlike [`LinkState::health`], which recomputes the live
+    /// label. The tracing path compares this across a push to report
+    /// [`ixp_obs::TraceKind::HealthChanged`] without pricing a label
+    /// computation into every sample.
+    pub(crate) fn committed_health(&self) -> LinkHealth {
+        self.prev_health
     }
 
     fn window_label(&self, cfg: &MonitorConfig) -> LinkHealth {
@@ -277,12 +355,12 @@ impl LinkState {
         LinkHealth::Clean
     }
 
-    /// Fixed-layout encode for checkpointing: 23 u64 little-endian words.
+    /// Fixed-layout encode for checkpointing: 27 u64 little-endian words.
     /// The detector config is not serialized — it is rebuilt from the
     /// service config, which the checkpoint fingerprint binds.
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         let d = self.det.snapshot();
-        let words: [u64; 23] = [
+        let words: [u64; 27] = [
             d.baseline.to_bits(),
             d.warmup_seen as u64,
             d.warmup_sum.to_bits(),
@@ -306,6 +384,10 @@ impl LinkState {
             self.w_path_changes,
             self.cur_loss_run,
             health_token(self.prev_health),
+            self.fp_before,
+            self.last_alarm_round,
+            self.last_alarm_gap,
+            u64::from(self.last_alarm_masked),
         ];
         for w in words {
             out.extend_from_slice(&w.to_le_bytes());
@@ -313,14 +395,14 @@ impl LinkState {
     }
 
     /// Number of encoded bytes per link.
-    pub(crate) const ENCODED_LEN: usize = 23 * 8;
+    pub(crate) const ENCODED_LEN: usize = 27 * 8;
 
     /// Decode a state previously written by [`LinkState::encode_into`].
     pub(crate) fn decode(bytes: &[u8], cfg: &MonitorConfig) -> Option<LinkState> {
         if bytes.len() != Self::ENCODED_LEN {
             return None;
         }
-        let mut words = [0u64; 23];
+        let mut words = [0u64; 27];
         for (i, w) in words.iter_mut().enumerate() {
             *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().ok()?);
         }
@@ -337,10 +419,17 @@ impl LinkState {
             elevated_n: words[8] as usize,
             gaps: words[9],
         };
+        if words[26] > 1 {
+            return None;
+        }
         Some(LinkState {
             det: OnlineDetector::restore(&snap),
             last_fp: words[10],
             last_change_round: words[11],
+            fp_before: words[23],
+            last_alarm_round: words[24],
+            last_alarm_gap: words[25],
+            last_alarm_masked: words[26] != 0,
             rounds: words[12],
             path_changes: words[13],
             alarms: words[14],
@@ -466,6 +555,16 @@ impl SeqGate {
         self.live as usize
     }
 
+    /// True when `seq` would take the clean in-order fast path of
+    /// [`SeqGate::admit`]: the expected sequence number with nothing
+    /// parked, so the admission delta is a known constant (one delivery,
+    /// no anomalies). The traced ingest loop uses this to keep clean
+    /// arrivals — the steady state — free of per-call delta inspection.
+    #[inline]
+    pub fn in_order(&self, seq: u64) -> bool {
+        seq == self.next_seq && self.live == 0 && seq != u64::MAX
+    }
+
     /// Admit one `(seq, sample)` arrival. In-order and healed samples are
     /// handed to `deliver` in strictly increasing sequence order; the rest
     /// are counted. `window` is clamped to [`REORDER_CAP`]; sequence
@@ -484,7 +583,7 @@ impl SeqGate {
         // buffer traffic, and small enough to inline into the shard
         // loop (the full gate machinery stays out of line in
         // `admit_slow`).
-        if seq == self.next_seq && self.live == 0 && seq != u64::MAX {
+        if self.in_order(seq) {
             deliver(s);
             self.next_seq += 1;
             return AdmitDelta { delivered: 1, ..AdmitDelta::default() };
@@ -675,7 +774,7 @@ impl SeqGate {
     }
 }
 
-fn health_token(h: LinkHealth) -> u64 {
+pub(crate) fn health_token(h: LinkHealth) -> u64 {
     match h {
         LinkHealth::Clean => 0,
         LinkHealth::Gappy => 1,

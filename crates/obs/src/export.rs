@@ -5,14 +5,42 @@ use crate::metrics::{Histogram, MetricSheet};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// Version stamp of the [`RunManifest`] JSON layout.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version stamp of the [`RunManifest`] JSON layout. v2 adds the service
+/// operational record: the `ServiceMode` transition history and the
+/// resilient-resume summary.
+pub const MANIFEST_VERSION: u32 = 2;
+
+/// One resident-service mode flip, as recorded by the monitor: the batch
+/// index at which the service entered `mode`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeTransition {
+    /// Ingest batch index of the transition.
+    pub batch: u64,
+    /// Mode entered (`"Healthy"` / `"Degraded"`).
+    pub mode: String,
+}
+
+/// Shard-recovery counts from a resilient resume (the obs-side mirror of
+/// the monitor's per-shard `ResumeReport`, kept as plain counts so the
+/// manifest does not depend on the monitor crate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResumeSummary {
+    /// Shards restored bit-identically from their checkpoint blobs.
+    pub restored: usize,
+    /// Shards rebuilt because no blob existed.
+    pub rebuilt_missing: usize,
+    /// Shards rebuilt because the blob came from a foreign deployment.
+    pub rebuilt_stale: usize,
+    /// Shards rebuilt because the blob was damaged (quarantined aside).
+    pub rebuilt_corrupt: usize,
+}
 
 /// The versioned JSON snapshot `full_campaign --metrics-out` writes: enough
 /// to reproduce the run (config fingerprint, seed, threads) plus everything
 /// the telemetry layer collected (counters, histograms, per-link ledgers,
-/// per-stage timings, per-worker stats).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// per-stage timings, per-worker stats) and, for resident-service runs, the
+/// operational record (mode transitions, resume recovery counts).
+#[derive(Clone, Debug, Serialize)]
 pub struct RunManifest {
     /// Layout version ([`MANIFEST_VERSION`]).
     pub version: u32,
@@ -26,6 +54,39 @@ pub struct RunManifest {
     pub wall_secs: f64,
     /// The collected telemetry.
     pub sheet: MetricSheet,
+    /// `ServiceMode` transition history (empty for batch-only runs; v2).
+    pub mode_history: Vec<ModeTransition>,
+    /// Resilient-resume recovery counts (`None` = no resume happened; v2).
+    pub resume_summary: Option<ResumeSummary>,
+}
+
+// Hand-written: v1 payloads predate `mode_history`/`resume_summary` and the
+// vendored derive has no `#[serde(default)]` — missing fields read as
+// empty/absent, and unknown fields from future versions are ignored (the
+// map walk only pulls the keys it knows).
+impl serde::Deserialize for RunManifest {
+    fn from_value(v: &serde::Value) -> Result<RunManifest, serde::Error> {
+        let m = v.as_map().ok_or_else(|| serde::Error::msg("expected map for RunManifest"))?;
+        Ok(RunManifest {
+            version: serde::Deserialize::from_value(serde::field(m, "version")?)?,
+            config_fingerprint: serde::Deserialize::from_value(serde::field(
+                m,
+                "config_fingerprint",
+            )?)?,
+            seed: serde::Deserialize::from_value(serde::field(m, "seed")?)?,
+            threads: serde::Deserialize::from_value(serde::field(m, "threads")?)?,
+            wall_secs: serde::Deserialize::from_value(serde::field(m, "wall_secs")?)?,
+            sheet: serde::Deserialize::from_value(serde::field(m, "sheet")?)?,
+            mode_history: match serde::field(m, "mode_history") {
+                Ok(h) => serde::Deserialize::from_value(h)?,
+                Err(_) => Vec::new(),
+            },
+            resume_summary: match serde::field(m, "resume_summary") {
+                Ok(r) => serde::Deserialize::from_value(r)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl RunManifest {
@@ -37,7 +98,28 @@ impl RunManifest {
         wall_secs: f64,
         sheet: MetricSheet,
     ) -> RunManifest {
-        RunManifest { version: MANIFEST_VERSION, config_fingerprint, seed, threads, wall_secs, sheet }
+        RunManifest {
+            version: MANIFEST_VERSION,
+            config_fingerprint,
+            seed,
+            threads,
+            wall_secs,
+            sheet,
+            mode_history: Vec::new(),
+            resume_summary: None,
+        }
+    }
+
+    /// Attach a resident service's mode-transition history.
+    pub fn with_mode_history(mut self, history: Vec<ModeTransition>) -> RunManifest {
+        self.mode_history = history;
+        self
+    }
+
+    /// Attach the recovery counts of a resilient resume.
+    pub fn with_resume_summary(mut self, summary: ResumeSummary) -> RunManifest {
+        self.resume_summary = Some(summary);
+        self
     }
 
     /// Pretty JSON.
@@ -46,10 +128,16 @@ impl RunManifest {
     }
 
     /// Parse a manifest back (validation, tests, tooling).
+    ///
+    /// Forward- and backward-tolerant: v1 payloads read with empty
+    /// provenance fields, and payloads from *newer* layouts parse as long
+    /// as the known fields are intact — unknown fields are ignored, so a
+    /// v-current reader handles a v-next file. Only a missing/zero version
+    /// is rejected outright.
     pub fn from_json(s: &str) -> Result<RunManifest, String> {
         let m: RunManifest = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if m.version != MANIFEST_VERSION {
-            return Err(format!("unsupported manifest version {}", m.version));
+        if m.version == 0 {
+            return Err("unsupported manifest version 0".to_string());
         }
         Ok(m)
     }
@@ -85,8 +173,40 @@ fn sanitize(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' }).collect()
 }
 
+/// Escape a label value per the text exposition format: backslash, double
+/// quote, and line feed must appear as `\\`, `\"`, and `\n`.
 fn esc_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"")
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// `# HELP` text for the families this pipeline exports. The resident
+/// monitor's gauges (PR 9) are all covered; unknown names get no HELP line
+/// (the format allows TYPE-only families).
+fn help_for(key: &str) -> Option<&'static str> {
+    Some(match key {
+        "monitor_links" => "Links registered with the resident monitor.",
+        "monitor_samples_ingested" => "Samples delivered into detectors since service start.",
+        "monitor_ingest_samples_per_sec" => "Recent ingest rate over the meter window.",
+        "monitor_elevated_links" => "Links whose live verdict is currently elevated.",
+        "monitor_index_read_qps" => "Recent verdict-index read rate over the meter window.",
+        "monitor_index_reads" => "Total verdict-index reads since service start.",
+        "monitor_shard_backlog_max" => "Largest per-shard batch demand seen (pre-shed).",
+        "monitor_mode_degraded" => "1 while the service reports Degraded, else 0.",
+        "monitor_shed_samples" => "Samples shed by per-shard admission control.",
+        "monitor_rejected_samples" => "Samples refused at the door (unknown id/reserved seq).",
+        "monitor_seq_duplicates" => "Duplicate sequence numbers absorbed by the link gates.",
+        "monitor_seq_stale" => "Ancient sequence replays absorbed by the link gates.",
+        "monitor_seq_reordered" => "Samples healed into order via the reorder buffers.",
+        "monitor_seq_dropped" => "Sequence numbers abandoned by the reorder windows.",
+        "monitor_shard_restarts" => "Shard restores performed by the panic supervisor.",
+        "monitor_quarantined_shards" => "Shards currently quarantined after repeated panics.",
+        "monitor_trace_events_dropped" => "Flight-recorder events evicted from full rings.",
+        "monitor_trace_dumps" => "Black-box trace dumps written on incidents.",
+        _ if key.starts_with("monitor_elevated_ixp") => {
+            "Links whose live verdict is currently elevated, per IXP."
+        }
+        _ => return None,
+    })
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -121,11 +241,17 @@ pub fn prometheus_text(sheet: &MetricSheet) -> String {
     let mut out = String::new();
     for (k, v) in &sheet.counters {
         let name = format!("ixp_{}_total", sanitize(k));
+        if let Some(h) = help_for(k) {
+            let _ = writeln!(out, "# HELP {name} {h}");
+        }
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
     }
     for (k, v) in &sheet.gauges {
         let name = format!("ixp_{}", sanitize(k));
+        if let Some(h) = help_for(k) {
+            let _ = writeln!(out, "# HELP {name} {h}");
+        }
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", fmt_f64(*v));
     }
@@ -286,5 +412,141 @@ mod tests {
         assert!(lines[0].starts_with("vp "));
         assert!(lines[1].starts_with("  SIXP"));
         assert!(lines[2].starts_with("    campaign"));
+    }
+
+    #[test]
+    fn stage_profile_is_deterministically_ordered_golden() {
+        // Insert out of name order, twice in different orders: the profile
+        // must render sorted by stage name and byte-identical both times,
+        // so diffs between runs are meaningful.
+        let mk = |order: &[&str]| {
+            let rec = SheetRecorder::new();
+            for p in order {
+                rec.stage(p, 2_000_000_000, 5_000_000);
+            }
+            stage_profile(&rec.into_sheet())
+        };
+        let a = mk(&["vp/ZA", "bdrmap", "vp", "vp/ZA/campaign", "vp/KE"]);
+        let b = mk(&["vp/KE", "vp", "vp/ZA/campaign", "bdrmap", "vp/ZA"]);
+        assert_eq!(a, b);
+        let golden = "bdrmap                   wall     2.000s  sim            5s  x1\n\
+                      vp                       wall     2.000s  sim            5s  x1\n  \
+                      KE                       wall     2.000s  sim            5s  x1\n  \
+                      ZA                       wall     2.000s  sim            5s  x1\n    \
+                      campaign                 wall     2.000s  sim            5s  x1\n";
+        assert_eq!(a, golden, "stage profile drifted from the golden layout:\n{a}");
+    }
+
+    #[test]
+    fn label_escaping_roundtrips() {
+        fn unescape(s: &str) -> String {
+            // The exposition parser's view of a label value.
+            let mut out = String::new();
+            let mut it = s.chars();
+            while let Some(c) = it.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match it.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                }
+            }
+            out
+        }
+        let nasty = "a\\b \"quoted\"\nnext line";
+        let escaped = esc_label(nasty);
+        assert!(!escaped.contains('\n'), "raw newline leaks: {escaped:?}");
+        assert_eq!(escaped, "a\\\\b \\\"quoted\\\"\\nnext line");
+        assert_eq!(unescape(&escaped), nasty);
+        // And through a whole exposition: a ledger keyed by a nasty label
+        // stays one line per sample.
+        let rec = SheetRecorder::new();
+        rec.stage(nasty, 1, 1);
+        let text = prometheus_text(&rec.into_sheet());
+        for l in text.lines().filter(|l| l.contains("stage=")) {
+            let v = l.split("stage=\"").nth(1).unwrap().rsplit_once('"').unwrap().0;
+            assert_eq!(unescape(v), nasty, "{l}");
+        }
+    }
+
+    #[test]
+    fn monitor_gauges_get_help_and_type() {
+        let rec = SheetRecorder::new();
+        for g in [
+            "monitor_links",
+            "monitor_samples_ingested",
+            "monitor_ingest_samples_per_sec",
+            "monitor_elevated_links",
+            "monitor_index_read_qps",
+            "monitor_index_reads",
+            "monitor_shard_backlog_max",
+            "monitor_mode_degraded",
+            "monitor_shed_samples",
+            "monitor_rejected_samples",
+            "monitor_seq_duplicates",
+            "monitor_seq_stale",
+            "monitor_seq_reordered",
+            "monitor_seq_dropped",
+            "monitor_shard_restarts",
+            "monitor_quarantined_shards",
+            "monitor_elevated_ixp3",
+        ] {
+            rec.gauge(g, 1.0);
+        }
+        let text = prometheus_text(&rec.into_sheet());
+        for l in text.lines().filter(|l| l.starts_with("# TYPE ixp_monitor_")) {
+            let name = l.split_whitespace().nth(2).unwrap();
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "monitor gauge {name} is missing its HELP line"
+            );
+        }
+        assert!(text.contains("# HELP ixp_monitor_mode_degraded 1 while the service"));
+        assert!(text.contains("# TYPE ixp_monitor_mode_degraded gauge"));
+    }
+
+    #[test]
+    fn manifest_v1_reads_with_empty_provenance() {
+        // A pre-provenance (v1) manifest: no mode_history/resume_summary.
+        let mut m = RunManifest::new(7, 8, 1, 0.5, sample_sheet());
+        m.version = 1;
+        // Rename the v2 keys so the reader sees them as absent (simpler than
+        // splicing lines out of pretty JSON without leaving stray commas).
+        let v1 = m
+            .to_json()
+            .replace("\"mode_history\"", "\"x_mode_history\"")
+            .replace("\"resume_summary\"", "\"x_resume_summary\"");
+        let parsed = RunManifest::from_json(&v1).expect("v1 manifest still reads");
+        assert_eq!(parsed.version, 1);
+        assert!(parsed.mode_history.is_empty());
+        assert_eq!(parsed.resume_summary, None);
+    }
+
+    #[test]
+    fn manifest_current_reads_v_next() {
+        // Forward compat: a v3 manifest with fields this build has never
+        // heard of parses; the unknown fields are ignored.
+        let m = RunManifest::new(1, 2, 3, 4.0, sample_sheet())
+            .with_mode_history(vec![ModeTransition { batch: 9, mode: "Degraded".into() }])
+            .with_resume_summary(ResumeSummary { restored: 3, rebuilt_corrupt: 1, ..Default::default() });
+        let mut json = m.to_json();
+        json = json.replacen("\"version\": 2", "\"version\": 3", 1);
+        let brace = json.find('{').unwrap();
+        json.insert_str(brace + 1, "\n  \"future_field\": {\"nested\": [1, 2, 3]},");
+        let parsed = RunManifest::from_json(&json).expect("v-next manifest reads");
+        assert_eq!(parsed.version, 3);
+        assert_eq!(parsed.mode_history, m.mode_history);
+        assert_eq!(parsed.resume_summary, m.resume_summary);
+        // Version 0 stays rejected.
+        let bad = m.to_json().replacen("\"version\": 2", "\"version\": 0", 1);
+        assert!(RunManifest::from_json(&bad).is_err());
     }
 }

@@ -36,14 +36,21 @@ pub mod ledger;
 pub mod metrics;
 pub mod rss;
 pub mod span;
+pub mod trace;
 
-pub use export::{prometheus_text, stage_profile, RunManifest, MANIFEST_VERSION};
+pub use export::{
+    prometheus_text, stage_profile, ModeTransition, ResumeSummary, RunManifest, MANIFEST_VERSION,
+};
 pub use ledger::{End, LinkEvent, LinkKey, LinkRecorder, ProbeEvent, ProbeLedger, QuarantineNote};
 pub use metrics::{
     Histogram, MetricSheet, MetricsRegistry, RateMeter, SheetRecorder, StageTiming, WorkerStat,
 };
 pub use rss::{peak_rss_mb, reset_peak_rss};
 pub use span::StageSpan;
+pub use trace::{
+    health_class_name, parse_dump, recovery_name, FlightRecorder, TraceDump, TraceEvent, TraceKind,
+    NO_LINK, TRACE_DUMP_VERSION,
+};
 
 /// The instrumentation gateway: everything the pipeline reports goes through
 /// one of these methods. All methods have empty default bodies, so a type
@@ -77,6 +84,11 @@ pub trait Recorder {
     fn worker(&self, _pool: &str, _worker: usize, _items: u64, _busy_ns: u64) {}
     /// Fold a whole worker-local sheet in (the drain step).
     fn fold(&self, _sheet: &MetricSheet) {}
+    /// Record one structured flight-recorder event (hot path: callers pass
+    /// a `Copy` [`TraceEvent`] built from values already at hand, so the
+    /// no-op body costs nothing and a live [`FlightRecorder`] costs one
+    /// uncontended lane push).
+    fn trace(&self, _ev: TraceEvent) {}
 }
 
 /// The recorder that records nothing. Every method keeps its empty default
@@ -120,6 +132,9 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     }
     fn fold(&self, sheet: &MetricSheet) {
         (**self).fold(sheet)
+    }
+    fn trace(&self, ev: TraceEvent) {
+        (**self).trace(ev)
     }
 }
 

@@ -1,0 +1,161 @@
+//! Property tests for [`ProbeLedger::merge`]: the quarantine-restored-shard
+//! contract. A link's ledger fragments arrive from worker-local sheets in
+//! whatever order the pool drained them — and after a shard quarantine and
+//! restore, the fragment carrying the `QuarantineNote` (and the health
+//! verdict) may land before or after the plain counter fragments. Merge
+//! must therefore be associative always, commutative on every counter
+//! (including `path_changes`), and fully order-independent whenever the
+//! `Option` verdict fields (health, quarantine) are carried by at most one
+//! fragment — which is exactly how the pipeline produces them: one
+//! assessment, one quarantine fold, per link.
+
+use ixp_obs::{ProbeLedger, QuarantineNote};
+use proptest::prelude::*;
+
+/// A ledger fragment: counters plus optional verdicts.
+#[allow(clippy::too_many_arguments)]
+fn fragment(
+    counts: [u64; 12],
+    screened: bool,
+    health: Option<&str>,
+    quarantine: Option<(usize, &str)>,
+) -> ProbeLedger {
+    ProbeLedger {
+        sent: counts[0],
+        answered: counts[1],
+        timed_out: counts[2],
+        retries: counts[3],
+        rate_limited: counts[4],
+        rounds: counts[5],
+        screened_out: screened,
+        checkpoint_hits: counts[6],
+        checkpoint_writes: counts[7],
+        health: health.map(str::to_string),
+        events: counts[8],
+        artifact_events: counts[9],
+        path_changes: counts[10],
+        quarantined: quarantine
+            .map(|(worker, message)| QuarantineNote { worker, message: message.to_string() }),
+    }
+}
+
+fn arb_counts() -> impl Strategy<Value = [u64; 12]> {
+    proptest::collection::vec(0u64..1_000_000, 12).prop_map(|v| {
+        let mut a = [0u64; 12];
+        a.copy_from_slice(&v);
+        a
+    })
+}
+
+fn arb_health() -> impl Strategy<Value = Option<&'static str>> {
+    proptest::prop_oneof![
+        Just(None),
+        Just(Some("clean")),
+        Just(Some("gappy")),
+        Just(Some("path-change")),
+        Just(Some("silent")),
+    ]
+}
+
+fn arb_quarantine() -> impl Strategy<Value = Option<(usize, &'static str)>> {
+    proptest::prop_oneof![
+        Just(None),
+        (0usize..8).prop_map(|w| Some((w, "worker panicked: detector poisoned"))),
+    ]
+}
+
+fn arb_ledger() -> impl Strategy<Value = ProbeLedger> {
+    (arb_counts(), any::<bool>(), arb_health(), arb_quarantine())
+        .prop_map(|(c, s, h, q)| fragment(c, s, h, q))
+}
+
+fn merged(a: &ProbeLedger, b: &ProbeLedger) -> ProbeLedger {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// The counter view: every field that must commute unconditionally.
+fn counters(l: &ProbeLedger) -> ([u64; 12], bool) {
+    (
+        [
+            l.sent,
+            l.answered,
+            l.timed_out,
+            l.retries,
+            l.rate_limited,
+            l.rounds,
+            l.checkpoint_hits,
+            l.checkpoint_writes,
+            l.events,
+            l.artifact_events,
+            l.path_changes,
+            0,
+        ],
+        l.screened_out,
+    )
+}
+
+proptest! {
+    /// Merge is associative for arbitrary fragments — including ones where
+    /// several carry conflicting health/quarantine verdicts (last-Some
+    /// wins, and grouping does not change which one is last).
+    #[test]
+    fn merge_is_associative(a in arb_ledger(), b in arb_ledger(), c in arb_ledger()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// Every counter (and the screened flag) commutes unconditionally,
+    /// whatever the verdict fields are doing.
+    #[test]
+    fn counters_commute(a in arb_ledger(), b in arb_ledger()) {
+        prop_assert_eq!(counters(&merged(&a, &b)), counters(&merged(&b, &a)));
+    }
+
+    /// With at most one fragment carrying each verdict — the only shape the
+    /// pipeline produces — merge commutes *entirely*, quarantine notes and
+    /// health included.
+    #[test]
+    fn disjoint_verdicts_commute_fully(
+        ca in arb_counts(),
+        cb in arb_counts(),
+        health in arb_health(),
+        quarantine in arb_quarantine(),
+        health_on_a in any::<bool>(),
+        quarantine_on_a in any::<bool>(),
+    ) {
+        let (ha, hb) = if health_on_a { (health, None) } else { (None, health) };
+        let (qa, qb) = if quarantine_on_a { (quarantine, None) } else { (None, quarantine) };
+        let a = fragment(ca, false, ha, qa);
+        let b = fragment(cb, true, hb, qb);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Quarantine-restored shards drain in arbitrary order: folding n
+    /// counter fragments plus one quarantined fragment and one health
+    /// fragment gives the same ledger for *every* rotation of the drain
+    /// order (rotations + the pairwise swaps above generate all
+    /// permutations).
+    #[test]
+    fn shard_drain_order_is_irrelevant(
+        counts in proptest::collection::vec(arb_counts(), 1..6),
+        q_worker in 0usize..8,
+        rotate in 0usize..6,
+    ) {
+        let mut frags: Vec<ProbeLedger> =
+            counts.iter().map(|&c| fragment(c, false, None, None)).collect();
+        frags.push(fragment([0; 12], false, None, Some((q_worker, "shard 1 panicked"))));
+        frags.push(fragment([0; 12], false, Some("gappy"), None));
+        let fold = |frags: &[ProbeLedger]| {
+            let mut acc = ProbeLedger::default();
+            for f in frags {
+                acc.merge(f);
+            }
+            acc
+        };
+        let reference = fold(&frags);
+        let mut rotated = frags.clone();
+        rotated.rotate_left(rotate % frags.len());
+        prop_assert_eq!(fold(&rotated), reference);
+    }
+}

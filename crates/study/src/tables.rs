@@ -214,16 +214,17 @@ impl IntegrityTable {
         let _ = writeln!(out, "Measurement integrity: links per health class");
         let _ = writeln!(
             out,
-            "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>16} {:>12}",
+            "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>26} {:>12}",
             "VP", "clean", "gappy", "rate-limited", "path-change", "addr-unstable", "silent",
-            "artifact events", "quarantined"
+            "artifact events (gap/path)", "quarantined"
         );
         for (vp, i) in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>16} {:>12}",
+                "{:<8} {:>6} {:>6} {:>13} {:>12} {:>14} {:>7} {:>26} {:>12}",
                 vp, i.clean, i.gappy, i.rate_limited, i.path_change, i.addr_unstable, i.silent,
-                i.artifact_events, i.quarantined
+                format!("{} ({}/{})", i.artifact_events, i.gap_artifacts, i.path_artifacts),
+                i.quarantined
             );
         }
         out
@@ -287,6 +288,11 @@ mod tests {
             "every link gets exactly one health class"
         );
         assert_eq!(i.quarantined, 0, "no faults injected, nothing quarantines");
+        assert_eq!(
+            i.gap_artifacts + i.path_artifacts,
+            i.artifact_events,
+            "every artifact event carries exactly one recorded cause"
+        );
         let text = it.render();
         assert!(text.contains("Measurement integrity"), "{text}");
         assert!(text.contains("VP4"), "{text}");

@@ -128,8 +128,12 @@ pub struct LinkOutcome {
     /// Measurement health of the link's series (the integrity column).
     pub health: LinkHealth,
     /// Level shifts attributed to measurement artifacts instead of
-    /// congestion (gap-coincident boundaries).
+    /// congestion (gap- or path-change-coincident boundaries).
     pub artifact_events: usize,
+    /// Of those, how many were masked by a far gap/outage boundary.
+    pub gap_artifacts: usize,
+    /// Of those, how many were masked by a path-change boundary.
+    pub path_artifacts: usize,
     /// The assessment worker panicked on this link; the panic message. A
     /// quarantined link carries an empty assessment and never counts as
     /// congested.
@@ -221,6 +225,8 @@ impl VpStudy {
                 LinkHealth::Silent => s.silent += 1,
             }
             s.artifact_events += o.artifact_events;
+            s.gap_artifacts += o.gap_artifacts;
+            s.path_artifacts += o.path_artifacts;
             s.quarantined += usize::from(o.quarantined.is_some());
         }
         s
@@ -245,6 +251,10 @@ pub struct IntegritySummary {
     pub silent: usize,
     /// Level shifts attributed to measurement artifacts across all links.
     pub artifact_events: usize,
+    /// Artifact events whose cause was a far gap/outage boundary.
+    pub gap_artifacts: usize,
+    /// Artifact events whose cause was a path-change boundary.
+    pub path_artifacts: usize,
     /// Links whose assessment worker panicked and was quarantined.
     pub quarantined: usize,
 }
@@ -486,6 +496,8 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
             sweep,
             health: mask.overall,
             artifact_events: assessment.artifacts.len(),
+            gap_artifacts: assessment.artifact_causes.iter().filter(|c| c.is_gap()).count(),
+            path_artifacts: assessment.artifact_causes.iter().filter(|c| !c.is_gap()).count(),
             quarantined: None,
             assessment,
             symmetry,
@@ -546,6 +558,8 @@ pub fn run_vp_study_rec<R: Recorder + Sync>(spec: &VpSpec, cfg: &VpStudyConfig, 
                     sweep: Vec::new(),
                     health: classify_link(&series, &cfg.assess.health).overall,
                     artifact_events: 0,
+                    gap_artifacts: 0,
+                    path_artifacts: 0,
                     quarantined: Some(failure.message),
                     assessment: Assessment::empty(series.far_validity(), f64::NAN),
                     symmetry: None,

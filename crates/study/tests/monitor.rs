@@ -20,8 +20,8 @@
 
 use ixp_chgpt::online_events;
 use ixp_monitor::{
-    masked_online_events, monitor_fingerprint, LinkDesc, LinkState, MonitorConfig, MonitorSample,
-    MonitorService,
+    masked_online_events, monitor_fingerprint, LinkDesc, LinkState, MaskOutcome, MonitorConfig,
+    MonitorSample, MonitorService,
 };
 use ixp_prober::tslp::TslpTarget;
 use ixp_simnet::fault::{Fault, FaultPlan};
@@ -256,6 +256,111 @@ fn service_kill_resume_over_corpus_at_1_and_3_threads() {
         assert_eq!(straight.index().elevated_links(), resumed.index().elevated_links());
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// The flight recorder's acceptance contract over real measured streams: a
+/// service with live tracing publishes **bit-identical** verdicts to an
+/// untraced one, and afterwards every elevation, alarm, and mask decision
+/// is explained — the verdict evidence is internally consistent, every
+/// alarm the verdicts count appears as an `OnlineUpshift` trace event, and
+/// the black-box dump round-trips losslessly.
+#[test]
+fn live_recorder_is_invisible_and_explains_every_alarm() {
+    use ixp_obs::{parse_dump, FlightRecorder, TraceKind};
+    use std::sync::Arc;
+
+    let corpus = fault_corpus();
+    let n = corpus.len();
+    let rounds = corpus.iter().map(|s| s.len()).min().unwrap_or(0);
+    assert!(rounds > 200);
+    let links: Vec<LinkDesc> = (0..n).map(|i| LinkDesc { ixp: i as u32 % 3 }).collect();
+    let batch_at = |r: usize| -> Vec<(u32, MonitorSample)> {
+        (0..n)
+            .map(|li| {
+                let s = &corpus[li];
+                (
+                    li as u32,
+                    MonitorSample { far_ms: s.far_ms[r], path_fp: s.path_fp[r], far_addr_ok: true },
+                )
+            })
+            .collect()
+    };
+    let cfg = MonitorConfig { threads: 2, shards: 4, ..MonitorConfig::default() };
+
+    let plain = MonitorService::new(cfg, &links);
+    for r in 0..rounds {
+        plain.ingest(&batch_at(r));
+    }
+
+    let traced = MonitorService::new(cfg, &links);
+    let fl = Arc::new(FlightRecorder::new(cfg.shards, 1 << 16));
+    traced.attach_flight_recorder(Arc::clone(&fl));
+    for r in 0..rounds {
+        traced.ingest(&batch_at(r));
+    }
+
+    // Tracing must be invisible to the pipeline: every published verdict —
+    // including the evidence — matches the untraced run exactly.
+    for id in 0..n as u32 {
+        assert_eq!(plain.verdict(id), traced.verdict(id), "link {id}: tracing perturbed verdict");
+    }
+    assert_eq!(plain.mode_history(), traced.mode_history());
+
+    // The ring must have held everything for this corpus size.
+    assert_eq!(fl.dropped(), 0, "trace ring too small for the corpus");
+
+    // Every counted alarm has a trace event; every mask decision in a trace
+    // agrees with the causal slack rule.
+    let events = fl.snapshot();
+    assert!(!events.is_empty(), "live tracing recorded nothing");
+    let mut upshifts = vec![0u64; n];
+    let mut masks = vec![0u64; n];
+    for e in &events {
+        match e.kind {
+            TraceKind::OnlineUpshift => upshifts[e.link as usize] += 1,
+            TraceKind::MaskApplied => {
+                masks[e.link as usize] += 1;
+                assert!(
+                    e.b <= cfg.mask_slack,
+                    "link {}: mask applied {} rounds after change, slack {}",
+                    e.link,
+                    e.b,
+                    cfg.mask_slack
+                );
+            }
+            _ => {}
+        }
+    }
+    let mut alarms_total = 0u64;
+    for id in 0..n as u32 {
+        let v = traced.verdict(id);
+        alarms_total += v.alarms;
+        assert_eq!(upshifts[id as usize], v.alarms, "link {id}: alarms without trace events");
+        assert_eq!(masks[id as usize], v.masked_alarms, "link {id}: masked alarms untraced");
+        if v.alarms > 0 {
+            let ev = v.evidence;
+            assert_ne!(ev.change_round, u64::MAX, "link {id}: alarm left no evidence round");
+            assert!(ev.level_before_ms.is_finite(), "link {id}: evidence level not finite");
+            match ev.mask {
+                MaskOutcome::Applied { rounds_since_change } => {
+                    assert!(rounds_since_change <= cfg.mask_slack, "link {id}")
+                }
+                MaskOutcome::Rejected { rounds_since_change } => {
+                    assert!(rounds_since_change > cfg.mask_slack, "link {id}")
+                }
+                MaskOutcome::NotConsidered => {}
+            }
+        } else {
+            assert_eq!(v.evidence.change_round, u64::MAX, "link {id}: evidence without alarm");
+        }
+    }
+    assert!(alarms_total > 0, "the fault corpus must raise alarms");
+
+    // The black-box dump round-trips: same events, same order, versioned.
+    let dump = parse_dump(&fl.dump_jsonl("acceptance")).expect("dump must parse");
+    assert_eq!(dump.reason, "acceptance");
+    assert_eq!(dump.events.len(), events.len());
+    assert!(dump.events.iter().zip(&events).all(|(a, b)| a.seq == b.seq && a.kind == b.kind));
 }
 
 #[test]

@@ -35,6 +35,9 @@ cargo test -p ixp-study --test monitor
 echo "==> resilience gauntlet (disordered telemetry, overload, panics, torn checkpoints)"
 cargo test -p ixp-study --test resilience
 
+echo "==> forensics smoke (flight-recorder dump -> replay -> per-link timelines)"
+cargo run --release --example forensics > /dev/null
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -54,6 +57,8 @@ if [[ "$BENCH_GATES" == "1" ]]; then
   scripts/bench_monitor.sh "$@"
   echo "==> bench gate: resilience (<3% sequenced-ingest overhead)"
   scripts/bench_resilience.sh "$@"
+  echo "==> bench gate: trace (<3% live flight-recorder overhead)"
+  scripts/bench_trace.sh "$@"
 fi
 
 echo "==> all checks passed"
